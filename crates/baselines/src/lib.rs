@@ -1,0 +1,23 @@
+//! # qgtc-baselines
+//!
+//! The comparison systems of the QGTC evaluation, rebuilt on the same substrates so
+//! every figure has both sides of its comparison:
+//!
+//! * [`dgl`] — a DGL-like full-precision GNN engine: CSR SpMM for neighbour
+//!   aggregation plus dense fp32 GEMM for the node update, running on CUDA cores
+//!   (modeled with the sparse/dense CUDA-core terms of the device model).  This is
+//!   the baseline of Figures 7(a) and 7(b).
+//! * [`int8_tc`] — a cuBLAS `gemmEX`-style int8 Tensor Core GEMM (Figure 7(c)).
+//! * [`int4_tc`] — a CUTLASS-style int4 Tensor Core GEMM (Table 3).
+//!
+//! Each baseline is functional (it computes real results, verified in tests) and
+//! records its work into a [`qgtc_tcsim::CostTracker`] so the same
+//! [`qgtc_tcsim::DeviceModel`] produces its modeled latency/throughput.
+
+pub mod dgl;
+pub mod int4_tc;
+pub mod int8_tc;
+
+pub use dgl::{DglEngine, DglLayerKind};
+pub use int4_tc::int4_tc_gemm;
+pub use int8_tc::int8_tc_gemm;

@@ -1,0 +1,36 @@
+//! Criterion bench behind Figure 9: 1-bit aggregation as a function of the adjacency
+//! size N (fixed embedding dimension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_kernels::bmm::{qgtc_aggregate, KernelConfig};
+use qgtc_kernels::tile_reuse::random_feature_codes;
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tensor::rng::random_uniform_matrix;
+
+const DIM: usize = 64;
+
+fn bench_adj_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_adjacency_size");
+    group.sample_size(10);
+    for n in [256usize, 512, 1024, 2048] {
+        let adjacency =
+            random_uniform_matrix(n, n, 0.0, 1.0, n as u64).map(|&v| (v < 0.3) as u32 as f32);
+        let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+        let codes = random_feature_codes(n, DIM, 1, 5);
+        let feats = StackedBitMatrix::from_codes(&codes, 1, BitMatrixLayout::ColPacked);
+        // Useful operations of the unquantized GEMM, so Criterion reports a
+        // throughput figure comparable across sizes.
+        group.throughput(Throughput::Elements(2 * (n as u64) * (n as u64) * DIM as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let tracker = CostTracker::new();
+                qgtc_aggregate(&adj, &feats, &KernelConfig::default(), &tracker)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adj_size);
+criterion_main!(benches);

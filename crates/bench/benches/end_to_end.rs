@@ -1,0 +1,47 @@
+//! Criterion bench behind Figures 7(a)/(b): one end-to-end inference epoch of each
+//! model on a scaled-down Proteins dataset, QGTC 2-bit versus the DGL baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qgtc_core::{run_epoch, ModelKind, QgtcConfig};
+use qgtc_graph::{DatasetProfile, LoadedDataset};
+
+fn dataset() -> LoadedDataset {
+    DatasetProfile::PROTEINS.materialize(0.02, 7)
+}
+
+fn bench_cluster_gcn(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("end_to_end_cluster_gcn");
+    group.sample_size(10);
+    group.bench_function("qgtc_2bit", |b| {
+        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(24, 4);
+        b.iter(|| run_epoch(&data, &config))
+    });
+    group.bench_function("qgtc_8bit", |b| {
+        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 8).scaled_partitions(24, 4);
+        b.iter(|| run_epoch(&data, &config))
+    });
+    group.bench_function("dgl_fp32", |b| {
+        let config = QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).scaled_partitions(24, 4);
+        b.iter(|| run_epoch(&data, &config))
+    });
+    group.finish();
+}
+
+fn bench_batched_gin(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("end_to_end_batched_gin");
+    group.sample_size(10);
+    group.bench_function("qgtc_2bit", |b| {
+        let config = QgtcConfig::qgtc(ModelKind::BatchedGin, 2).scaled_partitions(24, 4);
+        b.iter(|| run_epoch(&data, &config))
+    });
+    group.bench_function("dgl_fp32", |b| {
+        let config = QgtcConfig::dgl_baseline(ModelKind::BatchedGin).scaled_partitions(24, 4);
+        b.iter(|| run_epoch(&data, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_gcn, bench_batched_gin);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench of the METIS-substitute multilevel partitioner (the preprocessing
+//! step every end-to-end experiment depends on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgtc_graph::generate::{stochastic_block_model, SbmParams};
+use qgtc_graph::CsrGraph;
+use qgtc_partition::{partition_kway, PartitionConfig};
+
+fn clustered_graph(nodes: usize) -> CsrGraph {
+    let (coo, _) = stochastic_block_model(
+        SbmParams {
+            num_nodes: nodes,
+            num_blocks: (nodes / 100).max(2),
+            intra_degree: 8.0,
+            inter_degree: 1.0,
+        },
+        13,
+    );
+    CsrGraph::from_coo(&coo)
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_partitioner");
+    group.sample_size(10);
+    for nodes in [1_000usize, 4_000, 16_000] {
+        let graph = clustered_graph(nodes);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| partition_kway(&graph, &PartitionConfig::with_parts(32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner);
+criterion_main!(benches);

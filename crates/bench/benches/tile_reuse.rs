@@ -1,0 +1,46 @@
+//! Criterion bench behind Figure 10: cross-tile reduction (non-zero tile reuse)
+//! versus the naive cross-bit reduction on an all-ones adjacency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_kernels::bmm::{qgtc_aggregate, KernelConfig, ReductionOrder};
+use qgtc_kernels::tile_reuse::random_feature_codes;
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tensor::Matrix;
+
+const N: usize = 512;
+const DIM: usize = 256;
+
+fn bench_tile_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_tile_reuse");
+    group.sample_size(10);
+    let adjacency = Matrix::filled(N, N, 1.0f32);
+    let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+    for bits in [4u32, 8, 16] {
+        let codes = random_feature_codes(N, DIM, bits, bits as u64);
+        let feats = StackedBitMatrix::from_codes(&codes, bits, BitMatrixLayout::ColPacked);
+        for (label, order) in [
+            ("cross_tile_reuse", ReductionOrder::CrossTile),
+            ("cross_bit_no_reuse", ReductionOrder::CrossBit),
+        ] {
+            let config = KernelConfig {
+                reduction_order: order,
+                ..KernelConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, bits),
+                &bits,
+                |b, _| {
+                    b.iter(|| {
+                        let tracker = CostTracker::new();
+                        qgtc_aggregate(&adj, &feats, &config, &tracker)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_reuse);
+criterion_main!(benches);

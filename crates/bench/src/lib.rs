@@ -1,0 +1,22 @@
+//! # qgtc-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the QGTC paper's
+//! evaluation section (see DESIGN.md §3 for the experiment index).
+//!
+//! Each experiment is a library function in [`experiments`] returning structured
+//! rows, so the same code backs three consumers:
+//!
+//! * the report binaries (`cargo run -p qgtc-bench --release --bin fig7a`, …) which
+//!   print the paper-style table plus CSV;
+//! * the Criterion benches (`cargo bench`), which time the underlying kernels;
+//! * the integration tests, which assert the qualitative shape (who wins, how trends
+//!   move) on scaled-down configurations.
+//!
+//! Absolute numbers come from the analytic device model, not hardware; see
+//! EXPERIMENTS.md for the paper-vs-measured comparison and the scaling caveats.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::Table;

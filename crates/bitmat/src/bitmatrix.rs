@@ -1,0 +1,267 @@
+//! A single packed bit plane with the two layouts used by QGTC's GEMM.
+//!
+//! The paper's Figure 4 describes two compressions of a bit plane:
+//!
+//! * **Column-wise compression** (our [`BitMatrixLayout::RowPacked`]): used for the
+//!   left operand `A` of `C = A·B`.  Each *row* of A stores its K bits packed into
+//!   `PAD128(K)/32` little-endian words, so a GEMM walks each row with coalesced,
+//!   word-aligned reads.
+//! * **Row-wise compression** (our [`BitMatrixLayout::ColPacked`]): used for the right
+//!   operand `B`.  Each *column* of B stores its K bits packed the same way, so the
+//!   GEMM's inner loop reads a column of B contiguously.
+//!
+//! Both layouts pad the packed dimension to 128 bits (`PAD128`) and the other
+//! dimension to 8 (`PAD8`) so every Tensor Core tile access is in bounds.  Padding
+//! bits are zero, which is semantically neutral for AND+popcount accumulation.
+
+use crate::pack::{pad128, pad8, pack_bits_le, WORD_BITS};
+use qgtc_tensor::Matrix;
+
+/// Which dimension of the logical matrix is packed into words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitMatrixLayout {
+    /// Bits of each row are packed along the column (K) dimension.
+    /// Paper terminology: column-wise compression; used for operand A.
+    RowPacked,
+    /// Bits of each column are packed along the row (K) dimension.
+    /// Paper terminology: row-wise compression; used for operand B.
+    ColPacked,
+}
+
+/// One bit plane of a matrix, packed into `u32` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    /// Logical (unpadded) number of rows.
+    rows: usize,
+    /// Logical (unpadded) number of columns.
+    cols: usize,
+    /// Packing layout.
+    layout: BitMatrixLayout,
+    /// Number of "lanes": padded rows for `RowPacked`, padded cols for `ColPacked`.
+    lanes: usize,
+    /// Number of words per lane (packed dimension / 32 after PAD128).
+    words_per_lane: usize,
+    /// Packed storage, `lanes * words_per_lane` words, lane-major.
+    words: Vec<u32>,
+}
+
+impl BitMatrix {
+    /// Pack a 0/1 `f32` matrix (e.g. a dense adjacency) as a bit plane.
+    ///
+    /// Any nonzero entry is treated as 1.
+    pub fn from_dense_f32(dense: &Matrix<f32>, layout: BitMatrixLayout) -> Self {
+        let bits = dense.map(|&v| (v != 0.0) as u8);
+        Self::from_bits(&bits, layout)
+    }
+
+    /// Pack a 0/1 `u8` matrix as a bit plane. Panics if any entry exceeds 1.
+    pub fn from_bits(bits: &Matrix<u8>, layout: BitMatrixLayout) -> Self {
+        let (rows, cols) = bits.shape();
+        match layout {
+            BitMatrixLayout::RowPacked => {
+                let lanes = pad8(rows);
+                let words_per_lane = pad128(cols) / WORD_BITS;
+                let mut words = vec![0u32; lanes * words_per_lane];
+                for r in 0..rows {
+                    let packed = pack_bits_le(bits.row(r));
+                    words[r * words_per_lane..r * words_per_lane + packed.len()]
+                        .copy_from_slice(&packed);
+                }
+                Self {
+                    rows,
+                    cols,
+                    layout,
+                    lanes,
+                    words_per_lane,
+                    words,
+                }
+            }
+            BitMatrixLayout::ColPacked => {
+                let lanes = pad8(cols);
+                let words_per_lane = pad128(rows) / WORD_BITS;
+                let mut words = vec![0u32; lanes * words_per_lane];
+                let mut column = vec![0u8; rows];
+                for c in 0..cols {
+                    for r in 0..rows {
+                        column[r] = bits[(r, c)];
+                    }
+                    let packed = pack_bits_le(&column);
+                    words[c * words_per_lane..c * words_per_lane + packed.len()]
+                        .copy_from_slice(&packed);
+                }
+                Self {
+                    rows,
+                    cols,
+                    layout,
+                    lanes,
+                    words_per_lane,
+                    words,
+                }
+            }
+        }
+    }
+
+    /// Logical number of rows (before padding).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical number of columns (before padding).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Packing layout of this plane.
+    pub fn layout(&self) -> BitMatrixLayout {
+        self.layout
+    }
+
+    /// Number of padded lanes (rows for RowPacked, columns for ColPacked).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of packed words per lane.
+    pub fn words_per_lane(&self) -> usize {
+        self.words_per_lane
+    }
+
+    /// Raw packed storage (lane-major).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Size of the packed representation in bytes (the quantity that travels over
+    /// PCIe in the bandwidth-optimized subgraph packing experiment).
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The packed words of one lane (row for RowPacked, column for ColPacked).
+    #[inline]
+    pub fn lane(&self, lane: usize) -> &[u32] {
+        debug_assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        &self.words[lane * self.words_per_lane..(lane + 1) * self.words_per_lane]
+    }
+
+    /// Read back logical bit `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "bit index out of range");
+        let (lane, offset) = match self.layout {
+            BitMatrixLayout::RowPacked => (r, c),
+            BitMatrixLayout::ColPacked => (c, r),
+        };
+        let word = self.lane(lane)[offset / WORD_BITS];
+        ((word >> (offset % WORD_BITS)) & 1) as u8
+    }
+
+    /// Unpack into a dense 0/1 `u8` matrix of the logical shape.
+    pub fn to_dense(&self) -> Matrix<u8> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(r, c)] = self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Number of set bits in the plane (edge count when the plane is an adjacency).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(rows: usize, cols: usize) -> Matrix<u8> {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = ((r + c) % 2) as u8;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn row_packed_round_trip() {
+        let m = checkerboard(5, 70);
+        let b = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        assert_eq!(b.rows(), 5);
+        assert_eq!(b.cols(), 70);
+        assert_eq!(b.lanes(), 8);
+        assert_eq!(b.words_per_lane(), 4); // PAD128(70)/32
+        assert_eq!(b.to_dense(), m);
+    }
+
+    #[test]
+    fn col_packed_round_trip() {
+        let m = checkerboard(70, 5);
+        let b = BitMatrix::from_bits(&m, BitMatrixLayout::ColPacked);
+        assert_eq!(b.lanes(), 8);
+        assert_eq!(b.words_per_lane(), 4);
+        assert_eq!(b.to_dense(), m);
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let m = Matrix::filled(3, 3, 1u8);
+        let b = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        // 3 rows of 3 ones = 9 set bits; padding contributes none.
+        assert_eq!(b.count_ones(), 9);
+        let bc = BitMatrix::from_bits(&m, BitMatrixLayout::ColPacked);
+        assert_eq!(bc.count_ones(), 9);
+    }
+
+    #[test]
+    fn from_dense_f32_thresholds_nonzero() {
+        let mut d = Matrix::zeros(2, 3);
+        d[(0, 0)] = 1.0;
+        d[(1, 2)] = 0.5;
+        let b = BitMatrix::from_dense_f32(&d, BitMatrixLayout::RowPacked);
+        assert_eq!(b.get(0, 0), 1);
+        assert_eq!(b.get(1, 2), 1);
+        assert_eq!(b.get(0, 1), 0);
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn get_matches_source_for_both_layouts() {
+        let m = checkerboard(13, 37);
+        for layout in [BitMatrixLayout::RowPacked, BitMatrixLayout::ColPacked] {
+            let b = BitMatrix::from_bits(&m, layout);
+            for r in 0..13 {
+                for c in 0..37 {
+                    assert_eq!(b.get(r, c), m[(r, c)], "layout {layout:?} at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bytes_reflects_padding() {
+        let m = Matrix::zeros(10, 130);
+        let b = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        // PAD8(10)=16 lanes, PAD128(130)=256 bits = 8 words per lane.
+        assert_eq!(b.packed_bytes(), 16 * 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let m = Matrix::zeros(2, 2);
+        let b = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        let _ = b.get(2, 0);
+    }
+
+    #[test]
+    fn empty_matrix_is_legal() {
+        let m: Matrix<u8> = Matrix::zeros(0, 0);
+        let b = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.packed_bytes(), 0);
+    }
+}

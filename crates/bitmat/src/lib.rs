@@ -1,0 +1,41 @@
+//! # qgtc-bitmat
+//!
+//! Bit-level data representation and any-bitwidth arithmetic — the algorithmic core of
+//! the QGTC paper (§3 and §4.2).
+//!
+//! QGTC's central idea is that a `q`-bit quantized GEMM can always be *composed from
+//! 1-bit GEMMs*: decompose each operand into its bit planes, multiply every pair of
+//! planes with a binary (AND + popcount) matrix product, then shift-and-add the plane
+//! products back together.  The 1-bit products map directly onto the Tensor Core
+//! `b1` MMA primitive; everything else is bookkeeping.  This crate implements that
+//! bookkeeping and a reference composition:
+//!
+//! * [`pack`] — 32-bit word packing helpers, `PAD8`/`PAD128` padding (the Tensor Core
+//!   1-bit tile is 8×128, so operand dimensions are padded accordingly).
+//! * [`bitmatrix::BitMatrix`] — one packed bit plane, in either row-packed layout
+//!   (paper: "column-wise compression", used for the left operand A) or
+//!   column-packed layout (paper: "row-wise compression", used for the right
+//!   operand B).
+//! * [`decompose`] — bit decomposition and recomposition of quantized integer
+//!   matrices.
+//! * [`stacked::StackedBitMatrix`] — the paper's *3D-stacked bit compression*: `s`
+//!   bit planes of a matrix stacked along a third axis, each plane packed with the
+//!   layout appropriate for its operand position.
+//! * [`ops`] — bit-serial primitives: AND+popcount dot products and single-plane
+//!   binary matrix multiplication.
+//! * [`gemm`] — the any-bitwidth GEMM composition of Algorithm 1, used both as the
+//!   semantic reference for the Tensor-Core kernels in `qgtc-kernels` and as a
+//!   CPU fallback execution path.
+//!
+//! All routines are exact: for operands that fit their declared bitwidths, the
+//! composed result equals a 64-bit integer GEMM on the codes.
+
+pub mod bitmatrix;
+pub mod decompose;
+pub mod gemm;
+pub mod ops;
+pub mod pack;
+pub mod stacked;
+
+pub use bitmatrix::{BitMatrix, BitMatrixLayout};
+pub use stacked::StackedBitMatrix;

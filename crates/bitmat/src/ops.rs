@@ -1,0 +1,175 @@
+//! Bit-serial primitives: binary dot products and single-plane binary matrix
+//! multiplication (BMM).
+//!
+//! Equation 7 of the paper: the product of two 1-bit vectors is
+//! `popcnt(a & b)`.  A single-plane BMM applies that dot product between every
+//! row-packed lane of the left operand and every column-packed lane of the right
+//! operand, accumulating into `u32`/`i64` — exactly what one Tensor Core `bmma_sync`
+//! computes per 8×8×128 tile, here expressed over whole matrices.  The parallel
+//! version distributes output rows over rayon threads.
+
+use crate::bitmatrix::{BitMatrix, BitMatrixLayout};
+use crate::pack::and_popcount;
+use qgtc_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Binary matrix multiplication between one row-packed plane `a` (shape M×K) and one
+/// column-packed plane `b` (shape K×N), producing `u32` counts of shape M×N.
+///
+/// Panics if the layouts are not (RowPacked, ColPacked) or the inner dimensions
+/// disagree.
+pub fn bmm_plane(a: &BitMatrix, b: &BitMatrix) -> Matrix<u32> {
+    validate_bmm_operands(a, b);
+    let m = a.rows();
+    let n = b.cols();
+    let words = a.words_per_lane();
+    let mut out: Matrix<u32> = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_lane = a.lane(i);
+        let row = out.row_mut(i);
+        for (j, slot) in row.iter_mut().enumerate().take(n) {
+            let b_lane = &b.lane(j)[..words];
+            *slot = and_popcount(a_lane, b_lane);
+        }
+    }
+    out
+}
+
+/// Rayon-parallel version of [`bmm_plane`], splitting work over output rows.
+pub fn bmm_plane_parallel(a: &BitMatrix, b: &BitMatrix) -> Matrix<u32> {
+    validate_bmm_operands(a, b);
+    let m = a.rows();
+    let n = b.cols();
+    let words = a.words_per_lane();
+    let mut out: Matrix<u32> = Matrix::zeros(m, n);
+    out.data_mut()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            let a_lane = a.lane(i);
+            for (j, slot) in row.iter_mut().enumerate() {
+                let b_lane = &b.lane(j)[..words];
+                *slot = and_popcount(a_lane, b_lane);
+            }
+        });
+    out
+}
+
+/// Check layouts and inner dimensions of a BMM operand pair.
+fn validate_bmm_operands(a: &BitMatrix, b: &BitMatrix) {
+    assert_eq!(
+        a.layout(),
+        BitMatrixLayout::RowPacked,
+        "left BMM operand must be row-packed (column-wise compression)"
+    );
+    assert_eq!(
+        b.layout(),
+        BitMatrixLayout::ColPacked,
+        "right BMM operand must be column-packed (row-wise compression)"
+    );
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "BMM inner dimensions differ: {} vs {}",
+        a.cols(),
+        b.rows()
+    );
+    debug_assert_eq!(
+        a.words_per_lane(),
+        b.words_per_lane(),
+        "padded word counts must agree for equal K"
+    );
+}
+
+/// Binary dot product between lane `i` of a row-packed plane and lane `j` of a
+/// column-packed plane (one output element of a BMM).
+pub fn bmm_element(a: &BitMatrix, i: usize, b: &BitMatrix, j: usize) -> u32 {
+    and_popcount(a.lane(i), &b.lane(j)[..a.words_per_lane()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_tensor::gemm::gemm_i64;
+    use qgtc_tensor::rng::random_uniform_matrix;
+
+    fn random_bits(rows: usize, cols: usize, seed: u64) -> Matrix<u8> {
+        random_uniform_matrix(rows, cols, 0.0, 1.0, seed).map(|&v| (v > 0.5) as u8)
+    }
+
+    fn to_i64(m: &Matrix<u8>) -> Matrix<i64> {
+        m.map(|&v| v as i64)
+    }
+
+    #[test]
+    fn bmm_matches_integer_gemm() {
+        let a_bits = random_bits(17, 200, 1);
+        let b_bits = random_bits(200, 13, 2);
+        let a = BitMatrix::from_bits(&a_bits, BitMatrixLayout::RowPacked);
+        let b = BitMatrix::from_bits(&b_bits, BitMatrixLayout::ColPacked);
+        let fast = bmm_plane(&a, &b);
+        let reference = gemm_i64(&to_i64(&a_bits), &to_i64(&b_bits));
+        assert_eq!(fast.shape(), (17, 13));
+        for i in 0..17 {
+            for j in 0..13 {
+                assert_eq!(fast[(i, j)] as i64, reference[(i, j)], "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a_bits = random_bits(40, 300, 3);
+        let b_bits = random_bits(300, 25, 4);
+        let a = BitMatrix::from_bits(&a_bits, BitMatrixLayout::RowPacked);
+        let b = BitMatrix::from_bits(&b_bits, BitMatrixLayout::ColPacked);
+        assert_eq!(bmm_plane(&a, &b), bmm_plane_parallel(&a, &b));
+    }
+
+    #[test]
+    fn bmm_element_matches_full_product() {
+        let a_bits = random_bits(6, 90, 5);
+        let b_bits = random_bits(90, 7, 6);
+        let a = BitMatrix::from_bits(&a_bits, BitMatrixLayout::RowPacked);
+        let b = BitMatrix::from_bits(&b_bits, BitMatrixLayout::ColPacked);
+        let full = bmm_plane(&a, &b);
+        assert_eq!(bmm_element(&a, 2, &b, 3), full[(2, 3)]);
+        assert_eq!(bmm_element(&a, 5, &b, 0), full[(5, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be row-packed")]
+    fn bmm_rejects_wrong_left_layout() {
+        let bits = random_bits(8, 8, 7);
+        let a = BitMatrix::from_bits(&bits, BitMatrixLayout::ColPacked);
+        let b = BitMatrix::from_bits(&bits, BitMatrixLayout::ColPacked);
+        let _ = bmm_plane(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn bmm_rejects_dimension_mismatch() {
+        let a = BitMatrix::from_bits(&random_bits(4, 100, 8), BitMatrixLayout::RowPacked);
+        let b = BitMatrix::from_bits(&random_bits(90, 4, 9), BitMatrixLayout::ColPacked);
+        let _ = bmm_plane(&a, &b);
+    }
+
+    #[test]
+    fn identity_adjacency_returns_counts_of_b_rows() {
+        // A = identity: output row i equals row i of B (as 0/1 counts).
+        let n = 12;
+        let mut ident: Matrix<u8> = Matrix::zeros(n, n);
+        for i in 0..n {
+            ident[(i, i)] = 1;
+        }
+        let b_bits = random_bits(n, 9, 10);
+        let a = BitMatrix::from_bits(&ident, BitMatrixLayout::RowPacked);
+        let b = BitMatrix::from_bits(&b_bits, BitMatrixLayout::ColPacked);
+        let out = bmm_plane(&a, &b);
+        for i in 0..n {
+            for j in 0..9 {
+                assert_eq!(out[(i, j)] as u8, b_bits[(i, j)]);
+            }
+        }
+    }
+}

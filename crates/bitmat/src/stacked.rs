@@ -1,0 +1,223 @@
+//! 3D-stacked bit compression (paper §4.2, Figure 4).
+//!
+//! A `q`-bit quantized matrix is stored as `q` packed bit planes stacked along a
+//! third ("z") axis.  The plane layout depends on the operand position the matrix
+//! will take in a GEMM:
+//!
+//! * left operand (`A` in `C = A·B`): each plane uses row-packed storage
+//!   ("column-wise compression" — coalesced reads along each row);
+//! * right operand (`B`): each plane uses column-packed storage
+//!   ("row-wise compression" — coalesced reads along each column).
+//!
+//! The stack also records the quantization parameters used to produce the codes so
+//! that downstream layers can dequantize or re-quantize fused with the GEMM epilogue.
+
+use crate::bitmatrix::{BitMatrix, BitMatrixLayout};
+use crate::decompose::{bit_decompose, bit_recompose};
+use crate::pack::{pad128, pad8};
+use qgtc_tensor::{Matrix, QuantParams};
+
+/// A quantized matrix stored as stacked packed bit planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackedBitMatrix {
+    /// Logical number of rows.
+    rows: usize,
+    /// Logical number of columns.
+    cols: usize,
+    /// Bitwidth (number of planes).
+    bits: u32,
+    /// Layout shared by all planes.
+    layout: BitMatrixLayout,
+    /// The bit planes, LSB first.
+    planes: Vec<BitMatrix>,
+    /// Quantization parameters used to produce the codes, if any.
+    quant: Option<QuantParams>,
+}
+
+impl StackedBitMatrix {
+    /// Build a stack from a matrix of unsigned codes.
+    pub fn from_codes(codes: &Matrix<u32>, bits: u32, layout: BitMatrixLayout) -> Self {
+        let planes = bit_decompose(codes, bits)
+            .iter()
+            .map(|p| BitMatrix::from_bits(p, layout))
+            .collect();
+        Self {
+            rows: codes.rows(),
+            cols: codes.cols(),
+            bits,
+            layout,
+            planes,
+            quant: None,
+        }
+    }
+
+    /// Build a stack from codes produced by a quantizer, remembering its parameters.
+    pub fn from_quantized(
+        codes: &Matrix<u32>,
+        params: QuantParams,
+        layout: BitMatrixLayout,
+    ) -> Self {
+        let mut s = Self::from_codes(codes, params.bits, layout);
+        s.quant = Some(params);
+        s
+    }
+
+    /// Build a 1-bit stack from a dense 0/1 adjacency matrix.
+    pub fn from_binary_adjacency(adjacency: &Matrix<f32>, layout: BitMatrixLayout) -> Self {
+        let plane = BitMatrix::from_dense_f32(adjacency, layout);
+        Self {
+            rows: adjacency.rows(),
+            cols: adjacency.cols(),
+            bits: 1,
+            layout,
+            planes: vec![plane],
+            quant: None,
+        }
+    }
+
+    /// Logical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bitwidth (number of stacked planes).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Plane layout.
+    pub fn layout(&self) -> BitMatrixLayout {
+        self.layout
+    }
+
+    /// Quantization parameters, if the stack came from a quantizer.
+    pub fn quant_params(&self) -> Option<QuantParams> {
+        self.quant
+    }
+
+    /// The bit planes, LSB first.
+    pub fn planes(&self) -> &[BitMatrix] {
+        &self.planes
+    }
+
+    /// A single plane.
+    pub fn plane(&self, i: usize) -> &BitMatrix {
+        &self.planes[i]
+    }
+
+    /// Total packed size in bytes across all planes — the paper's memory-saving
+    /// metric and the payload size of the bandwidth-optimized subgraph packing.
+    pub fn packed_bytes(&self) -> usize {
+        self.planes.iter().map(BitMatrix::packed_bytes).sum()
+    }
+
+    /// Size in bytes the same matrix would occupy as dense `f32`.
+    pub fn dense_f32_bytes(&self) -> usize {
+        self.rows * self.cols * std::mem::size_of::<f32>()
+    }
+
+    /// Compression ratio versus dense fp32 storage (ignoring padding of the dense side).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.packed_bytes() == 0 {
+            return 1.0;
+        }
+        self.dense_f32_bytes() as f64 / self.packed_bytes() as f64
+    }
+
+    /// Reassemble the unsigned code matrix (exact inverse of `from_codes`).
+    pub fn to_codes(&self) -> Matrix<u32> {
+        let dense_planes: Vec<Matrix<u8>> = self.planes.iter().map(BitMatrix::to_dense).collect();
+        bit_recompose(&dense_planes)
+    }
+
+    /// The shape of the packed representation after padding, expressed as
+    /// `(planes, padded_lanes, words_per_lane)` — matches the paper's description of
+    /// the compressed tensor, e.g. `3-bit × PAD8(M) × PAD128(K)/32` for operand A.
+    pub fn packed_shape(&self) -> (u32, usize, usize) {
+        match self.layout {
+            BitMatrixLayout::RowPacked => (self.bits, pad8(self.rows), pad128(self.cols) / 32),
+            BitMatrixLayout::ColPacked => (self.bits, pad8(self.cols), pad128(self.rows) / 32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_tensor::rng::random_uniform_matrix;
+    use qgtc_tensor::Quantizer;
+
+    fn code_matrix(rows: usize, cols: usize, bits: u32, seed: u64) -> Matrix<u32> {
+        let max = (1u32 << bits) - 1;
+        let f = random_uniform_matrix(rows, cols, 0.0, max as f32 + 0.99, seed);
+        f.map(|&v| (v as u32).min(max))
+    }
+
+    #[test]
+    fn round_trip_codes() {
+        for bits in [1u32, 2, 3, 4, 8] {
+            let codes = code_matrix(9, 33, bits, 42 + bits as u64);
+            for layout in [BitMatrixLayout::RowPacked, BitMatrixLayout::ColPacked] {
+                let s = StackedBitMatrix::from_codes(&codes, bits, layout);
+                assert_eq!(s.bits(), bits);
+                assert_eq!(s.planes().len(), bits as usize);
+                assert_eq!(s.to_codes(), codes, "bits {bits} layout {layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_shape_matches_paper_example() {
+        // Paper: 3-bit M x K operand A packs to 3-bit x PAD8(M) x PAD128(K)/32.
+        let codes = code_matrix(10, 200, 3, 7);
+        let a = StackedBitMatrix::from_codes(&codes, 3, BitMatrixLayout::RowPacked);
+        assert_eq!(a.packed_shape(), (3, 16, 8));
+        // 2-bit K x N operand B packs to 2-bit x PAD128(K)/32 words per lane with
+        // PAD8(N) lanes.
+        let codes_b = code_matrix(200, 10, 2, 8);
+        let b = StackedBitMatrix::from_codes(&codes_b, 2, BitMatrixLayout::ColPacked);
+        assert_eq!(b.packed_shape(), (2, 16, 8));
+    }
+
+    #[test]
+    fn compression_ratio_beats_fp32_for_low_bits()
+    {
+        // A 256x256 2-bit matrix: 2 x 256 x 256 bits packed vs 32 bits per element.
+        let codes = code_matrix(256, 256, 2, 3);
+        let s = StackedBitMatrix::from_codes(&codes, 2, BitMatrixLayout::RowPacked);
+        assert!(
+            s.compression_ratio() > 10.0,
+            "expected >10x compression, got {:.1}",
+            s.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn binary_adjacency_stack_is_one_plane() {
+        let mut adj = Matrix::zeros(6, 6);
+        adj[(0, 1)] = 1.0;
+        adj[(1, 0)] = 1.0;
+        adj[(4, 5)] = 1.0;
+        let s = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        assert_eq!(s.bits(), 1);
+        assert_eq!(s.plane(0).count_ones(), 3);
+        assert_eq!(s.to_codes()[(0, 1)], 1);
+        assert_eq!(s.to_codes()[(2, 2)], 0);
+    }
+
+    #[test]
+    fn from_quantized_remembers_params() {
+        let x = random_uniform_matrix(8, 8, -1.0, 1.0, 5);
+        let q = Quantizer::calibrate(4, &x).unwrap();
+        let codes = q.quantize_matrix_u32(&x);
+        let s = StackedBitMatrix::from_quantized(&codes, q.params(), BitMatrixLayout::RowPacked);
+        assert_eq!(s.quant_params(), Some(q.params()));
+        assert_eq!(s.bits(), 4);
+        assert_eq!(s.to_codes(), codes);
+    }
+}

@@ -1,0 +1,121 @@
+//! Bit-Tensor computation entry points (paper §5).
+//!
+//! The PyTorch extension exposes two GEMM APIs over bit tensors:
+//!
+//! * `bitMM2Int(C, A, B, bit_A, bit_B)` — any-bitwidth matrix multiplication whose
+//!   output is an ordinary `int32` tensor ([`bit_mm_to_int`]);
+//! * `bitMM2Bit(C, A, B, bit_A, bit_B, bit_C)` — the same product re-quantized to
+//!   `bit_C` bits and returned as another bit tensor ([`bit_mm_to_bit`]), the form
+//!   used between hidden layers.
+//!
+//! Both run the QGTC kernels, so they exercise zero-tile jumping and tile reuse, and
+//! both record their work when handed a [`CostTracker`].
+
+use crate::bit_tensor::BitTensor;
+use qgtc_bitmat::BitMatrixLayout;
+use qgtc_kernels::bmm::{qgtc_bmm, KernelConfig};
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tensor::{Matrix, QuantParams, Quantizer};
+
+/// `bitMM2Int`: multiply two bit tensors and return the integer accumulator matrix.
+///
+/// The left operand must be row-packed and the right operand column-packed (the
+/// layouts `to_bit` produces for left/right operands respectively).
+pub fn bit_mm_to_int(
+    a: &BitTensor,
+    b: &BitTensor,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+) -> Matrix<i64> {
+    qgtc_bmm(a.stack(), b.stack(), config, tracker)
+}
+
+/// `bitMM2Bit`: multiply two bit tensors and re-quantize the result to `out_bits`,
+/// returning a new (column-packed) bit tensor plus its quantization parameters.
+pub fn bit_mm_to_bit(
+    a: &BitTensor,
+    b: &BitTensor,
+    out_bits: u32,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+) -> (BitTensor, QuantParams) {
+    let accumulator = qgtc_bmm(a.stack(), b.stack(), config, tracker);
+    let dense = accumulator.map(|&v| v as f32);
+    let quantizer = Quantizer::calibrate(out_bits, &dense).expect("out_bits must be in 1..=32");
+    let codes = quantizer.quantize_matrix_u32(&dense);
+    tracker.record_int_ops(dense.len() as u64 * out_bits as u64);
+    let stack = qgtc_bitmat::StackedBitMatrix::from_quantized(
+        &codes,
+        quantizer.params(),
+        BitMatrixLayout::ColPacked,
+    );
+    (BitTensor::from_stack(stack), quantizer.params())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_tensor::gemm::gemm_i64;
+    use qgtc_tensor::rng::random_uniform_matrix;
+
+    fn codes(rows: usize, cols: usize, bits: u32, seed: u64) -> Matrix<u32> {
+        let max = (1u64 << bits) as f32;
+        random_uniform_matrix(rows, cols, 0.0, max, seed)
+            .map(|&v| (v as u32).min((1u32 << bits) - 1))
+    }
+
+    #[test]
+    fn bit_mm_to_int_matches_integer_gemm() {
+        let a_codes = codes(10, 130, 3, 1);
+        let b_codes = codes(130, 7, 2, 2);
+        let a = BitTensor::from_codes(&a_codes, 3, BitMatrixLayout::RowPacked);
+        let b = BitTensor::from_codes(&b_codes, 2, BitMatrixLayout::ColPacked);
+        let out = bit_mm_to_int(&a, &b, &KernelConfig::default(), &CostTracker::new());
+        let reference = gemm_i64(&a_codes.map(|&v| v as i64), &b_codes.map(|&v| v as i64));
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn bit_mm_to_bit_produces_consumable_bit_tensor() {
+        let a_codes = codes(16, 128, 2, 3);
+        let b_codes = codes(128, 16, 2, 4);
+        let a = BitTensor::from_codes(&a_codes, 2, BitMatrixLayout::RowPacked);
+        let b = BitTensor::from_codes(&b_codes, 2, BitMatrixLayout::ColPacked);
+        let tracker = CostTracker::new();
+        let (c, params) = bit_mm_to_bit(&a, &b, 4, &KernelConfig::default(), &tracker);
+        assert_eq!(c.bits(), 4);
+        assert_eq!(c.shape(), (16, 16));
+        assert_eq!(c.layout(), BitMatrixLayout::ColPacked);
+        // The re-quantized values approximate the exact accumulator within one bucket.
+        let exact = gemm_i64(&a_codes.map(|&v| v as i64), &b_codes.map(|&v| v as i64));
+        let decoded = c.to_f32().expect("carries params");
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!(
+                    (decoded[(i, j)] - exact[(i, j)] as f32).abs() <= params.scale,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_bit_mm_calls_compose() {
+        // (A·B) re-quantized, then multiplied by another bit tensor — the hidden-layer
+        // hand-off pattern.
+        let a = BitTensor::from_codes(&codes(8, 128, 1, 5), 1, BitMatrixLayout::RowPacked);
+        let b = BitTensor::from_codes(&codes(128, 8, 2, 6), 2, BitMatrixLayout::ColPacked);
+        let tracker = CostTracker::new();
+        let (c, _) = bit_mm_to_bit(&a, &b, 3, &KernelConfig::default(), &tracker);
+        // Re-pack C as a left operand and multiply again.
+        let c_left = BitTensor::from_codes(
+            &c.to_val().map(|&v| v as u32),
+            c.bits(),
+            BitMatrixLayout::RowPacked,
+        );
+        let d = BitTensor::from_codes(&codes(8, 8, 2, 7), 2, BitMatrixLayout::ColPacked);
+        let out = bit_mm_to_int(&c_left, &d, &KernelConfig::default(), &tracker);
+        assert_eq!(out.shape(), (8, 8));
+        assert!(tracker.snapshot().tc_b1_tiles > 0);
+    }
+}

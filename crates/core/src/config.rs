@@ -1,0 +1,129 @@
+//! Evaluation configuration.
+//!
+//! One [`QgtcConfig`] captures everything a run of the end-to-end pipeline needs:
+//! which model, which execution path, the quantization bitwidth, the partitioning
+//! and batching granularity (the two knobs §4.1 discusses), the kernel optimisation
+//! toggles, the host-to-device transfer strategy and the GPU to model.
+
+use qgtc_kernels::bmm::KernelConfig;
+use qgtc_kernels::packing::TransferStrategy;
+use qgtc_tcsim::GpuSpec;
+
+/// Which GNN model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Cluster GCN: 3 layers, 16 hidden dims, aggregate-then-update.
+    ClusterGcn,
+    /// Batched GIN: 3 layers, 64 hidden dims, update-then-aggregate.
+    BatchedGin,
+}
+
+/// Which execution engine runs the forward passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPath {
+    /// The QGTC Tensor-Core path at the configured bitwidth.
+    Qgtc,
+    /// The DGL-like fp32 CUDA-core baseline.
+    DglBaseline,
+}
+
+/// Full configuration of one end-to-end inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QgtcConfig {
+    /// Model to evaluate.
+    pub model: ModelKind,
+    /// Execution path.
+    pub path: ExecutionPath,
+    /// Quantization bitwidth for the QGTC path (1–8, 16 or 32).
+    pub bits: u32,
+    /// Number of graph partitions (the paper uses 1,500).
+    pub num_partitions: usize,
+    /// Partitions per batch.
+    pub batch_size: usize,
+    /// Kernel optimisation toggles.
+    pub kernel: KernelConfig,
+    /// How batches are shipped to the device.
+    pub transfer: TransferStrategy,
+    /// GPU the device model emulates.
+    pub gpu: GpuSpec,
+    /// Seed for model initialisation.
+    pub seed: u64,
+}
+
+impl Default for QgtcConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::ClusterGcn,
+            path: ExecutionPath::Qgtc,
+            bits: 2,
+            num_partitions: 1500,
+            batch_size: 8,
+            kernel: KernelConfig::default(),
+            transfer: TransferStrategy::PackedCompound,
+            gpu: GpuSpec::rtx3090(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl QgtcConfig {
+    /// The paper's evaluation defaults for a given model and bitwidth on the QGTC path.
+    pub fn qgtc(model: ModelKind, bits: u32) -> Self {
+        Self {
+            model,
+            bits,
+            ..Default::default()
+        }
+    }
+
+    /// The DGL fp32 baseline configuration for a given model.
+    pub fn dgl_baseline(model: ModelKind) -> Self {
+        Self {
+            model,
+            path: ExecutionPath::DglBaseline,
+            bits: 32,
+            transfer: TransferStrategy::DenseFloat,
+            ..Default::default()
+        }
+    }
+
+    /// Shrink the partition count and batch size for small (test-scale) graphs while
+    /// preserving the partitions-per-batch ratio of the full configuration.
+    pub fn scaled_partitions(mut self, num_partitions: usize, batch_size: usize) -> Self {
+        self.num_partitions = num_partitions.max(1);
+        self.batch_size = batch_size.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = QgtcConfig::default();
+        assert_eq!(c.num_partitions, 1500);
+        assert_eq!(c.path, ExecutionPath::Qgtc);
+        assert_eq!(c.transfer, TransferStrategy::PackedCompound);
+        assert!(c.kernel.zero_tile_jumping);
+    }
+
+    #[test]
+    fn constructors_set_paths() {
+        let q = QgtcConfig::qgtc(ModelKind::BatchedGin, 4);
+        assert_eq!(q.model, ModelKind::BatchedGin);
+        assert_eq!(q.bits, 4);
+        assert_eq!(q.path, ExecutionPath::Qgtc);
+        let d = QgtcConfig::dgl_baseline(ModelKind::ClusterGcn);
+        assert_eq!(d.path, ExecutionPath::DglBaseline);
+        assert_eq!(d.transfer, TransferStrategy::DenseFloat);
+    }
+
+    #[test]
+    fn scaled_partitions_clamps_to_one() {
+        let c = QgtcConfig::default().scaled_partitions(0, 0);
+        assert_eq!(c.num_partitions, 1);
+        assert_eq!(c.batch_size, 1);
+    }
+}

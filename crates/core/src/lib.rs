@@ -1,0 +1,40 @@
+//! # qgtc-core
+//!
+//! The public framework facade of the QGTC reproduction — the analogue of the
+//! paper's PyTorch integration layer (§5) plus the end-to-end inference pipeline the
+//! evaluation drives.
+//!
+//! * [`BitTensor`] and [`api`] — the paper's bit-Tensor data type and bit-Tensor
+//!   computation: `to_bit` / `to_val` conversions between ordinary 32-bit tensors and
+//!   packed any-bitwidth tensors, and `bit_mm_to_int` / `bit_mm_to_bit` matrix
+//!   multiplication entry points.
+//! * [`config::QgtcConfig`] — one struct holding every evaluation knob: bitwidth,
+//!   partition count, batch size, kernel optimisation toggles, transfer strategy and
+//!   the GPU the device model should emulate.
+//! * [`pipeline`] — the end-to-end batched-inference pipeline: METIS-substitute
+//!   partitioning, cluster-GCN batching, host-to-device transfer, per-batch forward
+//!   passes on either the QGTC path or the DGL-like baseline, and modeled epoch
+//!   latency.
+//!
+//! Everything below re-exports the substrate crates so a downstream user can depend
+//! on `qgtc-core` alone.
+
+pub mod api;
+pub mod bit_tensor;
+pub mod config;
+pub mod pipeline;
+
+pub use api::{bit_mm_to_bit, bit_mm_to_int};
+pub use bit_tensor::BitTensor;
+pub use config::{ExecutionPath, ModelKind, QgtcConfig};
+pub use pipeline::{run_epoch, EpochReport};
+
+// Substrate re-exports.
+pub use qgtc_baselines as baselines;
+pub use qgtc_bitmat as bitmat;
+pub use qgtc_gnn as gnn;
+pub use qgtc_graph as graph;
+pub use qgtc_kernels as kernels;
+pub use qgtc_partition as partition;
+pub use qgtc_tcsim as tcsim;
+pub use qgtc_tensor as tensor;

@@ -1,0 +1,113 @@
+//! Train/test splitting and accuracy metrics for the QAT experiment (Table 2).
+
+use qgtc_tensor::rng::SplitMix64;
+
+/// A random train/test split over node indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Indices of training nodes.
+    pub train: Vec<usize>,
+    /// Indices of test nodes.
+    pub test: Vec<usize>,
+}
+
+impl TrainTestSplit {
+    /// Split `n` nodes with `train_fraction` of them in the training set.
+    pub fn random(n: usize, train_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction must be in [0, 1]"
+        );
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SplitMix64::new(seed);
+        for i in (1..n).rev() {
+            let j = rng.next_bounded(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let train_count = ((n as f64) * train_fraction).round() as usize;
+        let train = order[..train_count].to_vec();
+        let test = order[train_count..].to_vec();
+        Self { train, test }
+    }
+
+    /// Boolean membership mask of the training set, length `n`.
+    pub fn train_mask(&self, n: usize) -> Vec<bool> {
+        let mut mask = vec![false; n];
+        for &i in &self.train {
+            mask[i] = true;
+        }
+        mask
+    }
+}
+
+/// Fraction of `indices` whose prediction matches the label.
+pub fn accuracy_on(predictions: &[usize], labels: &[usize], indices: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let correct = indices
+        .iter()
+        .filter(|&&i| predictions[i] == labels[i])
+        .count();
+    correct as f64 / indices.len() as f64
+}
+
+/// Overall accuracy across all nodes.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    let all: Vec<usize> = (0..predictions.len()).collect();
+    accuracy_on(predictions, labels, &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_all_nodes_exactly_once() {
+        let s = TrainTestSplit::random(100, 0.6, 1);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.test.len(), 40);
+        let mut all: Vec<usize> = s.train.iter().chain(s.test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(
+            TrainTestSplit::random(50, 0.5, 7),
+            TrainTestSplit::random(50, 0.5, 7)
+        );
+        assert_ne!(
+            TrainTestSplit::random(50, 0.5, 7),
+            TrainTestSplit::random(50, 0.5, 8)
+        );
+    }
+
+    #[test]
+    fn train_mask_marks_training_nodes() {
+        let s = TrainTestSplit::random(10, 0.3, 2);
+        let mask = s.train_mask(10);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 3);
+        for &i in &s.train {
+            assert!(mask[i]);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let preds = vec![0, 1, 2, 1];
+        let labels = vec![0, 1, 1, 1];
+        assert!((accuracy(&preds, &labels) - 0.75).abs() < 1e-12);
+        assert_eq!(accuracy_on(&preds, &labels, &[2]), 0.0);
+        assert_eq!(accuracy_on(&preds, &labels, &[0, 1]), 1.0);
+        assert_eq!(accuracy_on(&preds, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction must be in")]
+    fn split_rejects_bad_fraction() {
+        let _ = TrainTestSplit::random(10, 1.5, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Layer parameters shared by the fp32 and quantized execution paths.
+//!
+//! A GNN layer in both evaluated models is a linear transform (weight + bias) wrapped
+//! around an aggregation; the aggregation has no parameters.  Keeping the parameters
+//! in one place guarantees the baseline and QGTC paths run the *same* model, so their
+//! outputs can be compared numerically in tests.
+
+use qgtc_tensor::rng::xavier_init;
+use qgtc_tensor::Matrix;
+
+/// Parameters of one linear update layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerParams {
+    /// Weight matrix, `in_dim × out_dim`.
+    pub weight: Matrix<f32>,
+    /// Bias vector, `out_dim` long.
+    pub bias: Vec<f32>,
+}
+
+impl LayerParams {
+    /// Xavier-initialised layer.
+    pub fn new_xavier(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            weight: xavier_init(in_dim, out_dim, seed),
+            bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+}
+
+/// Parameters of a full multi-layer GNN model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnModelParams {
+    /// The per-layer linear transforms, input to output order.
+    pub layers: Vec<LayerParams>,
+}
+
+impl GnnModelParams {
+    /// Build a model `feature_dim → hidden → … → hidden → num_classes` with
+    /// `num_layers` layers (the paper uses 3 for both models).
+    pub fn new(
+        feature_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_layers >= 1, "a model needs at least one layer");
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let in_dim = if l == 0 { feature_dim } else { hidden_dim };
+            let out_dim = if l + 1 == num_layers { num_classes } else { hidden_dim };
+            layers.push(LayerParams::new_xavier(in_dim, out_dim, seed + l as u64));
+        }
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Feature dimension the model expects.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Number of output classes.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("at least one layer").out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_layer_has_right_shape() {
+        let l = LayerParams::new_xavier(29, 16, 1);
+        assert_eq!(l.in_dim(), 29);
+        assert_eq!(l.out_dim(), 16);
+        assert_eq!(l.bias.len(), 16);
+        assert!(l.weight.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn model_params_chain_dimensions() {
+        let m = GnnModelParams::new(128, 16, 40, 3, 7);
+        assert_eq!(m.num_layers(), 3);
+        assert_eq!(m.input_dim(), 128);
+        assert_eq!(m.output_dim(), 40);
+        assert_eq!(m.layers[0].out_dim(), 16);
+        assert_eq!(m.layers[1].in_dim(), 16);
+        assert_eq!(m.layers[1].out_dim(), 16);
+        assert_eq!(m.layers[2].in_dim(), 16);
+    }
+
+    #[test]
+    fn single_layer_model_maps_input_to_classes() {
+        let m = GnnModelParams::new(50, 64, 121, 1, 2);
+        assert_eq!(m.layers[0].in_dim(), 50);
+        assert_eq!(m.layers[0].out_dim(), 121);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layer_model_rejected() {
+        let _ = GnnModelParams::new(10, 10, 2, 0, 0);
+    }
+
+    #[test]
+    fn seeds_differentiate_models() {
+        let a = GnnModelParams::new(8, 8, 2, 2, 1);
+        let b = GnnModelParams::new(8, 8, 2, 2, 1);
+        let c = GnnModelParams::new(8, 8, 2, 2, 99);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qgtc-gnn
+//!
+//! GNN layers and models for the QGTC reproduction.
+//!
+//! The paper evaluates two models on the node-classification task:
+//!
+//! * **Cluster GCN** — 3 layers, 16 hidden dimensions, mean aggregation followed by a
+//!   linear node update ([`models::cluster_gcn`]);
+//! * **Batched GIN** — 3 layers, 64 hidden dimensions, node update applied before the
+//!   sum aggregation ([`models::batched_gin`]).
+//!
+//! Each model has two execution paths over the *same* parameters:
+//!
+//! * the **baseline path** drives the DGL-like fp32 engine (`qgtc-baselines`);
+//! * the **QGTC path** quantizes activations and weights, packs them with 3D-stacked
+//!   bit compression and drives the Tensor-Core kernels (`qgtc-kernels`), staying in
+//!   the quantized domain between layers via fused epilogues.
+//!
+//! [`qat`] implements quantization-aware training with a straight-through estimator
+//! for the Table-2 accuracy-versus-bitwidth experiment, and [`accuracy`] the
+//! train/test split and accuracy metrics it reports.
+
+pub mod accuracy;
+pub mod layers;
+pub mod models;
+pub mod qat;
+
+pub use layers::{GnnModelParams, LayerParams};
+pub use models::batched_gin::BatchedGinModel;
+pub use models::cluster_gcn::ClusterGcnModel;
+pub use models::{BatchForwardOutput, QuantizationSetting};

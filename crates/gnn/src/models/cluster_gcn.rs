@@ -1,0 +1,344 @@
+//! Cluster GCN (3 layers, 16 hidden dimensions in the paper's evaluation).
+//!
+//! Per layer: mean neighbour aggregation over the batch's dense adjacency, then a
+//! linear node update, then ReLU (except after the output layer).  The QGTC path
+//! keeps the adjacency as a 1-bit stack, performs the aggregation as a binary MMA
+//! and folds the mean normalisation, re-quantization and activation into the
+//! epilogue-equivalent steps between kernels.
+
+use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_graph::DenseSubgraph;
+use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bmm, KernelConfig};
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tensor::gemm::gemm_f32;
+use qgtc_tensor::{ops, Matrix};
+
+use crate::layers::GnnModelParams;
+use crate::models::{
+    code_row_sums, dequantize_update, quantize_activations, quantize_weights,
+    record_dense_tc_gemm, row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting,
+};
+
+/// The Cluster-GCN model: shared parameters plus both execution paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterGcnModel {
+    /// The linear-layer parameters shared by every execution path.
+    pub params: GnnModelParams,
+}
+
+/// The paper's Cluster-GCN hidden dimension.
+pub const CLUSTER_GCN_HIDDEN: usize = 16;
+/// The paper's layer count for both evaluated models.
+pub const CLUSTER_GCN_LAYERS: usize = 3;
+
+impl ClusterGcnModel {
+    /// Build the paper's configuration: 3 layers, 16 hidden dimensions.
+    pub fn new(feature_dim: usize, num_classes: usize, seed: u64) -> Self {
+        Self {
+            params: GnnModelParams::new(
+                feature_dim,
+                CLUSTER_GCN_HIDDEN,
+                num_classes,
+                CLUSTER_GCN_LAYERS,
+                seed,
+            ),
+        }
+    }
+
+    /// Wrap existing parameters (used by tests and the QAT experiment).
+    pub fn with_params(params: GnnModelParams) -> Self {
+        Self { params }
+    }
+
+    /// Baseline (DGL-like) fp32 forward pass over one batch.
+    pub fn forward_fp32_batch(
+        &self,
+        subgraph: &DenseSubgraph,
+        features: &Matrix<f32>,
+        tracker: &CostTracker,
+    ) -> BatchForwardOutput {
+        assert_eq!(subgraph.num_nodes(), features.rows(), "feature rows mismatch");
+        let engine = DglEngine::new(tracker);
+        let num_layers = self.params.num_layers();
+        let mut x = features.clone();
+        for (l, layer) in self.params.layers.iter().enumerate() {
+            let aggregated = engine.aggregate_dense(subgraph, &x, DglLayerKind::GcnMean);
+            let updated = engine.update(&aggregated, &layer.weight, Some(&layer.bias));
+            x = if l + 1 < num_layers {
+                engine.relu(&updated)
+            } else {
+                updated
+            };
+        }
+        BatchForwardOutput { logits: x }
+    }
+
+    /// QGTC forward pass over one batch.
+    pub fn forward_quantized_batch(
+        &self,
+        subgraph: &DenseSubgraph,
+        features: &Matrix<f32>,
+        setting: QuantizationSetting,
+        kernel_config: &KernelConfig,
+        tracker: &CostTracker,
+    ) -> BatchForwardOutput {
+        assert_eq!(subgraph.num_nodes(), features.rows(), "feature rows mismatch");
+        match setting {
+            QuantizationSetting::Quantized { bits } => {
+                self.forward_low_bit(subgraph, features, bits, kernel_config, tracker)
+            }
+            QuantizationSetting::Half | QuantizationSetting::Full => {
+                self.forward_dense_tc(subgraph, features, setting, tracker)
+            }
+        }
+    }
+
+    /// Bit-decomposed Tensor Core path (1–8 bits).
+    fn forward_low_bit(
+        &self,
+        subgraph: &DenseSubgraph,
+        features: &Matrix<f32>,
+        bits: u32,
+        kernel_config: &KernelConfig,
+        tracker: &CostTracker,
+    ) -> BatchForwardOutput {
+        let adjacency_stack =
+            StackedBitMatrix::from_binary_adjacency(&subgraph.adjacency, BitMatrixLayout::RowPacked);
+        let degrees = row_degrees(&subgraph.adjacency);
+        let num_layers = self.params.num_layers();
+        let mut x = features.clone();
+
+        for (l, layer) in self.params.layers.iter().enumerate() {
+            let last = l + 1 == num_layers;
+            // Quantize the (non-negative) activations for the aggregation's right operand.
+            let (x_stack, x_params) = quantize_activations(&x, bits, BitMatrixLayout::ColPacked);
+            tracker.record_int_ops(x.len() as u64 * bits as u64);
+
+            // Neighbour aggregation on the binary adjacency.
+            let agg_acc = qgtc_aggregate(&adjacency_stack, &x_stack, kernel_config, tracker);
+
+            // Epilogue 1 (fused): dequantize and fold in the mean normalisation.
+            let mut aggregated = agg_acc.map(|&v| v as f32 * x_params.scale);
+            for (i, row) in (0..aggregated.rows()).zip(0..aggregated.rows()) {
+                let _ = row;
+                let deg = degrees[i].max(1.0);
+                for v in aggregated.row_mut(i) {
+                    *v /= deg;
+                }
+            }
+            tracker.record_fp32_flops(2 * aggregated.len() as u64);
+
+            // Re-quantize the aggregated activations as the update's left operand.
+            let (h_stack, h_params) =
+                quantize_activations(&aggregated, bits, BitMatrixLayout::RowPacked);
+            tracker.record_int_ops(aggregated.len() as u64 * bits as u64);
+            let (w_stack, w_params) =
+                quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
+
+            // Node update GEMM.
+            let update_acc = qgtc_bmm(&h_stack, &w_stack, kernel_config, tracker);
+
+            // Epilogue 2 (fused): affine-corrected dequantization, bias, activation.
+            let rowsums = code_row_sums(&h_stack);
+            let mut updated =
+                dequantize_update(&update_acc, h_params, w_params, &rowsums, &layer.bias);
+            tracker.record_fp32_flops(3 * updated.len() as u64);
+            if !last {
+                ops::relu_inplace(&mut updated);
+                tracker.record_fp32_flops(updated.len() as u64);
+            }
+            x = updated;
+        }
+        BatchForwardOutput { logits: x }
+    }
+
+    /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations).
+    fn forward_dense_tc(
+        &self,
+        subgraph: &DenseSubgraph,
+        features: &Matrix<f32>,
+        setting: QuantizationSetting,
+        tracker: &CostTracker,
+    ) -> BatchForwardOutput {
+        let normalized = row_normalize(&subgraph.adjacency);
+        let n = subgraph.num_nodes();
+        let num_layers = self.params.num_layers();
+        let mut x = features.clone();
+        for (l, layer) in self.params.layers.iter().enumerate() {
+            let last = l + 1 == num_layers;
+            let aggregated = gemm_f32(&normalized, &x);
+            record_dense_tc_gemm(n, x.cols(), n, setting, tracker);
+            let mut updated = ops::add_bias(&gemm_f32(&aggregated, &layer.weight), &layer.bias);
+            record_dense_tc_gemm(n, layer.weight.cols(), aggregated.cols(), setting, tracker);
+            if !last {
+                ops::relu_inplace(&mut updated);
+                tracker.record_fp32_flops(updated.len() as u64);
+            }
+            x = updated;
+        }
+        BatchForwardOutput { logits: x }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_graph::generate::{stochastic_block_model, SbmParams};
+    use qgtc_graph::CsrGraph;
+    use qgtc_tcsim::DeviceModel;
+    use qgtc_tensor::rng::random_uniform_matrix;
+
+    fn batch(nodes: usize, seed: u64) -> (DenseSubgraph, Matrix<f32>) {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: nodes,
+                num_blocks: 4,
+                intra_degree: 8.0,
+                inter_degree: 0.5,
+            },
+            seed,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let all: Vec<usize> = (0..nodes).collect();
+        let sub = DenseSubgraph::extract(&graph, &all);
+        let features = random_uniform_matrix(nodes, 29, 0.0, 1.0, seed + 1);
+        (sub, features)
+    }
+
+    fn model() -> ClusterGcnModel {
+        ClusterGcnModel::new(29, 2, 42)
+    }
+
+    #[test]
+    fn constructor_matches_paper_configuration() {
+        let m = model();
+        assert_eq!(m.params.num_layers(), 3);
+        assert_eq!(m.params.layers[0].out_dim(), 16);
+        assert_eq!(m.params.output_dim(), 2);
+    }
+
+    #[test]
+    fn fp32_and_dense_tc_paths_agree() {
+        let (sub, features) = batch(96, 1);
+        let m = model();
+        let baseline = m.forward_fp32_batch(&sub, &features, &CostTracker::new());
+        let full = m.forward_quantized_batch(
+            &sub,
+            &features,
+            QuantizationSetting::Full,
+            &KernelConfig::default(),
+            &CostTracker::new(),
+        );
+        assert!(
+            baseline.logits.max_abs_diff(&full.logits).unwrap() < 1e-3,
+            "the 32-bit TC path must match the fp32 baseline numerically"
+        );
+    }
+
+    #[test]
+    fn eight_bit_path_tracks_fp32_closely() {
+        let (sub, features) = batch(96, 2);
+        let m = model();
+        let baseline = m.forward_fp32_batch(&sub, &features, &CostTracker::new());
+        let quant = m.forward_quantized_batch(
+            &sub,
+            &features,
+            QuantizationSetting::from_bits(8),
+            &KernelConfig::default(),
+            &CostTracker::new(),
+        );
+        let err = baseline.logits.max_abs_diff(&quant.logits).unwrap();
+        let magnitude = baseline
+            .logits
+            .data()
+            .iter()
+            .fold(0.0f32, |a, &v| a.max(v.abs()))
+            .max(1e-3);
+        assert!(
+            err < 0.25 * magnitude + 0.05,
+            "8-bit error {err} too large vs magnitude {magnitude}"
+        );
+    }
+
+    #[test]
+    fn lower_bitwidth_increases_error() {
+        let (sub, features) = batch(96, 3);
+        let m = model();
+        let baseline = m.forward_fp32_batch(&sub, &features, &CostTracker::new());
+        let err_at = |bits: u32| {
+            let out = m.forward_quantized_batch(
+                &sub,
+                &features,
+                QuantizationSetting::from_bits(bits),
+                &KernelConfig::default(),
+                &CostTracker::new(),
+            );
+            baseline.logits.max_abs_diff(&out.logits).unwrap()
+        };
+        let e8 = err_at(8);
+        let e2 = err_at(2);
+        assert!(e2 > e8, "2-bit error ({e2}) should exceed 8-bit error ({e8})");
+    }
+
+    #[test]
+    fn quantized_path_uses_tensor_cores_and_baseline_does_not() {
+        let (sub, features) = batch(80, 4);
+        let m = model();
+        let q_tracker = CostTracker::new();
+        let _ = m.forward_quantized_batch(
+            &sub,
+            &features,
+            QuantizationSetting::from_bits(4),
+            &KernelConfig::default(),
+            &q_tracker,
+        );
+        let b_tracker = CostTracker::new();
+        let _ = m.forward_fp32_batch(&sub, &features, &b_tracker);
+        let q = q_tracker.snapshot();
+        let b = b_tracker.snapshot();
+        assert!(q.tc_b1_tiles > 0);
+        assert_eq!(q.cuda_sparse_flops, 0);
+        assert_eq!(b.tc_b1_tiles, 0);
+        assert!(b.cuda_sparse_flops > 0);
+    }
+
+    #[test]
+    fn modeled_low_bit_inference_beats_dgl_baseline() {
+        let (sub, features) = batch(512, 5);
+        let m = ClusterGcnModel::new(29, 2, 7);
+        let model_dev = DeviceModel::rtx3090();
+
+        let q_tracker = CostTracker::new();
+        let _ = m.forward_quantized_batch(
+            &sub,
+            &features,
+            QuantizationSetting::from_bits(2),
+            &KernelConfig::default(),
+            &q_tracker,
+        );
+        let b_tracker = CostTracker::new();
+        let _ = m.forward_fp32_batch(&sub, &features, &b_tracker);
+
+        let q_time = model_dev.estimate(&q_tracker.snapshot()).total_s;
+        let b_time = model_dev.estimate(&b_tracker.snapshot()).total_s;
+        assert!(
+            q_time < b_time,
+            "2-bit QGTC ({q_time:.6}s) should be modeled faster than DGL ({b_time:.6}s)"
+        );
+    }
+
+    #[test]
+    fn logits_shape_matches_batch() {
+        let (sub, features) = batch(50, 6);
+        let m = model();
+        let out = m.forward_quantized_batch(
+            &sub,
+            &features,
+            QuantizationSetting::from_bits(3),
+            &KernelConfig::default(),
+            &CostTracker::new(),
+        );
+        assert_eq!(out.logits.shape(), (50, 2));
+    }
+}

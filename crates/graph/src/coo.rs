@@ -1,0 +1,143 @@
+//! Coordinate-format (edge list) graph storage.
+//!
+//! COO is the natural output format of the synthetic generators and the natural input
+//! format for graph construction; the kernels and the partitioner consume the CSR form
+//! ([`crate::csr::CsrGraph`]), which COO converts into.
+
+use std::collections::HashSet;
+
+/// A graph stored as an edge list (source, destination pairs).
+///
+/// The graph is *directed* at this level; use [`CooGraph::symmetrize`] to make it
+/// undirected (as all GNN datasets in the paper are).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooGraph {
+    num_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl CooGraph {
+    /// Create an empty graph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Create a graph from an explicit edge list. Panics if any endpoint is out of range.
+    pub fn from_edges(num_nodes: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                u < num_nodes && v < num_nodes,
+                "edge ({u}, {v}) out of range for {num_nodes} nodes"
+            );
+        }
+        Self { num_nodes, edges }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (directed) edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The raw edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Add a directed edge. Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(
+            u < self.num_nodes && v < self.num_nodes,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Remove duplicate edges and self-loops.
+    pub fn dedup(&mut self) {
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        self.edges.retain(|&(u, v)| u != v && seen.insert((u, v)));
+    }
+
+    /// Make the graph undirected by adding the reverse of every edge, then dedup.
+    pub fn symmetrize(&mut self) {
+        let reversed: Vec<(usize, usize)> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
+        self.edges.extend(reversed);
+        self.dedup();
+    }
+
+    /// Check whether the edge list is symmetric (every (u,v) has a (v,u)).
+    pub fn is_symmetric(&self) -> bool {
+        let set: HashSet<(usize, usize)> = self.edges.iter().copied().collect();
+        self.edges.iter().all(|&(u, v)| set.contains(&(v, u)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = CooGraph::new(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn add_and_count_edges() {
+        let mut g = CooGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_rejects_out_of_range() {
+        let mut g = CooGraph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        let _ = CooGraph::from_edges(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_self_loops() {
+        let mut g = CooGraph::from_edges(4, vec![(0, 1), (0, 1), (2, 2), (1, 0)]);
+        g.dedup();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.edges().contains(&(0, 1)));
+        assert!(g.edges().contains(&(1, 0)));
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut g = CooGraph::from_edges(4, vec![(0, 1), (2, 3), (3, 1)]);
+        assert!(!g.is_symmetric());
+        g.symmetrize();
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn symmetrize_idempotent() {
+        let mut g = CooGraph::from_edges(3, vec![(0, 1), (1, 0), (1, 2)]);
+        g.symmetrize();
+        let edges_once = g.num_edges();
+        g.symmetrize();
+        assert_eq!(g.num_edges(), edges_once);
+    }
+}

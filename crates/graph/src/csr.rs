@@ -1,0 +1,221 @@
+//! Compressed sparse row graph storage.
+//!
+//! CSR is the working format of the reproduction: the METIS-substitute partitioner
+//! walks adjacency lists, the DGL-like baseline runs SpMM directly over the CSR
+//! arrays, and the QGTC path extracts per-partition induced subgraphs from it.
+
+use crate::coo::CooGraph;
+
+/// A graph in compressed sparse row format.
+///
+/// `row_ptr` has `num_nodes + 1` entries; the neighbours of node `u` are
+/// `col_indices[row_ptr[u]..row_ptr[u+1]]`, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    row_ptr: Vec<usize>,
+    col_indices: Vec<usize>,
+}
+
+impl CsrGraph {
+    /// Build a CSR graph from a COO edge list (directed edges are kept as-is).
+    pub fn from_coo(coo: &CooGraph) -> Self {
+        let n = coo.num_nodes();
+        let mut degree = vec![0usize; n];
+        for &(u, _) in coo.edges() {
+            degree[u] += 1;
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for u in 0..n {
+            row_ptr[u + 1] = row_ptr[u] + degree[u];
+        }
+        let mut col_indices = vec![0usize; coo.num_edges()];
+        let mut cursor = row_ptr.clone();
+        for &(u, v) in coo.edges() {
+            col_indices[cursor[u]] = v;
+            cursor[u] += 1;
+        }
+        // Sort each adjacency list for deterministic iteration and binary search.
+        for u in 0..n {
+            col_indices[row_ptr[u]..row_ptr[u + 1]].sort_unstable();
+        }
+        Self {
+            row_ptr,
+            col_indices,
+        }
+    }
+
+    /// Build directly from raw CSR arrays, validating their consistency.
+    pub fn from_parts(row_ptr: Vec<usize>, col_indices: Vec<usize>) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_indices.len(),
+            "row_ptr must end at col_indices.len()"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        let n = row_ptr.len() - 1;
+        assert!(
+            col_indices.iter().all(|&c| c < n),
+            "column index out of range"
+        );
+        Self {
+            row_ptr,
+            col_indices,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges (for an undirected graph this counts each edge twice).
+    pub fn num_edges(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// The row-pointer array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_indices
+    }
+
+    /// Neighbours of node `u` (sorted).
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.col_indices[self.row_ptr[u]..self.row_ptr[u + 1]]
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.row_ptr[u + 1] - self.row_ptr[u]
+    }
+
+    /// Whether an edge `(u, v)` exists (binary search over the sorted adjacency list).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Convert back to a COO edge list.
+    pub fn to_coo(&self) -> CooGraph {
+        let mut coo = CooGraph::new(self.num_nodes());
+        for u in 0..self.num_nodes() {
+            for &v in self.neighbors(u) {
+                coo.add_edge(u, v);
+            }
+        }
+        coo
+    }
+
+    /// Uniform edge weights (1.0) suitable for unweighted SpMM aggregation.
+    pub fn unit_edge_values(&self) -> Vec<f32> {
+        vec![1.0; self.num_edges()]
+    }
+
+    /// Mean-normalised edge weights `1/deg(u)` for each edge leaving `u`
+    /// (the GCN-style mean aggregator used by Cluster-GCN).
+    pub fn mean_edge_values(&self) -> Vec<f32> {
+        let mut values = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_nodes() {
+            let d = self.degree(u).max(1) as f32;
+            values.extend(std::iter::repeat(1.0 / d).take(self.degree(u)));
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let mut coo = CooGraph::new(n);
+        for i in 0..n - 1 {
+            coo.add_edge(i, i + 1);
+            coo.add_edge(i + 1, i);
+        }
+        CsrGraph::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_builds_sorted_adjacency() {
+        let coo = CooGraph::from_edges(4, vec![(0, 3), (0, 1), (2, 0), (3, 2)]);
+        let csr = CsrGraph::from_coo(&coo);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert_eq!(csr.neighbors(1), &[] as &[usize]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+    }
+
+    #[test]
+    fn has_edge_detects_presence() {
+        let g = path_graph(5);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn round_trip_through_coo() {
+        let g = path_graph(6);
+        let back = CsrGraph::from_coo(&g.to_coo());
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let g = CsrGraph::from_parts(vec![0, 1, 2], vec![1, 0]);
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end")]
+    fn from_parts_rejects_bad_end() {
+        let _ = CsrGraph::from_parts(vec![0, 1, 3], vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn from_parts_rejects_bad_column() {
+        let _ = CsrGraph::from_parts(vec![0, 1, 2], vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_parts_rejects_decreasing_row_ptr() {
+        let _ = CsrGraph::from_parts(vec![0, 2, 1, 3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mean_edge_values_normalise_by_degree() {
+        let g = path_graph(3); // degrees: 1, 2, 1
+        let vals = g.mean_edge_values();
+        assert_eq!(vals.len(), g.num_edges());
+        assert_eq!(vals[0], 1.0); // node 0, degree 1
+        assert_eq!(vals[1], 0.5); // node 1, degree 2
+        assert_eq!(vals[2], 0.5);
+        assert_eq!(vals[3], 1.0); // node 2, degree 1
+        assert_eq!(g.unit_edge_values(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let coo = CooGraph::new(3);
+        let csr = CsrGraph::from_coo(&coo);
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.neighbors(1), &[] as &[usize]);
+    }
+}

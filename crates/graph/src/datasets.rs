@@ -1,0 +1,304 @@
+//! Dataset profiles matching Table 1 of the QGTC paper and synthetic materialisation.
+//!
+//! | Type | Dataset       | #Vertex   | #Edge      | Dim | #Class |
+//! |------|---------------|-----------|------------|-----|--------|
+//! | I    | Proteins      | 43,471    | 162,088    | 29  | 2      |
+//! | I    | artist        | 50,515    | 1,638,396  | 100 | 12     |
+//! | II   | BlogCatalog   | 88,784    | 2,093,195  | 128 | 39     |
+//! | II   | PPI           | 56,944    | 818,716    | 50  | 121    |
+//! | III  | ogbn-arxiv    | 169,343   | 1,166,243  | 128 | 40     |
+//! | III  | ogbn-products | 2,449,029 | 61,859,140 | 100 | 47     |
+//!
+//! The real datasets are not available offline, so [`DatasetProfile::materialize`]
+//! generates a stochastic-block-model graph with the profile's node count, edge count,
+//! feature dimension and class count.  A `scale` factor shrinks the graph uniformly so
+//! tests and CI-sized runs stay fast while the full-size profiles remain available to
+//! the benchmark harness.
+
+use crate::coo::CooGraph;
+use crate::csr::CsrGraph;
+use crate::generate::{stochastic_block_model, SbmParams};
+use qgtc_tensor::rng::{random_uniform_matrix, seeded_rng};
+use qgtc_tensor::Matrix;
+use rand::Rng;
+
+/// Which group of the paper's Table 1 a dataset belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetType {
+    /// Popular GNN datasets used by algorithmic papers (Proteins, artist).
+    TypeI,
+    /// Graph-kernel benchmark datasets (BlogCatalog, PPI).
+    TypeII,
+    /// Large OGB datasets (ogbn-arxiv, ogbn-products).
+    TypeIII,
+}
+
+/// Static description of one evaluation dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper's figures.
+    pub name: &'static str,
+    /// Table-1 group.
+    pub dataset_type: DatasetType,
+    /// Number of vertices in the real dataset.
+    pub num_nodes: usize,
+    /// Number of edges in the real dataset.
+    pub num_edges: usize,
+    /// Node feature dimension.
+    pub feature_dim: usize,
+    /// Number of node classes.
+    pub num_classes: usize,
+}
+
+/// A dataset materialised into concrete tensors.
+#[derive(Debug, Clone)]
+pub struct LoadedDataset {
+    /// The profile this dataset was generated from.
+    pub profile: DatasetProfile,
+    /// The (undirected) graph in CSR form.
+    pub graph: CsrGraph,
+    /// Node feature matrix, `num_nodes x feature_dim`.
+    pub features: Matrix<f32>,
+    /// Ground-truth node labels in `[0, num_classes)`.
+    pub labels: Vec<usize>,
+    /// The scale factor that was applied to the profile (1.0 = full size).
+    pub scale: f64,
+}
+
+impl DatasetProfile {
+    /// Proteins (Type I).
+    pub const PROTEINS: DatasetProfile = DatasetProfile {
+        name: "Proteins",
+        dataset_type: DatasetType::TypeI,
+        num_nodes: 43_471,
+        num_edges: 162_088,
+        feature_dim: 29,
+        num_classes: 2,
+    };
+
+    /// artist (Type I).
+    pub const ARTIST: DatasetProfile = DatasetProfile {
+        name: "artist",
+        dataset_type: DatasetType::TypeI,
+        num_nodes: 50_515,
+        num_edges: 1_638_396,
+        feature_dim: 100,
+        num_classes: 12,
+    };
+
+    /// BlogCatalog (Type II).
+    pub const BLOGCATALOG: DatasetProfile = DatasetProfile {
+        name: "BlogCatalog",
+        dataset_type: DatasetType::TypeII,
+        num_nodes: 88_784,
+        num_edges: 2_093_195,
+        feature_dim: 128,
+        num_classes: 39,
+    };
+
+    /// PPI (Type II).
+    pub const PPI: DatasetProfile = DatasetProfile {
+        name: "PPI",
+        dataset_type: DatasetType::TypeII,
+        num_nodes: 56_944,
+        num_edges: 818_716,
+        feature_dim: 50,
+        num_classes: 121,
+    };
+
+    /// ogbn-arxiv (Type III).
+    pub const OGBN_ARXIV: DatasetProfile = DatasetProfile {
+        name: "ogbn-arxiv",
+        dataset_type: DatasetType::TypeIII,
+        num_nodes: 169_343,
+        num_edges: 1_166_243,
+        feature_dim: 128,
+        num_classes: 40,
+    };
+
+    /// ogbn-products (Type III).
+    pub const OGBN_PRODUCTS: DatasetProfile = DatasetProfile {
+        name: "ogbn-products",
+        dataset_type: DatasetType::TypeIII,
+        num_nodes: 2_449_029,
+        num_edges: 61_859_140,
+        feature_dim: 100,
+        num_classes: 47,
+    };
+
+    /// All six evaluation datasets in the order the paper's figures use.
+    pub fn all() -> Vec<DatasetProfile> {
+        vec![
+            Self::PROTEINS,
+            Self::ARTIST,
+            Self::BLOGCATALOG,
+            Self::PPI,
+            Self::OGBN_ARXIV,
+            Self::OGBN_PRODUCTS,
+        ]
+    }
+
+    /// Look a profile up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<DatasetProfile> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Average degree of the real dataset.
+    pub fn avg_degree(&self) -> f64 {
+        self.num_edges as f64 / self.num_nodes.max(1) as f64
+    }
+
+    /// Materialise the profile as a synthetic graph at a given `scale` in `(0, 1]`.
+    ///
+    /// The node and edge counts are scaled by `scale`; feature dimension and class
+    /// count are preserved (they are what the GNN layer shapes depend on).  Node
+    /// features are uniform in `[0, 1)` (the QGTC artifact itself evaluates on
+    /// all-ones features; we keep them random so quantization is non-trivial) and
+    /// labels are derived from the SBM community structure with a small amount of
+    /// label noise, which gives the QAT experiment a learnable but imperfect signal.
+    pub fn materialize(&self, scale: f64, seed: u64) -> LoadedDataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let num_nodes = ((self.num_nodes as f64 * scale).round() as usize).max(16);
+        let num_edges = ((self.num_edges as f64 * scale).round() as usize).max(num_nodes);
+        let avg_degree = num_edges as f64 / num_nodes as f64;
+        // ~85% of edges intra-community, matching the clustered structure METIS
+        // recovers from the real datasets.
+        let num_blocks = (num_nodes / 96).clamp(2, 1024);
+        let params = SbmParams {
+            num_nodes,
+            num_blocks,
+            intra_degree: avg_degree * 0.85,
+            inter_degree: avg_degree * 0.15,
+        };
+        let (coo, communities) = stochastic_block_model(params, seed);
+        let graph = CsrGraph::from_coo(&coo);
+        let labels = communities_to_labels(&communities, self.num_classes, seed ^ 0xBEEF);
+        // Features: uniform noise plus a class-dependent offset, so node features carry
+        // a learnable (but noisy) signal the way real dataset embeddings do. Values stay
+        // non-negative, which the zero-anchored activation quantization relies on.
+        let mut features =
+            random_uniform_matrix(num_nodes, self.feature_dim, 0.0, 0.5, seed ^ 0xF00D);
+        for (node, &label) in labels.iter().enumerate() {
+            let dim = label % self.feature_dim.max(1);
+            features[(node, dim)] += 1.0;
+        }
+        LoadedDataset {
+            profile: self.clone(),
+            graph,
+            features,
+            labels,
+            scale,
+        }
+    }
+
+    /// A small materialisation (a few thousand nodes at most) for unit/integration tests.
+    pub fn materialize_tiny(&self, seed: u64) -> LoadedDataset {
+        let scale = (4_000.0 / self.num_nodes as f64).min(1.0);
+        self.materialize(scale, seed)
+    }
+}
+
+/// Derive node class labels from SBM community assignments: communities are mapped
+/// onto `num_classes` classes round-robin, and 10% of nodes receive a random label to
+/// keep the classification task non-trivial.
+fn communities_to_labels(communities: &[usize], num_classes: usize, seed: u64) -> Vec<usize> {
+    let mut rng = seeded_rng(seed);
+    communities
+        .iter()
+        .map(|&c| {
+            if rng.gen_range(0.0..1.0) < 0.10 {
+                rng.gen_range(0..num_classes.max(1))
+            } else {
+                c % num_classes.max(1)
+            }
+        })
+        .collect()
+}
+
+/// Turn a loaded dataset into a `CooGraph` (occasionally needed by tests).
+pub fn to_coo(dataset: &LoadedDataset) -> CooGraph {
+    dataset.graph.to_coo()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_profiles_match_paper() {
+        let all = DatasetProfile::all();
+        assert_eq!(all.len(), 6);
+        assert_eq!(DatasetProfile::PROTEINS.num_nodes, 43_471);
+        assert_eq!(DatasetProfile::ARTIST.num_edges, 1_638_396);
+        assert_eq!(DatasetProfile::BLOGCATALOG.feature_dim, 128);
+        assert_eq!(DatasetProfile::PPI.num_classes, 121);
+        assert_eq!(DatasetProfile::OGBN_ARXIV.num_nodes, 169_343);
+        assert_eq!(DatasetProfile::OGBN_PRODUCTS.num_edges, 61_859_140);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(
+            DatasetProfile::by_name("proteins"),
+            Some(DatasetProfile::PROTEINS)
+        );
+        assert_eq!(
+            DatasetProfile::by_name("OGBN-ARXIV"),
+            Some(DatasetProfile::OGBN_ARXIV)
+        );
+        assert_eq!(DatasetProfile::by_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn avg_degree_reasonable() {
+        assert!(DatasetProfile::PROTEINS.avg_degree() > 3.0);
+        assert!(DatasetProfile::OGBN_PRODUCTS.avg_degree() > 20.0);
+    }
+
+    #[test]
+    fn materialize_tiny_respects_shapes() {
+        let d = DatasetProfile::PROTEINS.materialize_tiny(1);
+        assert!(d.graph.num_nodes() <= 4_100);
+        assert_eq!(d.features.rows(), d.graph.num_nodes());
+        assert_eq!(d.features.cols(), 29);
+        assert_eq!(d.labels.len(), d.graph.num_nodes());
+        assert!(d.labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let a = DatasetProfile::PPI.materialize(0.01, 9);
+        let b = DatasetProfile::PPI.materialize(0.01, 9);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn materialized_edge_count_tracks_profile() {
+        let d = DatasetProfile::ARTIST.materialize(0.02, 4);
+        let expected_edges = (DatasetProfile::ARTIST.num_edges as f64 * 0.02) as usize;
+        // Undirected CSR counts each edge twice; symmetrization + dedup makes the
+        // count approximate. Accept a generous band.
+        let actual = d.graph.num_edges() / 2;
+        assert!(
+            actual > expected_edges / 3 && actual < expected_edges * 2,
+            "edge count {actual} too far from target {expected_edges}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn materialize_rejects_bad_scale() {
+        let _ = DatasetProfile::PPI.materialize(1.5, 0);
+    }
+
+    #[test]
+    fn labels_cover_multiple_classes() {
+        let d = DatasetProfile::BLOGCATALOG.materialize(0.01, 2);
+        let distinct: std::collections::HashSet<usize> = d.labels.iter().copied().collect();
+        assert!(distinct.len() > 5, "only {} classes present", distinct.len());
+    }
+}

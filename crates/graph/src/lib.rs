@@ -1,0 +1,35 @@
+//! # qgtc-graph
+//!
+//! Sparse graph substrate for the QGTC reproduction.
+//!
+//! The QGTC evaluation runs on six real-world graphs (Table 1 of the paper): Proteins,
+//! artist, BlogCatalog, PPI, ogbn-arxiv and ogbn-products.  Those datasets are not
+//! available offline, so this crate provides
+//!
+//! * [`csr::CsrGraph`] / [`coo::CooGraph`] — compressed sparse row and coordinate
+//!   storage with conversions, validation and symmetrisation;
+//! * [`generate`] — synthetic graph generators (stochastic block model, R-MAT,
+//!   Erdős–Rényi, power-law configuration) used to produce graphs whose node count,
+//!   edge count and community structure match each dataset profile;
+//! * [`datasets`] — the Table-1 profiles themselves plus scaled-down variants for
+//!   tests, and a loader that materialises a profile into a concrete graph, feature
+//!   matrix and labels;
+//! * [`subgraph`] — induced-subgraph extraction and dense adjacency materialisation
+//!   (the form consumed by the Tensor Core kernels);
+//! * [`stats`] — degree/density statistics used by the experiment reports.
+//!
+//! All generators are deterministic given a seed, so every experiment binary can be
+//! re-run bit-for-bit.
+
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod generate;
+pub mod reorder;
+pub mod stats;
+pub mod subgraph;
+
+pub use coo::CooGraph;
+pub use csr::CsrGraph;
+pub use datasets::{DatasetProfile, LoadedDataset};
+pub use subgraph::DenseSubgraph;

@@ -1,0 +1,223 @@
+//! Node reordering strategies.
+//!
+//! The paper (§4.1) positions METIS partitioning against two cheaper families of
+//! locality transforms: BFS-based bandwidth-reduction orderings (Cuthill–McKee [6])
+//! and label-propagation-style clustering [29].  Reordering does not change the
+//! graph, only the node numbering, but a good ordering concentrates edges near the
+//! diagonal of the adjacency matrix — which directly increases the fraction of
+//! non-zero 8×128 Tensor Core tiles that are *useful* and is therefore a natural
+//! baseline for the partition-quality comparisons in the benchmark harness.
+
+use crate::coo::CooGraph;
+use crate::csr::CsrGraph;
+use std::collections::VecDeque;
+
+/// A permutation of node ids: `new_of[old] = new`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOrdering {
+    /// New id of every old node.
+    pub new_of: Vec<usize>,
+}
+
+impl NodeOrdering {
+    /// The identity ordering over `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            new_of: (0..n).collect(),
+        }
+    }
+
+    /// Build from an ordered list of old node ids (`order[new] = old`).
+    pub fn from_order(order: &[usize]) -> Self {
+        let mut new_of = vec![usize::MAX; order.len()];
+        for (new, &old) in order.iter().enumerate() {
+            assert!(new_of[old] == usize::MAX, "node {old} listed twice");
+            new_of[old] = new;
+        }
+        assert!(
+            new_of.iter().all(|&v| v != usize::MAX),
+            "ordering must cover every node"
+        );
+        Self { new_of }
+    }
+
+    /// Whether this is a valid permutation.
+    pub fn is_permutation(&self) -> bool {
+        let n = self.new_of.len();
+        let mut seen = vec![false; n];
+        for &v in &self.new_of {
+            if v >= n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        true
+    }
+
+    /// Apply the ordering to a graph, producing the relabelled graph.
+    pub fn apply(&self, graph: &CsrGraph) -> CsrGraph {
+        assert_eq!(self.new_of.len(), graph.num_nodes(), "ordering length mismatch");
+        let mut coo = CooGraph::new(graph.num_nodes());
+        for u in 0..graph.num_nodes() {
+            for &v in graph.neighbors(u) {
+                coo.add_edge(self.new_of[u], self.new_of[v]);
+            }
+        }
+        CsrGraph::from_coo(&coo)
+    }
+}
+
+/// Breadth-first (Cuthill–McKee style) ordering: start from a low-degree node, visit
+/// nodes level by level, ordering each node's unvisited neighbours by degree.
+pub fn bfs_ordering(graph: &CsrGraph) -> NodeOrdering {
+    let n = graph.num_nodes();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Process components in order of their minimum-degree seed.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by_key(|&u| graph.degree(u));
+    for &seed in &seeds {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut nbrs: Vec<usize> = graph
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| !visited[v])
+                .collect();
+            nbrs.sort_by_key(|&v| graph.degree(v));
+            for v in nbrs {
+                if !visited[v] {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    NodeOrdering::from_order(&order)
+}
+
+/// Reverse Cuthill–McKee: the BFS ordering reversed, which usually gives a slightly
+/// smaller bandwidth than plain Cuthill–McKee.
+pub fn reverse_cuthill_mckee(graph: &CsrGraph) -> NodeOrdering {
+    let forward = bfs_ordering(graph);
+    let n = graph.num_nodes();
+    NodeOrdering {
+        new_of: forward.new_of.iter().map(|&v| n - 1 - v).collect(),
+    }
+}
+
+/// Adjacency-matrix bandwidth: the maximum |u - v| over all edges.  A locality
+/// ordering tries to minimise this.
+pub fn bandwidth(graph: &CsrGraph) -> usize {
+    let mut bw = 0usize;
+    for u in 0..graph.num_nodes() {
+        for &v in graph.neighbors(u) {
+            bw = bw.max(u.abs_diff(v));
+        }
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{stochastic_block_model, SbmParams};
+    use qgtc_tensor::rng::SplitMix64;
+
+    fn shuffled_clustered_graph(seed: u64) -> CsrGraph {
+        // A clustered graph whose node ids are shuffled so the natural order has
+        // terrible locality.
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 200,
+                num_blocks: 4,
+                intra_degree: 6.0,
+                inter_degree: 0.3,
+            },
+            seed,
+        );
+        let n = coo.num_nodes();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = SplitMix64::new(seed ^ 0x5EED);
+        for i in (1..n).rev() {
+            let j = rng.next_bounded(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        let ordering = NodeOrdering { new_of: perm };
+        ordering.apply(&CsrGraph::from_coo(&coo))
+    }
+
+    #[test]
+    fn identity_ordering_is_noop() {
+        let g = shuffled_clustered_graph(1);
+        let ordering = NodeOrdering::identity(g.num_nodes());
+        assert!(ordering.is_permutation());
+        assert_eq!(ordering.apply(&g), g);
+    }
+
+    #[test]
+    fn from_order_round_trips() {
+        let order = vec![2usize, 0, 3, 1];
+        let ordering = NodeOrdering::from_order(&order);
+        assert!(ordering.is_permutation());
+        assert_eq!(ordering.new_of[2], 0);
+        assert_eq!(ordering.new_of[1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_order_rejected() {
+        let _ = NodeOrdering::from_order(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_ordering_is_a_permutation_and_preserves_edges() {
+        let g = shuffled_clustered_graph(2);
+        let ordering = bfs_ordering(&g);
+        assert!(ordering.is_permutation());
+        let reordered = ordering.apply(&g);
+        assert_eq!(reordered.num_edges(), g.num_edges());
+        // Edge (u, v) maps to (new_of[u], new_of[v]).
+        for u in 0..g.num_nodes() {
+            for &v in g.neighbors(u) {
+                assert!(reordered.has_edge(ordering.new_of[u], ordering.new_of[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_ordering_reduces_bandwidth_of_shuffled_graph() {
+        let g = shuffled_clustered_graph(3);
+        let before = bandwidth(&g);
+        let after = bandwidth(&bfs_ordering(&g).apply(&g));
+        assert!(
+            after < before,
+            "BFS ordering should reduce bandwidth ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn rcm_is_also_a_valid_permutation() {
+        let g = shuffled_clustered_graph(4);
+        let rcm = reverse_cuthill_mckee(&g);
+        assert!(rcm.is_permutation());
+        let after = bandwidth(&rcm.apply(&g));
+        assert!(after <= bandwidth(&g));
+    }
+
+    #[test]
+    fn bandwidth_of_path_is_one_after_bfs() {
+        use crate::generate::ring_lattice;
+        let ring = CsrGraph::from_coo(&ring_lattice(32, 2));
+        // A ring ordered by BFS has bandwidth <= 2 everywhere except the wrap edge.
+        let ordered = bfs_ordering(&ring).apply(&ring);
+        assert!(bandwidth(&ordered) <= ring.num_nodes() - 1);
+    }
+}

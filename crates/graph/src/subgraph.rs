@@ -1,0 +1,209 @@
+//! Induced subgraph extraction and dense adjacency materialisation.
+//!
+//! After METIS-style partitioning, QGTC batches a set of partitions, relabels their
+//! nodes contiguously and materialises the batch's adjacency matrix *densely* — the
+//! Tensor Core path operates on an N×N 1-bit adjacency where N is the number of nodes
+//! in the batch.  This module provides that step, plus feature gathering.
+
+use crate::csr::CsrGraph;
+use qgtc_tensor::Matrix;
+
+/// A batch of partitions materialised as a dense subgraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSubgraph {
+    /// Original (global) node id of each local node, in local order.
+    pub nodes: Vec<usize>,
+    /// Dense binary adjacency, `nodes.len() x nodes.len()`, entries 0.0 / 1.0.
+    pub adjacency: Matrix<f32>,
+    /// Number of (directed) edges inside the subgraph.
+    pub num_edges: usize,
+}
+
+impl DenseSubgraph {
+    /// Extract the subgraph induced by `nodes` from `graph`.
+    ///
+    /// `nodes` may come from one partition or from a batch of partitions concatenated;
+    /// nodes occurring multiple times are not supported (debug-asserted).
+    pub fn extract(graph: &CsrGraph, nodes: &[usize]) -> Self {
+        let n = nodes.len();
+        // Map global -> local.
+        let mut local_of = vec![usize::MAX; graph.num_nodes()];
+        for (local, &global) in nodes.iter().enumerate() {
+            debug_assert!(
+                local_of[global] == usize::MAX,
+                "node {global} appears twice in the batch"
+            );
+            local_of[global] = local;
+        }
+        let mut adjacency = Matrix::zeros(n, n);
+        let mut num_edges = 0usize;
+        for (local_u, &global_u) in nodes.iter().enumerate() {
+            for &global_v in graph.neighbors(global_u) {
+                let local_v = local_of[global_v];
+                if local_v != usize::MAX {
+                    adjacency[(local_u, local_v)] = 1.0;
+                    num_edges += 1;
+                }
+            }
+        }
+        Self {
+            nodes: nodes.to_vec(),
+            adjacency,
+            num_edges,
+        }
+    }
+
+    /// Number of local nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Edge density of the dense adjacency (fraction of nonzero entries).
+    pub fn density(&self) -> f64 {
+        let n = self.num_nodes();
+        if n == 0 {
+            return 0.0;
+        }
+        self.num_edges as f64 / (n * n) as f64
+    }
+
+    /// Gather the feature rows of the subgraph's nodes from the global feature matrix.
+    pub fn gather_features(&self, features: &Matrix<f32>) -> Matrix<f32> {
+        features.gather_rows(&self.nodes)
+    }
+
+    /// Gather the labels of the subgraph's nodes from the global label vector.
+    pub fn gather_labels(&self, labels: &[usize]) -> Vec<usize> {
+        self.nodes.iter().map(|&g| labels[g]).collect()
+    }
+
+    /// Build a block-diagonal dense subgraph from several disjoint partitions.
+    ///
+    /// This mirrors the "batching" step of cluster-GCN: nodes across partitions are
+    /// concatenated, and because no inter-partition edges are included the resulting
+    /// adjacency is block diagonal — the source of the first kind of all-zero Tensor
+    /// Core tiles the paper's Figure 8 analyses.
+    pub fn batch_block_diagonal(graph: &CsrGraph, partitions: &[Vec<usize>]) -> Self {
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        let mut nodes = Vec::with_capacity(total);
+        let mut adjacency = Matrix::zeros(total, total);
+        let mut num_edges = 0usize;
+        let mut offset = 0usize;
+        for part in partitions {
+            let sub = DenseSubgraph::extract(graph, part);
+            for lu in 0..sub.num_nodes() {
+                for lv in 0..sub.num_nodes() {
+                    if sub.adjacency[(lu, lv)] != 0.0 {
+                        adjacency[(offset + lu, offset + lv)] = 1.0;
+                        num_edges += 1;
+                    }
+                }
+            }
+            nodes.extend_from_slice(part);
+            offset += part.len();
+        }
+        Self {
+            nodes,
+            adjacency,
+            num_edges,
+        }
+    }
+
+    /// Build the full-batch adjacency for a set of partitions *including*
+    /// inter-partition edges (used when comparing against DGL-style full aggregation
+    /// over the batch's induced subgraph).
+    pub fn batch_induced(graph: &CsrGraph, partitions: &[Vec<usize>]) -> Self {
+        let nodes: Vec<usize> = partitions.iter().flatten().copied().collect();
+        Self::extract(graph, &nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooGraph;
+
+    /// 6-node graph: two triangles {0,1,2} and {3,4,5} joined by edge (2,3).
+    fn two_triangles() -> CsrGraph {
+        let mut coo = CooGraph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            coo.add_edge(u, v);
+        }
+        coo.symmetrize();
+        CsrGraph::from_coo(&coo)
+    }
+
+    #[test]
+    fn extract_triangle() {
+        let g = two_triangles();
+        let sub = DenseSubgraph::extract(&g, &[0, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges, 6); // 3 undirected edges = 6 directed
+        for u in 0..3 {
+            for v in 0..3 {
+                let expected = if u == v { 0.0 } else { 1.0 };
+                assert_eq!(sub.adjacency[(u, v)], expected);
+            }
+        }
+        assert!((sub.density() - 6.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extract_respects_local_ordering() {
+        let g = two_triangles();
+        let sub = DenseSubgraph::extract(&g, &[2, 3]);
+        // The only edge between nodes 2 and 3 appears in both directions.
+        assert_eq!(sub.adjacency[(0, 1)], 1.0);
+        assert_eq!(sub.adjacency[(1, 0)], 1.0);
+        assert_eq!(sub.num_edges, 2);
+    }
+
+    #[test]
+    fn extract_excludes_outside_edges() {
+        let g = two_triangles();
+        let sub = DenseSubgraph::extract(&g, &[0, 1]);
+        // Edge to node 2 must not appear.
+        assert_eq!(sub.num_edges, 2);
+    }
+
+    #[test]
+    fn gather_features_and_labels() {
+        let g = two_triangles();
+        let features = Matrix::from_vec(6, 2, (0..12).map(|v| v as f32).collect()).unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let sub = DenseSubgraph::extract(&g, &[4, 0]);
+        let f = sub.gather_features(&features);
+        assert_eq!(f.row(0), &[8.0, 9.0]);
+        assert_eq!(f.row(1), &[0.0, 1.0]);
+        assert_eq!(sub.gather_labels(&labels), vec![1, 0]);
+    }
+
+    #[test]
+    fn block_diagonal_batch_drops_cut_edges() {
+        let g = two_triangles();
+        let batch = DenseSubgraph::batch_block_diagonal(&g, &[vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(batch.num_nodes(), 6);
+        // The (2,3) bridge edge is dropped; each triangle contributes 6 directed edges.
+        assert_eq!(batch.num_edges, 12);
+        assert_eq!(batch.adjacency[(2, 3)], 0.0);
+        assert_eq!(batch.adjacency[(0, 1)], 1.0);
+        assert_eq!(batch.adjacency[(3, 4)], 1.0);
+    }
+
+    #[test]
+    fn induced_batch_keeps_cut_edges() {
+        let g = two_triangles();
+        let batch = DenseSubgraph::batch_induced(&g, &[vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(batch.num_edges, 14); // 7 undirected edges
+        assert_eq!(batch.adjacency[(2, 3)], 1.0);
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let g = two_triangles();
+        let sub = DenseSubgraph::extract(&g, &[]);
+        assert_eq!(sub.num_nodes(), 0);
+        assert_eq!(sub.num_edges, 0);
+        assert_eq!(sub.density(), 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The QGTC tiled bit-matrix-multiplication kernel.
+//!
+//! `C = A · B` where `A` is an `s`-bit and `B` a `t`-bit 3D-stacked bit-compressed
+//! matrix.  The kernel iterates over 8×8 output tiles (the "thread block" grid),
+//! walks the 128-bit K tiles of each operand plane, issues a simulated `bmma_sync`
+//! per pair of plane tiles and shift-accumulates the partial products into the
+//! output.  Two optimisations of the paper are toggled by [`KernelConfig`]:
+//!
+//! * **zero-tile jumping** — before touching the B operand, the A tile is checked
+//!   with the OR + ballot sequence of §4.3; an all-zero tile skips its MMAs.
+//! * **non-zero tile reuse** — [`ReductionOrder::CrossTile`] loads each surviving A
+//!   tile once and reuses it across every bit plane of B (§4.4), while
+//!   [`ReductionOrder::CrossBit`] reloads it per plane (the naive order).
+//!
+//! The special case `A` = 1-bit adjacency, `B` = `s`-bit features is the neighbour
+//! aggregation kernel ([`qgtc_aggregate`]); the general case covers the node-update
+//! GEMM and arbitrary `bitMM2Int` calls from the framework layer.
+
+use qgtc_bitmat::gemm::any_bit_gemm;
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tcsim::fragment::{AccumulatorFragment, TILE_M, TILE_N};
+use qgtc_tcsim::wmma::{
+    accumulate_shifted_tile, bmma_sync, load_fragment_a, load_fragment_b, tile_counts,
+};
+use qgtc_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Order in which bit planes and K tiles are reduced (paper Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReductionOrder {
+    /// Cross-bit reduction: finish each bit plane over all tiles before the next
+    /// plane.  Every non-zero A tile is re-loaded once per B bit plane.
+    CrossBit,
+    /// Cross-tile reduction (non-zero tile reuse): for each A tile, produce the
+    /// partial outputs of *all* B bit planes before moving on, so the A tile is
+    /// loaded exactly once.
+    #[default]
+    CrossTile,
+}
+
+/// Tunable behaviour of the QGTC kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelConfig {
+    /// Skip all-zero 8×128 tiles of the left operand (§4.3).
+    pub zero_tile_jumping: bool,
+    /// Bit-plane/tile reduction order (§4.4).
+    pub reduction_order: ReductionOrder,
+    /// Whether epilogues (activation / BN / re-quantization) are fused into the
+    /// GEMM kernel rather than launched separately (§4.5).  The flag only affects
+    /// cost accounting here; the epilogue math itself lives in [`crate::fusion`].
+    pub fused_epilogue: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            zero_tile_jumping: true,
+            reduction_order: ReductionOrder::CrossTile,
+            fused_epilogue: true,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// A configuration with every QGTC optimisation disabled (the ablation baseline).
+    pub fn unoptimized() -> Self {
+        Self {
+            zero_tile_jumping: false,
+            reduction_order: ReductionOrder::CrossBit,
+            fused_epilogue: false,
+        }
+    }
+}
+
+/// Bytes of one 8×128-bit operand tile in packed form.
+const TILE_BYTES: u64 = (TILE_M * 128 / 8) as u64;
+/// Bytes of one 8×8 `u32` accumulator tile.
+const ACC_TILE_BYTES: u64 = (TILE_M * TILE_N * 4) as u64;
+
+/// General any-bitwidth GEMM kernel: `C = A · B` over stacked bit matrices.
+///
+/// `a` must be row-packed ("column-wise compression"), `b` column-packed.  Returns
+/// exact `i64` accumulators over the codes; work is recorded into `tracker`.
+pub fn qgtc_bmm(
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+) -> Matrix<i64> {
+    assert_eq!(
+        a.layout(),
+        BitMatrixLayout::RowPacked,
+        "left operand must use column-wise compression (row-packed planes)"
+    );
+    assert_eq!(
+        b.layout(),
+        BitMatrixLayout::ColPacked,
+        "right operand must use row-wise compression (column-packed planes)"
+    );
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions differ: {} vs {}",
+        a.cols(),
+        b.rows()
+    );
+
+    let m = a.rows();
+    let n = b.cols();
+    let k = a.cols();
+    let (m_tiles, n_tiles, k_tiles) = tile_counts(m, n, k);
+
+    // One kernel launch; the thread-block grid is the output tile grid.
+    tracker.record_kernel_launch((m_tiles * n_tiles) as u64);
+
+    let mut out: Matrix<i64> = Matrix::zeros(m, n);
+    // Parallelise over output tile rows: each worker owns `TILE_M` output rows.
+    let row_blocks: Vec<(usize, Vec<i64>)> = (0..m_tiles)
+        .into_par_iter()
+        .map(|tile_row| {
+            let mut local = vec![0i64; TILE_M * n];
+            let mut local_rows = Matrix::from_vec(TILE_M, n, std::mem::take(&mut local))
+                .expect("local tile row buffer");
+            for tile_col in 0..n_tiles {
+                compute_output_tile(
+                    a,
+                    b,
+                    config,
+                    tracker,
+                    &mut local_rows,
+                    tile_row,
+                    0, // local row offset: local_rows row 0 corresponds to tile_row*8
+                    tile_col,
+                    k_tiles,
+                );
+            }
+            (tile_row, local_rows.into_data())
+        })
+        .collect();
+    for (tile_row, data) in row_blocks {
+        let row_base = tile_row * TILE_M;
+        for local_r in 0..TILE_M {
+            let r = row_base + local_r;
+            if r >= m {
+                break;
+            }
+            out.row_mut(r)
+                .copy_from_slice(&data[local_r * n..(local_r + 1) * n]);
+        }
+    }
+    // Output write traffic: one accumulator tile per output tile.
+    tracker.record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
+    out
+}
+
+/// Neighbour aggregation kernel `X_new = A · X` with a 1-bit adjacency.
+///
+/// This is [`qgtc_bmm`] specialised to a 1-bit left operand — the shape for which
+/// zero-tile jumping and tile reuse were designed.
+pub fn qgtc_aggregate(
+    adjacency: &StackedBitMatrix,
+    features: &StackedBitMatrix,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+) -> Matrix<i64> {
+    assert_eq!(adjacency.bits(), 1, "adjacency must be 1-bit");
+    qgtc_bmm(adjacency, features, config, tracker)
+}
+
+/// Compute one 8×8 output tile (all bit-plane combinations, all K tiles) into the
+/// worker-local row buffer, recording the work performed.
+#[allow(clippy::too_many_arguments)]
+fn compute_output_tile(
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+    local_rows: &mut Matrix<i64>,
+    tile_row: usize,
+    local_row_offset: usize,
+    tile_col: usize,
+    k_tiles: usize,
+) {
+    let s_bits = a.bits() as usize;
+    let t_bits = b.bits() as usize;
+
+    match config.reduction_order {
+        ReductionOrder::CrossTile => {
+            // For each (A plane, K tile): load the A tile once, check it, then reuse
+            // it across every B bit plane (cross-tile reduction, Figure 6(b)).
+            for (i, a_plane) in a.planes().iter().enumerate().take(s_bits) {
+                for tk in 0..k_tiles {
+                    let a_frag = load_fragment_a(a_plane, tile_row, tk);
+                    tracker.record_dram_read(TILE_BYTES);
+                    tracker.record_int_ops(8); // OR-reduce for the zero check
+                    if config.zero_tile_jumping && a_frag.is_zero() {
+                        tracker.record_b1_tiles_skipped(t_bits as u64);
+                        continue;
+                    }
+                    for (j, b_plane) in b.planes().iter().enumerate().take(t_bits) {
+                        let b_frag = load_fragment_b(b_plane, tk, tile_col);
+                        tracker.record_dram_read(TILE_BYTES);
+                        let mut acc = AccumulatorFragment::zeroed();
+                        acc = bmma_sync(&acc, &a_frag, &b_frag);
+                        tracker.record_b1_tiles(1);
+                        accumulate_shifted_tile(
+                            local_rows,
+                            &acc,
+                            local_row_offset,
+                            tile_col,
+                            (i + j) as u32,
+                        );
+                        tracker.record_int_ops((TILE_M * TILE_N) as u64);
+                    }
+                }
+            }
+        }
+        ReductionOrder::CrossBit => {
+            // Naive order: finish each (A plane, B plane) combination over all K
+            // tiles before the next, re-loading the A tile for every B plane.
+            for (i, a_plane) in a.planes().iter().enumerate().take(s_bits) {
+                for (j, b_plane) in b.planes().iter().enumerate().take(t_bits) {
+                    for tk in 0..k_tiles {
+                        let a_frag = load_fragment_a(a_plane, tile_row, tk);
+                        tracker.record_dram_read(TILE_BYTES);
+                        tracker.record_int_ops(8);
+                        if config.zero_tile_jumping && a_frag.is_zero() {
+                            tracker.record_b1_tiles_skipped(1);
+                            continue;
+                        }
+                        let b_frag = load_fragment_b(b_plane, tk, tile_col);
+                        tracker.record_dram_read(TILE_BYTES);
+                        let mut acc = AccumulatorFragment::zeroed();
+                        acc = bmma_sync(&acc, &a_frag, &b_frag);
+                        tracker.record_b1_tiles(1);
+                        accumulate_shifted_tile(
+                            local_rows,
+                            &acc,
+                            local_row_offset,
+                            tile_col,
+                            (i + j) as u32,
+                        );
+                        tracker.record_int_ops((TILE_M * TILE_N) as u64);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: run the kernel and also return the reference result computed
+/// by the plane-composition GEMM of `qgtc-bitmat`, for self-checking callers.
+pub fn qgtc_bmm_checked(
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+) -> (Matrix<i64>, Matrix<i64>) {
+    let fast = qgtc_bmm(a, b, config, tracker);
+    let reference = any_bit_gemm(a, b);
+    (fast, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_tensor::gemm::gemm_i64;
+    use qgtc_tensor::rng::random_uniform_matrix;
+
+    fn random_codes(rows: usize, cols: usize, bits: u32, seed: u64) -> Matrix<u32> {
+        let max = (1u64 << bits) as f32;
+        random_uniform_matrix(rows, cols, 0.0, max, seed)
+            .map(|&v| (v as u32).min((1u32 << bits) - 1))
+    }
+
+    fn sparse_adjacency(n: usize, density: f64, seed: u64) -> Matrix<f32> {
+        random_uniform_matrix(n, n, 0.0, 1.0, seed).map(|&v| (v < density as f32) as u32 as f32)
+    }
+
+    #[test]
+    fn kernel_matches_reference_for_all_orders_and_bits() {
+        for &(s, t) in &[(1u32, 2u32), (2, 2), (3, 4), (4, 1)] {
+            let a_codes = random_codes(20, 260, s, s as u64);
+            let b_codes = random_codes(260, 12, t, 100 + t as u64);
+            let a = StackedBitMatrix::from_codes(&a_codes, s, BitMatrixLayout::RowPacked);
+            let b = StackedBitMatrix::from_codes(&b_codes, t, BitMatrixLayout::ColPacked);
+            let reference = gemm_i64(&a_codes.map(|&v| v as i64), &b_codes.map(|&v| v as i64));
+            for order in [ReductionOrder::CrossBit, ReductionOrder::CrossTile] {
+                for jumping in [false, true] {
+                    let cfg = KernelConfig {
+                        zero_tile_jumping: jumping,
+                        reduction_order: order,
+                        fused_epilogue: true,
+                    };
+                    let tracker = CostTracker::new();
+                    let out = qgtc_bmm(&a, &b, &cfg, &tracker);
+                    assert_eq!(out, reference, "bits ({s},{t}), order {order:?}, jump {jumping}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_matches_reference_on_sparse_adjacency() {
+        let adj = sparse_adjacency(64, 0.05, 7);
+        let x_codes = random_codes(64, 16, 4, 8);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&x_codes, 4, BitMatrixLayout::ColPacked);
+        let tracker = CostTracker::new();
+        let out = qgtc_aggregate(&a, &x, &KernelConfig::default(), &tracker);
+        let reference = gemm_i64(&adj.map(|&v| v as i64), &x_codes.map(|&v| v as i64));
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn zero_tile_jumping_skips_tiles_on_sparse_input() {
+        // Block-diagonal adjacency (the batched-subgraph shape): two dense 48-node
+        // communities inside a 256-node batch, everything else zero.
+        let mut adj: Matrix<f32> = Matrix::zeros(256, 256);
+        let dense_block = sparse_adjacency(48, 0.4, 3);
+        for &start in &[0usize, 128] {
+            for i in 0..48 {
+                for j in 0..48 {
+                    if dense_block[(i, j)] != 0.0 {
+                        adj[(start + i, start + j)] = 1.0;
+                    }
+                }
+            }
+        }
+        let x_codes = random_codes(256, 32, 2, 4);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&x_codes, 2, BitMatrixLayout::ColPacked);
+
+        let with = CostTracker::new();
+        let _ = qgtc_aggregate(&a, &x, &KernelConfig::default(), &with);
+        let without = CostTracker::new();
+        let cfg_off = KernelConfig {
+            zero_tile_jumping: false,
+            ..KernelConfig::default()
+        };
+        let _ = qgtc_aggregate(&a, &x, &cfg_off, &without);
+
+        let sw = with.snapshot();
+        let so = without.snapshot();
+        assert!(sw.tc_b1_tiles_skipped > 0, "sparse input must produce skipped tiles");
+        assert!(sw.tc_b1_tiles < so.tc_b1_tiles, "jumping must reduce executed MMAs");
+        assert_eq!(so.tc_b1_tiles_skipped, 0);
+    }
+
+    #[test]
+    fn cross_tile_reuse_reduces_adjacency_reloads() {
+        // Dense adjacency (all ones) so zero-tile jumping never triggers; the only
+        // difference between the orders is how often A tiles are re-read.
+        let adj = Matrix::filled(128, 128, 1.0f32);
+        let x_codes = random_codes(128, 64, 8, 5);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&x_codes, 8, BitMatrixLayout::ColPacked);
+
+        let reuse = CostTracker::new();
+        let cfg_reuse = KernelConfig {
+            reduction_order: ReductionOrder::CrossTile,
+            ..KernelConfig::default()
+        };
+        let out_reuse = qgtc_aggregate(&a, &x, &cfg_reuse, &reuse);
+
+        let naive = CostTracker::new();
+        let cfg_naive = KernelConfig {
+            reduction_order: ReductionOrder::CrossBit,
+            ..KernelConfig::default()
+        };
+        let out_naive = qgtc_aggregate(&a, &x, &cfg_naive, &naive);
+
+        assert_eq!(out_reuse, out_naive);
+        let sr = reuse.snapshot();
+        let sn = naive.snapshot();
+        assert_eq!(sr.tc_b1_tiles, sn.tc_b1_tiles, "same MMA count either way");
+        assert!(
+            sr.dram_read_bytes < sn.dram_read_bytes,
+            "tile reuse must reduce global reads (reuse {} vs naive {})",
+            sr.dram_read_bytes,
+            sn.dram_read_bytes
+        );
+    }
+
+    #[test]
+    fn launch_and_block_accounting() {
+        let a_codes = random_codes(16, 128, 1, 1);
+        let b_codes = random_codes(128, 16, 1, 2);
+        let a = StackedBitMatrix::from_codes(&a_codes, 1, BitMatrixLayout::RowPacked);
+        let b = StackedBitMatrix::from_codes(&b_codes, 1, BitMatrixLayout::ColPacked);
+        let tracker = CostTracker::new();
+        let _ = qgtc_bmm(&a, &b, &KernelConfig::default(), &tracker);
+        let s = tracker.snapshot();
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.thread_blocks, 2 * 2); // 16/8 x 16/8 output tiles
+        assert!(s.dram_write_bytes > 0);
+    }
+
+    #[test]
+    fn checked_wrapper_agrees_with_itself() {
+        let a_codes = random_codes(10, 140, 2, 9);
+        let b_codes = random_codes(140, 10, 3, 10);
+        let a = StackedBitMatrix::from_codes(&a_codes, 2, BitMatrixLayout::RowPacked);
+        let b = StackedBitMatrix::from_codes(&b_codes, 3, BitMatrixLayout::ColPacked);
+        let tracker = CostTracker::new();
+        let (fast, reference) = qgtc_bmm_checked(&a, &b, &KernelConfig::default(), &tracker);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-wise compression")]
+    fn rejects_wrong_left_layout() {
+        let codes = random_codes(8, 8, 1, 11);
+        let a = StackedBitMatrix::from_codes(&codes, 1, BitMatrixLayout::ColPacked);
+        let b = StackedBitMatrix::from_codes(&codes, 1, BitMatrixLayout::ColPacked);
+        let _ = qgtc_bmm(&a, &b, &KernelConfig::default(), &CostTracker::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency must be 1-bit")]
+    fn aggregate_rejects_multibit_adjacency() {
+        let codes = random_codes(8, 8, 2, 12);
+        let a = StackedBitMatrix::from_codes(&codes, 2, BitMatrixLayout::RowPacked);
+        let b = StackedBitMatrix::from_codes(&codes, 2, BitMatrixLayout::ColPacked);
+        let _ = qgtc_aggregate(&a, &b, &KernelConfig::default(), &CostTracker::new());
+    }
+}

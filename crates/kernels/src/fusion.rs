@@ -1,0 +1,294 @@
+//! Inter-layer kernel fusion (paper §4.5).
+//!
+//! Between GNN layers, QGTC keeps data in the quantized domain: the GEMM epilogue
+//! dequantizes the integer accumulator, applies the activation and (optionally) batch
+//! normalization, then re-quantizes and bit-decomposes the result so the next layer
+//! can consume it directly — all inside the same kernel, avoiding extra global-memory
+//! round trips and kernel launches.  For the *output* layer the epilogue instead
+//! produces full-precision values for the softmax head.
+//!
+//! [`FusedEpilogue::apply`] implements that pipeline on an accumulator matrix and
+//! records the cost difference between the fused and unfused execution (the unfused
+//! path pays one extra kernel launch and a DRAM round trip per stage).
+
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tensor::ops::BatchNormParams;
+use qgtc_tensor::{Matrix, QuantParams, Quantizer};
+
+/// Activation functions QGTC can fuse into the epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::None => v,
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+        }
+    }
+}
+
+/// What the epilogue produces.
+#[derive(Debug, Clone)]
+pub enum EpilogueOutput {
+    /// Full-precision activations (used by the final layer before softmax).
+    Dense(Matrix<f32>),
+    /// Re-quantized activations, bit-decomposed and packed for the next layer, plus
+    /// the quantization parameters used.
+    Quantized {
+        /// The packed bit planes (column-packed: they become the next layer's `X`).
+        stack: StackedBitMatrix,
+        /// Quantization parameters of the re-quantized activations.
+        params: QuantParams,
+    },
+}
+
+impl EpilogueOutput {
+    /// The quantized stack, if this output is quantized.
+    pub fn as_quantized(&self) -> Option<&StackedBitMatrix> {
+        match self {
+            EpilogueOutput::Quantized { stack, .. } => Some(stack),
+            EpilogueOutput::Dense(_) => None,
+        }
+    }
+
+    /// The dense matrix, if this output is full precision.
+    pub fn as_dense(&self) -> Option<&Matrix<f32>> {
+        match self {
+            EpilogueOutput::Dense(m) => Some(m),
+            EpilogueOutput::Quantized { .. } => None,
+        }
+    }
+}
+
+/// Configuration of a fused GEMM epilogue.
+#[derive(Debug, Clone)]
+pub struct FusedEpilogue {
+    /// Scale that maps integer accumulator values back to real activations
+    /// (the product of the operand quantization scales).
+    pub accumulator_scale: f32,
+    /// Activation applied after dequantization.
+    pub activation: Activation,
+    /// Optional fused batch normalization (applied after the activation, as in the
+    /// paper's Equation 8 folding).
+    pub batch_norm: Option<BatchNormParams>,
+    /// If `Some(bits)`, re-quantize to `bits` and bit-decompose for the next layer;
+    /// if `None`, emit full-precision output (final layer).
+    pub requantize_bits: Option<u32>,
+    /// Packing layout of the re-quantized output: column-packed when the result is
+    /// the next GEMM's right operand (e.g. features entering an aggregation),
+    /// row-packed when it is the next GEMM's left operand (e.g. aggregated features
+    /// entering the node update).
+    pub output_layout: BitMatrixLayout,
+    /// Whether the epilogue runs fused inside the GEMM kernel (`true`) or as
+    /// standalone kernels (`false`); affects only cost accounting.
+    pub fused: bool,
+}
+
+impl FusedEpilogue {
+    /// An epilogue that only dequantizes (identity activation, full-precision output).
+    pub fn dequantize_only(accumulator_scale: f32) -> Self {
+        Self {
+            accumulator_scale,
+            activation: Activation::None,
+            batch_norm: None,
+            requantize_bits: None,
+            output_layout: BitMatrixLayout::ColPacked,
+            fused: true,
+        }
+    }
+
+    /// The hidden-layer epilogue used by the QGTC models: ReLU then re-quantize.
+    pub fn hidden_layer(accumulator_scale: f32, bits: u32) -> Self {
+        Self {
+            accumulator_scale,
+            activation: Activation::Relu,
+            batch_norm: None,
+            requantize_bits: Some(bits),
+            output_layout: BitMatrixLayout::ColPacked,
+            fused: true,
+        }
+    }
+
+    /// A re-quantizing epilogue with no activation, packing its output for use as the
+    /// *left* operand of the following GEMM (the aggregate → update hand-off).
+    pub fn requantize_left_operand(accumulator_scale: f32, bits: u32) -> Self {
+        Self {
+            accumulator_scale,
+            activation: Activation::None,
+            batch_norm: None,
+            requantize_bits: Some(bits),
+            output_layout: BitMatrixLayout::RowPacked,
+            fused: true,
+        }
+    }
+
+    /// Apply the epilogue to an integer accumulator matrix.
+    ///
+    /// Cost model: the arithmetic itself is `O(rows × cols)` CUDA-core work in both
+    /// modes; the unfused mode additionally writes the intermediate to DRAM, reads it
+    /// back and launches one extra kernel per stage (activation / BN / quantize).
+    pub fn apply(&self, accumulator: &Matrix<i64>, tracker: &CostTracker) -> EpilogueOutput {
+        let elems = accumulator.len() as u64;
+        let mut stages = 1u64; // dequantize + activation counts as one stage
+        // Dequantize and activate.
+        let mut dense = accumulator.map(|&v| self.activation.apply(v as f32 * self.accumulator_scale));
+        tracker.record_fp32_flops(2 * elems);
+
+        if let Some(bn) = &self.batch_norm {
+            dense = qgtc_tensor::ops::batch_norm(&dense, bn)
+                .expect("batch-norm dimension must match accumulator columns");
+            tracker.record_fp32_flops(4 * elems);
+            stages += 1;
+        }
+
+        let output = match self.requantize_bits {
+            None => EpilogueOutput::Dense(dense),
+            Some(bits) => {
+                let quantizer = Quantizer::calibrate(bits, &dense)
+                    .expect("bitwidth validated by caller");
+                let codes = quantizer.quantize_matrix_u32(&dense);
+                let stack =
+                    StackedBitMatrix::from_quantized(&codes, quantizer.params(), self.output_layout);
+                tracker.record_int_ops(elems * bits as u64);
+                stages += 1;
+                EpilogueOutput::Quantized {
+                    stack,
+                    params: quantizer.params(),
+                }
+            }
+        };
+
+        if !self.fused {
+            // Unfused execution: each stage is a standalone kernel with a DRAM
+            // round trip of the intermediate activations.
+            let bytes = elems * 4;
+            for _ in 0..stages {
+                tracker.record_kernel_launch((accumulator.rows() as u64).div_ceil(4).max(1));
+                tracker.record_dram_write(bytes);
+                tracker.record_dram_read(bytes);
+            }
+        }
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_tensor::ops::relu;
+
+    fn accumulator() -> Matrix<i64> {
+        Matrix::from_vec(2, 3, vec![-4, 0, 2, 10, -1, 6]).unwrap()
+    }
+
+    #[test]
+    fn dequantize_only_scales_values() {
+        let tracker = CostTracker::new();
+        let out = FusedEpilogue::dequantize_only(0.5).apply(&accumulator(), &tracker);
+        let dense = out.as_dense().unwrap();
+        assert_eq!(dense[(0, 0)], -2.0);
+        assert_eq!(dense[(1, 0)], 5.0);
+        assert!(out.as_quantized().is_none());
+    }
+
+    #[test]
+    fn relu_epilogue_matches_standalone_relu() {
+        let tracker = CostTracker::new();
+        let mut ep = FusedEpilogue::dequantize_only(1.0);
+        ep.activation = Activation::Relu;
+        let out = ep.apply(&accumulator(), &tracker);
+        let expected = relu(&accumulator().to_f32());
+        assert_eq!(out.as_dense().unwrap(), &expected);
+    }
+
+    #[test]
+    fn tanh_epilogue_is_bounded() {
+        let tracker = CostTracker::new();
+        let mut ep = FusedEpilogue::dequantize_only(1.0);
+        ep.activation = Activation::Tanh;
+        let out = ep.apply(&accumulator(), &tracker);
+        assert!(out
+            .as_dense()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn hidden_layer_epilogue_requantizes_and_decomposes() {
+        let tracker = CostTracker::new();
+        let ep = FusedEpilogue::hidden_layer(0.1, 4);
+        let out = ep.apply(&accumulator(), &tracker);
+        let stack = out.as_quantized().expect("hidden layer output is quantized");
+        assert_eq!(stack.bits(), 4);
+        assert_eq!(stack.rows(), 2);
+        assert_eq!(stack.cols(), 3);
+        assert_eq!(stack.layout(), BitMatrixLayout::ColPacked);
+        // Codes must decode to something within one quantization bucket of the ReLU'd values.
+        let params = match out {
+            EpilogueOutput::Quantized { params, .. } => params,
+            _ => unreachable!(),
+        };
+        let codes = stack.to_codes();
+        for r in 0..2 {
+            for c in 0..3 {
+                let original = (accumulator()[(r, c)] as f32 * 0.1).max(0.0);
+                let decoded = params.dequantize(codes[(r, c)]);
+                assert!(
+                    (original - decoded).abs() <= params.scale,
+                    "({r},{c}): {original} vs {decoded}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_norm_fusion_applies_normalisation() {
+        let tracker = CostTracker::new();
+        let mut ep = FusedEpilogue::dequantize_only(1.0);
+        ep.batch_norm = Some(BatchNormParams {
+            gamma: vec![2.0, 2.0, 2.0],
+            beta: vec![1.0, 1.0, 1.0],
+            mean: vec![0.0, 0.0, 0.0],
+            var: vec![1.0, 1.0, 1.0],
+            eps: 0.0,
+        });
+        let out = ep.apply(&accumulator(), &tracker);
+        let dense = out.as_dense().unwrap();
+        // value * 2 + 1 for each accumulator entry.
+        assert_eq!(dense[(0, 2)], 5.0);
+        assert_eq!(dense[(1, 1)], -1.0);
+    }
+
+    #[test]
+    fn unfused_execution_costs_extra_launches_and_traffic() {
+        let fused_tracker = CostTracker::new();
+        let unfused_tracker = CostTracker::new();
+        let mut fused = FusedEpilogue::hidden_layer(1.0, 2);
+        fused.fused = true;
+        let mut unfused = fused.clone();
+        unfused.fused = false;
+
+        let _ = fused.apply(&accumulator(), &fused_tracker);
+        let _ = unfused.apply(&accumulator(), &unfused_tracker);
+        let f = fused_tracker.snapshot();
+        let u = unfused_tracker.snapshot();
+        assert_eq!(f.kernel_launches, 0, "fused epilogue rides the GEMM launch");
+        assert!(u.kernel_launches >= 2);
+        assert!(u.dram_bytes() > f.dram_bytes());
+        // The arithmetic is identical.
+        assert_eq!(f.cuda_fp32_flops, u.cuda_fp32_flops);
+    }
+}

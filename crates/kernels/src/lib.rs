@@ -1,0 +1,37 @@
+//! # qgtc-kernels
+//!
+//! The QGTC kernel designs (paper §4), expressed over the software Tensor Core of
+//! `qgtc-tcsim`:
+//!
+//! * [`bmm`] — the tiled any-bitwidth bit-matrix-multiplication kernel: operands are
+//!   3D-stacked bit-compressed matrices, the inner loop issues 8×8×128 1-bit MMAs,
+//!   and the bit-plane partial products are shift-accumulated into 32-bit (modeled as
+//!   `i64` here to keep Rust arithmetic explicit) outputs.
+//! * [`zero_tile`] — zero-tile jumping (§4.3): detect all-zero 8×128 adjacency tiles
+//!   with an OR-reduce + ballot and skip their MMAs and B-operand loads.
+//! * [`tile_reuse`] — non-zero tile reuse (§4.4): the cross-tile reduction ordering
+//!   that loads each non-zero adjacency tile once and reuses it across every feature
+//!   bit plane, versus the naive cross-bit ordering.
+//! * [`fusion`] — inter-layer kernel fusion (§4.5): activation, batch-norm and
+//!   re-quantization + bit-decomposition applied in the GEMM epilogue instead of as
+//!   standalone kernels.
+//! * [`packing`] — bandwidth-optimised subgraph packing (§4.6): transfer the packed
+//!   low-bit adjacency and features as one compound object instead of dense fp32
+//!   tensors over PCIe.
+//! * [`scheduler`] — thread-block/launch planning helpers shared by the kernels and
+//!   the end-to-end pipeline.
+//!
+//! Every kernel both computes the exact functional result (verified against the
+//! reference composition in `qgtc-bitmat`) and records its work into a
+//! [`qgtc_tcsim::CostTracker`] so the device model can estimate GPU latency.
+
+pub mod bmm;
+pub mod fusion;
+pub mod packing;
+pub mod scheduler;
+pub mod tile_reuse;
+pub mod zero_tile;
+
+pub use bmm::{qgtc_aggregate, qgtc_bmm, KernelConfig, ReductionOrder};
+pub use fusion::{Activation, FusedEpilogue};
+pub use packing::{SubgraphPayload, TransferStrategy};

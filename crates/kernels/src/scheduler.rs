@@ -1,0 +1,107 @@
+//! Kernel launch planning helpers.
+//!
+//! The end-to-end pipeline launches one aggregation kernel and one update kernel per
+//! GNN layer per batch; the scheduler computes grid dimensions, validates that the
+//! planned work fits the device's memory, and offers a simple plan structure the
+//! pipeline and the benchmark harness share.
+
+use qgtc_tcsim::fragment::{TILE_M, TILE_N};
+use qgtc_tcsim::GpuSpec;
+
+/// One planned kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchPlan {
+    /// Output rows of the GEMM this launch computes.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Thread blocks in the grid (one per output tile).
+    pub thread_blocks: usize,
+}
+
+impl LaunchPlan {
+    /// Plan a launch for an `m × k` by `k × n` bit GEMM.
+    pub fn for_gemm(m: usize, n: usize, k: usize) -> Self {
+        let blocks = m.div_ceil(TILE_M) * n.div_ceil(TILE_N);
+        Self {
+            m,
+            n,
+            k,
+            thread_blocks: blocks,
+        }
+    }
+
+    /// Whether this launch alone can saturate the given GPU (enough blocks to cover
+    /// every SM with the default residency).
+    pub fn saturates(&self, spec: &GpuSpec) -> bool {
+        self.thread_blocks >= spec.sm_count * 2
+    }
+}
+
+/// Memory footprint (bytes) of a batch resident on the device: packed adjacency,
+/// packed features for `layers + 1` activations, and fp32 output logits.
+pub fn batch_device_bytes(
+    num_nodes: usize,
+    feature_dim: usize,
+    hidden_dim: usize,
+    num_classes: usize,
+    feature_bits: u32,
+) -> u64 {
+    let n = num_nodes as u64;
+    let adjacency_bits = n * n;
+    let feature_bits_total = n * feature_dim as u64 * feature_bits as u64
+        + n * hidden_dim as u64 * feature_bits as u64;
+    let logits = n * num_classes as u64 * 4;
+    adjacency_bits / 8 + feature_bits_total / 8 + logits
+}
+
+/// Whether a batch of `num_nodes` nodes fits in `device_memory_bytes` with headroom.
+pub fn batch_fits(
+    num_nodes: usize,
+    feature_dim: usize,
+    hidden_dim: usize,
+    num_classes: usize,
+    feature_bits: u32,
+    device_memory_bytes: u64,
+) -> bool {
+    // Keep 20% headroom for workspace and fragmentation.
+    batch_device_bytes(num_nodes, feature_dim, hidden_dim, num_classes, feature_bits)
+        <= device_memory_bytes * 8 / 10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_plan_counts_tiles() {
+        let p = LaunchPlan::for_gemm(64, 64, 128);
+        assert_eq!(p.thread_blocks, 8 * 8);
+        let odd = LaunchPlan::for_gemm(9, 17, 100);
+        assert_eq!(odd.thread_blocks, 2 * 3);
+    }
+
+    #[test]
+    fn saturation_depends_on_block_count() {
+        let spec = GpuSpec::rtx3090();
+        assert!(!LaunchPlan::for_gemm(64, 64, 128).saturates(&spec));
+        assert!(LaunchPlan::for_gemm(1024, 1024, 128).saturates(&spec));
+    }
+
+    #[test]
+    fn batch_memory_estimate_scales() {
+        let small = batch_device_bytes(1_000, 128, 16, 40, 4);
+        let large = batch_device_bytes(10_000, 128, 16, 40, 4);
+        assert!(large > 10 * small);
+    }
+
+    #[test]
+    fn batch_fits_24gb_for_typical_sizes() {
+        let gb24 = 24u64 * (1 << 30);
+        assert!(batch_fits(20_000, 128, 64, 47, 8, gb24));
+        // A 500k-node batch needs ~31 GB just for the dense 1-bit adjacency.
+        assert!(!batch_fits(500_000, 128, 64, 47, 8, gb24));
+    }
+}

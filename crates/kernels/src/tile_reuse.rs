@@ -1,0 +1,127 @@
+//! Non-zero tile reuse study helpers (paper §4.4 and Figure 10).
+//!
+//! The reuse optimisation itself is the [`crate::bmm::ReductionOrder::CrossTile`]
+//! ordering inside the BMM kernel; this module packages the *controlled comparison*
+//! the paper's Figure 10 performs: run the same aggregation with and without reuse on
+//! an all-ones adjacency (so zero-tile jumping cannot interfere), and report the
+//! modeled speedup as a function of matrix size and feature bitwidth.
+
+use crate::bmm::{qgtc_aggregate, KernelConfig, ReductionOrder};
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tcsim::model::DeviceModel;
+use qgtc_tensor::Matrix;
+
+/// Result of one with/without-reuse comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReuseComparison {
+    /// Number of nodes (adjacency is `n × n`).
+    pub n: usize,
+    /// Feature embedding dimension.
+    pub dim: usize,
+    /// Feature bitwidth.
+    pub bits: u32,
+    /// Modeled kernel time without tile reuse (cross-bit reduction), seconds.
+    pub time_without_reuse_s: f64,
+    /// Modeled kernel time with tile reuse (cross-tile reduction), seconds.
+    pub time_with_reuse_s: f64,
+    /// DRAM bytes read without reuse.
+    pub bytes_without_reuse: u64,
+    /// DRAM bytes read with reuse.
+    pub bytes_with_reuse: u64,
+}
+
+impl ReuseComparison {
+    /// Speedup of the reuse ordering over the naive ordering (>1 means reuse wins).
+    pub fn speedup(&self) -> f64 {
+        if self.time_with_reuse_s <= 0.0 {
+            return 1.0;
+        }
+        self.time_without_reuse_s / self.time_with_reuse_s
+    }
+}
+
+/// Run the Figure-10 controlled experiment for one `(n, dim, bits)` point: an
+/// all-ones adjacency aggregated against random `bits`-bit features, once per
+/// reduction order, returning the modeled times and traffic.
+pub fn compare_reuse(n: usize, dim: usize, bits: u32, model: &DeviceModel, seed: u64) -> ReuseComparison {
+    let adjacency = Matrix::filled(n, n, 1.0f32);
+    let features = random_feature_codes(n, dim, bits, seed);
+    let adj_stack = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+    let feat_stack = StackedBitMatrix::from_codes(&features, bits, BitMatrixLayout::ColPacked);
+
+    let run = |order: ReductionOrder| {
+        let tracker = CostTracker::new();
+        let cfg = KernelConfig {
+            zero_tile_jumping: true,
+            reduction_order: order,
+            fused_epilogue: true,
+        };
+        let _ = qgtc_aggregate(&adj_stack, &feat_stack, &cfg, &tracker);
+        let snapshot = tracker.snapshot();
+        (model.estimate(&snapshot).total_s, snapshot.dram_read_bytes)
+    };
+
+    let (time_without, bytes_without) = run(ReductionOrder::CrossBit);
+    let (time_with, bytes_with) = run(ReductionOrder::CrossTile);
+    ReuseComparison {
+        n,
+        dim,
+        bits,
+        time_without_reuse_s: time_without,
+        time_with_reuse_s: time_with,
+        bytes_without_reuse: bytes_without,
+        bytes_with_reuse: bytes_with,
+    }
+}
+
+/// Random unsigned feature codes in `[0, 2^bits)`.
+pub fn random_feature_codes(rows: usize, cols: usize, bits: u32, seed: u64) -> Matrix<u32> {
+    let max = (1u64 << bits) as f32;
+    qgtc_tensor::rng::random_uniform_matrix(rows, cols, 0.0, max, seed)
+        .map(|&v| (v as u32).min((1u32 << bits) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_reduces_traffic_and_never_hurts_modeled_time_much() {
+        let model = DeviceModel::rtx3090();
+        let cmp = compare_reuse(128, 64, 8, &model, 1);
+        assert!(cmp.bytes_with_reuse < cmp.bytes_without_reuse);
+        // The MMA work is identical, so the modeled speedup must be >= ~1.
+        assert!(cmp.speedup() > 0.95, "speedup {}", cmp.speedup());
+    }
+
+    #[test]
+    fn reuse_benefit_grows_with_bitwidth() {
+        let model = DeviceModel::rtx3090();
+        let low = compare_reuse(64, 32, 2, &model, 2);
+        let high = compare_reuse(64, 32, 16, &model, 3);
+        let saved_low = low.bytes_without_reuse - low.bytes_with_reuse;
+        let saved_high = high.bytes_without_reuse - high.bytes_with_reuse;
+        assert!(
+            saved_high > saved_low,
+            "higher bitwidth should save more adjacency reloads ({saved_high} vs {saved_low})"
+        );
+    }
+
+    #[test]
+    fn comparison_is_deterministic() {
+        let model = DeviceModel::rtx3090();
+        let a = compare_reuse(32, 16, 4, &model, 9);
+        let b = compare_reuse(32, 16, 4, &model, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_codes_respect_bit_range() {
+        for bits in [1u32, 3, 7] {
+            let codes = random_feature_codes(20, 20, bits, 5);
+            let max = (1u32 << bits) - 1;
+            assert!(codes.data().iter().all(|&c| c <= max));
+        }
+    }
+}

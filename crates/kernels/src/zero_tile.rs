@@ -1,0 +1,156 @@
+//! Zero-tile analysis (paper §4.3 and Figure 8).
+//!
+//! Besides the per-tile check performed inside the BMM kernel, the evaluation needs
+//! an offline census of a packed adjacency: how many of its 8×128 Tensor Core tiles
+//! contain at least one edge, and therefore what fraction of the naive kernel's work
+//! zero-tile jumping removes.  Figure 8 reports that ratio per dataset; this module
+//! computes it.
+
+use qgtc_bitmat::pack::{pad128, pad8};
+use qgtc_bitmat::{BitMatrix, BitMatrixLayout, StackedBitMatrix};
+use qgtc_tcsim::fragment::TILE_M;
+use qgtc_tcsim::warp::tile_is_zero_by_ballot;
+use qgtc_tcsim::wmma::load_fragment_a;
+
+/// Census of the 8×128 tiles of one packed bit plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCensus {
+    /// Total number of 8×128 tiles in the padded plane.
+    pub total_tiles: usize,
+    /// Tiles containing at least one set bit.
+    pub nonzero_tiles: usize,
+}
+
+impl TileCensus {
+    /// Tiles containing no set bit.
+    pub fn zero_tiles(&self) -> usize {
+        self.total_tiles - self.nonzero_tiles
+    }
+
+    /// Fraction of tiles that must still be processed with zero-tile jumping enabled
+    /// (the percentages printed on Figure 8's bars).
+    pub fn processed_ratio(&self) -> f64 {
+        if self.total_tiles == 0 {
+            return 1.0;
+        }
+        self.nonzero_tiles as f64 / self.total_tiles as f64
+    }
+}
+
+/// Census the 8×128 tiles of a row-packed bit plane using the same OR + ballot
+/// detection the kernel uses.
+pub fn census_plane(plane: &BitMatrix) -> TileCensus {
+    assert_eq!(
+        plane.layout(),
+        BitMatrixLayout::RowPacked,
+        "tile census operates on the row-packed (adjacency) layout"
+    );
+    let row_tiles = pad8(plane.rows()) / TILE_M;
+    let k_tiles = pad128(plane.cols()) / 128;
+    let mut nonzero = 0usize;
+    for tr in 0..row_tiles {
+        for tk in 0..k_tiles {
+            let frag = load_fragment_a(plane, tr, tk);
+            if !tile_is_zero_by_ballot(&frag.rows) {
+                nonzero += 1;
+            }
+        }
+    }
+    TileCensus {
+        total_tiles: row_tiles * k_tiles,
+        nonzero_tiles: nonzero,
+    }
+}
+
+/// Census a 1-bit adjacency stack (convenience wrapper over [`census_plane`]).
+pub fn census_adjacency(adjacency: &StackedBitMatrix) -> TileCensus {
+    assert_eq!(adjacency.bits(), 1, "adjacency census expects a 1-bit stack");
+    census_plane(adjacency.plane(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_tensor::rng::random_uniform_matrix;
+    use qgtc_tensor::Matrix;
+
+    #[test]
+    fn all_zero_plane_has_no_nonzero_tiles() {
+        let m: Matrix<u8> = Matrix::zeros(64, 512);
+        let plane = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        let census = census_plane(&plane);
+        assert_eq!(census.total_tiles, 8 * 4);
+        assert_eq!(census.nonzero_tiles, 0);
+        assert_eq!(census.zero_tiles(), 32);
+        assert_eq!(census.processed_ratio(), 0.0);
+    }
+
+    #[test]
+    fn all_ones_plane_is_fully_nonzero() {
+        let m: Matrix<u8> = Matrix::filled(16, 256, 1);
+        let plane = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        let census = census_plane(&plane);
+        assert_eq!(census.nonzero_tiles, census.total_tiles);
+        assert_eq!(census.processed_ratio(), 1.0);
+    }
+
+    #[test]
+    fn single_edge_marks_exactly_one_tile() {
+        let mut m: Matrix<u8> = Matrix::zeros(64, 512);
+        m[(20, 300)] = 1;
+        let plane = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        let census = census_plane(&plane);
+        assert_eq!(census.nonzero_tiles, 1);
+    }
+
+    #[test]
+    fn block_diagonal_adjacency_mostly_zero_tiles() {
+        // Two dense 64-node blocks inside a 512-node matrix: the off-diagonal area is
+        // empty, so most tiles are zero — the Figure 8 situation.
+        let n = 512;
+        let mut adj: Matrix<f32> = Matrix::zeros(n, n);
+        for block_start in [0usize, 256] {
+            for i in 0..64 {
+                for j in 0..64 {
+                    if i != j {
+                        adj[(block_start + i, block_start + j)] = 1.0;
+                    }
+                }
+            }
+        }
+        let stack = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let census = census_adjacency(&stack);
+        assert!(census.processed_ratio() < 0.2, "ratio {}", census.processed_ratio());
+        assert!(census.nonzero_tiles > 0);
+    }
+
+    #[test]
+    fn census_matches_kernel_skip_accounting() {
+        use crate::bmm::{qgtc_aggregate, KernelConfig};
+        use qgtc_tcsim::cost::CostTracker;
+
+        let adj = random_uniform_matrix(128, 128, 0.0, 1.0, 5).map(|&v| (v < 0.03) as u32 as f32);
+        let x_codes = random_uniform_matrix(128, 16, 0.0, 3.99, 6).map(|&v| v as u32);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&x_codes, 2, BitMatrixLayout::ColPacked);
+        let census = census_adjacency(&a);
+
+        let tracker = CostTracker::new();
+        let _ = qgtc_aggregate(&a, &x, &KernelConfig::default(), &tracker);
+        let s = tracker.snapshot();
+        // The kernel walks each adjacency K-tile once per output tile column
+        // (16 columns of 8) and skips exactly the zero tiles the census found,
+        // each skip covering the feature stack's 2 bit planes.
+        let n_tiles = 16 / 8;
+        let expected_skipped = census.zero_tiles() as u64 * n_tiles as u64 * 2;
+        assert_eq!(s.tc_b1_tiles_skipped, expected_skipped);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-packed")]
+    fn census_rejects_col_packed_plane() {
+        let m: Matrix<u8> = Matrix::zeros(8, 8);
+        let plane = BitMatrix::from_bits(&m, BitMatrixLayout::ColPacked);
+        let _ = census_plane(&plane);
+    }
+}

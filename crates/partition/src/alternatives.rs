@@ -1,0 +1,157 @@
+//! Alternative partitioning strategies.
+//!
+//! The paper justifies METIS by comparing it against cheaper alternatives — random
+//! splitting, BFS-based orderings and clustering approaches — which "achieve a worse
+//! quality of captured subgraph partitions" (§4.1).  These baselines are implemented
+//! here so the partition-quality comparison can actually be run (see the
+//! `partition` Criterion bench and the quality metrics in [`crate::quality`]).
+
+use qgtc_graph::reorder::bfs_ordering;
+use qgtc_graph::CsrGraph;
+use qgtc_tensor::rng::SplitMix64;
+
+use crate::metis::Partitioning;
+use crate::refine::edge_cut;
+use crate::coarsen::WeightedGraph;
+
+/// Assign nodes to `k` parts uniformly at random (the weakest baseline).
+pub fn random_partition(graph: &CsrGraph, k: usize, seed: u64) -> Partitioning {
+    let k = k.max(1);
+    let mut rng = SplitMix64::new(seed);
+    let parts: Vec<usize> = (0..graph.num_nodes())
+        .map(|_| rng.next_bounded(k as u64) as usize)
+        .collect();
+    let cut = edge_cut(&WeightedGraph::from_csr(graph), &parts);
+    Partitioning {
+        parts,
+        num_parts: k,
+        edge_cut: cut,
+    }
+}
+
+/// Split nodes into `k` contiguous chunks of the *natural* node order (what a user
+/// gets by slicing the node id range without any graph awareness).
+pub fn contiguous_partition(graph: &CsrGraph, k: usize) -> Partitioning {
+    let n = graph.num_nodes();
+    let k = k.max(1).min(n.max(1));
+    let chunk = n.div_ceil(k.max(1)).max(1);
+    let parts: Vec<usize> = (0..n).map(|u| (u / chunk).min(k - 1)).collect();
+    let cut = edge_cut(&WeightedGraph::from_csr(graph), &parts);
+    Partitioning {
+        parts,
+        num_parts: k,
+        edge_cut: cut,
+    }
+}
+
+/// BFS-based partitioning (the Cuthill–McKee-style baseline the paper cites [6]):
+/// reorder nodes breadth-first, then cut the ordering into `k` contiguous chunks.
+/// Cheap, locality-aware, but blind to the community structure METIS recovers.
+pub fn bfs_partition(graph: &CsrGraph, k: usize) -> Partitioning {
+    let ordering = bfs_ordering(graph);
+    let n = graph.num_nodes();
+    let k = k.max(1).min(n.max(1));
+    let chunk = n.div_ceil(k.max(1)).max(1);
+    let parts: Vec<usize> = (0..n)
+        .map(|u| (ordering.new_of[u] / chunk).min(k - 1))
+        .collect();
+    let cut = edge_cut(&WeightedGraph::from_csr(graph), &parts);
+    Partitioning {
+        parts,
+        num_parts: k,
+        edge_cut: cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metis::{partition_kway, PartitionConfig};
+    use crate::quality::partition_quality;
+    use qgtc_graph::generate::{stochastic_block_model, SbmParams};
+
+    fn clustered(seed: u64) -> CsrGraph {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 480,
+                num_blocks: 8,
+                intra_degree: 8.0,
+                inter_degree: 0.5,
+            },
+            seed,
+        );
+        CsrGraph::from_coo(&coo)
+    }
+
+    #[test]
+    fn all_strategies_cover_every_node() {
+        let g = clustered(1);
+        for p in [
+            random_partition(&g, 8, 3),
+            contiguous_partition(&g, 8),
+            bfs_partition(&g, 8),
+        ] {
+            assert_eq!(p.parts.len(), 480);
+            assert!(p.parts.iter().all(|&x| x < 8));
+            assert_eq!(p.part_sizes().iter().sum::<usize>(), 480);
+        }
+    }
+
+    #[test]
+    fn multilevel_partitioner_beats_random_on_edge_cut() {
+        let g = clustered(2);
+        let metis_like = partition_kway(&g, &PartitionConfig::with_parts(8));
+        let random = random_partition(&g, 8, 7);
+        assert!(
+            metis_like.edge_cut * 4 < random.edge_cut * 3,
+            "multilevel cut {} should be well below random cut {}",
+            metis_like.edge_cut,
+            random.edge_cut
+        );
+    }
+
+    #[test]
+    fn multilevel_partitioner_beats_bfs_on_intra_density() {
+        let g = clustered(3);
+        let metis_like = partition_kway(&g, &PartitionConfig::with_parts(8));
+        let bfs = bfs_partition(&g, 8);
+        let qm = partition_quality(&g, &metis_like.parts, 8);
+        let qb = partition_quality(&g, &bfs.parts, 8);
+        assert!(
+            qm.intra_edge_fraction >= qb.intra_edge_fraction,
+            "multilevel intra fraction {:.3} should be at least BFS's {:.3}",
+            qm.intra_edge_fraction,
+            qb.intra_edge_fraction
+        );
+    }
+
+    #[test]
+    fn bfs_partition_beats_random() {
+        // BFS chunks are locality-aware, so they should keep more edges internal than
+        // a uniformly random assignment on a clustered graph.
+        let g = clustered(4);
+        let bfs = bfs_partition(&g, 8);
+        let random = random_partition(&g, 8, 11);
+        assert!(bfs.edge_cut < random.edge_cut);
+    }
+
+    #[test]
+    fn contiguous_partition_on_natural_sbm_order_is_strong() {
+        // The SBM generator lays communities out contiguously, so contiguous chunking
+        // of the *unshuffled* graph is a strong partition — a useful sanity check that
+        // the quality metric responds to structure rather than to the algorithm name.
+        let g = clustered(5);
+        let contiguous = contiguous_partition(&g, 8);
+        let random = random_partition(&g, 8, 13);
+        assert!(contiguous.edge_cut < random.edge_cut);
+    }
+
+    #[test]
+    fn degenerate_part_counts_are_safe() {
+        let g = clustered(6);
+        assert_eq!(random_partition(&g, 1, 0).num_parts, 1);
+        assert_eq!(contiguous_partition(&g, 1).edge_cut, 0);
+        let huge_k = bfs_partition(&g, 10_000);
+        assert!(huge_k.parts.iter().all(|&p| p < huge_k.num_parts));
+    }
+}

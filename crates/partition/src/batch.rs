@@ -1,0 +1,172 @@
+//! Cluster-GCN style batching of partitions.
+//!
+//! QGTC's data loader groups the METIS partitions into batches of a user-chosen size;
+//! each batch is materialised as one dense subgraph and pushed through the GNN.  The
+//! batcher here reproduces that behaviour, including the two granularity knobs the
+//! paper discusses in §4.1: the number of partitions (workload granularity) and the
+//! batch size (processing granularity).
+
+use qgtc_graph::{CsrGraph, DenseSubgraph};
+
+use crate::metis::Partitioning;
+
+/// A batch of partitions ready for GNN computation.
+#[derive(Debug, Clone)]
+pub struct SubgraphBatch {
+    /// Index of this batch in the epoch.
+    pub batch_index: usize,
+    /// The partition ids included in this batch.
+    pub partition_ids: Vec<usize>,
+    /// The node lists of the included partitions (global node ids).
+    pub partitions: Vec<Vec<usize>>,
+}
+
+impl SubgraphBatch {
+    /// Total number of nodes in the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Materialise the batch as a block-diagonal dense subgraph (the QGTC execution
+    /// model: inter-partition edges inside a batch are dropped, exactly like
+    /// cluster-GCN's block-diagonal approximation).
+    pub fn to_dense_block_diagonal(&self, graph: &CsrGraph) -> DenseSubgraph {
+        DenseSubgraph::batch_block_diagonal(graph, &self.partitions)
+    }
+
+    /// Materialise the batch keeping the inter-partition edges (used by the exact
+    /// baseline comparison).
+    pub fn to_dense_induced(&self, graph: &CsrGraph) -> DenseSubgraph {
+        DenseSubgraph::batch_induced(graph, &self.partitions)
+    }
+}
+
+/// Groups partitions into fixed-size batches.
+#[derive(Debug, Clone)]
+pub struct PartitionBatcher {
+    partitions: Vec<Vec<usize>>,
+    batch_size: usize,
+}
+
+impl PartitionBatcher {
+    /// Create a batcher over the partitions of `partitioning`, `batch_size` partitions
+    /// per batch. Empty partitions are dropped (METIS can produce them for very large
+    /// part counts; so can our substitute).
+    pub fn new(partitioning: &Partitioning, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch_size must be at least 1");
+        let partitions: Vec<Vec<usize>> = partitioning
+            .part_nodes()
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect();
+        Self {
+            partitions,
+            batch_size,
+        }
+    }
+
+    /// Create a batcher from explicit partition node lists.
+    pub fn from_partitions(partitions: Vec<Vec<usize>>, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch_size must be at least 1");
+        Self {
+            partitions: partitions.into_iter().filter(|p| !p.is_empty()).collect(),
+            batch_size,
+        }
+    }
+
+    /// Number of non-empty partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of batches produced per epoch.
+    pub fn num_batches(&self) -> usize {
+        self.partitions.len().div_ceil(self.batch_size)
+    }
+
+    /// Iterate over the batches of one epoch in order.
+    pub fn batches(&self) -> impl Iterator<Item = SubgraphBatch> + '_ {
+        self.partitions
+            .chunks(self.batch_size)
+            .enumerate()
+            .map(|(batch_index, chunk)| SubgraphBatch {
+                batch_index,
+                partition_ids: (batch_index * self.batch_size
+                    ..batch_index * self.batch_size + chunk.len())
+                    .collect(),
+                partitions: chunk.to_vec(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metis::{partition_kway, PartitionConfig};
+    use qgtc_graph::generate::{stochastic_block_model, SbmParams};
+    use qgtc_graph::CsrGraph;
+
+    fn graph_and_partitioning() -> (CsrGraph, Partitioning) {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 300,
+                num_blocks: 6,
+                intra_degree: 6.0,
+                inter_degree: 0.5,
+            },
+            1,
+        );
+        let g = CsrGraph::from_coo(&coo);
+        let p = partition_kway(&g, &PartitionConfig::with_parts(6));
+        (g, p)
+    }
+
+    #[test]
+    fn batches_cover_all_partitions_once() {
+        let (_, p) = graph_and_partitioning();
+        let batcher = PartitionBatcher::new(&p, 2);
+        assert_eq!(batcher.num_partitions(), 6);
+        assert_eq!(batcher.num_batches(), 3);
+        let mut seen_nodes = 0usize;
+        for batch in batcher.batches() {
+            assert!(batch.partitions.len() <= 2);
+            seen_nodes += batch.num_nodes();
+        }
+        assert_eq!(seen_nodes, 300);
+    }
+
+    #[test]
+    fn uneven_final_batch() {
+        let (_, p) = graph_and_partitioning();
+        let batcher = PartitionBatcher::new(&p, 4);
+        assert_eq!(batcher.num_batches(), 2);
+        let batches: Vec<_> = batcher.batches().collect();
+        assert_eq!(batches[0].partitions.len(), 4);
+        assert_eq!(batches[1].partitions.len(), 2);
+        assert_eq!(batches[1].batch_index, 1);
+    }
+
+    #[test]
+    fn dense_materialisations_differ_in_cut_edges() {
+        let (g, p) = graph_and_partitioning();
+        let batcher = PartitionBatcher::new(&p, 3);
+        let batch = batcher.batches().next().unwrap();
+        let block = batch.to_dense_block_diagonal(&g);
+        let induced = batch.to_dense_induced(&g);
+        assert_eq!(block.num_nodes(), induced.num_nodes());
+        assert!(block.num_edges <= induced.num_edges);
+    }
+
+    #[test]
+    fn from_partitions_drops_empty() {
+        let batcher = PartitionBatcher::from_partitions(vec![vec![0, 1], vec![], vec![2]], 1);
+        assert_eq!(batcher.num_partitions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be at least 1")]
+    fn zero_batch_size_rejected() {
+        let (_, p) = graph_and_partitioning();
+        let _ = PartitionBatcher::new(&p, 0);
+    }
+}

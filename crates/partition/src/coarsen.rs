@@ -1,0 +1,246 @@
+//! Weighted graphs and graph contraction for the multilevel hierarchy.
+//!
+//! During coarsening, matched node pairs are merged into super-nodes.  Node weights
+//! accumulate (a super-node's weight is the number of original nodes it represents)
+//! and parallel edges between the same pair of super-nodes collapse into a single
+//! edge whose weight is the sum — exactly the bookkeeping METIS performs.
+
+use qgtc_graph::CsrGraph;
+use std::collections::HashMap;
+
+use crate::matching::Matching;
+
+/// An undirected graph with integer node and edge weights, stored as adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedGraph {
+    /// `adj[u]` lists `(neighbor, edge_weight)` pairs.
+    adj: Vec<Vec<(usize, u64)>>,
+    /// Weight (contained original-node count) of each node.
+    node_weights: Vec<u64>,
+    /// Total edge weight (each undirected edge counted twice).
+    total_edge_weight: u64,
+}
+
+impl WeightedGraph {
+    /// Build from an unweighted CSR graph: every node weight 1, every edge weight 1.
+    pub fn from_csr(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut adj = vec![Vec::new(); n];
+        for u in 0..n {
+            for &v in graph.neighbors(u) {
+                if u != v {
+                    adj[u].push((v, 1));
+                }
+            }
+        }
+        let total = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum::<u64>()).sum();
+        Self {
+            adj,
+            node_weights: vec![1; n],
+            total_edge_weight: total,
+        }
+    }
+
+    /// Build from explicit undirected weighted edges (each edge added in both directions).
+    pub fn from_weighted_edges(
+        num_nodes: usize,
+        edges: &[(usize, usize, u64)],
+        node_weights: &[u64],
+    ) -> Self {
+        assert_eq!(node_weights.len(), num_nodes, "node weight length mismatch");
+        let mut adj = vec![Vec::new(); num_nodes];
+        for &(u, v, w) in edges {
+            assert!(u < num_nodes && v < num_nodes, "edge endpoint out of range");
+            if u == v {
+                continue;
+            }
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+        let total = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum::<u64>()).sum();
+        Self {
+            adj,
+            node_weights: node_weights.to_vec(),
+            total_edge_weight: total,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Weighted neighbour list of node `u`.
+    pub fn neighbors(&self, u: usize) -> &[(usize, u64)] {
+        &self.adj[u]
+    }
+
+    /// Node weight (number of original nodes represented).
+    pub fn node_weight(&self, u: usize) -> u64 {
+        self.node_weights[u]
+    }
+
+    /// Sum of all node weights (invariant across coarsening levels).
+    pub fn total_node_weight(&self) -> u64 {
+        self.node_weights.iter().sum()
+    }
+
+    /// Total edge weight with each undirected edge counted twice.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.total_edge_weight
+    }
+}
+
+/// One level of the coarsening hierarchy: the coarse graph plus the mapping from fine
+/// nodes to coarse nodes.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The contracted graph.
+    pub graph: WeightedGraph,
+    /// `coarse_of[fine_node] = coarse_node`.
+    pub coarse_of: Vec<usize>,
+}
+
+/// Contract a matching: each matched pair becomes one coarse node, unmatched nodes map
+/// to singleton coarse nodes.
+pub fn contract(graph: &WeightedGraph, matching: &Matching) -> CoarseLevel {
+    let n = graph.num_nodes();
+    let mut coarse_of = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for u in 0..n {
+        if coarse_of[u] != usize::MAX {
+            continue;
+        }
+        let v = matching.mate[u];
+        coarse_of[u] = next;
+        if v != u {
+            coarse_of[v] = next;
+        }
+        next += 1;
+    }
+    let coarse_n = next;
+
+    let mut node_weights = vec![0u64; coarse_n];
+    for u in 0..n {
+        node_weights[coarse_of[u]] += graph.node_weight(u);
+    }
+
+    // Accumulate coarse edges, collapsing parallels.
+    let mut adj: Vec<HashMap<usize, u64>> = vec![HashMap::new(); coarse_n];
+    for u in 0..n {
+        let cu = coarse_of[u];
+        for &(v, w) in graph.neighbors(u) {
+            let cv = coarse_of[v];
+            if cu != cv {
+                *adj[cu].entry(cv).or_insert(0) += w;
+            }
+        }
+    }
+    let adj_lists: Vec<Vec<(usize, u64)>> = adj
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(usize, u64)> = m.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    let total = adj_lists
+        .iter()
+        .map(|l| l.iter().map(|&(_, w)| w).sum::<u64>())
+        .sum();
+    CoarseLevel {
+        graph: WeightedGraph {
+            adj: adj_lists,
+            node_weights,
+            total_edge_weight: total,
+        },
+        coarse_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::heavy_edge_matching;
+    use qgtc_graph::{CooGraph, CsrGraph};
+
+    fn cycle(n: usize) -> WeightedGraph {
+        let mut coo = CooGraph::new(n);
+        for i in 0..n {
+            coo.add_edge(i, (i + 1) % n);
+        }
+        coo.symmetrize();
+        WeightedGraph::from_csr(&CsrGraph::from_coo(&coo))
+    }
+
+    #[test]
+    fn from_csr_preserves_structure() {
+        let g = cycle(6);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.total_node_weight(), 6);
+        assert_eq!(g.total_edge_weight(), 12);
+        assert_eq!(g.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn contraction_preserves_node_weight() {
+        let g = cycle(8);
+        let m = heavy_edge_matching(&g, 1);
+        let level = contract(&g, &m);
+        assert_eq!(level.graph.total_node_weight(), 8);
+        assert_eq!(level.graph.num_nodes(), 8 - m.num_pairs);
+        // Every fine node maps to a valid coarse node.
+        assert!(level
+            .coarse_of
+            .iter()
+            .all(|&c| c < level.graph.num_nodes()));
+    }
+
+    #[test]
+    fn contraction_collapses_parallel_edges() {
+        // Square 0-1-2-3 with both 0-1 and 2-3 matched: coarse graph is 2 nodes
+        // joined by the two cut edges collapsed into weight 2.
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)],
+            &[1, 1, 1, 1],
+        );
+        let matching = Matching {
+            mate: vec![1, 0, 3, 2],
+            num_pairs: 2,
+        };
+        let level = contract(&g, &matching);
+        assert_eq!(level.graph.num_nodes(), 2);
+        let nbrs = level.graph.neighbors(0);
+        assert_eq!(nbrs.len(), 1);
+        assert_eq!(nbrs[0].1, 2, "parallel cut edges should sum to weight 2");
+        assert_eq!(level.graph.node_weight(0), 2);
+    }
+
+    #[test]
+    fn contraction_drops_internal_edges() {
+        // Matched pair connected by an edge: the edge disappears (becomes internal).
+        let g = WeightedGraph::from_weighted_edges(2, &[(0, 1, 5)], &[1, 1]);
+        let matching = Matching {
+            mate: vec![1, 0],
+            num_pairs: 1,
+        };
+        let level = contract(&g, &matching);
+        assert_eq!(level.graph.num_nodes(), 1);
+        assert_eq!(level.graph.total_edge_weight(), 0);
+        assert_eq!(level.graph.node_weight(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node weight length mismatch")]
+    fn from_weighted_edges_checks_weights() {
+        let _ = WeightedGraph::from_weighted_edges(3, &[], &[1, 1]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = WeightedGraph::from_weighted_edges(2, &[(0, 0, 3), (0, 1, 1)], &[1, 1]);
+        assert_eq!(g.neighbors(0).len(), 1);
+        assert_eq!(g.total_edge_weight(), 2);
+    }
+}

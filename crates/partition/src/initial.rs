@@ -1,0 +1,154 @@
+//! Initial k-way partitioning of the coarsest graph.
+//!
+//! After coarsening stops, the coarse graph has on the order of `4 * k` nodes.  We
+//! grow `k` regions greedily (BFS-style region growing seeded round-robin from
+//! unassigned nodes), bounded by a per-part weight capacity so that the parts stay
+//! balanced.  Leftover nodes (disconnected islands) are assigned to the lightest part.
+
+use crate::coarsen::WeightedGraph;
+use qgtc_tensor::rng::SplitMix64;
+use std::collections::VecDeque;
+
+/// Greedy region-growing k-way partition of a weighted graph.
+///
+/// Returns the part id of every node, all in `[0, k)`.  `balance_factor` (≥ 1.0)
+/// controls the per-part capacity: `capacity = ceil(total_weight / k * balance_factor)`.
+pub fn greedy_kway(graph: &WeightedGraph, k: usize, balance_factor: f64, seed: u64) -> Vec<usize> {
+    let n = graph.num_nodes();
+    assert!(k >= 1, "k must be at least 1");
+    if k == 1 || n == 0 {
+        return vec![0; n];
+    }
+    let k = k.min(n);
+    let total_weight = graph.total_node_weight();
+    let capacity = ((total_weight as f64 / k as f64) * balance_factor).ceil() as u64;
+
+    let mut part = vec![usize::MAX; n];
+    let mut part_weight = vec![0u64; k];
+    let mut rng = SplitMix64::new(seed);
+
+    // Seed order: random permutation so repeated runs with different seeds differ.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.next_bounded(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+
+    let mut next_seed_idx = 0usize;
+    for p in 0..k {
+        // Find an unassigned seed node.
+        while next_seed_idx < n && part[order[next_seed_idx]] != usize::MAX {
+            next_seed_idx += 1;
+        }
+        if next_seed_idx >= n {
+            break;
+        }
+        let seed_node = order[next_seed_idx];
+        // BFS region growing until this part reaches capacity.
+        let mut queue = VecDeque::new();
+        queue.push_back(seed_node);
+        while let Some(u) = queue.pop_front() {
+            if part[u] != usize::MAX {
+                continue;
+            }
+            let w = graph.node_weight(u);
+            if part_weight[p] + w > capacity && part_weight[p] > 0 {
+                continue;
+            }
+            part[u] = p;
+            part_weight[p] += w;
+            if part_weight[p] >= capacity {
+                break;
+            }
+            for &(v, _) in graph.neighbors(u) {
+                if part[v] == usize::MAX {
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // Assign any remaining nodes to the lightest part.
+    for u in 0..n {
+        if part[u] == usize::MAX {
+            let lightest = (0..k).min_by_key(|&p| part_weight[p]).unwrap_or(0);
+            part[u] = lightest;
+            part_weight[lightest] += graph.node_weight(u);
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_graph::{generate::ring_lattice, CsrGraph};
+
+    fn ring(n: usize) -> WeightedGraph {
+        WeightedGraph::from_csr(&CsrGraph::from_coo(&ring_lattice(n, 2)))
+    }
+
+    #[test]
+    fn every_node_assigned_to_valid_part() {
+        let g = ring(64);
+        let parts = greedy_kway(&g, 4, 1.1, 1);
+        assert_eq!(parts.len(), 64);
+        assert!(parts.iter().all(|&p| p < 4));
+        for p in 0..4 {
+            assert!(parts.iter().any(|&x| x == p), "part {p} empty");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_puts_everything_in_part_zero() {
+        let g = ring(10);
+        assert_eq!(greedy_kway(&g, 1, 1.0, 0), vec![0; 10]);
+    }
+
+    #[test]
+    fn parts_are_roughly_balanced() {
+        let g = ring(120);
+        let parts = greedy_kway(&g, 6, 1.1, 3);
+        let mut counts = vec![0usize; 6];
+        for &p in &parts {
+            counts[p] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(
+            max <= 2 * min.max(1) + 22,
+            "imbalanced parts: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let g = ring(4);
+        let parts = greedy_kway(&g, 10, 1.0, 2);
+        assert!(parts.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = WeightedGraph::from_weighted_edges(0, &[], &[]);
+        assert!(greedy_kway(&g, 3, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn respects_node_weights_in_capacity() {
+        // One super-heavy node and several light ones: the heavy node should not share
+        // a part with everything else when k = 2 and capacity is tight.
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1)],
+            &[10, 1, 1, 1],
+        );
+        let parts = greedy_kway(&g, 2, 1.05, 5);
+        let heavy_part = parts[0];
+        let light_together = (1..4).filter(|&u| parts[u] == heavy_part).count();
+        assert!(
+            light_together <= 1,
+            "heavy node should roughly fill its part alone: {parts:?}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Partition quality metrics.
+//!
+//! The QGTC evaluation cares about partition quality only indirectly: denser
+//! partitions mean fewer all-zero Tensor Core tiles (Figure 8) and better data
+//! locality.  These metrics feed the experiment reports and let users compare our
+//! METIS substitute against other strategies.
+
+use qgtc_graph::stats::partition_edge_split;
+use qgtc_graph::CsrGraph;
+
+/// Quality metrics of a k-way partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of parts.
+    pub num_parts: usize,
+    /// Undirected edge cut (edges crossing parts).
+    pub edge_cut: usize,
+    /// Fraction of edges kept inside parts.
+    pub intra_edge_fraction: f64,
+    /// Largest part size divided by average part size.
+    pub imbalance: f64,
+    /// Mean intra-partition edge density: for each part, edges inside the part
+    /// divided by `size^2` (directed), averaged over parts weighted by size.
+    pub mean_intra_density: f64,
+    /// Global directed density of the original graph, for comparison.
+    pub global_density: f64,
+}
+
+/// Compute quality metrics of a node-to-part assignment.
+pub fn partition_quality(graph: &CsrGraph, parts: &[usize], num_parts: usize) -> PartitionQuality {
+    assert_eq!(parts.len(), graph.num_nodes(), "parts length mismatch");
+    let (intra, inter) = partition_edge_split(graph, parts);
+    let total_edges = intra + inter;
+    // Per-part sizes and intra-part directed edge counts.
+    let mut sizes = vec![0usize; num_parts];
+    let mut intra_edges = vec![0usize; num_parts];
+    for (u, &p) in parts.iter().enumerate() {
+        sizes[p] += 1;
+        for &v in graph.neighbors(u) {
+            if parts[v] == p {
+                intra_edges[p] += 1;
+            }
+        }
+    }
+    let n = graph.num_nodes();
+    let mut weighted_density = 0.0f64;
+    let mut weighted_total = 0.0f64;
+    for p in 0..num_parts {
+        if sizes[p] == 0 {
+            continue;
+        }
+        let density = intra_edges[p] as f64 / (sizes[p] * sizes[p]) as f64;
+        weighted_density += density * sizes[p] as f64;
+        weighted_total += sizes[p] as f64;
+    }
+    let max_size = sizes.iter().copied().max().unwrap_or(0) as f64;
+    let avg_size = n as f64 / num_parts.max(1) as f64;
+    PartitionQuality {
+        num_parts,
+        edge_cut: inter / 2,
+        intra_edge_fraction: if total_edges == 0 {
+            1.0
+        } else {
+            intra as f64 / total_edges as f64
+        },
+        imbalance: if avg_size == 0.0 { 0.0 } else { max_size / avg_size },
+        mean_intra_density: if weighted_total == 0.0 {
+            0.0
+        } else {
+            weighted_density / weighted_total
+        },
+        global_density: if n <= 1 {
+            0.0
+        } else {
+            graph.num_edges() as f64 / (n as f64 * n as f64)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metis::{partition_kway, PartitionConfig};
+    use qgtc_graph::generate::{stochastic_block_model, SbmParams};
+    use qgtc_graph::{CooGraph, CsrGraph};
+
+    #[test]
+    fn quality_of_perfect_two_clique_partition() {
+        let mut coo = CooGraph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            coo.add_edge(u, v);
+        }
+        coo.add_edge(2, 3);
+        coo.symmetrize();
+        let g = CsrGraph::from_coo(&coo);
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        let q = partition_quality(&g, &parts, 2);
+        assert_eq!(q.edge_cut, 1);
+        assert!(q.intra_edge_fraction > 0.8);
+        assert!((q.imbalance - 1.0).abs() < 1e-9);
+        assert!(q.mean_intra_density > q.global_density);
+    }
+
+    #[test]
+    fn partitioner_increases_density_over_global() {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 500,
+                num_blocks: 10,
+                intra_degree: 8.0,
+                inter_degree: 0.5,
+            },
+            5,
+        );
+        let g = CsrGraph::from_coo(&coo);
+        let p = partition_kway(&g, &PartitionConfig::with_parts(10));
+        let q = partition_quality(&g, &p.parts, p.num_parts);
+        assert!(
+            q.mean_intra_density > 3.0 * q.global_density,
+            "partitioned density {:.4} should be well above global {:.4}",
+            q.mean_intra_density,
+            q.global_density
+        );
+    }
+
+    #[test]
+    fn edgeless_graph_quality() {
+        let g = CsrGraph::from_parts(vec![0, 0, 0], vec![]);
+        let q = partition_quality(&g, &[0, 1], 2);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.intra_edge_fraction, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parts length mismatch")]
+    fn mismatched_parts_rejected() {
+        let g = CsrGraph::from_parts(vec![0, 0, 0], vec![]);
+        let _ = partition_quality(&g, &[0], 1);
+    }
+}

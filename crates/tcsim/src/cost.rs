@@ -1,0 +1,354 @@
+//! Work accounting for the analytic device model.
+//!
+//! Every QGTC kernel (and every baseline) records the work it performs into a
+//! [`CostTracker`]: Tensor Core MMA tiles issued (and skipped), CUDA-core FLOPs,
+//! bytes moved at each memory level, kernel launches and PCIe transfers.  The tracker
+//! uses relaxed atomics so rayon-parallel kernel bodies can record concurrently; a
+//! [`CostSnapshot`] is the plain-data copy handed to the device model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operations in one 1-bit Tensor Core MMA tile (8×8×128 multiply + accumulate).
+pub const OPS_PER_B1_TILE: u64 = 2 * 8 * 8 * 128;
+
+/// Thread-safe work counters.
+#[derive(Debug, Default)]
+pub struct CostTracker {
+    tc_b1_tiles: AtomicU64,
+    tc_b1_tiles_skipped: AtomicU64,
+    tc_int8_ops: AtomicU64,
+    tc_int4_ops: AtomicU64,
+    tc_fp16_flops: AtomicU64,
+    cuda_fp32_flops: AtomicU64,
+    cuda_sparse_flops: AtomicU64,
+    cuda_int_ops: AtomicU64,
+    dram_read_bytes: AtomicU64,
+    dram_write_bytes: AtomicU64,
+    shared_bytes: AtomicU64,
+    kernel_launches: AtomicU64,
+    thread_blocks: AtomicU64,
+    pcie_h2d_bytes: AtomicU64,
+    pcie_d2h_bytes: AtomicU64,
+}
+
+/// Plain-data copy of the counters at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Number of 8×8×128 1-bit MMA tiles executed.
+    pub tc_b1_tiles: u64,
+    /// Number of 1-bit MMA tiles skipped by zero-tile jumping.
+    pub tc_b1_tiles_skipped: u64,
+    /// Int8 Tensor Core multiply-accumulate operations (2 ops per MAC).
+    pub tc_int8_ops: u64,
+    /// Int4 Tensor Core operations.
+    pub tc_int4_ops: u64,
+    /// Fp16 Tensor Core floating-point operations.
+    pub tc_fp16_flops: u64,
+    /// Dense fp32 CUDA-core floating-point operations.
+    pub cuda_fp32_flops: u64,
+    /// Sparse/gather-bound fp32 CUDA-core operations (CSR SpMM style).
+    pub cuda_sparse_flops: u64,
+    /// Integer CUDA-core operations (packing, shifting, reductions).
+    pub cuda_int_ops: u64,
+    /// Bytes read from device DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to device DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes staged through shared memory.
+    pub shared_bytes: u64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+    /// Number of thread blocks across all launches.
+    pub thread_blocks: u64,
+    /// Host-to-device PCIe bytes.
+    pub pcie_h2d_bytes: u64,
+    /// Device-to-host PCIe bytes.
+    pub pcie_d2h_bytes: u64,
+}
+
+impl CostTracker {
+    /// A fresh tracker with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `tiles` executed 1-bit MMA tiles.
+    pub fn record_b1_tiles(&self, tiles: u64) {
+        self.tc_b1_tiles.fetch_add(tiles, Ordering::Relaxed);
+    }
+
+    /// Record `tiles` zero tiles skipped before issuing the MMA.
+    pub fn record_b1_tiles_skipped(&self, tiles: u64) {
+        self.tc_b1_tiles_skipped.fetch_add(tiles, Ordering::Relaxed);
+    }
+
+    /// Record int8 Tensor Core operations.
+    pub fn record_int8_ops(&self, ops: u64) {
+        self.tc_int8_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Record int4 Tensor Core operations.
+    pub fn record_int4_ops(&self, ops: u64) {
+        self.tc_int4_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Record fp16 Tensor Core FLOPs.
+    pub fn record_fp16_flops(&self, flops: u64) {
+        self.tc_fp16_flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Record dense fp32 CUDA-core FLOPs.
+    pub fn record_fp32_flops(&self, flops: u64) {
+        self.cuda_fp32_flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Record sparse (gather-bound) fp32 FLOPs.
+    pub fn record_sparse_flops(&self, flops: u64) {
+        self.cuda_sparse_flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Record integer CUDA-core operations.
+    pub fn record_int_ops(&self, ops: u64) {
+        self.cuda_int_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Record DRAM reads, in bytes.
+    pub fn record_dram_read(&self, bytes: u64) {
+        self.dram_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record DRAM writes, in bytes.
+    pub fn record_dram_write(&self, bytes: u64) {
+        self.dram_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record shared-memory traffic, in bytes.
+    pub fn record_shared(&self, bytes: u64) {
+        self.shared_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a kernel launch with `blocks` thread blocks.
+    pub fn record_kernel_launch(&self, blocks: u64) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.thread_blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Record a host-to-device transfer, in bytes.
+    pub fn record_pcie_h2d(&self, bytes: u64) {
+        self.pcie_h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a device-to-host transfer, in bytes.
+    pub fn record_pcie_d2h(&self, bytes: u64) {
+        self.pcie_d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Add every counter of `other` into `self`.
+    pub fn merge_snapshot(&self, other: &CostSnapshot) {
+        self.tc_b1_tiles.fetch_add(other.tc_b1_tiles, Ordering::Relaxed);
+        self.tc_b1_tiles_skipped
+            .fetch_add(other.tc_b1_tiles_skipped, Ordering::Relaxed);
+        self.tc_int8_ops.fetch_add(other.tc_int8_ops, Ordering::Relaxed);
+        self.tc_int4_ops.fetch_add(other.tc_int4_ops, Ordering::Relaxed);
+        self.tc_fp16_flops.fetch_add(other.tc_fp16_flops, Ordering::Relaxed);
+        self.cuda_fp32_flops
+            .fetch_add(other.cuda_fp32_flops, Ordering::Relaxed);
+        self.cuda_sparse_flops
+            .fetch_add(other.cuda_sparse_flops, Ordering::Relaxed);
+        self.cuda_int_ops.fetch_add(other.cuda_int_ops, Ordering::Relaxed);
+        self.dram_read_bytes
+            .fetch_add(other.dram_read_bytes, Ordering::Relaxed);
+        self.dram_write_bytes
+            .fetch_add(other.dram_write_bytes, Ordering::Relaxed);
+        self.shared_bytes.fetch_add(other.shared_bytes, Ordering::Relaxed);
+        self.kernel_launches
+            .fetch_add(other.kernel_launches, Ordering::Relaxed);
+        self.thread_blocks
+            .fetch_add(other.thread_blocks, Ordering::Relaxed);
+        self.pcie_h2d_bytes
+            .fetch_add(other.pcie_h2d_bytes, Ordering::Relaxed);
+        self.pcie_d2h_bytes
+            .fetch_add(other.pcie_d2h_bytes, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            tc_b1_tiles: self.tc_b1_tiles.load(Ordering::Relaxed),
+            tc_b1_tiles_skipped: self.tc_b1_tiles_skipped.load(Ordering::Relaxed),
+            tc_int8_ops: self.tc_int8_ops.load(Ordering::Relaxed),
+            tc_int4_ops: self.tc_int4_ops.load(Ordering::Relaxed),
+            tc_fp16_flops: self.tc_fp16_flops.load(Ordering::Relaxed),
+            cuda_fp32_flops: self.cuda_fp32_flops.load(Ordering::Relaxed),
+            cuda_sparse_flops: self.cuda_sparse_flops.load(Ordering::Relaxed),
+            cuda_int_ops: self.cuda_int_ops.load(Ordering::Relaxed),
+            dram_read_bytes: self.dram_read_bytes.load(Ordering::Relaxed),
+            dram_write_bytes: self.dram_write_bytes.load(Ordering::Relaxed),
+            shared_bytes: self.shared_bytes.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            thread_blocks: self.thread_blocks.load(Ordering::Relaxed),
+            pcie_h2d_bytes: self.pcie_h2d_bytes.load(Ordering::Relaxed),
+            pcie_d2h_bytes: self.pcie_d2h_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.tc_b1_tiles.store(0, Ordering::Relaxed);
+        self.tc_b1_tiles_skipped.store(0, Ordering::Relaxed);
+        self.tc_int8_ops.store(0, Ordering::Relaxed);
+        self.tc_int4_ops.store(0, Ordering::Relaxed);
+        self.tc_fp16_flops.store(0, Ordering::Relaxed);
+        self.cuda_fp32_flops.store(0, Ordering::Relaxed);
+        self.cuda_sparse_flops.store(0, Ordering::Relaxed);
+        self.cuda_int_ops.store(0, Ordering::Relaxed);
+        self.dram_read_bytes.store(0, Ordering::Relaxed);
+        self.dram_write_bytes.store(0, Ordering::Relaxed);
+        self.shared_bytes.store(0, Ordering::Relaxed);
+        self.kernel_launches.store(0, Ordering::Relaxed);
+        self.thread_blocks.store(0, Ordering::Relaxed);
+        self.pcie_h2d_bytes.store(0, Ordering::Relaxed);
+        self.pcie_d2h_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CostSnapshot {
+    /// 1-bit Tensor Core operations implied by the executed tiles.
+    pub fn tc_b1_ops(&self) -> u64 {
+        self.tc_b1_tiles * OPS_PER_B1_TILE
+    }
+
+    /// Total DRAM traffic (reads + writes), in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Total PCIe traffic, in bytes.
+    pub fn pcie_bytes(&self) -> u64 {
+        self.pcie_h2d_bytes + self.pcie_d2h_bytes
+    }
+
+    /// Fraction of 1-bit tiles that were actually processed (Figure 8's metric):
+    /// processed / (processed + skipped).  Returns 1.0 when no tiles were seen.
+    pub fn tile_processing_ratio(&self) -> f64 {
+        let total = self.tc_b1_tiles + self.tc_b1_tiles_skipped;
+        if total == 0 {
+            1.0
+        } else {
+            self.tc_b1_tiles as f64 / total as f64
+        }
+    }
+
+    /// Elementwise difference (`self - earlier`), for extracting per-phase costs.
+    pub fn delta_since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            tc_b1_tiles: self.tc_b1_tiles - earlier.tc_b1_tiles,
+            tc_b1_tiles_skipped: self.tc_b1_tiles_skipped - earlier.tc_b1_tiles_skipped,
+            tc_int8_ops: self.tc_int8_ops - earlier.tc_int8_ops,
+            tc_int4_ops: self.tc_int4_ops - earlier.tc_int4_ops,
+            tc_fp16_flops: self.tc_fp16_flops - earlier.tc_fp16_flops,
+            cuda_fp32_flops: self.cuda_fp32_flops - earlier.cuda_fp32_flops,
+            cuda_sparse_flops: self.cuda_sparse_flops - earlier.cuda_sparse_flops,
+            cuda_int_ops: self.cuda_int_ops - earlier.cuda_int_ops,
+            dram_read_bytes: self.dram_read_bytes - earlier.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes - earlier.dram_write_bytes,
+            shared_bytes: self.shared_bytes - earlier.shared_bytes,
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            thread_blocks: self.thread_blocks - earlier.thread_blocks,
+            pcie_h2d_bytes: self.pcie_h2d_bytes - earlier.pcie_h2d_bytes,
+            pcie_d2h_bytes: self.pcie_d2h_bytes - earlier.pcie_d2h_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = CostTracker::new();
+        t.record_b1_tiles(10);
+        t.record_b1_tiles(5);
+        t.record_b1_tiles_skipped(3);
+        t.record_fp32_flops(1000);
+        t.record_dram_read(64);
+        t.record_dram_write(32);
+        t.record_kernel_launch(128);
+        t.record_pcie_h2d(1 << 20);
+        let s = t.snapshot();
+        assert_eq!(s.tc_b1_tiles, 15);
+        assert_eq!(s.tc_b1_tiles_skipped, 3);
+        assert_eq!(s.cuda_fp32_flops, 1000);
+        assert_eq!(s.dram_bytes(), 96);
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.thread_blocks, 128);
+        assert_eq!(s.pcie_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn ops_per_tile_constant() {
+        assert_eq!(OPS_PER_B1_TILE, 16384);
+        let mut s = CostSnapshot::default();
+        s.tc_b1_tiles = 2;
+        assert_eq!(s.tc_b1_ops(), 32768);
+    }
+
+    #[test]
+    fn tile_processing_ratio() {
+        let mut s = CostSnapshot::default();
+        assert_eq!(s.tile_processing_ratio(), 1.0);
+        s.tc_b1_tiles = 30;
+        s.tc_b1_tiles_skipped = 70;
+        assert!((s.tile_processing_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = CostTracker::new();
+        t.record_int8_ops(5);
+        t.record_shared(100);
+        t.reset();
+        assert_eq!(t.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn merge_and_delta() {
+        let t = CostTracker::new();
+        t.record_b1_tiles(4);
+        let first = t.snapshot();
+        t.record_b1_tiles(6);
+        t.record_int_ops(9);
+        let second = t.snapshot();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.tc_b1_tiles, 6);
+        assert_eq!(delta.cuda_int_ops, 9);
+
+        let other = CostTracker::new();
+        other.merge_snapshot(&second);
+        assert_eq!(other.snapshot(), second);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let t = Arc::new(CostTracker::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.record_b1_tiles(1);
+                        t.record_dram_read(4);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let s = t.snapshot();
+        assert_eq!(s.tc_b1_tiles, 8000);
+        assert_eq!(s.dram_read_bytes, 32000);
+    }
+}

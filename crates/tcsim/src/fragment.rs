@@ -1,0 +1,156 @@
+//! WMMA-style register fragments for the 1-bit Tensor Core tile.
+//!
+//! On hardware, a warp collaboratively holds a matrix tile in a *fragment*: an opaque,
+//! register-distributed view of an `8 × 128`-bit slab of operand A, a `128 × 8`-bit
+//! slab of operand B, or an `8 × 8` `u32` accumulator tile of C/D.  The simulator
+//! represents each fragment explicitly:
+//!
+//! * [`BitFragmentA`] — 8 rows × 4 packed `u32` words (128 bits) each;
+//! * [`BitFragmentB`] — 8 columns × 4 packed words each;
+//! * [`AccumulatorFragment`] — 8 × 8 `u32` accumulators.
+//!
+//! The tile dimensions are fixed constants of the hardware primitive and are
+//! re-exported here so kernels never hard-code them.
+
+use qgtc_bitmat::pack::{TILE_K, TILE_K_WORDS, TILE_MN};
+
+/// Rows (M) and columns (N) of one 1-bit MMA tile.
+pub const TILE_M: usize = TILE_MN;
+/// Columns of the accumulator tile (same as [`TILE_M`]).
+pub const TILE_N: usize = TILE_MN;
+/// Reduction depth of one 1-bit MMA tile, in bits.
+pub const TILE_K_BITS: usize = TILE_K;
+/// Reduction depth of one 1-bit MMA tile, in packed `u32` words.
+pub const TILE_K_WORDS_PER_LANE: usize = TILE_K_WORDS;
+
+/// Operand-A fragment: an 8 × 128-bit tile, row-major, bits packed into words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFragmentA {
+    /// `rows[i]` holds the 128 bits of tile row `i` as 4 little-endian words.
+    pub rows: [[u32; TILE_K_WORDS_PER_LANE]; TILE_M],
+}
+
+impl BitFragmentA {
+    /// An all-zero fragment.
+    pub fn zeroed() -> Self {
+        Self {
+            rows: [[0; TILE_K_WORDS_PER_LANE]; TILE_M],
+        }
+    }
+
+    /// Whether every bit of the fragment is zero (the zero-tile jumping predicate).
+    pub fn is_zero(&self) -> bool {
+        self.rows.iter().all(|r| r.iter().all(|&w| w == 0))
+    }
+
+    /// Number of set bits in the fragment.
+    pub fn count_ones(&self) -> u32 {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|w| w.count_ones()).sum::<u32>())
+            .sum()
+    }
+}
+
+/// Operand-B fragment: a 128 × 8-bit tile stored column-major (each column packed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFragmentB {
+    /// `cols[j]` holds the 128 bits of tile column `j` as 4 little-endian words.
+    pub cols: [[u32; TILE_K_WORDS_PER_LANE]; TILE_N],
+}
+
+impl BitFragmentB {
+    /// An all-zero fragment.
+    pub fn zeroed() -> Self {
+        Self {
+            cols: [[0; TILE_K_WORDS_PER_LANE]; TILE_N],
+        }
+    }
+
+    /// Whether every bit of the fragment is zero.
+    pub fn is_zero(&self) -> bool {
+        self.cols.iter().all(|c| c.iter().all(|&w| w == 0))
+    }
+}
+
+/// Accumulator fragment: an 8 × 8 tile of `u32` partial sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccumulatorFragment {
+    /// Row-major accumulator values.
+    pub values: [[u32; TILE_N]; TILE_M],
+}
+
+impl AccumulatorFragment {
+    /// An all-zero accumulator.
+    pub fn zeroed() -> Self {
+        Self {
+            values: [[0; TILE_N]; TILE_M],
+        }
+    }
+
+    /// Sum of all accumulator entries (useful in tests).
+    pub fn total(&self) -> u64 {
+        self.values
+            .iter()
+            .map(|r| r.iter().map(|&v| v as u64).sum::<u64>())
+            .sum()
+    }
+}
+
+impl Default for BitFragmentA {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl Default for BitFragmentB {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl Default for AccumulatorFragment {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_constants_match_hardware() {
+        assert_eq!(TILE_M, 8);
+        assert_eq!(TILE_N, 8);
+        assert_eq!(TILE_K_BITS, 128);
+        assert_eq!(TILE_K_WORDS_PER_LANE, 4);
+    }
+
+    #[test]
+    fn zeroed_fragments_are_zero() {
+        assert!(BitFragmentA::zeroed().is_zero());
+        assert!(BitFragmentB::zeroed().is_zero());
+        assert_eq!(AccumulatorFragment::zeroed().total(), 0);
+        assert_eq!(BitFragmentA::default(), BitFragmentA::zeroed());
+    }
+
+    #[test]
+    fn count_ones_and_is_zero_track_contents() {
+        let mut a = BitFragmentA::zeroed();
+        a.rows[3][1] = 0b1011;
+        assert!(!a.is_zero());
+        assert_eq!(a.count_ones(), 3);
+        let mut b = BitFragmentB::zeroed();
+        b.cols[7][0] = 1;
+        assert!(!b.is_zero());
+    }
+
+    #[test]
+    fn accumulator_total_sums_entries() {
+        let mut c = AccumulatorFragment::zeroed();
+        c.values[0][0] = 5;
+        c.values[7][7] = 10;
+        assert_eq!(c.total(), 15);
+    }
+}

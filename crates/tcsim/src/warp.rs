@@ -1,0 +1,134 @@
+//! Warp-level primitives used by the QGTC kernels.
+//!
+//! The zero-tile-jumping check of §4.3 is built from two CUDA warp constructs:
+//! eight threads each OR-reduce a `uint4` (four consecutive `u32` words covering one
+//! 128-bit tile row), then `__ballot_sync` combines the eight per-thread predicates
+//! into one 32-bit mask — if the mask is zero the whole 8×128 tile is zero and the
+//! MMA for it can be skipped.  This module models a warp just concretely enough to
+//! express that code shape (and to test it), without simulating divergence or
+//! scheduling.
+
+/// Number of threads in a warp.
+pub const WARP_SIZE: usize = 32;
+
+/// A warp: 32 lanes, each holding one register value for the purposes of the
+/// reductions the kernels use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warp {
+    /// Per-lane register values.
+    pub lanes: [u32; WARP_SIZE],
+}
+
+impl Warp {
+    /// A warp with all lane registers zeroed.
+    pub fn zeroed() -> Self {
+        Self {
+            lanes: [0; WARP_SIZE],
+        }
+    }
+
+    /// `__ballot_sync(mask, predicate)`: build a bitmask whose bit `i` is the
+    /// predicate of lane `i`, restricted to the lanes selected by `mask`.
+    pub fn ballot_sync<F: Fn(usize, u32) -> bool>(&self, mask: u32, predicate: F) -> u32 {
+        let mut ballot = 0u32;
+        for (lane, &value) in self.lanes.iter().enumerate() {
+            if (mask >> lane) & 1 == 1 && predicate(lane, value) {
+                ballot |= 1 << lane;
+            }
+        }
+        ballot
+    }
+
+    /// `__shfl_sync`-style broadcast of lane `src_lane`'s value to the caller.
+    pub fn shfl_sync(&self, src_lane: usize) -> u32 {
+        self.lanes[src_lane % WARP_SIZE]
+    }
+
+    /// `__any_sync`: whether any selected lane's predicate holds.
+    pub fn any_sync<F: Fn(usize, u32) -> bool>(&self, mask: u32, predicate: F) -> bool {
+        self.ballot_sync(mask, predicate) != 0
+    }
+
+    /// `__all_sync`: whether every selected lane's predicate holds.
+    pub fn all_sync<F: Fn(usize, u32) -> bool>(&self, mask: u32, predicate: F) -> bool {
+        let ballot = self.ballot_sync(mask, &predicate);
+        ballot == mask
+    }
+}
+
+/// The zero-tile detection of §4.3 expressed over one 8×128-bit tile given as
+/// 8 rows × 4 words: 8 active threads each OR their row's 4 words, then a ballot
+/// over the 8 predicates decides whether the tile holds any set bit.
+///
+/// Returns `true` if the tile is entirely zero (i.e. the MMA can be jumped).
+pub fn tile_is_zero_by_ballot(rows: &[[u32; 4]; 8]) -> bool {
+    let mut warp = Warp::zeroed();
+    for (t, row) in rows.iter().enumerate() {
+        // Each of the first 8 threads loads a uint4 and ORs its components.
+        warp.lanes[t] = row[0] | row[1] | row[2] | row[3];
+    }
+    // __ballot_sync(0x000000FF, val > 0)
+    let ballot = warp.ballot_sync(0x0000_00FF, |_, v| v > 0);
+    ballot == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_collects_predicates_by_lane() {
+        let mut w = Warp::zeroed();
+        w.lanes[0] = 1;
+        w.lanes[5] = 7;
+        w.lanes[31] = 2;
+        let ballot = w.ballot_sync(u32::MAX, |_, v| v > 0);
+        assert_eq!(ballot, (1 << 0) | (1 << 5) | (1 << 31));
+    }
+
+    #[test]
+    fn ballot_respects_mask() {
+        let mut w = Warp::zeroed();
+        w.lanes[0] = 1;
+        w.lanes[9] = 1;
+        let ballot = w.ballot_sync(0x0000_00FF, |_, v| v > 0);
+        assert_eq!(ballot, 1, "lane 9 is outside the 8-lane mask");
+    }
+
+    #[test]
+    fn any_and_all() {
+        let mut w = Warp::zeroed();
+        for lane in 0..8 {
+            w.lanes[lane] = 3;
+        }
+        assert!(w.all_sync(0xFF, |_, v| v == 3));
+        assert!(w.any_sync(0xFF, |_, v| v == 3));
+        w.lanes[4] = 0;
+        assert!(!w.all_sync(0xFF, |_, v| v == 3));
+        assert!(w.any_sync(0xFF, |_, v| v == 0));
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let mut w = Warp::zeroed();
+        w.lanes[12] = 99;
+        assert_eq!(w.shfl_sync(12), 99);
+        assert_eq!(w.shfl_sync(12 + 32), 99, "lane index wraps like hardware");
+    }
+
+    #[test]
+    fn zero_tile_detected() {
+        let rows = [[0u32; 4]; 8];
+        assert!(tile_is_zero_by_ballot(&rows));
+    }
+
+    #[test]
+    fn nonzero_tile_not_jumped() {
+        let mut rows = [[0u32; 4]; 8];
+        rows[7][3] = 0x8000_0000;
+        assert!(!tile_is_zero_by_ballot(&rows));
+        let mut rows2 = [[0u32; 4]; 8];
+        rows2[0][0] = 1;
+        assert!(!tile_is_zero_by_ballot(&rows2));
+    }
+}

@@ -1,0 +1,52 @@
+//! Quantization-aware training: accuracy versus bitwidth (the paper's Table 2).
+//!
+//! Trains a 2-layer GCN with straight-through-estimator QAT on a synthetic
+//! community-labelled graph scaled from the ogbn-arxiv profile, at fp32 and at
+//! 16/8/4/2 bits, and prints the resulting test accuracy — reproducing the paper's
+//! finding that GNN accuracy survives 8-bit (and mostly 4-bit) quantization but
+//! collapses at 2 bits.
+//!
+//! Run with: `cargo run --release --example accuracy_vs_bits`
+
+use qgtc_repro::gnn::qat::{train_gcn_qat, QatConfig};
+use qgtc_repro::graph::DatasetProfile;
+
+fn main() {
+    let profile = DatasetProfile::OGBN_ARXIV;
+    // ~1,700 nodes keeps full-batch training to a few seconds.
+    let dataset = profile.materialize(0.01, 3);
+    println!(
+        "dataset: {} (scaled to {} nodes, {} classes)",
+        profile.name,
+        dataset.graph.num_nodes(),
+        profile.num_classes
+    );
+
+    println!("{:<8} {:>14} {:>14}", "bits", "train accuracy", "test accuracy");
+    for bits in [None, Some(16u32), Some(8), Some(4), Some(2)] {
+        let config = QatConfig {
+            bits,
+            epochs: 150,
+            hidden_dim: 32,
+            ..QatConfig::default()
+        };
+        let result = train_gcn_qat(
+            &dataset.graph,
+            &dataset.features,
+            &dataset.labels,
+            profile.num_classes,
+            &config,
+        );
+        let label = match bits {
+            None => "FP32".to_string(),
+            Some(b) => format!("{b}-bit"),
+        };
+        println!(
+            "{label:<8} {:>14.3} {:>14.3}",
+            result.train_accuracy, result.test_accuracy
+        );
+    }
+    println!(
+        "\nExpected shape (paper, Table 2): FP32 ~ 16-bit ~ 8-bit > 4-bit >> 2-bit."
+    );
+}

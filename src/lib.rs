@@ -1,0 +1,36 @@
+//! Workspace-level facade for the QGTC reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`); it simply re-exports the public crates so examples
+//! can write `use qgtc_repro::core::...`.
+
+/// The QGTC framework facade (BitTensor API, configuration, end-to-end pipeline).
+pub use qgtc_core as core;
+
+/// Baseline engines (DGL-like fp32, cuBLAS int8 and CUTLASS int4 analogues).
+pub use qgtc_baselines as baselines;
+/// Bit-level data representation and any-bitwidth GEMM composition.
+pub use qgtc_bitmat as bitmat;
+/// GNN layers, models and quantization-aware training.
+pub use qgtc_gnn as gnn;
+/// Sparse graph structures, generators and dataset profiles.
+pub use qgtc_graph as graph;
+/// QGTC kernel designs over the software Tensor Core.
+pub use qgtc_kernels as kernels;
+/// METIS-substitute partitioner and cluster-GCN batching.
+pub use qgtc_partition as partition;
+/// Software Tensor Core and analytic GPU device model.
+pub use qgtc_tcsim as tcsim;
+/// Dense tensor substrate.
+pub use qgtc_tensor as tensor;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_re_exports_resolve() {
+        let spec = crate::tcsim::GpuSpec::rtx3090();
+        assert_eq!(spec.sm_count, 82);
+        let profile = crate::graph::DatasetProfile::PROTEINS;
+        assert_eq!(profile.feature_dim, 29);
+    }
+}

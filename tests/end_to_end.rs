@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the full partition → batch → pack → kernel →
+//! model pipeline, exercised the way the evaluation binaries use it.
+
+use qgtc_repro::core::{run_epoch, ModelKind, QgtcConfig};
+use qgtc_repro::gnn::models::QuantizationSetting;
+use qgtc_repro::gnn::{BatchedGinModel, ClusterGcnModel};
+use qgtc_repro::graph::{DatasetProfile, DenseSubgraph};
+use qgtc_repro::kernels::bmm::KernelConfig;
+use qgtc_repro::partition::{partition_kway, PartitionBatcher, PartitionConfig};
+use qgtc_repro::tcsim::cost::CostTracker;
+use qgtc_repro::tensor::ops::argmax_rows;
+
+fn tiny_dataset() -> qgtc_repro::graph::LoadedDataset {
+    DatasetProfile::PROTEINS.materialize(0.02, 3)
+}
+
+#[test]
+fn qgtc_and_dgl_paths_predict_similar_classes_at_8_bits() {
+    // Functional agreement end to end: on the same batch and the same weights, the
+    // 8-bit QGTC forward pass and the fp32 baseline should mostly agree on argmax.
+    let dataset = tiny_dataset();
+    let partitioning = partition_kway(&dataset.graph, &PartitionConfig::with_parts(8));
+    let batcher = PartitionBatcher::new(&partitioning, 4);
+    let batch = batcher.batches().next().expect("at least one batch");
+    let subgraph = batch.to_dense_block_diagonal(&dataset.graph);
+    let features = subgraph.gather_features(&dataset.features);
+
+    let model = ClusterGcnModel::new(dataset.features.cols(), 2, 99);
+    let fp32 = model.forward_fp32_batch(&subgraph, &features, &CostTracker::new());
+    let quant = model.forward_quantized_batch(
+        &subgraph,
+        &features,
+        QuantizationSetting::from_bits(8),
+        &KernelConfig::default(),
+        &CostTracker::new(),
+    );
+    let a = argmax_rows(&fp32.logits);
+    let b = argmax_rows(&quant.logits);
+    let agree = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+    let ratio = agree as f64 / a.len() as f64;
+    assert!(
+        ratio > 0.9,
+        "8-bit and fp32 predictions should agree on most nodes (agreement {ratio:.2})"
+    );
+}
+
+#[test]
+fn epoch_report_speedup_ordering_matches_paper() {
+    // The paper's headline ordering: DGL slowest, then QGTC 32 > 16 > 8 >= 2 bit.
+    let dataset = tiny_dataset();
+    let scaled = |config: QgtcConfig| config.scaled_partitions(8, 4);
+    let ms_of = |config: QgtcConfig| run_epoch(&dataset, &scaled(config)).modeled_ms;
+
+    let dgl = ms_of(QgtcConfig::dgl_baseline(ModelKind::ClusterGcn));
+    let b32 = ms_of(QgtcConfig::qgtc(ModelKind::ClusterGcn, 32));
+    let b16 = ms_of(QgtcConfig::qgtc(ModelKind::ClusterGcn, 16));
+    let b2 = ms_of(QgtcConfig::qgtc(ModelKind::ClusterGcn, 2));
+
+    assert!(b2 < dgl, "2-bit ({b2:.3}) must beat DGL ({dgl:.3})");
+    assert!(b16 <= b32 * 1.05, "16-bit ({b16:.3}) should not lose to 32-bit ({b32:.3})");
+    assert!(b2 <= b16, "2-bit ({b2:.3}) should not lose to 16-bit ({b16:.3})");
+}
+
+#[test]
+fn gin_speedup_over_dgl_is_at_least_gcn_like() {
+    // The paper observes larger QGTC gains on batched GIN than on Cluster GCN.
+    let dataset = tiny_dataset();
+    let speedup = |model: ModelKind| {
+        let dgl = run_epoch(
+            &dataset,
+            &QgtcConfig::dgl_baseline(model).scaled_partitions(8, 4),
+        )
+        .modeled_ms;
+        let qgtc = run_epoch(
+            &dataset,
+            &QgtcConfig::qgtc(model, 4).scaled_partitions(8, 4),
+        )
+        .modeled_ms;
+        dgl / qgtc
+    };
+    let gcn = speedup(ModelKind::ClusterGcn);
+    let gin = speedup(ModelKind::BatchedGin);
+    assert!(gcn > 1.0 && gin > 1.0, "both models must show a QGTC win (gcn {gcn:.2}, gin {gin:.2})");
+}
+
+#[test]
+fn kernel_optimisations_never_change_results() {
+    // Zero-tile jumping and tile reuse are pure performance optimisations: logits
+    // must be bit-identical with and without them.
+    let dataset = tiny_dataset();
+    let partitioning = partition_kway(&dataset.graph, &PartitionConfig::with_parts(6));
+    let batcher = PartitionBatcher::new(&partitioning, 6);
+    let batch = batcher.batches().next().unwrap();
+    let subgraph = batch.to_dense_block_diagonal(&dataset.graph);
+    let features = subgraph.gather_features(&dataset.features);
+    let model = BatchedGinModel::new(dataset.features.cols(), 2, 5);
+
+    let run = |config: KernelConfig| {
+        model
+            .forward_quantized_batch(
+                &subgraph,
+                &features,
+                QuantizationSetting::from_bits(3),
+                &config,
+                &CostTracker::new(),
+            )
+            .logits
+    };
+    let optimised = run(KernelConfig::default());
+    let unoptimised = run(KernelConfig::unoptimized());
+    assert_eq!(
+        optimised, unoptimised,
+        "kernel optimisations must be numerically transparent"
+    );
+}
+
+#[test]
+fn packed_transfer_moves_far_fewer_bytes_than_dense() {
+    let dataset = tiny_dataset();
+    let packed = run_epoch(
+        &dataset,
+        &QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(8, 4),
+    );
+    let dense = run_epoch(
+        &dataset,
+        &QgtcConfig {
+            transfer: qgtc_repro::kernels::packing::TransferStrategy::DenseFloat,
+            ..QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(8, 4)
+        },
+    );
+    assert!(
+        packed.cost.pcie_h2d_bytes * 4 < dense.cost.pcie_h2d_bytes,
+        "packed {} vs dense {}",
+        packed.cost.pcie_h2d_bytes,
+        dense.cost.pcie_h2d_bytes
+    );
+}
+
+#[test]
+fn every_batch_node_appears_exactly_once_per_epoch() {
+    let dataset = tiny_dataset();
+    let partitioning = partition_kway(&dataset.graph, &PartitionConfig::with_parts(10));
+    let batcher = PartitionBatcher::new(&partitioning, 3);
+    let mut seen = vec![0usize; dataset.graph.num_nodes()];
+    for batch in batcher.batches() {
+        let subgraph = DenseSubgraph::batch_block_diagonal(&dataset.graph, &batch.partitions);
+        for &node in &subgraph.nodes {
+            seen[node] += 1;
+        }
+    }
+    assert!(seen.iter().all(|&c| c == 1), "every node must be processed exactly once");
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the core invariants, spanning crates.
+//!
+//! These are the "it is exact, not approximate" guarantees the whole reproduction
+//! rests on: packing round-trips, bit decomposition/recomposition, the equivalence of
+//! the tiled Tensor-Core kernel with a plain integer GEMM, the transparency of the
+//! kernel optimisations, and the partitioner's covering property.
+
+use proptest::prelude::*;
+use qgtc_repro::bitmat::decompose::{bit_decompose, bit_recompose};
+use qgtc_repro::bitmat::pack::{pack_bits_le, unpack_bits_le};
+use qgtc_repro::bitmat::{BitMatrix, BitMatrixLayout, StackedBitMatrix};
+use qgtc_repro::graph::{CooGraph, CsrGraph};
+use qgtc_repro::kernels::bmm::{qgtc_bmm, KernelConfig, ReductionOrder};
+use qgtc_repro::partition::{partition_kway, PartitionConfig};
+use qgtc_repro::tcsim::cost::CostTracker;
+use qgtc_repro::tensor::gemm::gemm_i64;
+use qgtc_repro::tensor::{Matrix, QuantParams};
+
+/// Strategy: a code matrix of the given dimensions whose entries fit in `bits`.
+fn code_matrix(rows: usize, cols: usize, bits: u32) -> impl Strategy<Value = Matrix<u32>> {
+    let max = (1u32 << bits) - 1;
+    proptest::collection::vec(0u32..=max, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pack_unpack_round_trip(bits in proptest::collection::vec(0u8..=1, 1..300)) {
+        let words = pack_bits_le(&bits);
+        prop_assert_eq!(unpack_bits_le(&words, bits.len()), bits);
+    }
+
+    #[test]
+    fn decompose_recompose_identity(codes in code_matrix(5, 9, 5)) {
+        let planes = bit_decompose(&codes, 5);
+        prop_assert_eq!(bit_recompose(&planes), codes);
+    }
+
+    #[test]
+    fn bitmatrix_round_trip_both_layouts(codes in code_matrix(7, 40, 1)) {
+        let bits = codes.map(|&v| v as u8);
+        for layout in [BitMatrixLayout::RowPacked, BitMatrixLayout::ColPacked] {
+            let packed = BitMatrix::from_bits(&bits, layout);
+            prop_assert_eq!(packed.to_dense(), bits.clone());
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_within_one_bucket(
+        values in proptest::collection::vec(-100.0f32..100.0, 1..64),
+        bits in 1u32..=8,
+    ) {
+        let matrix = Matrix::from_vec(1, values.len(), values).unwrap();
+        let (mn, mx) = matrix.min_max();
+        let params = QuantParams::from_range(bits, mn, mx).unwrap();
+        for &v in matrix.data() {
+            let decoded = params.dequantize(params.quantize(v));
+            prop_assert!((v - decoded).abs() <= params.scale + 1e-5);
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_equals_integer_gemm(
+        a in code_matrix(9, 70, 2),
+        b in code_matrix(70, 6, 3),
+        jumping in any::<bool>(),
+        cross_tile in any::<bool>(),
+    ) {
+        let a_stack = StackedBitMatrix::from_codes(&a, 2, BitMatrixLayout::RowPacked);
+        let b_stack = StackedBitMatrix::from_codes(&b, 3, BitMatrixLayout::ColPacked);
+        let config = KernelConfig {
+            zero_tile_jumping: jumping,
+            reduction_order: if cross_tile { ReductionOrder::CrossTile } else { ReductionOrder::CrossBit },
+            fused_epilogue: true,
+        };
+        let out = qgtc_bmm(&a_stack, &b_stack, &config, &CostTracker::new());
+        let reference = gemm_i64(&a.map(|&v| v as i64), &b.map(|&v| v as i64));
+        prop_assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn stacked_compression_round_trips(codes in code_matrix(6, 33, 4)) {
+        for layout in [BitMatrixLayout::RowPacked, BitMatrixLayout::ColPacked] {
+            let stack = StackedBitMatrix::from_codes(&codes, 4, layout);
+            prop_assert_eq!(stack.to_codes(), codes.clone());
+            prop_assert!(stack.packed_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn partitioner_covers_every_node_once(
+        edges in proptest::collection::vec((0usize..60, 0usize..60), 30..200),
+        k in 2usize..6,
+    ) {
+        let mut coo = CooGraph::new(60);
+        for (u, v) in edges {
+            if u != v {
+                coo.add_edge(u, v);
+            }
+        }
+        coo.symmetrize();
+        let graph = CsrGraph::from_coo(&coo);
+        let partitioning = partition_kway(&graph, &PartitionConfig::with_parts(k));
+        prop_assert_eq!(partitioning.parts.len(), 60);
+        prop_assert!(partitioning.parts.iter().all(|&p| p < partitioning.num_parts));
+        let sizes = partitioning.part_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn csr_round_trip_preserves_edges(
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 1..150),
+    ) {
+        let mut coo = CooGraph::new(40);
+        for (u, v) in &edges {
+            if u != v {
+                coo.add_edge(*u, *v);
+            }
+        }
+        coo.dedup();
+        let csr = CsrGraph::from_coo(&coo);
+        prop_assert_eq!(csr.num_edges(), coo.num_edges());
+        for &(u, v) in coo.edges() {
+            prop_assert!(csr.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate for the QGTC reproduction workspace.
+#
+# Runs the full verification ladder; every step must pass. Works fully
+# offline: all external dependencies are path shims under shims/.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all --check
+step cargo clippy --workspace --all-targets -- -D warnings
+step cargo build --release
+step cargo test --workspace -q           # superset of the tier-1 `cargo test -q`
+step cargo bench --no-run --workspace    # criterion benches must compile
+step cargo build --workspace --examples --bins
+
+# cargo doc exits 0 even with rustdoc warnings; re-run capturing output to
+# enforce the zero-warning docs gate.
+echo
+echo "==> checking cargo doc output for warnings"
+doc_output=$(cargo doc --workspace --no-deps 2>&1)
+if grep -q "^warning" <<<"$doc_output"; then
+    echo "$doc_output" | grep -A4 "^warning"
+    echo "cargo doc produced warnings" >&2
+    exit 1
+fi
+
+echo
+echo "CI green."

@@ -114,7 +114,12 @@ impl<'a> DglEngine<'a> {
     }
 
     /// Dense node update `X · W + b` in fp32 (cuBLAS-style GEMM).
-    pub fn update(&self, x: &Matrix<f32>, weight: &Matrix<f32>, bias: Option<&[f32]>) -> Matrix<f32> {
+    pub fn update(
+        &self,
+        x: &Matrix<f32>,
+        weight: &Matrix<f32>,
+        bias: Option<&[f32]>,
+    ) -> Matrix<f32> {
         let out = gemm_f32(x, weight);
         let (m, k) = x.shape();
         let n = weight.cols();
@@ -221,7 +226,10 @@ mod tests {
         assert!(s.cuda_sparse_flops > 0);
         assert!(s.cuda_fp32_flops > 0);
         assert_eq!(s.tc_b1_tiles, 0, "DGL never touches Tensor Cores");
-        assert!(s.kernel_launches >= 3, "aggregate, update, relu are separate kernels");
+        assert!(
+            s.kernel_launches >= 3,
+            "aggregate, update, relu are separate kernels"
+        );
         assert!(s.dram_bytes() > 0);
     }
 

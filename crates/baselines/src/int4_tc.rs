@@ -71,7 +71,10 @@ mod tests {
         // 4-bit codes are coarse; just require the right order of magnitude per element.
         let err = result.output.max_abs_diff(&exact).unwrap();
         let norm = exact.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-        assert!(err < 0.35 * norm + 1.0, "int4 error {err} vs magnitude {norm}");
+        assert!(
+            err < 0.35 * norm + 1.0,
+            "int4 error {err} vs magnitude {norm}"
+        );
     }
 
     #[test]

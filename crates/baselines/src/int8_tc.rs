@@ -17,7 +17,10 @@ use qgtc_tensor::Matrix;
 /// Returns the signed codes and the scale. Symmetric codes make dequantization of a
 /// GEMM output a pure rescale, with no affine cross terms.
 pub fn symmetric_quantize(x: &Matrix<f32>, bits: u32) -> (Matrix<i64>, f32) {
-    assert!(bits >= 2 && bits <= 8, "symmetric_quantize supports 2..=8 bits");
+    assert!(
+        (2..=8).contains(&bits),
+        "symmetric_quantize supports 2..=8 bits"
+    );
     let levels = ((1u32 << (bits - 1)) - 1) as f32;
     let max_abs = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     let scale = if max_abs > 0.0 { max_abs / levels } else { 1.0 };

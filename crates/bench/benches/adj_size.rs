@@ -21,7 +21,9 @@ fn bench_adj_size(c: &mut Criterion) {
         let feats = StackedBitMatrix::from_codes(&codes, 1, BitMatrixLayout::ColPacked);
         // Useful operations of the unquantized GEMM, so Criterion reports a
         // throughput figure comparable across sizes.
-        group.throughput(Throughput::Elements(2 * (n as u64) * (n as u64) * DIM as u64));
+        group.throughput(Throughput::Elements(
+            2 * (n as u64) * (n as u64) * DIM as u64,
+        ));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let tracker = CostTracker::new();

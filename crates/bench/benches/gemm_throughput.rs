@@ -16,8 +16,7 @@ const DIM: usize = 64;
 const DENSITY: f32 = 0.3;
 
 fn operands(bits: u32) -> (StackedBitMatrix, StackedBitMatrix) {
-    let adjacency =
-        random_uniform_matrix(N, N, 0.0, 1.0, 1).map(|&v| (v < DENSITY) as u32 as f32);
+    let adjacency = random_uniform_matrix(N, N, 0.0, 1.0, 1).map(|&v| (v < DENSITY) as u32 as f32);
     let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
     let codes = random_feature_codes(N, DIM, bits, 2);
     let feats = StackedBitMatrix::from_codes(&codes, bits, BitMatrixLayout::ColPacked);
@@ -47,8 +46,7 @@ fn bench_qgtc_bits(c: &mut Criterion) {
 fn bench_int_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("int_tc_baselines");
     group.sample_size(10);
-    let adjacency =
-        random_uniform_matrix(N, N, 0.0, 1.0, 3).map(|&v| (v < DENSITY) as u32 as f32);
+    let adjacency = random_uniform_matrix(N, N, 0.0, 1.0, 3).map(|&v| (v < DENSITY) as u32 as f32);
     let embeddings = random_uniform_matrix(N, DIM, 0.0, 1.0, 4);
     group.bench_function("cublas_int8_analogue", |b| {
         b.iter(|| int8_tc_gemm(&adjacency, &embeddings, &CostTracker::new()))

@@ -27,16 +27,12 @@ fn bench_tile_reuse(c: &mut Criterion) {
                 reduction_order: order,
                 ..KernelConfig::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, bits),
-                &bits,
-                |b, _| {
-                    b.iter(|| {
-                        let tracker = CostTracker::new();
-                        qgtc_aggregate(&adj, &feats, &config, &tracker)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, bits), &bits, |b, _| {
+                b.iter(|| {
+                    let tracker = CostTracker::new();
+                    qgtc_aggregate(&adj, &feats, &config, &tracker)
+                })
+            });
         }
     }
     group.finish();

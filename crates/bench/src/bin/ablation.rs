@@ -1,6 +1,6 @@
 //! Kernel-optimisation ablation: end-to-end modeled latency of the QGTC path with
 //! each optimisation disabled in turn (complements Figures 8 and 10 with an
-//! end-to-end view, as suggested by DESIGN.md).
+//! end-to-end view).
 //!
 //! Usage: `cargo run -p qgtc-bench --release --bin ablation`
 

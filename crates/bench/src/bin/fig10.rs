@@ -12,7 +12,10 @@ fn main() {
         Ok("paper") => ExperimentScale::paper(),
         _ => ExperimentScale::default_fast(),
     };
-    eprintln!("Figure 10: non-zero tile reuse speedup (all-ones adjacency, D = {})", scale.fig10_dim);
+    eprintln!(
+        "Figure 10: non-zero tile reuse speedup (all-ones adjacency, D = {})",
+        scale.fig10_dim
+    );
 
     let rows = fig10_tile_reuse(&scale, 23);
     let mut table = Table::new(
@@ -28,8 +31,7 @@ fn main() {
         ],
     );
     for row in &rows {
-        let saved_mb =
-            (row.bytes_without_reuse - row.bytes_with_reuse) as f64 / (1024.0 * 1024.0);
+        let saved_mb = (row.bytes_without_reuse - row.bytes_with_reuse) as f64 / (1024.0 * 1024.0);
         table.add_row(vec![
             "1".to_string(),
             row.bits.to_string(),

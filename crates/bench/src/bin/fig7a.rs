@@ -5,9 +5,7 @@
 //! Set `QGTC_SCALE=tiny|fast|paper` to control the experiment size (default: fast).
 
 use qgtc_bench::report::{fmt3, Table};
-use qgtc_bench::{
-    fast_dataset_set, fig7_end_to_end, full_dataset_set, ExperimentScale, FIG7_BITS,
-};
+use qgtc_bench::{fast_dataset_set, fig7_end_to_end, full_dataset_set, ExperimentScale, FIG7_BITS};
 use qgtc_core::ModelKind;
 
 fn main() {

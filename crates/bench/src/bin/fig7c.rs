@@ -16,7 +16,11 @@ fn main() {
     eprintln!("Figure 7(c): aggregation kernel throughput vs cuBLAS int8");
 
     let rows = fig7c_throughput(&scale, 13);
-    let mut headers = vec!["Dim".to_string(), "N".to_string(), "cuBLAS int8".to_string()];
+    let mut headers = vec![
+        "Dim".to_string(),
+        "N".to_string(),
+        "cuBLAS int8".to_string(),
+    ];
     for bits in 2u32..=7 {
         headers.push(format!("QGTC_{bits}"));
     }

@@ -206,7 +206,12 @@ pub fn fig7c_throughput(scale: &ExperimentScale, seed: u64) -> Vec<ThroughputRow
                 device.effective_tflops(DeviceModel::gemm_ops(n, dim, n), &baseline_est);
 
             let qgtc_tflops = (2u32..=7)
-                .map(|bits| (bits, qgtc_aggregation_tflops(n, dim, bits, seed + bits as u64)))
+                .map(|bits| {
+                    (
+                        bits,
+                        qgtc_aggregation_tflops(n, dim, bits, seed + bits as u64),
+                    )
+                })
                 .collect();
             rows.push(ThroughputRow {
                 n,
@@ -235,7 +240,12 @@ pub fn table3_throughput(scale: &ExperimentScale, seed: u64) -> Vec<ThroughputRo
                 device.effective_tflops(DeviceModel::gemm_ops(n, dim, n), &baseline_est);
 
             let qgtc_tflops = (1u32..=4)
-                .map(|bits| (bits, qgtc_aggregation_tflops(n, dim, bits, seed + 10 + bits as u64)))
+                .map(|bits| {
+                    (
+                        bits,
+                        qgtc_aggregation_tflops(n, dim, bits, seed + 10 + bits as u64),
+                    )
+                })
                 .collect();
             rows.push(ThroughputRow {
                 n,
@@ -568,7 +578,10 @@ mod tests {
         let rows = fig10_tile_reuse(&scale, 6);
         assert!(!rows.is_empty());
         for r in &rows {
-            assert!(r.speedup() > 0.9, "reuse should not slow things down materially");
+            assert!(
+                r.speedup() > 0.9,
+                "reuse should not slow things down materially"
+            );
             assert!(r.bytes_with_reuse <= r.bytes_without_reuse);
         }
     }

@@ -1,7 +1,7 @@
 //! # qgtc-bench
 //!
 //! The benchmark harness that regenerates every table and figure of the QGTC paper's
-//! evaluation section (see DESIGN.md §3 for the experiment index).
+//! evaluation section (see the workspace README for the experiment index).
 //!
 //! Each experiment is a library function in [`experiments`] returning structured
 //! rows, so the same code backs three consumers:

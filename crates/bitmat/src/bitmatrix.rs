@@ -14,7 +14,7 @@
 //! dimension to 8 (`PAD8`) so every Tensor Core tile access is in bounds.  Padding
 //! bits are zero, which is semantically neutral for AND+popcount accumulation.
 
-use crate::pack::{pad128, pad8, pack_bits_le, WORD_BITS};
+use crate::pack::{pack_bits_le, pad128, pad8, WORD_BITS};
 use qgtc_tensor::Matrix;
 
 /// Which dimension of the logical matrix is packed into words.

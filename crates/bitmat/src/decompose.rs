@@ -12,8 +12,15 @@ use qgtc_tensor::Matrix;
 ///
 /// Panics if `bits == 0 || bits > 32` or any element does not fit in `bits` bits.
 pub fn bit_decompose(codes: &Matrix<u32>, bits: u32) -> Vec<Matrix<u8>> {
-    assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32, got {bits}");
-    let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    assert!(
+        (1..=32).contains(&bits),
+        "bits must be in 1..=32, got {bits}"
+    );
+    let max = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     for &v in codes.data() {
         assert!(v <= max, "value {v} does not fit in {bits} bits");
     }
@@ -26,7 +33,10 @@ pub fn bit_decompose(codes: &Matrix<u32>, bits: u32) -> Vec<Matrix<u8>> {
 /// non-negative and fit in `bits` bits.
 pub fn bit_decompose_i64(codes: &Matrix<i64>, bits: u32) -> Vec<Matrix<u8>> {
     let as_u32 = codes.map(|&v| {
-        assert!(v >= 0, "bit decomposition requires non-negative codes, got {v}");
+        assert!(
+            v >= 0,
+            "bit decomposition requires non-negative codes, got {v}"
+        );
         assert!(v <= u32::MAX as i64, "code {v} exceeds u32 range");
         v as u32
     });
@@ -119,9 +129,18 @@ mod tests {
 
     #[test]
     fn required_bits_counts_msb() {
-        assert_eq!(required_bits(&Matrix::from_vec(1, 1, vec![0u32]).unwrap()), 1);
-        assert_eq!(required_bits(&Matrix::from_vec(1, 1, vec![1u32]).unwrap()), 1);
-        assert_eq!(required_bits(&Matrix::from_vec(1, 2, vec![2u32, 3]).unwrap()), 2);
+        assert_eq!(
+            required_bits(&Matrix::from_vec(1, 1, vec![0u32]).unwrap()),
+            1
+        );
+        assert_eq!(
+            required_bits(&Matrix::from_vec(1, 1, vec![1u32]).unwrap()),
+            1
+        );
+        assert_eq!(
+            required_bits(&Matrix::from_vec(1, 2, vec![2u32, 3]).unwrap()),
+            2
+        );
         assert_eq!(required_bits(&sample_codes()), 3);
         assert_eq!(
             required_bits(&Matrix::from_vec(1, 1, vec![255u32]).unwrap()),

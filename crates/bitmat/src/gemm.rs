@@ -89,7 +89,7 @@ fn accumulate_shifted(out: &mut Matrix<i64>, partial: &Matrix<u32>, shift: u32) 
 /// the bit positions and accumulates.  Provided as executable documentation of the
 /// scheme; the matrix routines above never call it.
 pub fn scalar_mul_decomposed(a: u32, a_bits: u32, b: u32, b_bits: u32) -> u64 {
-    assert!(a_bits >= 1 && a_bits <= 32 && b_bits >= 1 && b_bits <= 32);
+    assert!((1..=32).contains(&a_bits) && (1..=32).contains(&b_bits));
     debug_assert!(a_bits == 32 || a < (1u32 << a_bits));
     debug_assert!(b_bits == 32 || b < (1u32 << b_bits));
     let mut acc = 0u64;
@@ -130,7 +130,8 @@ mod tests {
 
     fn random_codes(rows: usize, cols: usize, bits: u32, seed: u64) -> Matrix<u32> {
         let max = (1u64 << bits) as f32;
-        random_uniform_matrix(rows, cols, 0.0, max, seed).map(|&v| (v as u32).min((1u32 << bits) - 1))
+        random_uniform_matrix(rows, cols, 0.0, max, seed)
+            .map(|&v| (v as u32).min((1u32 << bits) - 1))
     }
 
     fn codes_to_i64(codes: &Matrix<u32>) -> Matrix<i64> {
@@ -162,7 +163,8 @@ mod tests {
     #[test]
     fn aggregation_matches_integer_gemm() {
         // 1-bit adjacency times 4-bit features.
-        let adj_dense = random_uniform_matrix(30, 30, 0.0, 1.0, 3).map(|&v| (v > 0.7) as u32 as f32);
+        let adj_dense =
+            random_uniform_matrix(30, 30, 0.0, 1.0, 3).map(|&v| (v > 0.7) as u32 as f32);
         let x_codes = random_codes(30, 16, 4, 4);
         let adj = StackedBitMatrix::from_binary_adjacency(&adj_dense, BitMatrixLayout::RowPacked);
         let x = StackedBitMatrix::from_codes(&x_codes, 4, BitMatrixLayout::ColPacked);
@@ -185,8 +187,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions differ")]
     fn any_bit_gemm_rejects_shape_mismatch() {
-        let a = StackedBitMatrix::from_codes(&random_codes(4, 10, 2, 7), 2, BitMatrixLayout::RowPacked);
-        let b = StackedBitMatrix::from_codes(&random_codes(11, 4, 2, 8), 2, BitMatrixLayout::ColPacked);
+        let a =
+            StackedBitMatrix::from_codes(&random_codes(4, 10, 2, 7), 2, BitMatrixLayout::RowPacked);
+        let b =
+            StackedBitMatrix::from_codes(&random_codes(11, 4, 2, 8), 2, BitMatrixLayout::ColPacked);
         let _ = any_bit_gemm(&a, &b);
     }
 

@@ -112,7 +112,11 @@ mod tests {
         assert_eq!(fast.shape(), (17, 13));
         for i in 0..17 {
             for j in 0..13 {
-                assert_eq!(fast[(i, j)] as i64, reference[(i, j)], "mismatch at ({i},{j})");
+                assert_eq!(
+                    fast[(i, j)] as i64,
+                    reference[(i, j)],
+                    "mismatch at ({i},{j})"
+                );
             }
         }
     }

@@ -80,7 +80,10 @@ pub fn popcount_words(words: &[u32]) -> u32 {
 #[inline]
 pub fn and_popcount(a: &[u32], b: &[u32]) -> u32 {
     debug_assert_eq!(a.len(), b.len(), "and_popcount length mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| (x & y).count_ones()).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x & y).count_ones())
+        .sum()
 }
 
 /// XNOR + popcount between two packed word slices over `total_bits` valid bits — the
@@ -155,7 +158,10 @@ mod tests {
     #[test]
     fn popcount_helpers() {
         assert_eq!(popcount_words(&[0b1011, 0b1]), 4);
-        assert_eq!(and_popcount(&[0b1100, 0xFFFF_FFFF], &[0b0110, 0x0000_00FF]), 9);
+        assert_eq!(
+            and_popcount(&[0b1100, 0xFFFF_FFFF], &[0b0110, 0x0000_00FF]),
+            9
+        );
     }
 
     #[test]

@@ -185,8 +185,7 @@ mod tests {
     }
 
     #[test]
-    fn compression_ratio_beats_fp32_for_low_bits()
-    {
+    fn compression_ratio_beats_fp32_for_low_bits() {
         // A 256x256 2-bit matrix: 2 x 256 x 256 bits packed vs 32 bits per element.
         let codes = code_matrix(256, 256, 2, 3);
         let s = StackedBitMatrix::from_codes(&codes, 2, BitMatrixLayout::RowPacked);

@@ -107,7 +107,7 @@ mod tests {
         assert_eq!(t.bits(), 5);
         assert_eq!(t.shape(), (9, 17));
         let vals = t.to_val();
-        assert!(vals.data().iter().all(|&v| v >= 0 && v < 32));
+        assert!(vals.data().iter().all(|&v| (0..32).contains(&v)));
     }
 
     #[test]
@@ -130,7 +130,10 @@ mod tests {
         assert_eq!(vals[(1, 2)], 1);
         assert_eq!(vals[(5, 0)], 1);
         assert_eq!(vals[(0, 0)], 0);
-        assert!(t.to_f32().is_none(), "raw adjacency carries no quant params");
+        assert!(
+            t.to_f32().is_none(),
+            "raw adjacency carries no quant params"
+        );
     }
 
     #[test]

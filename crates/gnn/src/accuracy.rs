@@ -42,7 +42,11 @@ impl TrainTestSplit {
 
 /// Fraction of `indices` whose prediction matches the label.
 pub fn accuracy_on(predictions: &[usize], labels: &[usize], indices: &[usize]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
     if indices.is_empty() {
         return 0.0;
     }

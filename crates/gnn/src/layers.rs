@@ -58,7 +58,11 @@ impl GnnModelParams {
         let mut layers = Vec::with_capacity(num_layers);
         for l in 0..num_layers {
             let in_dim = if l == 0 { feature_dim } else { hidden_dim };
-            let out_dim = if l + 1 == num_layers { num_classes } else { hidden_dim };
+            let out_dim = if l + 1 == num_layers {
+                num_classes
+            } else {
+                hidden_dim
+            };
             layers.push(LayerParams::new_xavier(in_dim, out_dim, seed + l as u64));
         }
         Self { layers }

@@ -16,8 +16,8 @@ use qgtc_tensor::{ops, Matrix, QuantParams, Quantizer};
 
 use crate::layers::GnnModelParams;
 use crate::models::{
-    code_row_sums, dequantize_update, quantize_activations, quantize_weights,
-    record_dense_tc_gemm, row_degrees, BatchForwardOutput, QuantizationSetting,
+    code_row_sums, dequantize_update, quantize_activations, quantize_weights, record_dense_tc_gemm,
+    row_degrees, BatchForwardOutput, QuantizationSetting,
 };
 
 /// The batched GIN model.
@@ -61,7 +61,11 @@ impl BatchedGinModel {
         features: &Matrix<f32>,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        assert_eq!(subgraph.num_nodes(), features.rows(), "feature rows mismatch");
+        assert_eq!(
+            subgraph.num_nodes(),
+            features.rows(),
+            "feature rows mismatch"
+        );
         let engine = DglEngine::new(tracker);
         let num_layers = self.params.num_layers();
         let mut x = features.clone();
@@ -91,7 +95,11 @@ impl BatchedGinModel {
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        assert_eq!(subgraph.num_nodes(), features.rows(), "feature rows mismatch");
+        assert_eq!(
+            subgraph.num_nodes(),
+            features.rows(),
+            "feature rows mismatch"
+        );
         match setting {
             QuantizationSetting::Quantized { bits } => {
                 self.forward_low_bit(subgraph, features, bits, kernel_config, tracker)
@@ -111,8 +119,10 @@ impl BatchedGinModel {
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        let adjacency_stack =
-            StackedBitMatrix::from_binary_adjacency(&subgraph.adjacency, BitMatrixLayout::RowPacked);
+        let adjacency_stack = StackedBitMatrix::from_binary_adjacency(
+            &subgraph.adjacency,
+            BitMatrixLayout::RowPacked,
+        );
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
         let mut x = features.clone();
@@ -127,8 +137,7 @@ impl BatchedGinModel {
                 quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
             let update_acc = qgtc_bmm(&x_stack, &w_stack, kernel_config, tracker);
             let rowsums = code_row_sums(&x_stack);
-            let updated =
-                dequantize_update(&update_acc, x_params, w_params, &rowsums, &layer.bias);
+            let updated = dequantize_update(&update_acc, x_params, w_params, &rowsums, &layer.bias);
             tracker.record_fp32_flops(3 * updated.len() as u64);
 
             // Aggregation: the updated activations may be negative (no ReLU yet), so
@@ -142,8 +151,8 @@ impl BatchedGinModel {
             let agg_acc = qgtc_aggregate(&adjacency_stack, &u_stack, kernel_config, tracker);
             // Dequantize: A·u ≈ scale · (A·uc) + min · deg.
             let mut aggregated = Matrix::zeros(updated.rows(), updated.cols());
-            for i in 0..aggregated.rows() {
-                let correction = u_params.min * degrees[i];
+            for (i, &degree) in degrees.iter().enumerate().take(aggregated.rows()) {
+                let correction = u_params.min * degree;
                 let acc_row = agg_acc.row(i);
                 let out_row = aggregated.row_mut(i);
                 for j in 0..out_row.len() {

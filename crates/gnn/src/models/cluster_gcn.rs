@@ -16,8 +16,8 @@ use qgtc_tensor::{ops, Matrix};
 
 use crate::layers::GnnModelParams;
 use crate::models::{
-    code_row_sums, dequantize_update, quantize_activations, quantize_weights,
-    record_dense_tc_gemm, row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting,
+    code_row_sums, dequantize_update, quantize_activations, quantize_weights, record_dense_tc_gemm,
+    row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting,
 };
 
 /// The Cluster-GCN model: shared parameters plus both execution paths.
@@ -58,7 +58,11 @@ impl ClusterGcnModel {
         features: &Matrix<f32>,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        assert_eq!(subgraph.num_nodes(), features.rows(), "feature rows mismatch");
+        assert_eq!(
+            subgraph.num_nodes(),
+            features.rows(),
+            "feature rows mismatch"
+        );
         let engine = DglEngine::new(tracker);
         let num_layers = self.params.num_layers();
         let mut x = features.clone();
@@ -83,7 +87,11 @@ impl ClusterGcnModel {
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        assert_eq!(subgraph.num_nodes(), features.rows(), "feature rows mismatch");
+        assert_eq!(
+            subgraph.num_nodes(),
+            features.rows(),
+            "feature rows mismatch"
+        );
         match setting {
             QuantizationSetting::Quantized { bits } => {
                 self.forward_low_bit(subgraph, features, bits, kernel_config, tracker)
@@ -103,8 +111,10 @@ impl ClusterGcnModel {
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        let adjacency_stack =
-            StackedBitMatrix::from_binary_adjacency(&subgraph.adjacency, BitMatrixLayout::RowPacked);
+        let adjacency_stack = StackedBitMatrix::from_binary_adjacency(
+            &subgraph.adjacency,
+            BitMatrixLayout::RowPacked,
+        );
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
         let mut x = features.clone();
@@ -278,7 +288,10 @@ mod tests {
         };
         let e8 = err_at(8);
         let e2 = err_at(2);
-        assert!(e2 > e8, "2-bit error ({e2}) should exceed 8-bit error ({e8})");
+        assert!(
+            e2 > e8,
+            "2-bit error ({e2}) should exceed 8-bit error ({e8})"
+        );
     }
 
     #[test]

@@ -121,8 +121,8 @@ pub(crate) fn dequantize_update(
     assert_eq!(acc.cols(), bias.len(), "bias length mismatch");
     let mut out = Matrix::zeros(acc.rows(), acc.cols());
     let s = h_params.scale * w_params.scale;
-    for i in 0..acc.rows() {
-        let correction = w_params.min * h_params.scale * h_code_rowsums[i] as f32;
+    for (i, &rowsum) in h_code_rowsums.iter().enumerate().take(acc.rows()) {
+        let correction = w_params.min * h_params.scale * rowsum as f32;
         let out_row = out.row_mut(i);
         let acc_row = acc.row(i);
         for j in 0..acc.cols() {
@@ -201,8 +201,14 @@ mod tests {
             QuantizationSetting::from_bits(4),
             QuantizationSetting::Quantized { bits: 4 }
         );
-        assert_eq!(QuantizationSetting::from_bits(16), QuantizationSetting::Half);
-        assert_eq!(QuantizationSetting::from_bits(32), QuantizationSetting::Full);
+        assert_eq!(
+            QuantizationSetting::from_bits(16),
+            QuantizationSetting::Half
+        );
+        assert_eq!(
+            QuantizationSetting::from_bits(32),
+            QuantizationSetting::Full
+        );
         assert_eq!(QuantizationSetting::from_bits(8).bits(), 8);
         assert_eq!(QuantizationSetting::Half.bits(), 16);
     }
@@ -268,7 +274,10 @@ mod tests {
         record_dense_tc_gemm(64, 64, 64, QuantizationSetting::Half, &t16);
         let t32 = CostTracker::new();
         record_dense_tc_gemm(64, 64, 64, QuantizationSetting::Full, &t32);
-        assert_eq!(t16.snapshot().tc_fp16_flops * 2, t32.snapshot().tc_fp16_flops);
+        assert_eq!(
+            t16.snapshot().tc_fp16_flops * 2,
+            t32.snapshot().tc_fp16_flops
+        );
         assert!(t32.snapshot().dram_read_bytes > t16.snapshot().dram_read_bytes);
     }
 }

@@ -357,6 +357,12 @@ mod tests {
     fn mismatched_inputs_rejected() {
         let (graph, _, labels, classes) = dataset(6);
         let bad_features = random_uniform_matrix(10, 8, 0.0, 1.0, 7);
-        let _ = train_gcn_qat(&graph, &bad_features, &labels, classes, &QatConfig::default());
+        let _ = train_gcn_qat(
+            &graph,
+            &bad_features,
+            &labels,
+            classes,
+            &QatConfig::default(),
+        );
     }
 }

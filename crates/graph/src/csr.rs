@@ -126,7 +126,7 @@ impl CsrGraph {
         let mut values = Vec::with_capacity(self.num_edges());
         for u in 0..self.num_nodes() {
             let d = self.degree(u).max(1) as f32;
-            values.extend(std::iter::repeat(1.0 / d).take(self.degree(u)));
+            values.extend(std::iter::repeat_n(1.0 / d, self.degree(u)));
         }
         values
     }

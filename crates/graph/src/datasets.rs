@@ -299,6 +299,10 @@ mod tests {
     fn labels_cover_multiple_classes() {
         let d = DatasetProfile::BLOGCATALOG.materialize(0.01, 2);
         let distinct: std::collections::HashSet<usize> = d.labels.iter().copied().collect();
-        assert!(distinct.len() > 5, "only {} classes present", distinct.len());
+        assert!(
+            distinct.len() > 5,
+            "only {} classes present",
+            distinct.len()
+        );
     }
 }

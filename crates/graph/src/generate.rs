@@ -1,7 +1,7 @@
 //! Synthetic graph generators.
 //!
 //! Real QGTC datasets are replaced by synthetic graphs with matched size and
-//! community structure (see DESIGN.md §1).  Three families cover the datasets:
+//! community structure (see the workspace README).  Three families cover the datasets:
 //!
 //! * [`stochastic_block_model`] — planted communities; the workhorse generator because
 //!   METIS-partitioned real graphs behave like dense clusters connected by a sparse

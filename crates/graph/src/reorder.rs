@@ -1,8 +1,8 @@
 //! Node reordering strategies.
 //!
 //! The paper (§4.1) positions METIS partitioning against two cheaper families of
-//! locality transforms: BFS-based bandwidth-reduction orderings (Cuthill–McKee [6])
-//! and label-propagation-style clustering [29].  Reordering does not change the
+//! locality transforms: BFS-based bandwidth-reduction orderings (Cuthill–McKee \[6\])
+//! and label-propagation-style clustering \[29\].  Reordering does not change the
 //! graph, only the node numbering, but a good ordering concentrates edges near the
 //! diagonal of the adjacency matrix — which directly increases the fraction of
 //! non-zero 8×128 Tensor Core tiles that are *useful* and is therefore a natural
@@ -56,7 +56,11 @@ impl NodeOrdering {
 
     /// Apply the ordering to a graph, producing the relabelled graph.
     pub fn apply(&self, graph: &CsrGraph) -> CsrGraph {
-        assert_eq!(self.new_of.len(), graph.num_nodes(), "ordering length mismatch");
+        assert_eq!(
+            self.new_of.len(),
+            graph.num_nodes(),
+            "ordering length mismatch"
+        );
         let mut coo = CooGraph::new(graph.num_nodes());
         for u in 0..graph.num_nodes() {
             for &v in graph.neighbors(u) {
@@ -218,6 +222,6 @@ mod tests {
         let ring = CsrGraph::from_coo(&ring_lattice(32, 2));
         // A ring ordered by BFS has bandwidth <= 2 everywhere except the wrap edge.
         let ordered = bfs_ordering(&ring).apply(&ring);
-        assert!(bandwidth(&ordered) <= ring.num_nodes() - 1);
+        assert!(bandwidth(&ordered) < ring.num_nodes());
     }
 }

@@ -78,7 +78,11 @@ pub fn degree_histogram_log2(graph: &CsrGraph) -> Vec<usize> {
 /// Count how many edges of the graph connect nodes in the same part, given a part
 /// assignment per node. Returns `(intra_edges, inter_edges)` in directed counts.
 pub fn partition_edge_split(graph: &CsrGraph, parts: &[usize]) -> (usize, usize) {
-    assert_eq!(parts.len(), graph.num_nodes(), "partition vector length mismatch");
+    assert_eq!(
+        parts.len(),
+        graph.num_nodes(),
+        "partition vector length mismatch"
+    );
     let mut intra = 0usize;
     let mut inter = 0usize;
     for u in 0..graph.num_nodes() {

@@ -295,7 +295,10 @@ mod tests {
                     };
                     let tracker = CostTracker::new();
                     let out = qgtc_bmm(&a, &b, &cfg, &tracker);
-                    assert_eq!(out, reference, "bits ({s},{t}), order {order:?}, jump {jumping}");
+                    assert_eq!(
+                        out, reference,
+                        "bits ({s},{t}), order {order:?}, jump {jumping}"
+                    );
                 }
             }
         }
@@ -343,8 +346,14 @@ mod tests {
 
         let sw = with.snapshot();
         let so = without.snapshot();
-        assert!(sw.tc_b1_tiles_skipped > 0, "sparse input must produce skipped tiles");
-        assert!(sw.tc_b1_tiles < so.tc_b1_tiles, "jumping must reduce executed MMAs");
+        assert!(
+            sw.tc_b1_tiles_skipped > 0,
+            "sparse input must produce skipped tiles"
+        );
+        assert!(
+            sw.tc_b1_tiles < so.tc_b1_tiles,
+            "jumping must reduce executed MMAs"
+        );
         assert_eq!(so.tc_b1_tiles_skipped, 0);
     }
 

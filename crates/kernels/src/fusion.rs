@@ -141,8 +141,10 @@ impl FusedEpilogue {
     pub fn apply(&self, accumulator: &Matrix<i64>, tracker: &CostTracker) -> EpilogueOutput {
         let elems = accumulator.len() as u64;
         let mut stages = 1u64; // dequantize + activation counts as one stage
+
         // Dequantize and activate.
-        let mut dense = accumulator.map(|&v| self.activation.apply(v as f32 * self.accumulator_scale));
+        let mut dense =
+            accumulator.map(|&v| self.activation.apply(v as f32 * self.accumulator_scale));
         tracker.record_fp32_flops(2 * elems);
 
         if let Some(bn) = &self.batch_norm {
@@ -155,11 +157,14 @@ impl FusedEpilogue {
         let output = match self.requantize_bits {
             None => EpilogueOutput::Dense(dense),
             Some(bits) => {
-                let quantizer = Quantizer::calibrate(bits, &dense)
-                    .expect("bitwidth validated by caller");
+                let quantizer =
+                    Quantizer::calibrate(bits, &dense).expect("bitwidth validated by caller");
                 let codes = quantizer.quantize_matrix_u32(&dense);
-                let stack =
-                    StackedBitMatrix::from_quantized(&codes, quantizer.params(), self.output_layout);
+                let stack = StackedBitMatrix::from_quantized(
+                    &codes,
+                    quantizer.params(),
+                    self.output_layout,
+                );
                 tracker.record_int_ops(elems * bits as u64);
                 stages += 1;
                 EpilogueOutput::Quantized {
@@ -231,7 +236,9 @@ mod tests {
         let tracker = CostTracker::new();
         let ep = FusedEpilogue::hidden_layer(0.1, 4);
         let out = ep.apply(&accumulator(), &tracker);
-        let stack = out.as_quantized().expect("hidden layer output is quantized");
+        let stack = out
+            .as_quantized()
+            .expect("hidden layer output is quantized");
         assert_eq!(stack.bits(), 4);
         assert_eq!(stack.rows(), 2);
         assert_eq!(stack.cols(), 3);

@@ -63,13 +63,18 @@ impl SubgraphPayload {
             features.rows(),
             "feature rows must match subgraph nodes"
         );
-        let packed_adjacency =
-            StackedBitMatrix::from_binary_adjacency(&subgraph.adjacency, BitMatrixLayout::RowPacked);
-        let quantizer = Quantizer::calibrate(feature_bits, features)
-            .expect("feature_bits validated by caller");
+        let packed_adjacency = StackedBitMatrix::from_binary_adjacency(
+            &subgraph.adjacency,
+            BitMatrixLayout::RowPacked,
+        );
+        let quantizer =
+            Quantizer::calibrate(feature_bits, features).expect("feature_bits validated by caller");
         let codes = quantizer.quantize_matrix_u32(features);
-        let packed_features =
-            StackedBitMatrix::from_quantized(&codes, quantizer.params(), BitMatrixLayout::ColPacked);
+        let packed_features = StackedBitMatrix::from_quantized(
+            &codes,
+            quantizer.params(),
+            BitMatrixLayout::ColPacked,
+        );
         Self {
             num_nodes: subgraph.num_nodes(),
             num_edges: subgraph.num_edges,
@@ -153,7 +158,10 @@ mod tests {
         let payload = sample_payload(4);
         let sparse = payload.transfer_bytes(TransferStrategy::SparseFloat);
         let dense = payload.transfer_bytes(TransferStrategy::DenseFloat);
-        assert!(sparse < dense, "a sparse batch should beat the dense adjacency");
+        assert!(
+            sparse < dense,
+            "a sparse batch should beat the dense adjacency"
+        );
         let expected =
             payload.num_edges as u64 * 8 + (payload.num_nodes as u64 + 1) * 4 + 120 * 64 * 4;
         assert_eq!(sparse, expected);

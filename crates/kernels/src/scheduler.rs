@@ -51,8 +51,8 @@ pub fn batch_device_bytes(
 ) -> u64 {
     let n = num_nodes as u64;
     let adjacency_bits = n * n;
-    let feature_bits_total = n * feature_dim as u64 * feature_bits as u64
-        + n * hidden_dim as u64 * feature_bits as u64;
+    let feature_bits_total =
+        n * feature_dim as u64 * feature_bits as u64 + n * hidden_dim as u64 * feature_bits as u64;
     let logits = n * num_classes as u64 * 4;
     adjacency_bits / 8 + feature_bits_total / 8 + logits
 }
@@ -67,8 +67,13 @@ pub fn batch_fits(
     device_memory_bytes: u64,
 ) -> bool {
     // Keep 20% headroom for workspace and fragmentation.
-    batch_device_bytes(num_nodes, feature_dim, hidden_dim, num_classes, feature_bits)
-        <= device_memory_bytes * 8 / 10
+    batch_device_bytes(
+        num_nodes,
+        feature_dim,
+        hidden_dim,
+        num_classes,
+        feature_bits,
+    ) <= device_memory_bytes * 8 / 10
 }
 
 #[cfg(test)]

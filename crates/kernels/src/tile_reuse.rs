@@ -44,7 +44,13 @@ impl ReuseComparison {
 /// Run the Figure-10 controlled experiment for one `(n, dim, bits)` point: an
 /// all-ones adjacency aggregated against random `bits`-bit features, once per
 /// reduction order, returning the modeled times and traffic.
-pub fn compare_reuse(n: usize, dim: usize, bits: u32, model: &DeviceModel, seed: u64) -> ReuseComparison {
+pub fn compare_reuse(
+    n: usize,
+    dim: usize,
+    bits: u32,
+    model: &DeviceModel,
+    seed: u64,
+) -> ReuseComparison {
     let adjacency = Matrix::filled(n, n, 1.0f32);
     let features = random_feature_codes(n, dim, bits, seed);
     let adj_stack = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);

@@ -64,7 +64,11 @@ pub fn census_plane(plane: &BitMatrix) -> TileCensus {
 
 /// Census a 1-bit adjacency stack (convenience wrapper over [`census_plane`]).
 pub fn census_adjacency(adjacency: &StackedBitMatrix) -> TileCensus {
-    assert_eq!(adjacency.bits(), 1, "adjacency census expects a 1-bit stack");
+    assert_eq!(
+        adjacency.bits(),
+        1,
+        "adjacency census expects a 1-bit stack"
+    );
     census_plane(adjacency.plane(0))
 }
 
@@ -120,7 +124,11 @@ mod tests {
         }
         let stack = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
         let census = census_adjacency(&stack);
-        assert!(census.processed_ratio() < 0.2, "ratio {}", census.processed_ratio());
+        assert!(
+            census.processed_ratio() < 0.2,
+            "ratio {}",
+            census.processed_ratio()
+        );
         assert!(census.nonzero_tiles > 0);
     }
 

@@ -10,9 +10,9 @@ use qgtc_graph::reorder::bfs_ordering;
 use qgtc_graph::CsrGraph;
 use qgtc_tensor::rng::SplitMix64;
 
+use crate::coarsen::WeightedGraph;
 use crate::metis::Partitioning;
 use crate::refine::edge_cut;
-use crate::coarsen::WeightedGraph;
 
 /// Assign nodes to `k` parts uniformly at random (the weakest baseline).
 pub fn random_partition(graph: &CsrGraph, k: usize, seed: u64) -> Partitioning {
@@ -44,7 +44,7 @@ pub fn contiguous_partition(graph: &CsrGraph, k: usize) -> Partitioning {
     }
 }
 
-/// BFS-based partitioning (the Cuthill–McKee-style baseline the paper cites [6]):
+/// BFS-based partitioning (the Cuthill–McKee-style baseline the paper cites \[6\]):
 /// reorder nodes breadth-first, then cut the ordering into `k` contiguous chunks.
 /// Cheap, locality-aware, but blind to the community structure METIS recovers.
 pub fn bfs_partition(graph: &CsrGraph, k: usize) -> Partitioning {

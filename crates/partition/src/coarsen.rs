@@ -26,14 +26,17 @@ impl WeightedGraph {
     pub fn from_csr(graph: &CsrGraph) -> Self {
         let n = graph.num_nodes();
         let mut adj = vec![Vec::new(); n];
-        for u in 0..n {
+        for (u, list) in adj.iter_mut().enumerate() {
             for &v in graph.neighbors(u) {
                 if u != v {
-                    adj[u].push((v, 1));
+                    list.push((v, 1));
                 }
             }
         }
-        let total = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum::<u64>()).sum();
+        let total = adj
+            .iter()
+            .map(|l| l.iter().map(|&(_, w)| w).sum::<u64>())
+            .sum();
         Self {
             adj,
             node_weights: vec![1; n],
@@ -57,7 +60,10 @@ impl WeightedGraph {
             adj[u].push((v, w));
             adj[v].push((u, w));
         }
-        let total = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum::<u64>()).sum();
+        let total = adj
+            .iter()
+            .map(|l| l.iter().map(|&(_, w)| w).sum::<u64>())
+            .sum();
         Self {
             adj,
             node_weights: node_weights.to_vec(),
@@ -190,10 +196,7 @@ mod tests {
         assert_eq!(level.graph.total_node_weight(), 8);
         assert_eq!(level.graph.num_nodes(), 8 - m.num_pairs);
         // Every fine node maps to a valid coarse node.
-        assert!(level
-            .coarse_of
-            .iter()
-            .all(|&c| c < level.graph.num_nodes()));
+        assert!(level.coarse_of.iter().all(|&c| c < level.graph.num_nodes()));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub fn greedy_kway(graph: &WeightedGraph, k: usize, balance_factor: f64, seed: u
     }
 
     let mut next_seed_idx = 0usize;
-    for p in 0..k {
+    for (p, weight) in part_weight.iter_mut().enumerate() {
         // Find an unassigned seed node.
         while next_seed_idx < n && part[order[next_seed_idx]] != usize::MAX {
             next_seed_idx += 1;
@@ -52,12 +52,12 @@ pub fn greedy_kway(graph: &WeightedGraph, k: usize, balance_factor: f64, seed: u
                 continue;
             }
             let w = graph.node_weight(u);
-            if part_weight[p] + w > capacity && part_weight[p] > 0 {
+            if *weight + w > capacity && *weight > 0 {
                 continue;
             }
             part[u] = p;
-            part_weight[p] += w;
-            if part_weight[p] >= capacity {
+            *weight += w;
+            if *weight >= capacity {
                 break;
             }
             for &(v, _) in graph.neighbors(u) {
@@ -69,10 +69,10 @@ pub fn greedy_kway(graph: &WeightedGraph, k: usize, balance_factor: f64, seed: u
     }
 
     // Assign any remaining nodes to the lightest part.
-    for u in 0..n {
-        if part[u] == usize::MAX {
+    for (u, assigned) in part.iter_mut().enumerate() {
+        if *assigned == usize::MAX {
             let lightest = (0..k).min_by_key(|&p| part_weight[p]).unwrap_or(0);
-            part[u] = lightest;
+            *assigned = lightest;
             part_weight[lightest] += graph.node_weight(u);
         }
     }
@@ -95,7 +95,7 @@ mod tests {
         assert_eq!(parts.len(), 64);
         assert!(parts.iter().all(|&p| p < 4));
         for p in 0..4 {
-            assert!(parts.iter().any(|&x| x == p), "part {p} empty");
+            assert!(parts.contains(&p), "part {p} empty");
         }
     }
 
@@ -115,10 +115,7 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(
-            max <= 2 * min.max(1) + 22,
-            "imbalanced parts: {counts:?}"
-        );
+        assert!(max <= 2 * min.max(1) + 22, "imbalanced parts: {counts:?}");
     }
 
     #[test]

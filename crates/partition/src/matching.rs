@@ -105,7 +105,10 @@ mod tests {
                     continue;
                 }
                 for &(v, _) in g.neighbors(u) {
-                    assert_ne!(m.mate[v], v, "adjacent unmatched pair ({u}, {v}), seed {seed}");
+                    assert_ne!(
+                        m.mate[v], v,
+                        "adjacent unmatched pair ({u}, {v}), seed {seed}"
+                    );
                 }
             }
         }
@@ -123,11 +126,8 @@ mod tests {
         // visiting-order dependent, but whichever of {0, 1} is visited before node 2
         // picks the heavy edge, so across seeds the heavy edge must win a clear
         // majority of the time (2 of the 3 equally likely first-visited nodes).
-        let g = WeightedGraph::from_weighted_edges(
-            3,
-            &[(0, 1, 10), (1, 2, 1), (0, 2, 1)],
-            &[1, 1, 1],
-        );
+        let g =
+            WeightedGraph::from_weighted_edges(3, &[(0, 1, 10), (1, 2, 1), (0, 2, 1)], &[1, 1, 1]);
         let mut heavy_selected = 0usize;
         let trials = 64;
         for seed in 0..trials {
@@ -154,7 +154,11 @@ mod tests {
     fn matching_covers_about_half_of_a_path() {
         let g = weighted_path(100);
         let m = heavy_edge_matching(&g, 7);
-        assert!(m.num_pairs >= 25, "path matching too small: {}", m.num_pairs);
+        assert!(
+            m.num_pairs >= 25,
+            "path matching too small: {}",
+            m.num_pairs
+        );
     }
 
     #[test]

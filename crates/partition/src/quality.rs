@@ -63,7 +63,11 @@ pub fn partition_quality(graph: &CsrGraph, parts: &[usize], num_parts: usize) ->
         } else {
             intra as f64 / total_edges as f64
         },
-        imbalance: if avg_size == 0.0 { 0.0 } else { max_size / avg_size },
+        imbalance: if avg_size == 0.0 {
+            0.0
+        } else {
+            max_size / avg_size
+        },
         mean_intra_density: if weighted_total == 0.0 {
             0.0
         } else {

@@ -85,8 +85,7 @@ pub fn refine(
     max_passes: usize,
 ) -> u64 {
     let total = graph.total_node_weight();
-    let max_part_weight =
-        ((total as f64 / num_parts.max(1) as f64) * balance_factor).ceil() as u64;
+    let max_part_weight = ((total as f64 / num_parts.max(1) as f64) * balance_factor).ceil() as u64;
     for _ in 0..max_passes {
         if refine_pass(graph, parts, num_parts, max_part_weight.max(1)) == 0 {
             break;
@@ -134,8 +133,14 @@ mod tests {
         let mut parts = vec![0, 0, 0, 1, 1, 1, 1, 0];
         let before = edge_cut(&g, &parts);
         let after = refine(&g, &mut parts, 2, 1.3, 8);
-        assert!(after < before, "refinement should reduce cut ({before} -> {after})");
-        assert_eq!(after, 1, "two cliques should end with the single bridge cut");
+        assert!(
+            after < before,
+            "refinement should reduce cut ({before} -> {after})"
+        );
+        assert_eq!(
+            after, 1,
+            "two cliques should end with the single bridge cut"
+        );
     }
 
     #[test]

@@ -145,22 +145,28 @@ impl CostTracker {
 
     /// Add every counter of `other` into `self`.
     pub fn merge_snapshot(&self, other: &CostSnapshot) {
-        self.tc_b1_tiles.fetch_add(other.tc_b1_tiles, Ordering::Relaxed);
+        self.tc_b1_tiles
+            .fetch_add(other.tc_b1_tiles, Ordering::Relaxed);
         self.tc_b1_tiles_skipped
             .fetch_add(other.tc_b1_tiles_skipped, Ordering::Relaxed);
-        self.tc_int8_ops.fetch_add(other.tc_int8_ops, Ordering::Relaxed);
-        self.tc_int4_ops.fetch_add(other.tc_int4_ops, Ordering::Relaxed);
-        self.tc_fp16_flops.fetch_add(other.tc_fp16_flops, Ordering::Relaxed);
+        self.tc_int8_ops
+            .fetch_add(other.tc_int8_ops, Ordering::Relaxed);
+        self.tc_int4_ops
+            .fetch_add(other.tc_int4_ops, Ordering::Relaxed);
+        self.tc_fp16_flops
+            .fetch_add(other.tc_fp16_flops, Ordering::Relaxed);
         self.cuda_fp32_flops
             .fetch_add(other.cuda_fp32_flops, Ordering::Relaxed);
         self.cuda_sparse_flops
             .fetch_add(other.cuda_sparse_flops, Ordering::Relaxed);
-        self.cuda_int_ops.fetch_add(other.cuda_int_ops, Ordering::Relaxed);
+        self.cuda_int_ops
+            .fetch_add(other.cuda_int_ops, Ordering::Relaxed);
         self.dram_read_bytes
             .fetch_add(other.dram_read_bytes, Ordering::Relaxed);
         self.dram_write_bytes
             .fetch_add(other.dram_write_bytes, Ordering::Relaxed);
-        self.shared_bytes.fetch_add(other.shared_bytes, Ordering::Relaxed);
+        self.shared_bytes
+            .fetch_add(other.shared_bytes, Ordering::Relaxed);
         self.kernel_launches
             .fetch_add(other.kernel_launches, Ordering::Relaxed);
         self.thread_blocks
@@ -289,8 +295,10 @@ mod tests {
     #[test]
     fn ops_per_tile_constant() {
         assert_eq!(OPS_PER_B1_TILE, 16384);
-        let mut s = CostSnapshot::default();
-        s.tc_b1_tiles = 2;
+        let s = CostSnapshot {
+            tc_b1_tiles: 2,
+            ..CostSnapshot::default()
+        };
         assert_eq!(s.tc_b1_ops(), 32768);
     }
 

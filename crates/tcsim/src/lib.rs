@@ -5,7 +5,7 @@
 //! The QGTC paper's kernels target the 1-bit Tensor Core MMA primitive
 //! (`wmma::bmma_sync`, tile shape `M(8) × N(8) × K(128)`) of NVIDIA Ampere GPUs.
 //! This environment has no GPU, so this crate supplies the substitution described in
-//! DESIGN.md §1:
+//! the workspace README:
 //!
 //! * a **functional** Tensor Core: [`fragment`] and [`wmma`] reproduce the
 //!   fragment-level semantics (load a tile from packed memory, multiply-accumulate

@@ -9,7 +9,7 @@
 //! compute, as in the paper's end-to-end measurements.
 //!
 //! The model is *not* a cycle-accurate simulator; it is the substitution documented
-//! in DESIGN.md §1.  Its purpose is to preserve the first-order performance shape —
+//! in the workspace README.  Its purpose is to preserve the first-order performance shape —
 //! who wins, how speedups scale with bitwidth, matrix size and sparsity — which is a
 //! function of exactly the quantities the snapshot records.
 
@@ -70,23 +70,22 @@ impl DeviceModel {
     /// with no launches recorded is treated as one fully occupant launch.
     pub fn estimate(&self, snapshot: &CostSnapshot) -> KernelEstimate {
         let launches = snapshot.kernel_launches.max(1);
-        let blocks_per_launch = if snapshot.kernel_launches == 0 {
-            usize::MAX
-        } else {
-            (snapshot.thread_blocks / snapshot.kernel_launches).max(1) as usize
-        };
+        let blocks_per_launch = snapshot
+            .thread_blocks
+            .checked_div(snapshot.kernel_launches)
+            .map_or(usize::MAX, |blocks| blocks.max(1) as usize);
         let occupancy = self
             .spec
             .occupancy(blocks_per_launch, DEFAULT_BLOCKS_PER_SM);
 
         // Compute time: each engine processes its ops at sustained rate * occupancy.
         let tera = 1e12;
-        let tc_b1_s = snapshot.tc_b1_ops() as f64
-            / (self.spec.tc_b1_sustained_tops() * tera * occupancy);
-        let tc_int8_s = snapshot.tc_int8_ops as f64
-            / (self.spec.tc_int8_sustained_tops() * tera * occupancy);
-        let tc_int4_s = snapshot.tc_int4_ops as f64
-            / (self.spec.tc_int4_sustained_tops() * tera * occupancy);
+        let tc_b1_s =
+            snapshot.tc_b1_ops() as f64 / (self.spec.tc_b1_sustained_tops() * tera * occupancy);
+        let tc_int8_s =
+            snapshot.tc_int8_ops as f64 / (self.spec.tc_int8_sustained_tops() * tera * occupancy);
+        let tc_int4_s =
+            snapshot.tc_int4_ops as f64 / (self.spec.tc_int4_sustained_tops() * tera * occupancy);
         let tc_fp16_s = snapshot.tc_fp16_flops as f64
             / (self.spec.tc_fp16_peak_tflops * self.spec.tc_efficiency * tera * occupancy);
         let fp32_s = snapshot.cuda_fp32_flops as f64
@@ -166,7 +165,10 @@ mod tests {
             t.record_kernel_launch(1);
         });
         let est = model.estimate(&tiny);
-        assert!(est.total_s >= 5e-6, "launch overhead must dominate tiny kernels");
+        assert!(
+            est.total_s >= 5e-6,
+            "launch overhead must dominate tiny kernels"
+        );
     }
 
     #[test]
@@ -178,7 +180,11 @@ mod tests {
         });
         let est = model.estimate(&streaming);
         // 10 GB at ~749 GB/s sustained ≈ 13 ms.
-        assert!(est.total_s > 0.010 && est.total_s < 0.020, "got {}", est.total_s);
+        assert!(
+            est.total_s > 0.010 && est.total_s < 0.020,
+            "got {}",
+            est.total_s
+        );
         assert!(est.memory_s > est.compute_s);
     }
 
@@ -235,7 +241,10 @@ mod tests {
         });
         let d = model.estimate(&dense).compute_s;
         let s = model.estimate(&sparse).compute_s;
-        assert!(s > 5.0 * d, "sparse path should be far slower: dense {d}, sparse {s}");
+        assert!(
+            s > 5.0 * d,
+            "sparse path should be far slower: dense {d}, sparse {s}"
+        );
     }
 
     #[test]

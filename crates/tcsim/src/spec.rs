@@ -149,7 +149,7 @@ impl GpuSpec {
     /// produces the throughput ramp of the paper's Figure 9.
     pub fn occupancy(&self, thread_blocks: usize, blocks_per_sm: usize) -> f64 {
         let saturating = (self.sm_count * blocks_per_sm.max(1)) as f64;
-        (thread_blocks as f64 / saturating).min(1.0).max(1e-6)
+        (thread_blocks as f64 / saturating).clamp(1e-6, 1.0)
     }
 }
 
@@ -182,7 +182,10 @@ mod tests {
         assert!(g.tc_b1_sustained_tops() < g.tc_b1_peak_tops);
         assert!(g.cuda_fp32_sustained_tflops() < g.cuda_fp32_peak_tflops);
         assert!(g.dram_sustained_gbs() < g.dram_bandwidth_gbs);
-        assert!(g.tc_b1_sustained_tops() > 100.0, "binary TC should still be fast");
+        assert!(
+            g.tc_b1_sustained_tops() > 100.0,
+            "binary TC should still be fast"
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ pub fn bmma_sync(
 /// `D = A × B + C` for an int8 tile (16×16×16 on hardware; modeled here as an 8×8
 /// tile of `i32` dot products over `k` int8 values).  Used by the cuBLAS-int8
 /// baseline's functional path.
-pub fn mma_sync_int8(acc: &[[i32; TILE_N]; TILE_M], a: &[[i8; 16]; TILE_M], b: &[[i8; 16]; TILE_N]) -> [[i32; TILE_N]; TILE_M] {
+pub fn mma_sync_int8(
+    acc: &[[i32; TILE_N]; TILE_M],
+    a: &[[i8; 16]; TILE_M],
+    b: &[[i8; 16]; TILE_N],
+) -> [[i32; TILE_N]; TILE_M] {
     let mut out = *acc;
     for i in 0..TILE_M {
         for j in 0..TILE_N {
@@ -198,7 +202,11 @@ mod tests {
         let reference = gemm_i64(&a_bits.map(|&v| v as i64), &b_bits.map(|&v| v as i64));
         for i in 0..m {
             for j in 0..n {
-                assert_eq!(out[(i, j)] as i64, reference[(i, j)], "mismatch at ({i},{j})");
+                assert_eq!(
+                    out[(i, j)] as i64,
+                    reference[(i, j)],
+                    "mismatch at ({i},{j})"
+                );
             }
         }
     }

@@ -51,7 +51,10 @@ impl fmt::Display for TensorError {
                 index.0, index.1, shape.0, shape.1
             ),
             TensorError::InvalidBitwidth(bits) => {
-                write!(f, "invalid quantization bitwidth {bits} (must be in 1..=32)")
+                write!(
+                    f,
+                    "invalid quantization bitwidth {bits} (must be in 1..=32)"
+                )
             }
             TensorError::EmptyMatrix { op } => {
                 write!(f, "operation {op} requires a non-empty matrix")
@@ -103,9 +106,11 @@ mod tests {
 
     #[test]
     fn display_empty_and_length() {
-        assert!(TensorError::EmptyMatrix { op: "softmax".into() }
-            .to_string()
-            .contains("softmax"));
+        assert!(TensorError::EmptyMatrix {
+            op: "softmax".into()
+        }
+        .to_string()
+        .contains("softmax"));
         let e = TensorError::DataLengthMismatch {
             expected: 6,
             actual: 5,

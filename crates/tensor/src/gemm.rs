@@ -77,8 +77,7 @@ pub fn gemm_f32(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
                 let i = row_start + local_i;
                 let a_row = a.row(i);
                 let c_row = &mut c_block[local_i * n..(local_i + 1) * n];
-                for p in 0..k {
-                    let a_ip = a_row[p];
+                for (p, &a_ip) in a_row.iter().enumerate().take(k) {
                     if a_ip == 0.0 {
                         continue;
                     }
@@ -133,7 +132,11 @@ pub fn gemm_i64(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
 
 /// `C = A · B` with `i64` accumulation, parallelised over rows.
 pub fn gemm_i64_parallel(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
-    assert_eq!(a.cols(), b.rows(), "gemm_i64_parallel: inner dimensions differ");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm_i64_parallel: inner dimensions differ"
+    );
     let (m, k) = a.shape();
     let n = b.cols();
     if m * n <= PARALLEL_THRESHOLD {
@@ -145,8 +148,7 @@ pub fn gemm_i64_parallel(a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
         .enumerate()
         .for_each(|(i, c_row)| {
             let a_row = a.row(i);
-            for p in 0..k {
-                let a_ip = a_row[p];
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
                 if a_ip == 0 {
                     continue;
                 }
@@ -173,7 +175,11 @@ pub fn csr_spmm_f32(
 ) -> Matrix<f32> {
     let m = row_ptr.len() - 1;
     let n = b.cols();
-    assert_eq!(col_indices.len(), values.len(), "csr_spmm_f32: CSR arrays disagree");
+    assert_eq!(
+        col_indices.len(),
+        values.len(),
+        "csr_spmm_f32: CSR arrays disagree"
+    );
     let mut c = Matrix::zeros(m, n);
     c.data_mut()
         .par_chunks_mut(n)

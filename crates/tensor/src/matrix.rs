@@ -83,14 +83,24 @@ impl<T> Matrix<T> {
     /// Immutable slice of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[T] {
-        debug_assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable slice of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
-        debug_assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -111,11 +121,11 @@ impl<T> Matrix<T> {
     }
 
     /// Apply a function to every element, producing a new matrix.
-    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Matrix<U> {
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Matrix<U> {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 }
@@ -166,7 +176,10 @@ impl<T: Clone> Matrix<T> {
     /// QGTC pads matrices so their dimensions are divisible by the Tensor Core tile
     /// sizes (`PAD8`, `PAD128` in the paper); this is the dense-side equivalent.
     pub fn pad_to(&self, new_rows: usize, new_cols: usize, pad: T) -> Self {
-        assert!(new_rows >= self.rows && new_cols >= self.cols, "padding cannot shrink");
+        assert!(
+            new_rows >= self.rows && new_cols >= self.cols,
+            "padding cannot shrink"
+        );
         let mut out = Self::filled(new_rows, new_cols, pad);
         for r in 0..self.rows {
             out.row_mut(r)[..self.cols].clone_from_slice(self.row(r));
@@ -178,7 +191,10 @@ impl<T: Clone> Matrix<T> {
     ///
     /// [`pad_to`]: Matrix::pad_to
     pub fn truncate_to(&self, new_rows: usize, new_cols: usize) -> Self {
-        assert!(new_rows <= self.rows && new_cols <= self.cols, "truncate cannot grow");
+        assert!(
+            new_rows <= self.rows && new_cols <= self.cols,
+            "truncate cannot grow"
+        );
         let mut data = Vec::with_capacity(new_rows * new_cols);
         for r in 0..new_rows {
             data.extend_from_slice(&self.row(r)[..new_cols]);

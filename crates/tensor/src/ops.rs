@@ -74,9 +74,9 @@ pub struct BatchNormParams {
     pub gamma: Vec<f32>,
     /// Per-feature learned shift β.
     pub beta: Vec<f32>,
-    /// Per-feature running mean E[x].
+    /// Per-feature running mean E\[x\].
     pub mean: Vec<f32>,
-    /// Per-feature running variance Var[x].
+    /// Per-feature running variance Var\[x\].
     pub var: Vec<f32>,
     /// Numerical-stability epsilon.
     pub eps: f32,
@@ -112,9 +112,9 @@ pub fn batch_norm(x: &Matrix<f32>, params: &BatchNormParams) -> Result<Matrix<f3
     let mut out = x.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
-        for j in 0..row.len() {
+        for (j, value) in row.iter_mut().enumerate() {
             let denom = (params.var[j] + params.eps).sqrt();
-            row[j] = (row[j] - params.mean[j]) / denom * params.gamma[j] + params.beta[j];
+            *value = (*value - params.mean[j]) / denom * params.gamma[j] + params.beta[j];
         }
     }
     Ok(out)

@@ -22,7 +22,10 @@ fn main() {
         profile.num_classes
     );
 
-    println!("{:<8} {:>14} {:>14}", "bits", "train accuracy", "test accuracy");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "bits", "train accuracy", "test accuracy"
+    );
     for bits in [None, Some(16u32), Some(8), Some(4), Some(2)] {
         let config = QatConfig {
             bits,
@@ -46,7 +49,5 @@ fn main() {
             result.train_accuracy, result.test_accuracy
         );
     }
-    println!(
-        "\nExpected shape (paper, Table 2): FP32 ~ 16-bit ~ 8-bit > 4-bit >> 2-bit."
-    );
+    println!("\nExpected shape (paper, Table 2): FP32 ~ 16-bit ~ 8-bit > 4-bit >> 2-bit.");
 }

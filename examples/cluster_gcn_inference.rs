@@ -40,7 +40,8 @@ fn main() {
     for bits in [8u32, 4, 2] {
         let report = run_epoch(
             &dataset,
-            &QgtcConfig::qgtc(ModelKind::ClusterGcn, bits).scaled_partitions(partitions, batch_size),
+            &QgtcConfig::qgtc(ModelKind::ClusterGcn, bits)
+                .scaled_partitions(partitions, batch_size),
         );
         println!(
             "QGTC {bits:>2}-bit       : {:>8.3} ms modeled ({} TC tiles, {} skipped, {:.1} MB over PCIe)  speedup {:.2}x",

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use qgtc_repro::core::{bit_mm_to_int, BitTensor};
 use qgtc_repro::bitmat::BitMatrixLayout;
+use qgtc_repro::core::{bit_mm_to_int, BitTensor};
 use qgtc_repro::kernels::bmm::KernelConfig;
 use qgtc_repro::tcsim::cost::CostTracker;
 use qgtc_repro::tcsim::DeviceModel;
@@ -50,7 +50,11 @@ fn main() {
         &b_q.to_val().map(|&v| v as i64),
     );
     assert_eq!(product, reference, "bit-composed GEMM must be exact");
-    println!("result verified: {}x{} integer outputs match the reference GEMM", product.rows(), product.cols());
+    println!(
+        "result verified: {}x{} integer outputs match the reference GEMM",
+        product.rows(),
+        product.cols()
+    );
 
     // 5. Ask the device model what this kernel would cost on an RTX 3090.
     let device = DeviceModel::rtx3090();

@@ -1,0 +1,262 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the workspace's benches use — `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, the `BenchmarkId` constructors, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple harness:
+//! one warm-up call, then `sample_size` timed samples whose mean, min, and max
+//! are printed per benchmark (plus derived element throughput when
+//! [`Throughput::Elements`] is set). No statistics, plots, or baselines; swap
+//! the real crate back in for those.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Only a parameter value (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. useful arithmetic operations) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Call `routine` once to warm up, then time `sample_size` samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std_black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level harness state; one per bench binary.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: this shim is for relative comparisons, not
+        // statistically rigorous estimates.
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one(&id.into(), sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be non-zero");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Attach a throughput figure to subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Execute one benchmark closure and print its timing line.
+fn run_one<F>(id: &BenchmarkId, sample_size: usize, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{:<40} (no samples: closure never called iter)", id.label);
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mut line = format!(
+        "{:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+        id.label,
+        mean,
+        min,
+        max,
+        bencher.samples.len()
+    );
+    if let Some(tp) = throughput {
+        let per_second = |units: u64| units as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+        match tp {
+            Throughput::Elements(units) => {
+                line.push_str(&format!("  [{:.3e} elem/s]", per_second(units)));
+            }
+            Throughput::Bytes(units) => {
+                line.push_str(&format!("  [{:.3e} B/s]", per_second(units)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundle benchmark functions into a callable group, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0usize;
+        group.bench_function("count_calls", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        // One warm-up call plus three timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("kernel", 8).label, "kernel/8");
+        assert_eq!(BenchmarkId::from_parameter(1024).label, "1024");
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! Implements the slice of proptest's API this workspace's property tests use:
+//! the [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! [`Strategy`] with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], [`prelude::any`], and the `prop_assert*` macros.
+//!
+//! Unlike the real crate there is **no shrinking** and no persisted failure
+//! seeds: each test runs a fixed number of deterministic cases derived from a
+//! per-test seed (the hash of the test name), so failures reproduce exactly
+//! run-to-run and machine-to-machine. That trade keeps the shim tiny while
+//! preserving the property-test semantics the invariants rely on.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 stream driving every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for one test case: seeded from the test name and case index.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "next_bounded: bound must be non-zero");
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a hash of a test's name, used as its base seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Error raised by `prop_assert*` macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `map`, as in real proptest.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.next_bounded(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.next_bounded(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let value = self.start + rng.next_f64() as $t * (self.end - self.start);
+                // Rounding of the f64 unit sample can land exactly on the
+                // exclusive upper bound; keep the half-open contract.
+                if value >= self.end {
+                    self.end.next_down().max(self.start)
+                } else {
+                    value
+                }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Types with a canonical "generate anything" strategy ([`prelude::any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`prelude::any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`) and the [`SizeRange`] length spec.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Half-open range of permitted collection lengths.
+    ///
+    /// Converts from a bare `usize` (exact length), `a..b`, or `a..=b`,
+    /// matching the real crate's `Into<SizeRange>` call sites.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                start: len,
+                end: len + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "vec strategy: empty size range");
+            Self {
+                start: range.start,
+                end: range.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            assert!(
+                range.start() <= range.end(),
+                "vec strategy: empty size range"
+            );
+            Self {
+                start: *range.start(),
+                end: *range.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec<S::Value>` with a length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.next_bounded(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+
+    /// The canonical strategy for `T`, e.g. `any::<bool>()`.
+    pub fn any<T: Arbitrary>() -> crate::Any<T> {
+        crate::Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Run one property over `cases` deterministic random cases.
+///
+/// Invoked by the [`proptest!`] expansion; public so the macro can reach it.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = seed_from_name(name);
+    for index in 0..config.cases {
+        let mut rng =
+            TestRng::new(base ^ (0x517c_c1b7_2722_0a95u64.wrapping_mul(index as u64 + 1)));
+        if let Err(err) = case(&mut rng) {
+            panic!("property '{name}' failed at case {index} (seed {base:#x}): {err}");
+        }
+    }
+}
+
+/// Declare property tests: `proptest! { #[test] fn name(x in strategy) { .. } }`.
+///
+/// Supports the subset of the real macro this workspace uses — an optional
+/// `#![proptest_config(expr)]` header and `ident in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+
+    (
+        $(#[test] fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default())
+            $(#[test] fn $name($($arg in $strategy),+) $body)*);
+    };
+
+    (@with_config ($config:expr)
+        $(#[test] fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` counterpart that fails the current case instead of panicking raw.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart returning a [`TestCaseError`] on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart returning a [`TestCaseError`] on equality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = TestRng::new(seed(1));
+        let mut b = TestRng::new(seed(1));
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    fn seed(case: u64) -> u64 {
+        crate::seed_from_name("some_test") ^ case
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u8..=1, 3..9)) {
+            prop_assert!((3..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b <= 1));
+        }
+
+        #[test]
+        fn mapped_strategy_applies_function(n in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert!(n % 2 == 0);
+            prop_assert!(n < 20);
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0usize..5, 0usize..5), flag in any::<bool>()) {
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(1), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

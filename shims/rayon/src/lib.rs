@@ -1,0 +1,247 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this crate implements the
+//! exact subset of rayon's API the workspace uses — `par_chunks_mut` followed by
+//! `enumerate().for_each(..)` — with real data parallelism on
+//! [`std::thread::scope`]. Chunks are dealt to one worker per available core in
+//! contiguous runs, so the cache behaviour matches rayon's slice splitting
+//! closely enough for the relative timings the benches report.
+//!
+//! Swap this shim for the real crate by deleting the `rayon` entry in the
+//! workspace `[workspace.dependencies]` table and adding a registry version.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: one per available core.
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parallel iterator over mutable, non-overlapping chunks of a slice, produced
+/// by [`prelude::ParallelSliceMut::par_chunks_mut`].
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index, mirroring `rayon`'s
+    /// `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `op` to every chunk, distributing the chunks across threads.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| op(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`]; see its `enumerate` method.
+pub struct EnumerateParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
+    /// Apply `op` to every `(index, chunk)` pair across worker threads.
+    ///
+    /// Work is split into contiguous runs of chunks, one run per worker, which
+    /// preserves rayon's property that neighbouring output rows land on the
+    /// same thread.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let mut items: Vec<(usize, &'a mut [T])> = self.chunks.into_iter().enumerate().collect();
+        let workers = thread_count().min(items.len().max(1));
+        if workers <= 1 {
+            for item in items {
+                op(item);
+            }
+            return;
+        }
+        let per_worker = items.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            while !items.is_empty() {
+                let split_at = items.len().saturating_sub(per_worker);
+                let run = items.split_off(split_at);
+                let op = &op;
+                scope.spawn(move || {
+                    for item in run {
+                        op(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub mod iter {
+    //! Parallel iterator entry points (`into_par_iter` on ranges).
+
+    use super::thread_count;
+    use std::ops::Range;
+
+    /// Subset of `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator produced.
+        type Iter;
+
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = ParRange;
+
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// Parallel iterator over an index range.
+    pub struct ParRange {
+        range: Range<usize>,
+    }
+
+    impl ParRange {
+        /// Map each index through `map`, preserving order on collect.
+        pub fn map<U, F>(self, map: F) -> ParRangeMap<F>
+        where
+            F: Fn(usize) -> U + Sync,
+            U: Send,
+        {
+            ParRangeMap {
+                range: self.range,
+                map,
+            }
+        }
+
+        /// Apply `op` to every index across worker threads.
+        pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(usize) + Sync,
+        {
+            self.map(op).run();
+        }
+    }
+
+    /// Mapped parallel range returned by [`ParRange::map`].
+    pub struct ParRangeMap<F> {
+        range: Range<usize>,
+        map: F,
+    }
+
+    impl<F> ParRangeMap<F> {
+        /// Evaluate the map over contiguous index runs, one run per worker,
+        /// and return the per-run results in index order.
+        fn run_parts<U>(self) -> Vec<Vec<U>>
+        where
+            F: Fn(usize) -> U + Sync,
+            U: Send,
+        {
+            let len = self.range.len();
+            let workers = thread_count().min(len.max(1));
+            if workers <= 1 {
+                return vec![self.range.map(&self.map).collect()];
+            }
+            let per_worker = len.div_ceil(workers);
+            let map = &self.map;
+            let start = self.range.start;
+            let end = self.range.end;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let lo = (start + worker * per_worker).min(end);
+                        let hi = (lo + per_worker).min(end);
+                        scope.spawn(move || (lo..hi).map(map).collect::<Vec<U>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("rayon-shim worker panicked"))
+                    .collect()
+            })
+        }
+
+        /// Evaluate for side effects only.
+        fn run<U>(self)
+        where
+            F: Fn(usize) -> U + Sync,
+            U: Send,
+        {
+            let _ = self.run_parts();
+        }
+
+        /// Collect mapped values in index order, as rayon's indexed collect does.
+        pub fn collect<C, U>(self) -> C
+        where
+            F: Fn(usize) -> U + Sync,
+            U: Send,
+            C: FromIterator<U>,
+        {
+            self.run_parts().into_iter().flatten().collect()
+        }
+    }
+}
+
+pub mod slice {
+    //! Parallel extensions for slices (`par_chunks_mut`).
+
+    use super::ParChunksMut;
+
+    /// Subset of `rayon::slice::ParallelSliceMut`: parallel mutable chunking.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split the slice into non-overlapping chunks of `chunk_size`
+        /// elements (the last chunk may be shorter) for parallel mutation.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size != 0, "chunk_size must be non-zero");
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelIterator;
+    pub use crate::slice::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_visit_every_element_once() {
+        let mut data = vec![0u32; 1037];
+        data.par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(idx, chunk)| {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (idx * 64 + offset) as u32;
+                }
+            });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut data: Vec<u8> = Vec::new();
+        data.par_chunks_mut(8)
+            .for_each(|_| panic!("no chunks expected"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for [serde](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config types (e.g.
+//! `GpuSpec`) but never actually serializes anything, so this shim provides
+//! marker traits plus no-op derive macros from the sibling `serde_derive`
+//! shim. Replace both shims with the registry crates when real (de)serialization
+//! is needed; call sites keep compiling unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait implemented by the shim's no-op `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker trait implemented by the shim's no-op `#[derive(Deserialize)]`.
+///
+/// The real `serde::Deserialize` carries a `'de` lifetime; the shim derive
+/// instead targets this owned marker so derived types need no lifetime juggling.
+pub trait DeserializeOwned {}

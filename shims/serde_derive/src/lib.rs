@@ -1,0 +1,53 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as an interface
+//! marker (no serialization is performed anywhere yet), so these derives emit
+//! marker-trait impls and accept-but-ignore `#[serde(...)]` attributes. When
+//! real serialization lands, replace the `serde`/`serde_derive` shims with the
+//! registry crates — call sites will not change.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier of the type a derive is applied to.
+///
+/// Scans past attributes, doc comments, visibility, and the `struct`/`enum`
+/// keyword; the next identifier is the type name.
+fn derived_type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kind_keyword = false;
+    for tree in input.clone() {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_kind_keyword {
+                return Some(text);
+            }
+            if text == "struct" || text == "enum" || text == "union" {
+                saw_kind_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+/// Emit `impl serde::Trait for Type {}` (no generics support — the workspace
+/// only derives on plain types).
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match derived_type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive: implements the marker trait `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: implements the marker trait
+/// `serde::DeserializeOwned` (the shim's lifetime-free stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::DeserializeOwned")
+}

@@ -2,7 +2,56 @@
 //!
 //! This crate exists to host the runnable examples (`examples/`) and the cross-crate
 //! integration tests (`tests/`); it simply re-exports the public crates so examples
-//! can write `use qgtc_repro::core::...`.
+//! can write `use qgtc_repro::core::...`. See the workspace `README.md` for the
+//! full architecture map (crate → paper section) and the figure/table drivers.
+//!
+//! # Quickstart
+//!
+//! The front-door API mirrors the paper's PyTorch bindings: pack operands as
+//! [`BitTensor`](core::BitTensor)s (`Tensor.to_bit(nbits)` in the paper), multiply
+//! with [`bit_mm_to_int`](core::bit_mm_to_int) (`bitMM2Int`), and read the modeled
+//! GPU cost from the [`CostTracker`](tcsim::cost::CostTracker):
+//!
+//! ```
+//! use qgtc_repro::bitmat::BitMatrixLayout;
+//! use qgtc_repro::core::{bit_mm_to_int, BitTensor};
+//! use qgtc_repro::graph::generate::{stochastic_block_model, SbmParams};
+//! use qgtc_repro::graph::{CsrGraph, DenseSubgraph};
+//! use qgtc_repro::kernels::bmm::KernelConfig;
+//! use qgtc_repro::tcsim::cost::CostTracker;
+//! use qgtc_repro::tensor::gemm::gemm_i64;
+//! use qgtc_repro::tensor::rng::random_uniform_matrix;
+//!
+//! // 1. Build a small community-structured graph and materialise its dense
+//! //    1-bit adjacency (the form QGTC's aggregation kernel consumes).
+//! let params = SbmParams { num_nodes: 64, num_blocks: 4, intra_degree: 6.0, inter_degree: 1.0 };
+//! let (coo, _communities) = stochastic_block_model(params, 7);
+//! let graph = CsrGraph::from_coo(&coo);
+//! let batch = DenseSubgraph::extract(&graph, &(0..graph.num_nodes()).collect::<Vec<_>>());
+//!
+//! // 2. `to_bit`: pack the adjacency (1-bit, row-packed) and quantize random
+//! //    node features (2-bit, column-packed) as bit tensors.
+//! let adj = BitTensor::from_binary_adjacency(&batch.adjacency, BitMatrixLayout::RowPacked);
+//! let features = random_uniform_matrix(64, 8, 0.0, 1.0, 11);
+//! let feats = BitTensor::from_f32(&features, 2, BitMatrixLayout::ColPacked);
+//!
+//! // 3. `bitMM2Int`: multiply on the simulated tensor core, tracking costs.
+//! let tracker = CostTracker::new();
+//! let aggregated = bit_mm_to_int(&adj, &feats, &KernelConfig::default(), &tracker);
+//!
+//! // The bit-composed product is exact: it equals an i64 GEMM over the codes.
+//! let reference = gemm_i64(
+//!     &adj.to_val().map(|&v| v as i64),
+//!     &feats.to_val().map(|&v| v as i64),
+//! );
+//! assert_eq!(aggregated, reference);
+//!
+//! // 4. Read the cost model: the kernel issued 1-bit MMA tiles and skipped
+//! //    the all-zero ones (zero-tile jumping).
+//! let snapshot = tracker.snapshot();
+//! assert!(snapshot.tc_b1_tiles > 0);
+//! assert_eq!(aggregated.shape(), (64, 8));
+//! ```
 
 /// The QGTC framework facade (BitTensor API, configuration, end-to-end pipeline).
 pub use qgtc_core as core;

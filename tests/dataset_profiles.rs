@@ -1,0 +1,65 @@
+//! Smoke test keeping the README's dataset table honest: every `DatasetProfile`
+//! constant from Table 1 of the paper must materialize at small scale into a
+//! usable dataset, and the METIS-substitute partitioner must produce non-empty
+//! partitions over it.
+
+use qgtc_repro::graph::DatasetProfile;
+use qgtc_repro::partition::{partition_kway, PartitionConfig};
+
+#[test]
+fn every_profile_materializes_and_partitions() {
+    let profiles = DatasetProfile::all();
+    assert_eq!(profiles.len(), 6, "Table 1 lists six datasets");
+
+    for profile in profiles {
+        let dataset = profile.materialize_tiny(42);
+        let n = dataset.graph.num_nodes();
+
+        // The materialisation must be non-degenerate and internally consistent.
+        assert!(n > 0, "{}: empty graph", profile.name);
+        assert!(dataset.graph.num_edges() > 0, "{}: no edges", profile.name);
+        assert_eq!(
+            dataset.features.shape(),
+            (n, profile.feature_dim),
+            "{}",
+            profile.name
+        );
+        assert_eq!(dataset.labels.len(), n, "{}", profile.name);
+        assert!(
+            dataset
+                .labels
+                .iter()
+                .all(|&label| label < profile.num_classes),
+            "{}: label out of range",
+            profile.name
+        );
+
+        // Partitioning must cover every node and leave no partition empty.
+        let num_parts = 8.min(n);
+        let partitioning = partition_kway(&dataset.graph, &PartitionConfig::with_parts(num_parts));
+        assert_eq!(partitioning.parts.len(), n, "{}", profile.name);
+        let sizes = partitioning.part_sizes();
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            n,
+            "{}: partition sizes must cover the graph",
+            profile.name
+        );
+        assert!(
+            sizes.iter().all(|&size| size > 0),
+            "{}: empty partition in {:?}",
+            profile.name,
+            sizes
+        );
+    }
+}
+
+#[test]
+fn profiles_are_reachable_by_name() {
+    for profile in DatasetProfile::all() {
+        let found = DatasetProfile::by_name(profile.name)
+            .unwrap_or_else(|| panic!("by_name must find {}", profile.name));
+        assert_eq!(found, profile);
+    }
+    assert!(DatasetProfile::by_name("not-a-dataset").is_none());
+}

@@ -57,8 +57,14 @@ fn epoch_report_speedup_ordering_matches_paper() {
     let b2 = ms_of(QgtcConfig::qgtc(ModelKind::ClusterGcn, 2));
 
     assert!(b2 < dgl, "2-bit ({b2:.3}) must beat DGL ({dgl:.3})");
-    assert!(b16 <= b32 * 1.05, "16-bit ({b16:.3}) should not lose to 32-bit ({b32:.3})");
-    assert!(b2 <= b16, "2-bit ({b2:.3}) should not lose to 16-bit ({b16:.3})");
+    assert!(
+        b16 <= b32 * 1.05,
+        "16-bit ({b16:.3}) should not lose to 32-bit ({b32:.3})"
+    );
+    assert!(
+        b2 <= b16,
+        "2-bit ({b2:.3}) should not lose to 16-bit ({b16:.3})"
+    );
 }
 
 #[test]
@@ -80,7 +86,10 @@ fn gin_speedup_over_dgl_is_at_least_gcn_like() {
     };
     let gcn = speedup(ModelKind::ClusterGcn);
     let gin = speedup(ModelKind::BatchedGin);
-    assert!(gcn > 1.0 && gin > 1.0, "both models must show a QGTC win (gcn {gcn:.2}, gin {gin:.2})");
+    assert!(
+        gcn > 1.0 && gin > 1.0,
+        "both models must show a QGTC win (gcn {gcn:.2}, gin {gin:.2})"
+    );
 }
 
 #[test]
@@ -148,5 +157,8 @@ fn every_batch_node_appears_exactly_once_per_epoch() {
             seen[node] += 1;
         }
     }
-    assert!(seen.iter().all(|&c| c == 1), "every node must be processed exactly once");
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "every node must be processed exactly once"
+    );
 }

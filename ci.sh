@@ -21,6 +21,12 @@ step cargo test --workspace -q           # superset of the tier-1 `cargo test -q
 step cargo bench --no-run --workspace    # criterion benches must compile
 step cargo build --workspace --examples --bins
 
+# Perf gate: the fused GEMM hot path must not be slower than the plane-by-plane
+# composition on the largest tiny-scale shape (full-scale runs enforce 2x; see
+# crates/bench/src/bin/perfsmoke.rs and the committed BENCH_gemm.json).
+step env QGTC_SCALE=tiny QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
+    cargo run --release -p qgtc-bench --bin perfsmoke
+
 # cargo doc exits 0 even with rustdoc warnings; re-run capturing output to
 # enforce the zero-warning docs gate.
 echo

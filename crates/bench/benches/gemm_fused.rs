@@ -1,0 +1,48 @@
+//! Criterion bench for the fused any-bitwidth GEMM hot path: the single-pass
+//! register-blocked kernel of `qgtc_bitmat::fused` against the plane-by-plane
+//! composition it replaced, plus the serial oracle for reference.  `perfsmoke`
+//! runs the same comparison with a pass/fail gate and a JSON report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgtc_bitmat::fused::any_bit_gemm_fused;
+use qgtc_bitmat::gemm::{any_bit_gemm, any_bit_gemm_serial};
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_kernels::tile_reuse::random_feature_codes;
+
+const N: usize = 256;
+
+fn operands(a_bits: u32, b_bits: u32) -> (StackedBitMatrix, StackedBitMatrix) {
+    let a_codes = random_feature_codes(N, N, a_bits, 1);
+    let b_codes = random_feature_codes(N, N, b_bits, 2);
+    let a = StackedBitMatrix::from_codes(&a_codes, a_bits, BitMatrixLayout::RowPacked);
+    let b = StackedBitMatrix::from_codes(&b_codes, b_bits, BitMatrixLayout::ColPacked);
+    (a, b)
+}
+
+fn bench_fused_vs_planewise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_fused");
+    group.sample_size(10);
+    for (s, t) in [(1u32, 1u32), (3, 2), (4, 4)] {
+        let (a, b) = operands(s, t);
+        group.bench_with_input(
+            BenchmarkId::new("planewise", format!("{s}x{t}")),
+            &(s, t),
+            |bench, _| bench.iter(|| any_bit_gemm(&a, &b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused", format!("{s}x{t}")),
+            &(s, t),
+            |bench, _| bench.iter(|| any_bit_gemm_fused(&a, &b)),
+        );
+    }
+    // Serial oracle at the paper's headline 3-bit x 2-bit combination, for a
+    // sense of how much the parallel dispatch itself contributes.
+    let (a, b) = operands(3, 2);
+    group.bench_function("serial_oracle/3x2", |bench| {
+        bench.iter(|| any_bit_gemm_serial(&a, &b))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_planewise);
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! perfsmoke: wall-clock regression gate for the fused GEMM hot path.
+//!
+//! Times the plane-by-plane composition (`any_bit_gemm` /
+//! `aggregate_adj_features`) against the fused single-pass kernel
+//! (`any_bit_gemm_fused` / `aggregate_adj_features_fused`) on the headline
+//! 3-bit × 2-bit square GEMM plus one aggregation shape per Table-1 dataset
+//! profile, checks the two paths agree bit-for-bit, writes the numbers as JSON,
+//! and **fails** (non-zero exit) when the fused path does not clear its speedup
+//! bar on the headline shape.
+//!
+//! Usage: `cargo run --release -p qgtc-bench --bin perfsmoke`
+//!
+//! * `QGTC_SCALE=tiny|fast|paper` — problem sizes (default `fast`).  `tiny` is
+//!   the CI setting: a 256³ headline shape, 128-node batches, and a speedup bar
+//!   of 1.0× (fused must simply not be slower).  Every other scale runs the
+//!   full 1024³ headline shape with the 2.0× bar of the fused-kernel PR.
+//! * `QGTC_PERFSMOKE_OUT` — output path for the JSON report (default
+//!   `BENCH_gemm.json`; the committed copy at the repo root is a full-scale
+//!   run).
+
+use qgtc_bench::report::fmt3;
+use qgtc_bitmat::fused::{aggregate_adj_features_fused, any_bit_gemm_fused};
+use qgtc_bitmat::gemm::{aggregate_adj_features, any_bit_gemm};
+use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_graph::DatasetProfile;
+use qgtc_kernels::tile_reuse::random_feature_codes;
+use qgtc_tensor::rng::random_uniform_matrix;
+use std::time::Instant;
+
+/// The headline bit combination of the paper's running example (3-bit × 2-bit).
+const HEADLINE_A_BITS: u32 = 3;
+const HEADLINE_B_BITS: u32 = 2;
+/// Feature bitwidth for the Table-1 aggregation shapes.
+const AGG_BITS: u32 = 2;
+/// Timed repetitions per measurement (after one warm-up call).
+const REPS: u32 = 3;
+
+struct ShapeResult {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_bits: u32,
+    b_bits: u32,
+    planewise_ns: u128,
+    fused_ns: u128,
+}
+
+impl ShapeResult {
+    fn speedup(&self) -> f64 {
+        if self.fused_ns == 0 {
+            return 1.0;
+        }
+        self.planewise_ns as f64 / self.fused_ns as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, ",
+                "\"a_bits\": {}, \"b_bits\": {}, \"planewise_ns_per_op\": {}, ",
+                "\"fused_ns_per_op\": {}, \"speedup\": {}}}"
+            ),
+            self.name,
+            self.m,
+            self.k,
+            self.n,
+            self.a_bits,
+            self.b_bits,
+            self.planewise_ns,
+            self.fused_ns,
+            fmt3(self.speedup()),
+        )
+    }
+}
+
+/// Minimum wall time of `REPS` calls (after one warm-up), in nanoseconds.
+fn time_min<F: FnMut()>(mut f: F) -> u128 {
+    f();
+    (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// Headline square GEMM: `size × size × size`, 3-bit × 2-bit random codes.
+fn headline_shape(size: usize) -> ShapeResult {
+    let a_codes = random_feature_codes(size, size, HEADLINE_A_BITS, 11);
+    let b_codes = random_feature_codes(size, size, HEADLINE_B_BITS, 12);
+    let a = StackedBitMatrix::from_codes(&a_codes, HEADLINE_A_BITS, BitMatrixLayout::RowPacked);
+    let b = StackedBitMatrix::from_codes(&b_codes, HEADLINE_B_BITS, BitMatrixLayout::ColPacked);
+    assert_eq!(
+        any_bit_gemm_fused(&a, &b),
+        any_bit_gemm(&a, &b),
+        "fused and plane-by-plane GEMMs disagree on the headline shape"
+    );
+    let planewise_ns = time_min(|| {
+        let _ = any_bit_gemm(&a, &b);
+    });
+    let fused_ns = time_min(|| {
+        let _ = any_bit_gemm_fused(&a, &b);
+    });
+    ShapeResult {
+        name: format!("headline-{HEADLINE_A_BITS}x{HEADLINE_B_BITS}-{size}"),
+        m: size,
+        k: size,
+        n: size,
+        a_bits: HEADLINE_A_BITS,
+        b_bits: HEADLINE_B_BITS,
+        planewise_ns,
+        fused_ns,
+    }
+}
+
+/// One Table-1 aggregation shape: a `batch × batch` adjacency at the profile's
+/// average degree times `batch × feature_dim` 2-bit features.
+fn profile_shape(profile: &DatasetProfile, batch: usize, seed: u64) -> ShapeResult {
+    let density = (profile.avg_degree() / batch as f64).clamp(0.005, 0.5) as f32;
+    let adjacency =
+        random_uniform_matrix(batch, batch, 0.0, 1.0, seed).map(|&v| (v < density) as u32 as f32);
+    let features = random_feature_codes(batch, profile.feature_dim, AGG_BITS, seed + 1);
+    let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+    let x = StackedBitMatrix::from_codes(&features, AGG_BITS, BitMatrixLayout::ColPacked);
+    assert_eq!(
+        aggregate_adj_features_fused(&adj, &x),
+        aggregate_adj_features(&adj, &x),
+        "fused and plane-by-plane aggregations disagree on {}",
+        profile.name
+    );
+    let planewise_ns = time_min(|| {
+        let _ = aggregate_adj_features(&adj, &x);
+    });
+    let fused_ns = time_min(|| {
+        let _ = aggregate_adj_features_fused(&adj, &x);
+    });
+    ShapeResult {
+        name: profile.name.to_string(),
+        m: batch,
+        k: batch,
+        n: profile.feature_dim,
+        a_bits: 1,
+        b_bits: AGG_BITS,
+        planewise_ns,
+        fused_ns,
+    }
+}
+
+fn main() {
+    let scale = std::env::var("QGTC_SCALE").unwrap_or_else(|_| "fast".to_string());
+    let (headline_size, batch, min_speedup) = match scale.as_str() {
+        "tiny" => (256usize, 128usize, 1.0f64),
+        _ => (1024, 512, 2.0),
+    };
+    let out_path =
+        std::env::var("QGTC_PERFSMOKE_OUT").unwrap_or_else(|_| "BENCH_gemm.json".to_string());
+
+    eprintln!(
+        "perfsmoke: plane-by-plane vs fused GEMM (scale {scale}, headline {headline_size}^3, \
+         speedup bar {min_speedup}x)"
+    );
+
+    let mut shapes = Vec::new();
+    let mut seed = 20u64;
+    for profile in DatasetProfile::all() {
+        let result = profile_shape(&profile, batch, seed);
+        seed += 2;
+        eprintln!(
+            "  {:<28} planewise {:>12} ns  fused {:>12} ns  speedup {}x",
+            result.name,
+            result.planewise_ns,
+            result.fused_ns,
+            fmt3(result.speedup()),
+        );
+        shapes.push(result);
+    }
+    let headline = headline_shape(headline_size);
+    eprintln!(
+        "  {:<28} planewise {:>12} ns  fused {:>12} ns  speedup {}x",
+        headline.name,
+        headline.planewise_ns,
+        headline.fused_ns,
+        fmt3(headline.speedup()),
+    );
+    let headline_speedup = headline.speedup();
+    shapes.push(headline);
+
+    let shape_lines: Vec<String> = shapes.iter().map(ShapeResult::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"gemm_fused_vs_planewise\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"reps\": {},\n",
+            "  \"generated_by\": \"cargo run --release -p qgtc-bench --bin perfsmoke\",\n",
+            "  \"headline_speedup\": {},\n",
+            "  \"min_speedup_required\": {},\n",
+            "  \"shapes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        REPS,
+        fmt3(headline_speedup),
+        min_speedup,
+        shape_lines.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|err| {
+        eprintln!("perfsmoke: cannot write {out_path}: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("perfsmoke: wrote {out_path}");
+
+    if headline_speedup < min_speedup {
+        eprintln!(
+            "perfsmoke FAIL: fused path is only {}x the plane-by-plane path on the headline \
+             shape (need >= {min_speedup}x)",
+            fmt3(headline_speedup)
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perfsmoke OK: fused path is {}x the plane-by-plane path on the headline shape",
+        fmt3(headline_speedup)
+    );
+}

@@ -9,9 +9,16 @@
 //!
 //! where `BMM` is the binary (AND + popcount) matrix product of
 //! [`crate::ops::bmm_plane`].  The functions here implement that composition directly
-//! over [`StackedBitMatrix`] operands; they are the semantic reference for the
-//! Tensor-Core-tiled kernels in `qgtc-kernels` and are themselves verified against
-//! a 64-bit integer GEMM on the codes.
+//! over [`StackedBitMatrix`] operands, **one plane pair at a time**: each pair
+//! materialises a `u32` partial product and re-walks the output to accumulate it.
+//! They are the semantic reference for the kernels in `qgtc-kernels` and are
+//! themselves verified against a 64-bit integer GEMM on the codes.
+//!
+//! Production callers should use [`crate::fused::any_bit_gemm_fused`] instead,
+//! which performs the identical composition in a single pass over the output;
+//! the plane-by-plane forms are kept as the measurable baseline (`perfsmoke`
+//! and the criterion benches time fused against them) and as the oracle
+//! ([`any_bit_gemm_serial`]) for the property suite.
 //!
 //! The module also exposes the scalar and vector forms of the decomposition
 //! (Equations 3–7 of the paper), mostly as executable documentation.

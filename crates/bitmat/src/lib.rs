@@ -23,19 +23,25 @@
 //!   layout appropriate for its operand position.
 //! * [`ops`] — bit-serial primitives: AND+popcount dot products and single-plane
 //!   binary matrix multiplication.
-//! * [`gemm`] — the any-bitwidth GEMM composition of Algorithm 1, used both as the
-//!   semantic reference for the Tensor-Core kernels in `qgtc-kernels` and as a
-//!   CPU fallback execution path.
+//! * [`gemm`] — the plane-by-plane any-bitwidth GEMM composition of Algorithm 1:
+//!   [`gemm::any_bit_gemm_serial`] is the workspace's semantic oracle, and the
+//!   parallel plane-by-plane form is kept as the measurable baseline.
+//! * [`fused`] — the production hot path: the same composition fused into a
+//!   single register-blocked pass over the output (no intermediate plane
+//!   products, one pool dispatch, `u64` word pairs).  Kernels and models route
+//!   through [`fused::any_bit_gemm_fused`] / [`fused::aggregate_adj_features_fused`].
 //!
 //! All routines are exact: for operands that fit their declared bitwidths, the
 //! composed result equals a 64-bit integer GEMM on the codes.
 
 pub mod bitmatrix;
 pub mod decompose;
+pub mod fused;
 pub mod gemm;
 pub mod ops;
 pub mod pack;
 pub mod stacked;
 
 pub use bitmatrix::{BitMatrix, BitMatrixLayout};
+pub use fused::{aggregate_adj_features_fused, any_bit_gemm_fused};
 pub use stacked::StackedBitMatrix;

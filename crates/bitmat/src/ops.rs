@@ -22,13 +22,11 @@ pub fn bmm_plane(a: &BitMatrix, b: &BitMatrix) -> Matrix<u32> {
     validate_bmm_operands(a, b);
     let m = a.rows();
     let n = b.cols();
-    let words = a.words_per_lane();
+    let b_lanes = trimmed_lanes(b, n, a.words_per_lane());
     let mut out: Matrix<u32> = Matrix::zeros(m, n);
     for i in 0..m {
         let a_lane = a.lane(i);
-        let row = out.row_mut(i);
-        for (j, slot) in row.iter_mut().enumerate().take(n) {
-            let b_lane = &b.lane(j)[..words];
+        for (slot, b_lane) in out.row_mut(i).iter_mut().zip(&b_lanes) {
             *slot = and_popcount(a_lane, b_lane);
         }
     }
@@ -40,19 +38,24 @@ pub fn bmm_plane_parallel(a: &BitMatrix, b: &BitMatrix) -> Matrix<u32> {
     validate_bmm_operands(a, b);
     let m = a.rows();
     let n = b.cols();
-    let words = a.words_per_lane();
+    let b_lanes = trimmed_lanes(b, n, a.words_per_lane());
     let mut out: Matrix<u32> = Matrix::zeros(m, n);
     out.data_mut()
         .par_chunks_mut(n.max(1))
         .enumerate()
         .for_each(|(i, row)| {
             let a_lane = a.lane(i);
-            for (j, slot) in row.iter_mut().enumerate() {
-                let b_lane = &b.lane(j)[..words];
+            for (slot, b_lane) in row.iter_mut().zip(&b_lanes) {
                 *slot = and_popcount(a_lane, b_lane);
             }
         });
     out
+}
+
+/// Slice the first `count` lanes of `b`, trimmed to `words` packed words each —
+/// computed once per BMM call so the inner loops avoid re-slicing per element.
+fn trimmed_lanes(b: &BitMatrix, count: usize, words: usize) -> Vec<&[u32]> {
+    (0..count).map(|j| &b.lane(j)[..words]).collect()
 }
 
 /// Check layouts and inner dimensions of a BMM operand pair.

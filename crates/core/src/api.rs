@@ -13,7 +13,7 @@
 
 use crate::bit_tensor::BitTensor;
 use qgtc_bitmat::BitMatrixLayout;
-use qgtc_kernels::bmm::{qgtc_bmm, KernelConfig};
+use qgtc_kernels::bmm::{qgtc_bitmm2int, KernelConfig};
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::{Matrix, QuantParams, Quantizer};
 
@@ -27,7 +27,7 @@ pub fn bit_mm_to_int(
     config: &KernelConfig,
     tracker: &CostTracker,
 ) -> Matrix<i64> {
-    qgtc_bmm(a.stack(), b.stack(), config, tracker)
+    qgtc_bitmm2int(a.stack(), b.stack(), config, tracker)
 }
 
 /// `bitMM2Bit`: multiply two bit tensors and re-quantize the result to `out_bits`,
@@ -39,7 +39,7 @@ pub fn bit_mm_to_bit(
     config: &KernelConfig,
     tracker: &CostTracker,
 ) -> (BitTensor, QuantParams) {
-    let accumulator = qgtc_bmm(a.stack(), b.stack(), config, tracker);
+    let accumulator = qgtc_bitmm2int(a.stack(), b.stack(), config, tracker);
     let dense = accumulator.map(|&v| v as f32);
     let quantizer = Quantizer::calibrate(out_bits, &dense).expect("out_bits must be in 1..=32");
     let codes = quantizer.quantize_matrix_u32(&dense);

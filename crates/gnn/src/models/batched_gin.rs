@@ -9,7 +9,7 @@
 use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
-use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bmm, KernelConfig};
+use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::gemm::gemm_f32;
 use qgtc_tensor::{ops, Matrix, QuantParams, Quantizer};
@@ -135,7 +135,7 @@ impl BatchedGinModel {
             tracker.record_int_ops(x.len() as u64 * bits as u64);
             let (w_stack, w_params) =
                 quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
-            let update_acc = qgtc_bmm(&x_stack, &w_stack, kernel_config, tracker);
+            let update_acc = qgtc_bitmm2int(&x_stack, &w_stack, kernel_config, tracker);
             let rowsums = code_row_sums(&x_stack);
             let updated = dequantize_update(&update_acc, x_params, w_params, &rowsums, &layer.bias);
             tracker.record_fp32_flops(3 * updated.len() as u64);

@@ -9,7 +9,7 @@
 use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
-use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bmm, KernelConfig};
+use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::gemm::gemm_f32;
 use qgtc_tensor::{ops, Matrix};
@@ -146,8 +146,8 @@ impl ClusterGcnModel {
             let (w_stack, w_params) =
                 quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
 
-            // Node update GEMM.
-            let update_acc = qgtc_bmm(&h_stack, &w_stack, kernel_config, tracker);
+            // Node update GEMM (the framework's fused bitMM2Int entry point).
+            let update_acc = qgtc_bitmm2int(&h_stack, &w_stack, kernel_config, tracker);
 
             // Epilogue 2 (fused): affine-corrected dequantization, bias, activation.
             let rowsums = code_row_sums(&h_stack);

@@ -4,9 +4,11 @@
 //! `qgtc-tcsim`:
 //!
 //! * [`bmm`] — the tiled any-bitwidth bit-matrix-multiplication kernel: operands are
-//!   3D-stacked bit-compressed matrices, the inner loop issues 8×8×128 1-bit MMAs,
-//!   and the bit-plane partial products are shift-accumulated into 32-bit (modeled as
-//!   `i64` here to keep Rust arithmetic explicit) outputs.
+//!   3D-stacked bit-compressed matrices and the bit-plane partial products are
+//!   shift-accumulated into 32-bit (modeled as `i64` here to keep Rust arithmetic
+//!   explicit) outputs.  The arithmetic executes through the fused host kernel of
+//!   `qgtc-bitmat` while the 8×8×128-tile walk of the GPU kernel is charged to the
+//!   cost tracker analytically (see [`bmm`]'s module docs).
 //! * [`zero_tile`] — zero-tile jumping (§4.3): detect all-zero 8×128 adjacency tiles
 //!   with an OR-reduce + ballot and skip their MMAs and B-operand loads.
 //! * [`tile_reuse`] — non-zero tile reuse (§4.4): the cross-tile reduction ordering
@@ -32,6 +34,6 @@ pub mod scheduler;
 pub mod tile_reuse;
 pub mod zero_tile;
 
-pub use bmm::{qgtc_aggregate, qgtc_bmm, KernelConfig, ReductionOrder};
+pub use bmm::{qgtc_aggregate, qgtc_bitmm2int, qgtc_bmm, KernelConfig, ReductionOrder};
 pub use fusion::{Activation, FusedEpilogue};
 pub use packing::{SubgraphPayload, TransferStrategy};

@@ -2,22 +2,30 @@
 //!
 //! The build environment has no registry access, so this crate implements the
 //! exact subset of rayon's API the workspace uses — `par_chunks_mut` followed by
-//! `enumerate().for_each(..)` — with real data parallelism on
-//! [`std::thread::scope`]. Chunks are dealt to one worker per available core in
-//! contiguous runs, so the cache behaviour matches rayon's slice splitting
-//! closely enough for the relative timings the benches report.
+//! `enumerate().for_each(..)`, and `into_par_iter` on ranges with
+//! `map`/`for_each`/`collect` — with real data parallelism on a **persistent
+//! work-stealing worker pool** (the private `pool` module).  The first parallel call spawns
+//! one worker per available core (`RAYON_NUM_THREADS` overrides the count, as
+//! with the real crate); every later call is a single dispatch onto the already
+//! running workers instead of a fresh `std::thread::scope`, so hot paths that
+//! issue many parallel calls (the bit-plane GEMMs) pay the thread start-up cost
+//! exactly once per process.
+//!
+//! Items are dealt to the workers in contiguous **ascending** runs — worker 0
+//! owns the lowest-index chunks, matching rayon's recursive slice splitting —
+//! and idle workers steal remaining items from the other runs' cursors, so an
+//! uneven job cannot strand the pool.
 //!
 //! Swap this shim for the real crate by deleting the `rayon` entry in the
 //! workspace `[workspace.dependencies]` table and adding a registry version.
 
-use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
-/// Number of worker threads: one per available core.
-fn thread_count() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-}
+mod pool;
+
+/// An enumerated chunk queued for the pool; each cell is taken exactly once
+/// because the pool hands out every index exactly once.
+type QueuedChunk<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
 
 /// Parallel iterator over mutable, non-overlapping chunks of a slice, produced
 /// by [`prelude::ParallelSliceMut::par_chunks_mut`].
@@ -34,7 +42,7 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
         }
     }
 
-    /// Apply `op` to every chunk, distributing the chunks across threads.
+    /// Apply `op` to every chunk, distributing the chunks across the pool.
     pub fn for_each<F>(self, op: F)
     where
         F: Fn(&mut [T]) + Sync,
@@ -49,35 +57,30 @@ pub struct EnumerateParChunksMut<'a, T> {
 }
 
 impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
-    /// Apply `op` to every `(index, chunk)` pair across worker threads.
+    /// Apply `op` to every `(index, chunk)` pair across the worker pool.
     ///
-    /// Work is split into contiguous runs of chunks, one run per worker, which
-    /// preserves rayon's property that neighbouring output rows land on the
-    /// same thread.
+    /// Chunks are dealt in ascending contiguous runs (worker 0 gets the
+    /// lowest-index chunks), which preserves rayon's property that neighbouring
+    /// output rows land on the same thread.
     pub fn for_each<F>(self, op: F)
     where
         F: Fn((usize, &'a mut [T])) + Sync,
     {
-        let mut items: Vec<(usize, &'a mut [T])> = self.chunks.into_iter().enumerate().collect();
-        let workers = thread_count().min(items.len().max(1));
-        if workers <= 1 {
-            for item in items {
-                op(item);
-            }
-            return;
-        }
-        let per_worker = items.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            while !items.is_empty() {
-                let split_at = items.len().saturating_sub(per_worker);
-                let run = items.split_off(split_at);
-                let op = &op;
-                scope.spawn(move || {
-                    for item in run {
-                        op(item);
-                    }
-                });
-            }
+        // Each index is handed out exactly once by the pool, so every cell is
+        // taken at most once; the per-item mutex is uncontended by construction.
+        let items: Vec<QueuedChunk<'a, T>> = self
+            .chunks
+            .into_iter()
+            .enumerate()
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
+        pool::global().dispatch(items.len(), &|index| {
+            let item = items[index]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("pool dealt an index twice");
+            op(item);
         });
     }
 }
@@ -85,8 +88,9 @@ impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
 pub mod iter {
     //! Parallel iterator entry points (`into_par_iter` on ranges).
 
-    use super::thread_count;
+    use crate::pool;
     use std::ops::Range;
+    use std::sync::Mutex;
 
     /// Subset of `rayon::iter::IntoParallelIterator`.
     pub trait IntoParallelIterator {
@@ -123,12 +127,13 @@ pub mod iter {
             }
         }
 
-        /// Apply `op` to every index across worker threads.
+        /// Apply `op` to every index across the worker pool.
         pub fn for_each<F>(self, op: F)
         where
             F: Fn(usize) + Sync,
         {
-            self.map(op).run();
+            let start = self.range.start;
+            pool::global().dispatch(self.range.len(), &|offset| op(start + offset));
         }
     }
 
@@ -139,46 +144,6 @@ pub mod iter {
     }
 
     impl<F> ParRangeMap<F> {
-        /// Evaluate the map over contiguous index runs, one run per worker,
-        /// and return the per-run results in index order.
-        fn run_parts<U>(self) -> Vec<Vec<U>>
-        where
-            F: Fn(usize) -> U + Sync,
-            U: Send,
-        {
-            let len = self.range.len();
-            let workers = thread_count().min(len.max(1));
-            if workers <= 1 {
-                return vec![self.range.map(&self.map).collect()];
-            }
-            let per_worker = len.div_ceil(workers);
-            let map = &self.map;
-            let start = self.range.start;
-            let end = self.range.end;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|worker| {
-                        let lo = (start + worker * per_worker).min(end);
-                        let hi = (lo + per_worker).min(end);
-                        scope.spawn(move || (lo..hi).map(map).collect::<Vec<U>>())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("rayon-shim worker panicked"))
-                    .collect()
-            })
-        }
-
-        /// Evaluate for side effects only.
-        fn run<U>(self)
-        where
-            F: Fn(usize) -> U + Sync,
-            U: Send,
-        {
-            let _ = self.run_parts();
-        }
-
         /// Collect mapped values in index order, as rayon's indexed collect does.
         pub fn collect<C, U>(self) -> C
         where
@@ -186,7 +151,22 @@ pub mod iter {
             U: Send,
             C: FromIterator<U>,
         {
-            self.run_parts().into_iter().flatten().collect()
+            let len = self.range.len();
+            let start = self.range.start;
+            let slots: Vec<Mutex<Option<U>>> = (0..len).map(|_| Mutex::new(None)).collect();
+            let map = &self.map;
+            pool::global().dispatch(len, &|offset| {
+                let value = map(start + offset);
+                *slots[offset].lock().unwrap() = Some(value);
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap()
+                        .expect("pool skipped a mapped index")
+                })
+                .collect()
         }
     }
 }
@@ -243,5 +223,40 @@ mod tests {
         let mut data: Vec<u8> = Vec::new();
         data.par_chunks_mut(8)
             .for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 257);
+        for (i, &v) in squares.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn range_for_each_visits_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        (0..hits.len()).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_global_pool() {
+        // Regression guard for the per-call `thread::scope` the seed shim used:
+        // a thousand tiny dispatches should complete quickly and correctly.
+        let mut data = vec![0u64; 128];
+        for round in 1..=100u64 {
+            data.par_chunks_mut(8).for_each(|chunk| {
+                for slot in chunk.iter_mut() {
+                    *slot += round;
+                }
+            });
+        }
+        let expected: u64 = (1..=100u64).sum();
+        assert!(data.iter().all(|&v| v == expected));
     }
 }

@@ -1,0 +1,84 @@
+//! Property suite for the fused GEMM hot path: across random shapes, bit widths
+//! 1–8 and odd/exactly-padded K values, the fused kernels must agree
+//! bit-for-bit with the plane-by-plane serial oracle of `qgtc_bitmat::gemm`.
+
+use proptest::prelude::*;
+use qgtc_repro::bitmat::fused::{aggregate_adj_features_fused, any_bit_gemm_fused};
+use qgtc_repro::bitmat::gemm::{aggregate_adj_features, any_bit_gemm_serial};
+use qgtc_repro::bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_repro::tensor::rng::random_uniform_matrix;
+use qgtc_repro::tensor::Matrix;
+
+/// K values that exercise the padding edge cases: odd widths, one short of /
+/// exactly at / one past the 128-bit tile boundary, and multi-tile widths.
+const AWKWARD_K: [usize; 8] = [1, 31, 127, 128, 129, 200, 255, 256];
+
+fn random_codes(rows: usize, cols: usize, bits: u32, seed: u64) -> Matrix<u32> {
+    let max = (1u64 << bits) as f32;
+    random_uniform_matrix(rows, cols, 0.0, max, seed).map(|&v| (v as u32).min((1u32 << bits) - 1))
+}
+
+fn stacks(
+    m: usize,
+    k: usize,
+    n: usize,
+    s: u32,
+    t: u32,
+    seed: u64,
+) -> (StackedBitMatrix, StackedBitMatrix) {
+    let a_codes = random_codes(m, k, s, seed);
+    let b_codes = random_codes(k, n, t, seed ^ 0x5DEE_CE66);
+    (
+        StackedBitMatrix::from_codes(&a_codes, s, BitMatrixLayout::RowPacked),
+        StackedBitMatrix::from_codes(&b_codes, t, BitMatrixLayout::ColPacked),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_gemm_matches_serial_oracle(
+        dims in (1usize..24, 1usize..200, 1usize..24),
+        bits in (1u32..=8, 1u32..=8),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, k, n) = dims;
+        let (s, t) = bits;
+        let (a, b) = stacks(m, k, n, s, t, seed);
+        prop_assert_eq!(any_bit_gemm_fused(&a, &b), any_bit_gemm_serial(&a, &b));
+    }
+
+    #[test]
+    fn fused_gemm_matches_oracle_at_padding_boundaries(
+        k_index in 0usize..8,
+        dims in (1usize..20, 1usize..20),
+        bits in (1u32..=8, 1u32..=8),
+        seed in 0u64..1_000_000,
+    ) {
+        let k = AWKWARD_K[k_index];
+        let (m, n) = dims;
+        let (s, t) = bits;
+        let (a, b) = stacks(m, k, n, s, t, seed);
+        prop_assert_eq!(any_bit_gemm_fused(&a, &b), any_bit_gemm_serial(&a, &b));
+    }
+
+    #[test]
+    fn fused_aggregation_matches_plane_composition(
+        dims in (1usize..48, 1usize..24),
+        bits in 1u32..=8,
+        density in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let (nodes, dim) = dims;
+        let adjacency = random_uniform_matrix(nodes, nodes, 0.0, 1.0, seed)
+            .map(|&v| (f64::from(v) < density) as u32 as f32);
+        let features = random_codes(nodes, dim, bits, seed ^ 0xA5A5);
+        let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&features, bits, BitMatrixLayout::ColPacked);
+        prop_assert_eq!(
+            aggregate_adj_features_fused(&adj, &x),
+            aggregate_adj_features(&adj, &x)
+        );
+    }
+}

@@ -21,10 +21,15 @@ step cargo test --workspace -q           # superset of the tier-1 `cargo test -q
 step cargo bench --no-run --workspace    # criterion benches must compile
 step cargo build --workspace --examples --bins
 
-# Perf gate: the fused GEMM hot path must not be slower than the plane-by-plane
-# composition on the largest tiny-scale shape (full-scale runs enforce 2x; see
-# crates/bench/src/bin/perfsmoke.rs and the committed BENCH_gemm.json).
+# Perf gates (see crates/bench/src/bin/perfsmoke.rs):
+#  * fused GEMM must not be slower than the plane-by-plane composition on the
+#    largest tiny-scale shape (full-scale runs enforce 2x; committed
+#    BENCH_gemm.json);
+#  * the streamed batch pipeline must not be slower than the serial epoch loop
+#    (wall-clock, 5% tolerance) and its modeled transfer/compute overlap must
+#    clear the scale's bar (1.0x tiny, 1.3x full; committed BENCH_pipeline.json).
 step env QGTC_SCALE=tiny QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
+    QGTC_PIPELINE_OUT=target/BENCH_pipeline.tiny.json \
     cargo run --release -p qgtc-bench --bin perfsmoke
 
 # cargo doc exits 0 even with rustdoc warnings; re-run capturing output to

@@ -45,4 +45,6 @@ fn main() {
         .exp()
         .powf(1.0 / rows.len().max(1) as f64);
     println!("Geometric-mean speedup of QGTC 2-bit over DGL: {geo_mean:.2}x (paper reports ~2.6x average across bitwidths)");
+
+    qgtc_bench::overlap_table(&rows, 2).print();
 }

@@ -17,7 +17,15 @@ fn main() {
     let rows = fig8_zero_tile(&datasets, &scale, 17);
     let mut table = Table::new(
         "Figure 8: fraction of TC tiles processed with zero-tile jumping",
-        &["dataset", "total tiles", "non-zero tiles", "processed (%)"],
+        &[
+            "dataset",
+            "total tiles",
+            "non-zero tiles",
+            "processed (%)",
+            "epoch serial (ms)",
+            "epoch overlapped (ms)",
+            "overlap",
+        ],
     );
     for row in &rows {
         table.add_row(vec![
@@ -25,6 +33,9 @@ fn main() {
             row.total_tiles.to_string(),
             row.nonzero_tiles.to_string(),
             format!("{:.2}", row.processed_ratio * 100.0),
+            format!("{:.3}", row.pipeline.serial_ms()),
+            format!("{:.3}", row.pipeline.overlapped_ms()),
+            format!("{:.2}x", row.pipeline.overlap_speedup()),
         ]);
     }
     table.print();

@@ -8,20 +8,30 @@
 //! and **fails** (non-zero exit) when the fused path does not clear its speedup
 //! bar on the headline shape.
 //!
+//! It also probes the **streamed batch pipeline**: one serial vs streamed epoch
+//! per fig7 dataset (Cluster GCN, 2-bit), gating that the streamed executor's
+//! host wall-clock is not slower than the serial loop and recording the numbers
+//! as `BENCH_pipeline.json`.
+//!
 //! Usage: `cargo run --release -p qgtc-bench --bin perfsmoke`
 //!
 //! * `QGTC_SCALE=tiny|fast|paper` — problem sizes (default `fast`).  `tiny` is
 //!   the CI setting: a 256³ headline shape, 128-node batches, and a speedup bar
-//!   of 1.0× (fused must simply not be slower).  Every other scale runs the
-//!   full 1024³ headline shape with the 2.0× bar of the fused-kernel PR.
-//! * `QGTC_PERFSMOKE_OUT` — output path for the JSON report (default
+//!   of 1.0× (fused must simply not be slower; streamed must simply not be
+//!   slower).  Every other scale runs the full 1024³ headline shape with the
+//!   2.0× bar of the fused-kernel PR and a 1.3× bar on the streamed pipeline.
+//! * `QGTC_PERFSMOKE_OUT` — output path for the GEMM JSON report (default
 //!   `BENCH_gemm.json`; the committed copy at the repo root is a full-scale
+//!   run).
+//! * `QGTC_PIPELINE_OUT` — output path for the pipeline JSON report (default
+//!   `BENCH_pipeline.json`; the committed copy at the repo root is a full-scale
 //!   run).
 
 use qgtc_bench::report::fmt3;
 use qgtc_bitmat::fused::{aggregate_adj_features_fused, any_bit_gemm_fused};
 use qgtc_bitmat::gemm::{aggregate_adj_features, any_bit_gemm};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
+use qgtc_core::{run_epoch, run_epoch_streamed, ModelKind, QgtcConfig};
 use qgtc_graph::DatasetProfile;
 use qgtc_kernels::tile_reuse::random_feature_codes;
 use qgtc_tensor::rng::random_uniform_matrix;
@@ -149,6 +159,105 @@ fn profile_shape(profile: &DatasetProfile, batch: usize, seed: u64) -> ShapeResu
     }
 }
 
+/// One dataset row of the streamed-pipeline probe: serial vs streamed epoch
+/// wall-clock (partitioning excluded on both sides) plus the modeled
+/// serial-vs-overlapped epoch latency, on the fig7 workload.
+struct PipelineProbe {
+    dataset: String,
+    num_batches: usize,
+    prefetch: usize,
+    serial_wall_ms: f64,
+    streamed_wall_ms: f64,
+    modeled_serial_ms: f64,
+    modeled_overlapped_ms: f64,
+}
+
+impl PipelineProbe {
+    fn wall_speedup(&self) -> f64 {
+        if self.streamed_wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.serial_wall_ms / self.streamed_wall_ms
+    }
+
+    fn modeled_speedup(&self) -> f64 {
+        if self.modeled_overlapped_ms <= 0.0 {
+            return 1.0;
+        }
+        self.modeled_serial_ms / self.modeled_overlapped_ms
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"num_batches\": {}, \"prefetch\": {}, ",
+                "\"serial_wall_ms\": {}, \"streamed_wall_ms\": {}, \"wall_speedup\": {}, ",
+                "\"modeled_serial_ms\": {}, \"modeled_overlapped_ms\": {}, ",
+                "\"modeled_overlap_speedup\": {}}}"
+            ),
+            self.dataset,
+            self.num_batches,
+            self.prefetch,
+            fmt3(self.serial_wall_ms),
+            fmt3(self.streamed_wall_ms),
+            fmt3(self.wall_speedup()),
+            fmt3(self.modeled_serial_ms),
+            fmt3(self.modeled_overlapped_ms),
+            fmt3(self.modeled_speedup()),
+        )
+    }
+}
+
+/// Probe one dataset: `reps` serial and streamed epochs (after one warm-up each),
+/// minimum wall-clock per executor, plus a hard sanity check that the two
+/// executors recorded identical cost counters.
+fn probe_pipeline(
+    profile: &DatasetProfile,
+    dataset_scale: f64,
+    partitions: usize,
+    batch_size: usize,
+    prefetch: usize,
+    reps: usize,
+    seed: u64,
+) -> PipelineProbe {
+    let dataset = profile.materialize(dataset_scale, seed);
+    let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
+        .scaled_partitions(partitions, batch_size)
+        .with_prefetch(prefetch);
+
+    let serial = run_epoch(&dataset, &config);
+    let streamed = run_epoch_streamed(&dataset, &config);
+    assert_eq!(
+        serial.cost, streamed.cost,
+        "streamed executor must record identical counters on {}",
+        profile.name
+    );
+    assert_eq!(
+        serial.batch_costs, streamed.batch_costs,
+        "streamed executor must match serial batch-for-batch on {}",
+        profile.name
+    );
+
+    // The two runs above served as warm-up (and the counter check); time fresh
+    // repetitions only, interleaved so allocator/frequency drift hits both
+    // executors evenly, and keep the minimum per executor.
+    let mut serial_wall_ms = f64::INFINITY;
+    let mut streamed_wall_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        serial_wall_ms = serial_wall_ms.min(run_epoch(&dataset, &config).host_wall_ms);
+        streamed_wall_ms = streamed_wall_ms.min(run_epoch_streamed(&dataset, &config).host_wall_ms);
+    }
+    PipelineProbe {
+        dataset: profile.name.to_string(),
+        num_batches: serial.num_batches,
+        prefetch,
+        serial_wall_ms,
+        streamed_wall_ms,
+        modeled_serial_ms: streamed.pipeline.serial_ms(),
+        modeled_overlapped_ms: streamed.pipeline.overlapped_ms(),
+    }
+}
+
 fn main() {
     let scale = std::env::var("QGTC_SCALE").unwrap_or_else(|_| "fast".to_string());
     let (headline_size, batch, min_speedup) = match scale.as_str() {
@@ -213,16 +322,153 @@ fn main() {
     });
     eprintln!("perfsmoke: wrote {out_path}");
 
+    // ---- Streamed batch pipeline probe (fig7 workload: Cluster GCN, 2-bit) ----
+    // Small batches maximise the number of pipeline stages; the prefetch depth
+    // bounds both the staging memory and the producer shard count. Two gates:
+    //
+    // * wall-clock — the streamed executor must not be slower than the serial loop
+    //   (15% tolerance: epochs are a few ms, so scheduler noise on a loaded CI
+    //   host easily moves the min-of-3 by several percent; on a single-core host
+    //   the executor degenerates to the serial loop and only measurement noise
+    //   separates them, while on multicore hosts the producer shards must pay for
+    //   themselves);
+    // * modeled overlap — the pipelined latency model's overlapped schedule must
+    //   clear `pipe_bar`x over the serial composition on the same counters (this
+    //   is deterministic: it depends only on recorded work, never on timing).
+    let wall_bar = 0.85f64;
+    let (pipe_scale, pipe_parts, pipe_batch, pipe_prefetch, pipe_reps, pipe_bar, pipe_profiles) =
+        match scale.as_str() {
+            "tiny" => (
+                0.01f64,
+                12usize,
+                2usize,
+                4usize,
+                3usize,
+                1.0f64,
+                vec![DatasetProfile::PROTEINS, DatasetProfile::BLOGCATALOG],
+            ),
+            _ => (0.02, 32, 2, 4, 3, 1.3, qgtc_bench::fast_dataset_set()),
+        };
+    let pipeline_out =
+        std::env::var("QGTC_PIPELINE_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    eprintln!(
+        "perfsmoke: streamed pipeline probe (scale {scale}, {pipe_parts} partitions, batch \
+         {pipe_batch}, prefetch {pipe_prefetch}, modeled-overlap bar {pipe_bar}x)"
+    );
+    let mut probes = Vec::new();
+    let mut seed = 40u64;
+    for profile in &pipe_profiles {
+        let probe = probe_pipeline(
+            profile,
+            pipe_scale,
+            pipe_parts,
+            pipe_batch,
+            pipe_prefetch,
+            pipe_reps,
+            seed,
+        );
+        seed += 2;
+        eprintln!(
+            "  {:<28} wall serial {:>9} ms  streamed {:>9} ms  ({}x)  modeled serial {:>9} ms  \
+             overlapped {:>9} ms  ({}x, {} batches)",
+            probe.dataset,
+            fmt3(probe.serial_wall_ms),
+            fmt3(probe.streamed_wall_ms),
+            fmt3(probe.wall_speedup()),
+            fmt3(probe.modeled_serial_ms),
+            fmt3(probe.modeled_overlapped_ms),
+            fmt3(probe.modeled_speedup()),
+            probe.num_batches,
+        );
+        probes.push(probe);
+    }
+    let total_serial_wall: f64 = probes.iter().map(|p| p.serial_wall_ms).sum();
+    let total_streamed_wall: f64 = probes.iter().map(|p| p.streamed_wall_ms).sum();
+    let wall_speedup = if total_streamed_wall > 0.0 {
+        total_serial_wall / total_streamed_wall
+    } else {
+        1.0
+    };
+    let total_modeled_serial: f64 = probes.iter().map(|p| p.modeled_serial_ms).sum();
+    let total_modeled_overlapped: f64 = probes.iter().map(|p| p.modeled_overlapped_ms).sum();
+    let modeled_speedup = if total_modeled_overlapped > 0.0 {
+        total_modeled_serial / total_modeled_overlapped
+    } else {
+        1.0
+    };
+    let probe_lines: Vec<String> = probes.iter().map(PipelineProbe::to_json).collect();
+    let pipeline_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipeline_streamed_vs_serial\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"workload\": \"fig7 Cluster GCN 2-bit epoch (partitioning excluded)\",\n",
+            "  \"reps\": {},\n",
+            "  \"generated_by\": \"cargo run --release -p qgtc-bench --bin perfsmoke\",\n",
+            "  \"wall_speedup\": {},\n",
+            "  \"wall_not_slower_bar\": {},\n",
+            "  \"modeled_overlap_speedup\": {},\n",
+            "  \"modeled_overlap_bar\": {},\n",
+            "  \"note\": \"wall times are host simulation wall-clock; on a single-core host the streamed executor degenerates to the serial loop, so the modeled overlap column carries the double-buffering win\",\n",
+            "  \"datasets\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        pipe_reps,
+        fmt3(wall_speedup),
+        wall_bar,
+        fmt3(modeled_speedup),
+        pipe_bar,
+        probe_lines.join(",\n"),
+    );
+    std::fs::write(&pipeline_out, &pipeline_json).unwrap_or_else(|err| {
+        eprintln!("perfsmoke: cannot write {pipeline_out}: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("perfsmoke: wrote {pipeline_out}");
+
+    let mut failed = false;
     if headline_speedup < min_speedup {
         eprintln!(
             "perfsmoke FAIL: fused path is only {}x the plane-by-plane path on the headline \
              shape (need >= {min_speedup}x)",
             fmt3(headline_speedup)
         );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: fused path is {}x the plane-by-plane path on the headline shape",
+            fmt3(headline_speedup)
+        );
+    }
+    if wall_speedup < wall_bar {
+        eprintln!(
+            "perfsmoke FAIL: streamed epoch wall-clock is {}x the serial epoch (must not be \
+             slower; bar {wall_bar}x)",
+            fmt3(wall_speedup)
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: streamed epoch wall-clock is {}x the serial epoch",
+            fmt3(wall_speedup)
+        );
+    }
+    if modeled_speedup < pipe_bar {
+        eprintln!(
+            "perfsmoke FAIL: modeled overlap is only {}x over the serial composition across \
+             the fig7 workload (need >= {pipe_bar}x)",
+            fmt3(modeled_speedup)
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: modeled overlap is {}x over the serial composition across the fig7 \
+             workload",
+            fmt3(modeled_speedup)
+        );
+    }
+    if failed {
         std::process::exit(1);
     }
-    eprintln!(
-        "perfsmoke OK: fused path is {}x the plane-by-plane path on the headline shape",
-        fmt3(headline_speedup)
-    );
 }

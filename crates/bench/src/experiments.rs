@@ -18,7 +18,7 @@ use qgtc_kernels::tile_reuse::{compare_reuse, random_feature_codes, ReuseCompari
 use qgtc_kernels::zero_tile::census_adjacency;
 use qgtc_partition::{partition_kway, PartitionBatcher, PartitionConfig};
 use qgtc_tcsim::cost::CostTracker;
-use qgtc_tcsim::DeviceModel;
+use qgtc_tcsim::{DeviceModel, PipelineEstimate};
 use qgtc_tensor::rng::random_uniform_matrix;
 use qgtc_tensor::Matrix;
 
@@ -113,6 +113,10 @@ pub struct EndToEndRow {
     pub dgl_ms: f64,
     /// Modeled QGTC epoch latency per bitwidth (aligned with [`FIG7_BITS`]).
     pub qgtc_ms: Vec<(u32, f64)>,
+    /// Pipelined serial-vs-overlapped epoch latency per bitwidth (same order as
+    /// `qgtc_ms`): the streamed executor's double-buffering win on the same
+    /// counters.
+    pub qgtc_pipeline: Vec<(u32, PipelineEstimate)>,
 }
 
 impl EndToEndRow {
@@ -124,10 +128,19 @@ impl EndToEndRow {
             .map(|(_, ms)| self.dgl_ms / ms)
             .unwrap_or(f64::NAN)
     }
+
+    /// The pipelined estimate for the given bitwidth, if it was swept.
+    pub fn pipeline(&self, bits: u32) -> Option<&PipelineEstimate> {
+        self.qgtc_pipeline
+            .iter()
+            .find(|(b, _)| *b == bits)
+            .map(|(_, est)| est)
+    }
 }
 
 /// Figure 7(a) (Cluster GCN) or 7(b) (batched GIN): end-to-end epoch latency per
-/// dataset for DGL fp32 and QGTC at each bitwidth.
+/// dataset for DGL fp32 and QGTC at each bitwidth, with the streamed executor's
+/// serial-vs-overlapped pipeline composition alongside.
 pub fn fig7_end_to_end(
     model: ModelKind,
     datasets: &[DatasetProfile],
@@ -138,21 +151,30 @@ pub fn fig7_end_to_end(
         .iter()
         .map(|profile| {
             let dataset = profile.materialize(scale.dataset_scale, seed);
+            // Partition once per dataset; every DGL/bitwidth epoch below runs over
+            // the same plan instead of re-running the partitioner six times.
+            let partitioning = partition_kway(
+                &dataset.graph,
+                &PartitionConfig::with_parts(scale.num_partitions),
+            );
+            let batcher = PartitionBatcher::new(&partitioning, scale.batch_size);
             let dgl_config = QgtcConfig::dgl_baseline(model)
                 .scaled_partitions(scale.num_partitions, scale.batch_size);
-            let dgl = qgtc_core::run_epoch(&dataset, &dgl_config);
-            let qgtc_ms = FIG7_BITS
-                .iter()
-                .map(|&bits| {
-                    let config = QgtcConfig::qgtc(model, bits)
-                        .scaled_partitions(scale.num_partitions, scale.batch_size);
-                    (bits, qgtc_core::run_epoch(&dataset, &config).modeled_ms)
-                })
-                .collect();
+            let dgl = qgtc_core::run_epoch_with_plan(&dataset, &dgl_config, &batcher);
+            let mut qgtc_ms = Vec::with_capacity(FIG7_BITS.len());
+            let mut qgtc_pipeline = Vec::with_capacity(FIG7_BITS.len());
+            for &bits in FIG7_BITS.iter() {
+                let config = QgtcConfig::qgtc(model, bits)
+                    .scaled_partitions(scale.num_partitions, scale.batch_size);
+                let report = qgtc_core::run_epoch_streamed_with_plan(&dataset, &config, &batcher);
+                qgtc_ms.push((bits, report.modeled_ms));
+                qgtc_pipeline.push((bits, report.pipeline));
+            }
             EndToEndRow {
                 dataset: profile.name.to_string(),
                 dgl_ms: dgl.modeled_ms,
                 qgtc_ms,
+                qgtc_pipeline,
             }
         })
         .collect()
@@ -303,7 +325,10 @@ pub fn table2_accuracy(scale: &ExperimentScale, seed: u64) -> Vec<AccuracyRow> {
     rows
 }
 
-/// One dataset row of Figure 8: zero-tile statistics of the batched adjacency.
+/// One dataset row of Figure 8: zero-tile statistics of the batched adjacency,
+/// plus the streamed 2-bit epoch's pipelined latency (the zero tiles shrink the
+/// compute lane, so the overlap column shows how much of that win survives when
+/// transfer is hidden behind compute).
 #[derive(Debug, Clone)]
 pub struct ZeroTileRow {
     /// Dataset name.
@@ -315,6 +340,9 @@ pub struct ZeroTileRow {
     /// Fraction of tiles still processed with zero-tile jumping (the bar labels of
     /// Figure 8).
     pub processed_ratio: f64,
+    /// Serial-vs-overlapped modeled epoch latency of the streamed QGTC 2-bit
+    /// Cluster-GCN epoch on the same batching.
+    pub pipeline: PipelineEstimate,
 }
 
 /// Figure 8: zero-tile jumping efficiency per dataset.
@@ -347,6 +375,11 @@ pub fn fig8_zero_tile(
                 total += census.total_tiles;
                 nonzero += census.nonzero_tiles;
             }
+            // Reuse the partitioning the census was built over instead of letting
+            // the epoch partition the graph a second time.
+            let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
+                .scaled_partitions(scale.num_partitions, scale.batch_size);
+            let report = qgtc_core::run_epoch_streamed_with_plan(&dataset, &config, &batcher);
             ZeroTileRow {
                 dataset: profile.name.to_string(),
                 total_tiles: total,
@@ -356,6 +389,7 @@ pub fn fig8_zero_tile(
                 } else {
                     nonzero as f64 / total as f64
                 },
+                pipeline: report.pipeline,
             }
         })
         .collect()
@@ -477,12 +511,44 @@ pub fn full_dataset_set() -> Vec<DatasetProfile> {
     DatasetProfile::all()
 }
 
+/// The serial-vs-overlapped pipeline table the fig7 drivers print below the main
+/// latency table (one shared renderer so the two bins cannot drift apart).
+pub fn overlap_table(rows: &[EndToEndRow], bits: u32) -> crate::report::Table {
+    let mut table = crate::report::Table::new(
+        &format!("Streamed pipeline: serial vs overlapped modeled epoch latency (QGTC {bits}-bit)"),
+        &[
+            "dataset",
+            "serial (ms)",
+            "overlapped (ms)",
+            "overlap speedup",
+            "staging buffers",
+        ],
+    );
+    for row in rows {
+        if let Some(est) = row.pipeline(bits) {
+            table.add_row(vec![
+                row.dataset.clone(),
+                crate::report::fmt3(est.serial_ms()),
+                crate::report::fmt3(est.overlapped_ms()),
+                format!("{:.2}x", est.overlap_speedup()),
+                est.staging_buffers.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 /// Make sure the DGL/QGTC comparison of one row is sane (used by tests and asserted
 /// by the binaries in debug builds).
 pub fn end_to_end_row_is_consistent(row: &EndToEndRow) -> bool {
     row.dgl_ms > 0.0
         && row.qgtc_ms.len() == FIG7_BITS.len()
         && row.qgtc_ms.iter().all(|(_, ms)| *ms > 0.0)
+        && row.qgtc_pipeline.len() == FIG7_BITS.len()
+        && row
+            .qgtc_pipeline
+            .iter()
+            .all(|(_, est)| est.overlapped_s > 0.0 && est.overlapped_s <= est.serial_s)
 }
 
 #[cfg(test)]
@@ -508,6 +574,10 @@ mod tests {
         );
         // Lower bits should not be slower than 8-bit.
         assert!(row.speedup(2) >= row.speedup(8) * 0.9);
+        // The overlapped schedule may only improve on the serial composition.
+        let est = row.pipeline(2).expect("2-bit pipeline estimate");
+        assert!(est.overlapped_s <= est.serial_s);
+        assert!(est.overlap_speedup() >= 1.0);
     }
 
     #[test]
@@ -552,6 +622,8 @@ mod tests {
             "batched block-diagonal adjacency should contain many zero tiles (ratio {:.2})",
             row.processed_ratio
         );
+        assert!(row.pipeline.serial_s > 0.0);
+        assert!(row.pipeline.overlapped_s <= row.pipeline.serial_s);
     }
 
     #[test]

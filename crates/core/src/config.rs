@@ -48,6 +48,15 @@ pub struct QgtcConfig {
     pub gpu: GpuSpec,
     /// Seed for model initialisation.
     pub seed: u64,
+    /// Staging buffers of the streamed executor: how many batches the producer
+    /// shards may prepare ahead of the compute stage, and the buffer depth `D` of
+    /// the pipelined latency model. `1` degenerates to the serial schedule; `2` is
+    /// classic double buffering (the default).
+    pub prefetch_batches: usize,
+    /// Whether the modeled epoch latency may overlap transfer with compute. When
+    /// `false` the pipelined estimate is computed at depth 1 (serial), regardless of
+    /// `prefetch_batches`; host-side prefetching still applies.
+    pub overlap_transfer: bool,
 }
 
 impl Default for QgtcConfig {
@@ -62,6 +71,8 @@ impl Default for QgtcConfig {
             transfer: TransferStrategy::PackedCompound,
             gpu: GpuSpec::rtx3090(),
             seed: 0xC0FFEE,
+            prefetch_batches: 2,
+            overlap_transfer: true,
         }
     }
 }
@@ -94,6 +105,22 @@ impl QgtcConfig {
         self.batch_size = batch_size.max(1);
         self
     }
+
+    /// Set the streamed executor's staging depth (clamped to at least 1).
+    pub fn with_prefetch(mut self, prefetch_batches: usize) -> Self {
+        self.prefetch_batches = prefetch_batches.max(1);
+        self
+    }
+
+    /// The staging-buffer depth the pipelined latency model should use: the
+    /// configured prefetch depth, or 1 when overlap is disabled.
+    pub fn staging_depth(&self) -> usize {
+        if self.overlap_transfer {
+            self.prefetch_batches.max(1)
+        } else {
+            1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +152,23 @@ mod tests {
         let c = QgtcConfig::default().scaled_partitions(0, 0);
         assert_eq!(c.num_partitions, 1);
         assert_eq!(c.batch_size, 1);
+    }
+
+    #[test]
+    fn prefetch_defaults_to_double_buffering() {
+        let c = QgtcConfig::default();
+        assert_eq!(c.prefetch_batches, 2);
+        assert!(c.overlap_transfer);
+        assert_eq!(c.staging_depth(), 2);
+    }
+
+    #[test]
+    fn staging_depth_respects_overlap_toggle_and_clamps() {
+        let mut c = QgtcConfig::default().with_prefetch(0);
+        assert_eq!(c.prefetch_batches, 1);
+        c = c.with_prefetch(5);
+        assert_eq!(c.staging_depth(), 5);
+        c.overlap_transfer = false;
+        assert_eq!(c.staging_depth(), 1);
     }
 }

@@ -14,7 +14,9 @@
 //! * [`pipeline`] — the end-to-end batched-inference pipeline: METIS-substitute
 //!   partitioning, cluster-GCN batching, host-to-device transfer, per-batch forward
 //!   passes on either the QGTC path or the DGL-like baseline, and modeled epoch
-//!   latency.
+//!   latency. [`pipeline::stream`] is the staged streaming executor: sharded batch
+//!   preparation feeding a bounded in-order queue, with double-buffered
+//!   transfer/compute overlap in the latency model.
 //!
 //! Everything below re-exports the substrate crates so a downstream user can depend
 //! on `qgtc-core` alone.
@@ -27,7 +29,8 @@ pub mod pipeline;
 pub use api::{bit_mm_to_bit, bit_mm_to_int};
 pub use bit_tensor::BitTensor;
 pub use config::{ExecutionPath, ModelKind, QgtcConfig};
-pub use pipeline::{run_epoch, EpochReport};
+pub use pipeline::stream::{run_epoch_streamed, run_epoch_streamed_with_plan};
+pub use pipeline::{run_epoch, run_epoch_with_plan, EpochReport};
 
 // Substrate re-exports.
 pub use qgtc_baselines as baselines;

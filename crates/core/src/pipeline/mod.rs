@@ -1,0 +1,391 @@
+//! End-to-end batched inference pipeline — staged, with a serial oracle.
+//!
+//! One epoch of the paper's evaluation loop is three stages:
+//!
+//! 1. **plan** — partition the input graph with the METIS substitute
+//!    (`num_partitions` parts) and group the partitions into batches of
+//!    `batch_size`; the [`qgtc_partition::PartitionBatcher`] is an indexable plan,
+//!    so any batch can be built independently of the others;
+//! 2. **prepare** — materialise a batch's block-diagonal dense subgraph, gather its
+//!    feature rows and bit-pack the transfer payload into a
+//!    [`PreparedBatch`] (side-effect free:
+//!    nothing is recorded into the cost tracker);
+//! 3. **execute** — record the host-to-device transfer under the configured
+//!    strategy and run the model's forward pass on the configured execution path.
+//!
+//! [`run_epoch`] runs prepare → execute strictly in order on the calling thread:
+//! it is the *bit-identical oracle* the streamed executor
+//! ([`stream::run_epoch_streamed`]) is checked against — both call the same
+//! internal `prepare_batch`/`execute_batch` pair, so their [`CostSnapshot`]s
+//! agree batch-for-batch by construction.
+//!
+//! The returned [`EpochReport`] carries the modeled GPU latency (the number the
+//! paper's Figure 7 reports), a pipelined serial-vs-overlapped latency pair (the
+//! streamed dataflow's double-buffering story, §5), the measured host wall-clock of
+//! the simulation itself (partitioning excluded, reported separately as
+//! `partition_ms`), and the raw per-batch cost snapshots for deeper analysis.
+
+pub mod stream;
+
+use std::time::Instant;
+
+use qgtc_gnn::models::{GnnModel, QuantizationSetting};
+use qgtc_gnn::{BatchedGinModel, ClusterGcnModel};
+use qgtc_graph::LoadedDataset;
+use qgtc_kernels::packing::PreparedBatch;
+use qgtc_partition::{partition_kway, PartitionBatcher, PartitionConfig};
+use qgtc_tcsim::cost::{CostSnapshot, CostTracker};
+use qgtc_tcsim::{DeviceModel, KernelEstimate, PipelineEstimate};
+
+use crate::config::{ExecutionPath, ModelKind, QgtcConfig};
+
+/// Result of one modeled inference epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Modeled end-to-end epoch latency (the Figure-7 metric), in milliseconds.
+    /// This is the whole-epoch aggregate estimate; see `pipeline` for the
+    /// per-batch-composed serial/overlapped pair.
+    pub modeled_ms: f64,
+    /// Breakdown of the modeled time (aggregate over the epoch).
+    pub estimate: KernelEstimate,
+    /// Pipelined latency composition: per-batch transfer/compute lanes scheduled
+    /// serially and with `config.staging_depth()` staging buffers.
+    pub pipeline: PipelineEstimate,
+    /// Host wall-clock spent simulating the epoch (prepare + execute), in
+    /// milliseconds. Partitioning is **excluded**, matching the paper's
+    /// measurement, which treats partitioning as one-time preprocessing; it is
+    /// reported separately in `partition_ms`.
+    pub host_wall_ms: f64,
+    /// Host wall-clock spent partitioning the graph and building the batch plan,
+    /// in milliseconds.
+    pub partition_ms: f64,
+    /// Number of (non-empty) batches executed.
+    pub num_batches: usize,
+    /// Number of nodes processed.
+    pub num_nodes: usize,
+    /// Raw accumulated work counters.
+    pub cost: CostSnapshot,
+    /// Per-batch cost deltas in epoch order (one entry per executed batch); these
+    /// feed the pipelined latency model and the streamed-vs-serial identity tests.
+    pub batch_costs: Vec<CostSnapshot>,
+}
+
+/// Everything the execute stage needs that is built once per epoch: the model
+/// (constructed from the dataset's dimensions and the config seed) and the
+/// quantization setting.
+pub(crate) struct EpochContext<'a> {
+    config: &'a QgtcConfig,
+    model: GnnModel,
+    setting: QuantizationSetting,
+}
+
+impl<'a> EpochContext<'a> {
+    pub(crate) fn new(dataset: &LoadedDataset, config: &'a QgtcConfig) -> Self {
+        let feature_dim = dataset.features.cols();
+        let num_classes = dataset.profile.num_classes.max(2);
+        let model = match config.model {
+            ModelKind::ClusterGcn => {
+                GnnModel::ClusterGcn(ClusterGcnModel::new(feature_dim, num_classes, config.seed))
+            }
+            ModelKind::BatchedGin => {
+                GnnModel::BatchedGin(BatchedGinModel::new(feature_dim, num_classes, config.seed))
+            }
+        };
+        Self {
+            config,
+            model,
+            setting: QuantizationSetting::from_bits(config.bits),
+        }
+    }
+}
+
+/// Mutable per-epoch accumulation: the cost tracker plus the running totals.
+#[derive(Default)]
+pub(crate) struct EpochState {
+    tracker: CostTracker,
+    batch_costs: Vec<CostSnapshot>,
+    num_batches: usize,
+    num_nodes: usize,
+}
+
+/// Partition the graph and build the indexable batch plan (the preprocessing the
+/// paper excludes from its epoch measurement).
+pub(crate) fn build_plan(dataset: &LoadedDataset, config: &QgtcConfig) -> PartitionBatcher {
+    let partitioning = partition_kway(
+        &dataset.graph,
+        &PartitionConfig::with_parts(config.num_partitions),
+    );
+    PartitionBatcher::new(&partitioning, config.batch_size)
+}
+
+/// Prepare stage: materialise batch `index` of the plan and pack its payload.
+///
+/// Pure with respect to the cost model — no tracker is touched — so shards may run
+/// this concurrently and out of order without perturbing any recorded counter.
+pub(crate) fn prepare_batch(
+    batcher: &PartitionBatcher,
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    index: usize,
+) -> PreparedBatch {
+    let batch = batcher
+        .batch(index)
+        .expect("prepare_batch called with index < num_batches");
+    let subgraph = batch.to_dense_block_diagonal(&dataset.graph);
+    let features = subgraph.gather_features(&dataset.features);
+    match config.path {
+        ExecutionPath::Qgtc => {
+            PreparedBatch::pack_quantized(index, subgraph, features, config.bits.min(8))
+        }
+        ExecutionPath::DglBaseline => PreparedBatch::dense(index, subgraph, features),
+    }
+}
+
+/// Execute stage: record the batch's transfer and run the forward pass, appending
+/// the batch's cost delta to the state. Must be called in epoch order.
+pub(crate) fn execute_batch(
+    ctx: &EpochContext<'_>,
+    prepared: &PreparedBatch,
+    state: &mut EpochState,
+) {
+    if prepared.num_nodes() == 0 {
+        return;
+    }
+    let before = state.tracker.snapshot();
+    prepared.record_transfer(ctx.config.transfer, &state.tracker);
+    match ctx.config.path {
+        ExecutionPath::Qgtc => {
+            let _ = ctx.model.forward_prepared_quantized(
+                prepared,
+                ctx.setting,
+                &ctx.config.kernel,
+                &state.tracker,
+            );
+        }
+        ExecutionPath::DglBaseline => {
+            let _ = ctx.model.forward_prepared_fp32(prepared, &state.tracker);
+        }
+    }
+    state.num_batches += 1;
+    state.num_nodes += prepared.num_nodes();
+    state
+        .batch_costs
+        .push(state.tracker.snapshot().delta_since(&before));
+}
+
+/// Convert the accumulated state into the epoch report.
+pub(crate) fn finish_report(
+    config: &QgtcConfig,
+    state: EpochState,
+    partition_ms: f64,
+    epoch_start: Instant,
+) -> EpochReport {
+    let cost = state.tracker.snapshot();
+    let device = DeviceModel::new(config.gpu.clone());
+    let estimate = device.estimate(&cost);
+    let pipeline = device.estimate_pipelined(&state.batch_costs, config.staging_depth());
+    EpochReport {
+        modeled_ms: estimate.total_ms(),
+        estimate,
+        pipeline,
+        host_wall_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
+        partition_ms,
+        num_batches: state.num_batches,
+        num_nodes: state.num_nodes,
+        cost,
+        batch_costs: state.batch_costs,
+    }
+}
+
+/// Run one inference epoch of `dataset` under `config`, strictly serially.
+///
+/// This is the oracle path: batches are prepared and executed one at a time on the
+/// calling thread. [`stream::run_epoch_streamed`] produces identical cost counters
+/// (asserted batch-for-batch by the integration tests) while overlapping the
+/// prepare stage with compute on the host and modeling transfer/compute overlap on
+/// the device.
+pub fn run_epoch(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
+    // Phase 1: partitioning (host side; excluded from `host_wall_ms`, matching the
+    // paper's measurement which excludes preprocessing).
+    let partition_start = Instant::now();
+    let batcher = build_plan(dataset, config);
+    let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
+    serial_epoch_over_plan(dataset, config, &batcher, partition_ms)
+}
+
+/// Run one serial inference epoch over an already-built batch plan.
+///
+/// For callers that partitioned the graph themselves (or want to amortise one
+/// partitioning across several epochs/analyses); `partition_ms` is reported as 0.
+/// The plan's batch size must match what `config` describes for the report's
+/// granularity fields to be meaningful, but nothing is re-derived from
+/// `config.num_partitions`/`config.batch_size` here.
+pub fn run_epoch_with_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+) -> EpochReport {
+    serial_epoch_over_plan(dataset, config, batcher, 0.0)
+}
+
+/// The serial epoch body shared by [`run_epoch`] and [`run_epoch_with_plan`]:
+/// prepare → execute per batch, in order.
+pub(crate) fn serial_epoch_over_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+    partition_ms: f64,
+) -> EpochReport {
+    let epoch_start = Instant::now();
+    let ctx = EpochContext::new(dataset, config);
+    let mut state = EpochState::default();
+    for index in 0..batcher.num_batches() {
+        let prepared = prepare_batch(batcher, dataset, config, index);
+        execute_batch(&ctx, &prepared, &mut state);
+    }
+    finish_report(config, state, partition_ms, epoch_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_graph::DatasetProfile;
+
+    fn tiny_dataset() -> LoadedDataset {
+        DatasetProfile::PROTEINS.materialize(0.03, 7)
+    }
+
+    fn tiny_config(config: QgtcConfig) -> QgtcConfig {
+        config.scaled_partitions(16, 4)
+    }
+
+    #[test]
+    fn epoch_processes_every_node_once() {
+        let dataset = tiny_dataset();
+        let report = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)),
+        );
+        assert_eq!(report.num_nodes, dataset.graph.num_nodes());
+        assert!(report.num_batches >= 3);
+        assert!(report.modeled_ms > 0.0);
+        assert!(report.host_wall_ms > 0.0);
+        assert!(report.partition_ms > 0.0);
+        assert_eq!(report.batch_costs.len(), report.num_batches);
+    }
+
+    #[test]
+    fn qgtc_path_uses_tensor_cores_and_packed_transfers() {
+        let dataset = tiny_dataset();
+        let report = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 4)),
+        );
+        assert!(report.cost.tc_b1_tiles > 0);
+        assert!(report.cost.pcie_h2d_bytes > 0);
+        assert_eq!(report.cost.cuda_sparse_flops, 0);
+    }
+
+    #[test]
+    fn baseline_path_uses_cuda_cores_and_dense_transfers() {
+        let dataset = tiny_dataset();
+        let report = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::dgl_baseline(ModelKind::ClusterGcn)),
+        );
+        assert_eq!(report.cost.tc_b1_tiles, 0);
+        assert!(report.cost.cuda_sparse_flops > 0);
+    }
+
+    #[test]
+    fn low_bit_qgtc_is_modeled_faster_than_dgl() {
+        let dataset = tiny_dataset();
+        let qgtc = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)),
+        );
+        let dgl = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::dgl_baseline(ModelKind::ClusterGcn)),
+        );
+        assert!(
+            qgtc.modeled_ms < dgl.modeled_ms,
+            "QGTC 2-bit {:.3} ms should beat DGL {:.3} ms",
+            qgtc.modeled_ms,
+            dgl.modeled_ms
+        );
+    }
+
+    #[test]
+    fn lower_bitwidth_is_modeled_no_slower() {
+        let dataset = tiny_dataset();
+        let b2 = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::BatchedGin, 2)),
+        );
+        let b8 = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::BatchedGin, 8)),
+        );
+        assert!(
+            b2.modeled_ms <= b8.modeled_ms * 1.05,
+            "2-bit ({:.3} ms) should not be slower than 8-bit ({:.3} ms)",
+            b2.modeled_ms,
+            b8.modeled_ms
+        );
+    }
+
+    #[test]
+    fn gin_runs_both_paths() {
+        let dataset = tiny_dataset();
+        let q = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::BatchedGin, 4)),
+        );
+        let d = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::dgl_baseline(ModelKind::BatchedGin)),
+        );
+        assert!(q.cost.tc_b1_tiles > 0);
+        assert!(d.cost.cuda_sparse_flops > 0);
+    }
+
+    #[test]
+    fn batch_costs_sum_to_epoch_cost() {
+        let dataset = tiny_dataset();
+        let report = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 3)),
+        );
+        let t = CostTracker::new();
+        for batch in &report.batch_costs {
+            t.merge_snapshot(batch);
+        }
+        assert_eq!(
+            t.snapshot(),
+            report.cost,
+            "per-batch deltas must tile the epoch"
+        );
+    }
+
+    #[test]
+    fn overlapped_latency_no_worse_than_serial_composition() {
+        let dataset = tiny_dataset();
+        let report = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)).with_prefetch(4),
+        );
+        assert_eq!(report.pipeline.staging_buffers, 4);
+        assert!(report.pipeline.overlapped_s <= report.pipeline.serial_s);
+        assert!(report.pipeline.overlap_speedup() >= 1.0);
+
+        let mut no_overlap = tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 2));
+        no_overlap.overlap_transfer = false;
+        let serial_only = run_epoch(&dataset, &no_overlap);
+        assert_eq!(serial_only.pipeline.staging_buffers, 1);
+        assert_eq!(
+            serial_only.pipeline.overlapped_s,
+            serial_only.pipeline.serial_s
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! Streamed epoch execution: sharded batch construction feeding a bounded,
+//! in-order staging queue, with the compute stage consuming behind it.
+//!
+//! The serial loop in [`super::run_epoch`] alternates between two very different
+//! kinds of host work per batch: *prepare* (materialise the block-diagonal
+//! subgraph, gather features, bit-pack the payload — embarrassingly parallel,
+//! touches no cost counter) and *execute* (record the transfer, run the forward
+//! pass — must happen in epoch order for deterministic accounting). This module
+//! splits them into a two-stage pipeline, the host-side mirror of the
+//! double-buffered transfer/compute overlap the paper's batched dataflow relies on
+//! (§5):
+//!
+//! * **producer shards** run on the rayon worker pool. Each shard claims the next
+//!   batch index from a shared ascending ticket, builds the
+//!   [`PreparedBatch`] via the same
+//!   `prepare_batch` the serial loop uses, and deposits it in the staging
+//!   queue. A ticket for batch `i` is only issued once `i < consumed + depth`
+//!   (`depth = config.prefetch_batches`), so at most `depth` batches are ever
+//!   staged or in flight — the bounded-channel discipline that caps memory at
+//!   `depth` dense subgraphs;
+//! * the **compute stage** (the calling thread) pops batches strictly in epoch
+//!   order and runs `execute_batch`, which records transfers and forward
+//!   passes into the cost tracker exactly as the serial loop does.
+//!
+//! Because `prepare_batch` is pure and `execute_batch` runs in the same order with
+//! the same inputs, the streamed epoch's [`CostSnapshot`](qgtc_tcsim::cost::CostSnapshot)s
+//! — total and per batch — are *identical* to the serial loop's; only host
+//! wall-clock (prepare overlapped with compute) and the modeled overlapped latency
+//! (`pipeline.overlapped_s`, the documented bounded-buffer formula) differ.
+//!
+//! # Example
+//!
+//! Serial and streamed executors agree on every modeled quantity; the streamed
+//! report additionally shows the overlap win of `prefetch_batches` staging buffers:
+//!
+//! ```
+//! use qgtc_core::{run_epoch, run_epoch_streamed, ModelKind, QgtcConfig};
+//! use qgtc_core::graph::DatasetProfile;
+//!
+//! let dataset = DatasetProfile::PROTEINS.materialize(0.02, 7);
+//! let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
+//!     .scaled_partitions(8, 2)
+//!     .with_prefetch(3);
+//!
+//! let serial = run_epoch(&dataset, &config);
+//! let streamed = run_epoch_streamed(&dataset, &config);
+//!
+//! // Identical work, batch for batch...
+//! assert_eq!(serial.cost, streamed.cost);
+//! assert_eq!(serial.batch_costs, streamed.batch_costs);
+//! // ...and the overlapped schedule can only improve on the serial composition.
+//! assert!(streamed.pipeline.overlapped_ms() <= streamed.pipeline.serial_ms());
+//! assert_eq!(streamed.pipeline.serial_ms(), serial.pipeline.serial_ms());
+//! ```
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use qgtc_graph::LoadedDataset;
+use qgtc_kernels::packing::PreparedBatch;
+use qgtc_partition::PartitionBatcher;
+use rayon::prelude::*;
+
+use super::{build_plan, execute_batch, finish_report, prepare_batch, EpochContext, EpochState};
+use crate::config::QgtcConfig;
+use crate::pipeline::EpochReport;
+
+/// Interior state of the staging queue, guarded by one mutex.
+struct QueueState {
+    /// Staged batches, indexed by epoch position (`None` = not yet produced or
+    /// already consumed).
+    slots: Vec<Option<PreparedBatch>>,
+    /// Next batch index to hand to a producer shard (ascending tickets).
+    next_ticket: usize,
+    /// Number of batches the compute stage has consumed (the window base).
+    consumed: usize,
+    /// Set when either stage finishes or fails; wakes every waiter.
+    closed: bool,
+}
+
+/// Bounded, in-order staging queue between the producer shards and the compute
+/// stage: the host-side analogue of `depth` device staging buffers.
+struct StagingQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when a batch lands in its slot (compute stage waits here).
+    produced: Condvar,
+    /// Signalled when the window advances (producer shards wait here).
+    window: Condvar,
+    depth: usize,
+    total: usize,
+}
+
+impl StagingQueue {
+    fn new(total: usize, depth: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                slots: (0..total).map(|_| None).collect(),
+                next_ticket: 0,
+                consumed: 0,
+                closed: false,
+            }),
+            produced: Condvar::new(),
+            window: Condvar::new(),
+            depth: depth.max(1),
+            total,
+        }
+    }
+
+    /// Claim the next batch index to prepare, blocking while the staging window is
+    /// full. Returns `None` when every batch has been claimed or the queue closed.
+    fn claim(&self) -> Option<usize> {
+        let mut state = self.state.lock().expect("staging queue poisoned");
+        loop {
+            if state.closed || state.next_ticket >= self.total {
+                return None;
+            }
+            if state.next_ticket < state.consumed + self.depth {
+                let ticket = state.next_ticket;
+                state.next_ticket += 1;
+                return Some(ticket);
+            }
+            state = self.window.wait(state).expect("staging queue poisoned");
+        }
+    }
+
+    /// Deposit a prepared batch into its slot (slot capacity was reserved by
+    /// [`StagingQueue::claim`]).
+    fn deposit(&self, index: usize, prepared: PreparedBatch) {
+        let mut state = self.state.lock().expect("staging queue poisoned");
+        if !state.closed {
+            state.slots[index] = Some(prepared);
+            self.produced.notify_all();
+        }
+    }
+
+    /// Take batch `index`, blocking until a producer deposits it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue closes (a producer shard died) before the batch lands.
+    fn take(&self, index: usize) -> PreparedBatch {
+        let mut state = self.state.lock().expect("staging queue poisoned");
+        loop {
+            if let Some(prepared) = state.slots[index].take() {
+                state.consumed = index + 1;
+                self.window.notify_all();
+                return prepared;
+            }
+            assert!(
+                !state.closed,
+                "streamed producers finished without preparing batch {index}"
+            );
+            state = self.produced.wait(state).expect("staging queue poisoned");
+        }
+    }
+
+    /// Close the queue and wake every waiter (idempotent). Called by both stages
+    /// on completion *and* on unwind, so neither stage can strand the other.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("staging queue poisoned");
+        state.closed = true;
+        self.produced.notify_all();
+        self.window.notify_all();
+    }
+}
+
+/// Closes the queue when dropped — normally or during a panic unwind.
+struct CloseOnDrop<'a>(&'a StagingQueue);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Run one inference epoch of `dataset` under `config` on the streamed executor.
+///
+/// Produces the exact cost counters of [`super::run_epoch`] (same totals, same
+/// per-batch deltas — see the module docs for why) while preparing up to
+/// `config.prefetch_batches` batches ahead on the rayon pool. The executor
+/// degenerates to the inline serial loop when no lookahead is possible
+/// (`prefetch_batches == 1` or a single batch) or profitable (a single-core pool:
+/// two stages time-slicing one CPU pay queue overhead without any overlap). The
+/// modeled transfer/compute overlap in the report is unaffected by the host-side
+/// degeneration — it is a function of the per-batch counters and
+/// `config.staging_depth()` alone.
+pub fn run_epoch_streamed(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
+    // One staging buffer (or one core) admits no useful lookahead: the serial loop
+    // *is* the degenerate schedule, so run it verbatim — same function, same wall
+    // clock, same counters.
+    if degenerates_to_serial(config) {
+        return super::run_epoch(dataset, config);
+    }
+    let partition_start = Instant::now();
+    let batcher = build_plan(dataset, config);
+    let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
+    streamed_epoch_over_plan(dataset, config, &batcher, partition_ms)
+}
+
+/// Run one streamed inference epoch over an already-built batch plan (the
+/// streamed analogue of [`super::run_epoch_with_plan`]; `partition_ms` is
+/// reported as 0).
+pub fn run_epoch_streamed_with_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+) -> EpochReport {
+    if degenerates_to_serial(config) {
+        return super::run_epoch_with_plan(dataset, config, batcher);
+    }
+    streamed_epoch_over_plan(dataset, config, batcher, 0.0)
+}
+
+/// Whether the streamed executor should fall back to the serial loop: one staging
+/// buffer admits no lookahead, and on a single-core pool two stages time-slicing
+/// one CPU pay queue overhead without any overlap.
+fn degenerates_to_serial(config: &QgtcConfig) -> bool {
+    config.prefetch_batches.max(1) == 1 || rayon::current_num_threads() <= 1
+}
+
+/// The threaded streamed-executor body shared by the public entry points (and, via
+/// tests, exercised even on single-core hosts where the public entries degenerate).
+fn streamed_epoch_over_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+    partition_ms: f64,
+) -> EpochReport {
+    let epoch_start = Instant::now();
+    let ctx = EpochContext::new(dataset, config);
+    let mut state = EpochState::default();
+    let total = batcher.num_batches();
+    let depth = config.prefetch_batches.max(1);
+
+    if total <= 1 {
+        for index in 0..total {
+            let prepared = prepare_batch(batcher, dataset, config, index);
+            execute_batch(&ctx, &prepared, &mut state);
+        }
+        return finish_report(config, state, partition_ms, epoch_start);
+    }
+
+    // At most `depth` batches can be staged or in flight, so more shards than
+    // staging buffers would only block on the window — and a shard blocked on a
+    // full window still pins its pool worker, which would starve the compute
+    // stage's own parallel kernels. Cap the shards at half the pool (rounded up)
+    // so the consumer's nested dispatches always find free workers.
+    let shards = depth
+        .min(rayon::current_num_threads().div_ceil(2))
+        .min(total)
+        .max(1);
+    let queue = StagingQueue::new(total, depth);
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        scope.spawn(move || {
+            // Close the queue when the producers drain the ticket supply — or when
+            // one of them panics — so the compute stage never waits forever.
+            let _close = CloseOnDrop(queue);
+            (0..shards).into_par_iter().for_each(|_| {
+                while let Some(index) = queue.claim() {
+                    // The pool catches panics at item granularity, so an unwind
+                    // here would otherwise strand ticket `index` undelivered while
+                    // sibling shards keep waiting on the frozen window: close the
+                    // queue first (unblocking both stages), then let the panic
+                    // propagate through the pool's normal re-raise path.
+                    let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        prepare_batch(batcher, dataset, config, index)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        queue.close();
+                        std::panic::resume_unwind(payload);
+                    });
+                    queue.deposit(index, prepared);
+                }
+            });
+        });
+
+        // Compute stage: strictly in epoch order, on this thread. The guard closes
+        // the queue if `execute_batch` panics, unblocking the producer shards so
+        // the scope can join them and propagate the panic.
+        let _close = CloseOnDrop(queue);
+        for index in 0..total {
+            let prepared = queue.take(index);
+            execute_batch(&ctx, &prepared, &mut state);
+        }
+    });
+    finish_report(config, state, partition_ms, epoch_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelKind;
+    use crate::pipeline::run_epoch;
+    use qgtc_graph::DatasetProfile;
+
+    fn tiny_dataset() -> LoadedDataset {
+        DatasetProfile::PROTEINS.materialize(0.03, 7)
+    }
+
+    #[test]
+    fn streamed_matches_serial_counters_exactly() {
+        let dataset = tiny_dataset();
+        for config in [
+            QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(16, 4),
+            QgtcConfig::qgtc(ModelKind::BatchedGin, 4).scaled_partitions(16, 4),
+            QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).scaled_partitions(16, 4),
+        ] {
+            let serial = run_epoch(&dataset, &config);
+            // Call the threaded body directly so the queue is exercised even when
+            // the test host has a single core (where the public entry degenerates).
+            let batcher = build_plan(&dataset, &config);
+            let streamed = streamed_epoch_over_plan(&dataset, &config, &batcher, 0.0);
+            assert_eq!(serial.cost, streamed.cost);
+            assert_eq!(serial.batch_costs, streamed.batch_costs);
+            assert_eq!(serial.num_batches, streamed.num_batches);
+            assert_eq!(serial.num_nodes, streamed.num_nodes);
+            assert_eq!(serial.modeled_ms, streamed.modeled_ms);
+            assert_eq!(serial.pipeline, streamed.pipeline);
+            // The public entry must agree regardless of which host path it picks.
+            let public = run_epoch_streamed(&dataset, &config);
+            assert_eq!(serial.cost, public.cost);
+            assert_eq!(serial.batch_costs, public.batch_costs);
+        }
+    }
+
+    #[test]
+    fn deep_prefetch_and_odd_shard_counts_stay_deterministic() {
+        let dataset = tiny_dataset();
+        let base = QgtcConfig::qgtc(ModelKind::ClusterGcn, 3).scaled_partitions(16, 2);
+        let reference = run_epoch(&dataset, &base);
+        for depth in [2, 3, 7, 64] {
+            let config = base.clone().with_prefetch(depth);
+            let batcher = build_plan(&dataset, &config);
+            let streamed = streamed_epoch_over_plan(&dataset, &config, &batcher, 0.0);
+            assert_eq!(reference.cost, streamed.cost, "depth {depth}");
+            assert_eq!(reference.batch_costs, streamed.batch_costs, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn depth_one_degenerates_to_serial() {
+        let dataset = tiny_dataset();
+        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
+            .scaled_partitions(16, 4)
+            .with_prefetch(1);
+        let serial = run_epoch(&dataset, &config);
+        let streamed = run_epoch_streamed(&dataset, &config);
+        assert_eq!(serial.cost, streamed.cost);
+        // With one staging buffer the pipelined model is the serial sum exactly.
+        assert_eq!(streamed.pipeline.staging_buffers, 1);
+        assert_eq!(streamed.pipeline.overlapped_s, streamed.pipeline.serial_s);
+    }
+
+    #[test]
+    fn staging_queue_hands_out_bounded_in_order_tickets() {
+        let queue = StagingQueue::new(5, 2);
+        assert_eq!(queue.claim(), Some(0));
+        assert_eq!(queue.claim(), Some(1));
+        // Window full: a third ticket must wait for a consume; simulate with a
+        // producing/consuming thread to avoid deadlocking the test.
+        std::thread::scope(|scope| {
+            let q = &queue;
+            scope.spawn(move || {
+                for index in 0..2 {
+                    let sub = qgtc_graph::DenseSubgraph {
+                        nodes: vec![],
+                        adjacency: qgtc_tensor::Matrix::zeros(0, 0),
+                        num_edges: 0,
+                    };
+                    q.deposit(
+                        index,
+                        PreparedBatch::dense(index, sub, qgtc_tensor::Matrix::zeros(0, 4)),
+                    );
+                }
+            });
+            let first = queue.take(0);
+            assert_eq!(first.batch_index, 0);
+        });
+        // Consuming batch 0 advanced the window: ticket 2 is available now.
+        assert_eq!(queue.claim(), Some(2));
+        queue.close();
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "without preparing batch")]
+    fn take_after_close_without_deposit_panics_instead_of_hanging() {
+        // A producer shard that claims a ticket and dies (the panic path closes
+        // the queue before unwinding) must turn the consumer's wait into a panic,
+        // not a hang.
+        let queue = StagingQueue::new(3, 2);
+        assert_eq!(queue.claim(), Some(0));
+        queue.close();
+        let _ = queue.take(0);
+    }
+}

@@ -1,12 +1,22 @@
-//! Layer parameters shared by the fp32 and quantized execution paths.
+//! Layer parameters shared by the fp32 and quantized execution paths, plus the
+//! per-batch layer scaffolding both models' dense Tensor-Core paths run on.
 //!
 //! A GNN layer in both evaluated models is a linear transform (weight + bias) wrapped
 //! around an aggregation; the aggregation has no parameters.  Keeping the parameters
 //! in one place guarantees the baseline and QGTC paths run the *same* model, so their
 //! outputs can be compared numerically in tests.
+//!
+//! `DenseTcScaffold` and `forward_layers` factor out the loop both models'
+//! 16/32-bit paths share — per-layer dense TC GEMMs with cost recording, and the
+//! ReLU-between-hidden-layers convention — so Cluster-GCN and batched-GIN differ only
+//! in the aggregation order their closures express.
 
+use qgtc_tcsim::cost::CostTracker;
+use qgtc_tensor::gemm::gemm_f32;
 use qgtc_tensor::rng::xavier_init;
-use qgtc_tensor::Matrix;
+use qgtc_tensor::{ops, Matrix};
+
+use crate::models::{record_dense_tc_gemm, BatchForwardOutput, QuantizationSetting};
 
 /// Parameters of one linear update layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,9 +94,95 @@ impl GnnModelParams {
     }
 }
 
+/// The shared building blocks of the dense fp16/TF32 Tensor-Core execution path.
+///
+/// Every GEMM issued through the scaffold is charged to the tracker with
+/// [`record_dense_tc_gemm`] at the scaffold's quantization setting, so a model's
+/// dense-TC forward cannot forget to account for a product.
+pub(crate) struct DenseTcScaffold<'a> {
+    setting: QuantizationSetting,
+    tracker: &'a CostTracker,
+}
+
+impl<'a> DenseTcScaffold<'a> {
+    /// A scaffold recording into `tracker` at `setting` (must be `Half` or `Full`).
+    pub(crate) fn new(setting: QuantizationSetting, tracker: &'a CostTracker) -> Self {
+        Self { setting, tracker }
+    }
+
+    /// One dense Tensor-Core GEMM `a · b`, cost-recorded.
+    pub(crate) fn gemm(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+        let out = gemm_f32(a, b);
+        record_dense_tc_gemm(a.rows(), b.cols(), a.cols(), self.setting, self.tracker);
+        out
+    }
+
+    /// The linear node update `x · W + b`, cost-recorded.
+    pub(crate) fn linear(&self, x: &Matrix<f32>, layer: &LayerParams) -> Matrix<f32> {
+        ops::add_bias(&self.gemm(x, &layer.weight), &layer.bias)
+    }
+}
+
+/// Drive a multi-layer forward pass: apply `layer_fn` per layer and the shared
+/// ReLU-between-hidden-layers convention (recorded as one fp32 op per element),
+/// returning the final activations as logits.
+///
+/// Both models' dense-TC paths (and nothing else — the low-bit paths interleave
+/// quantization steps that don't fit this shape) run through this single driver.
+pub(crate) fn forward_layers(
+    params: &GnnModelParams,
+    features: &Matrix<f32>,
+    tracker: &CostTracker,
+    mut layer_fn: impl FnMut(&LayerParams, &Matrix<f32>) -> Matrix<f32>,
+) -> BatchForwardOutput {
+    let num_layers = params.num_layers();
+    let mut x = features.clone();
+    for (l, layer) in params.layers.iter().enumerate() {
+        let mut updated = layer_fn(layer, &x);
+        if l + 1 < num_layers {
+            ops::relu_inplace(&mut updated);
+            tracker.record_fp32_flops(updated.len() as u64);
+        }
+        x = updated;
+    }
+    BatchForwardOutput { logits: x }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dense_tc_scaffold_records_every_gemm() {
+        let tracker = CostTracker::new();
+        let scaffold = DenseTcScaffold::new(QuantizationSetting::Half, &tracker);
+        let a = Matrix::filled(8, 8, 1.0f32);
+        let layer = LayerParams::new_xavier(8, 4, 1);
+        let out = scaffold.linear(&a, &layer);
+        assert_eq!(out.shape(), (8, 4));
+        let s = tracker.snapshot();
+        assert_eq!(s.tc_fp16_flops, 2 * 8 * 4 * 8);
+        assert_eq!(s.kernel_launches, 1);
+    }
+
+    #[test]
+    fn forward_layers_relu_between_hidden_layers_only() {
+        let params = GnnModelParams::new(4, 4, 2, 3, 9);
+        let tracker = CostTracker::new();
+        let features = Matrix::filled(5, 4, -1.0f32);
+        let mut calls = 0usize;
+        let out = forward_layers(&params, &features, &tracker, |layer, x| {
+            calls += 1;
+            assert_eq!(x.cols(), layer.in_dim());
+            // Negative constant output: hidden layers get ReLU'd to zero, the output
+            // layer keeps its sign.
+            Matrix::filled(x.rows(), layer.out_dim(), -2.0f32)
+        });
+        assert_eq!(calls, 3);
+        assert!(out.logits.data().iter().all(|&v| v == -2.0));
+        // Two hidden ReLUs, 5×4 elements each.
+        assert_eq!(tracker.snapshot().cuda_fp32_flops, 2 * 5 * 4);
+    }
 
     #[test]
     fn xavier_layer_has_right_shape() {

@@ -28,4 +28,4 @@ pub mod qat;
 pub use layers::{GnnModelParams, LayerParams};
 pub use models::batched_gin::BatchedGinModel;
 pub use models::cluster_gcn::ClusterGcnModel;
-pub use models::{BatchForwardOutput, QuantizationSetting};
+pub use models::{BatchForwardOutput, GnnModel, QuantizationSetting};

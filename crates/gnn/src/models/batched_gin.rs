@@ -11,13 +11,12 @@ use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
 use qgtc_tcsim::cost::CostTracker;
-use qgtc_tensor::gemm::gemm_f32;
 use qgtc_tensor::{ops, Matrix, QuantParams, Quantizer};
 
-use crate::layers::GnnModelParams;
+use crate::layers::{forward_layers, DenseTcScaffold, GnnModelParams};
 use crate::models::{
-    code_row_sums, dequantize_update, quantize_activations, quantize_weights, record_dense_tc_gemm,
-    row_degrees, BatchForwardOutput, QuantizationSetting,
+    code_row_sums, dequantize_update, quantize_activations, quantize_weights, row_degrees,
+    BatchForwardOutput, QuantizationSetting,
 };
 
 /// The batched GIN model.
@@ -102,7 +101,18 @@ impl BatchedGinModel {
         );
         match setting {
             QuantizationSetting::Quantized { bits } => {
-                self.forward_low_bit(subgraph, features, bits, kernel_config, tracker)
+                let adjacency_stack = StackedBitMatrix::from_binary_adjacency(
+                    &subgraph.adjacency,
+                    BitMatrixLayout::RowPacked,
+                );
+                self.forward_low_bit(
+                    subgraph,
+                    &adjacency_stack,
+                    features,
+                    bits,
+                    kernel_config,
+                    tracker,
+                )
             }
             QuantizationSetting::Half | QuantizationSetting::Full => {
                 self.forward_dense_tc(subgraph, features, setting, tracker)
@@ -110,19 +120,19 @@ impl BatchedGinModel {
         }
     }
 
-    /// Bit-decomposed Tensor Core path (1–8 bits).
-    fn forward_low_bit(
+    /// Bit-decomposed Tensor Core path (1–8 bits) over a pre-packed adjacency.
+    /// Crate-visible so [`crate::models::GnnModel`] can route a
+    /// [`qgtc_kernels::packing::PreparedBatch`]'s payload adjacency here without
+    /// each model duplicating the dispatch.
+    pub(crate) fn forward_low_bit(
         &self,
         subgraph: &DenseSubgraph,
+        adjacency_stack: &StackedBitMatrix,
         features: &Matrix<f32>,
         bits: u32,
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        let adjacency_stack = StackedBitMatrix::from_binary_adjacency(
-            &subgraph.adjacency,
-            BitMatrixLayout::RowPacked,
-        );
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
         let mut x = features.clone();
@@ -148,7 +158,7 @@ impl BatchedGinModel {
             let u_stack =
                 StackedBitMatrix::from_quantized(&u_codes, u_params, BitMatrixLayout::ColPacked);
             tracker.record_int_ops(updated.len() as u64 * bits as u64);
-            let agg_acc = qgtc_aggregate(&adjacency_stack, &u_stack, kernel_config, tracker);
+            let agg_acc = qgtc_aggregate(adjacency_stack, &u_stack, kernel_config, tracker);
             // Dequantize: A·u ≈ scale · (A·uc) + min · deg.
             let mut aggregated = Matrix::zeros(updated.rows(), updated.cols());
             for (i, &degree) in degrees.iter().enumerate().take(aggregated.rows()) {
@@ -174,7 +184,9 @@ impl BatchedGinModel {
         BatchForwardOutput { logits: x }
     }
 
-    /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations).
+    /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations):
+    /// linear update first, then sum aggregation plus the `(1 + ε)` self term, on
+    /// the shared dense-TC layer scaffold.
     fn forward_dense_tc(
         &self,
         subgraph: &DenseSubgraph,
@@ -182,25 +194,15 @@ impl BatchedGinModel {
         setting: QuantizationSetting,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        let n = subgraph.num_nodes();
-        let num_layers = self.params.num_layers();
-        let mut x = features.clone();
-        for (l, layer) in self.params.layers.iter().enumerate() {
-            let last = l + 1 == num_layers;
-            let updated = ops::add_bias(&gemm_f32(&x, &layer.weight), &layer.bias);
-            record_dense_tc_gemm(n, layer.weight.cols(), x.cols(), setting, tracker);
-            let aggregated = gemm_f32(&subgraph.adjacency, &updated);
-            record_dense_tc_gemm(n, updated.cols(), n, setting, tracker);
+        let tc = DenseTcScaffold::new(setting, tracker);
+        forward_layers(&self.params, features, tracker, |layer, x| {
+            let updated = tc.linear(x, layer);
+            let aggregated = tc.gemm(&subgraph.adjacency, &updated);
             let self_term = ops::scale(&updated, 1.0 + self.epsilon);
-            let mut combined = ops::add(&aggregated, &self_term).expect("shapes match");
+            let combined = ops::add(&aggregated, &self_term).expect("shapes match");
             tracker.record_fp32_flops(2 * combined.len() as u64);
-            if !last {
-                ops::relu_inplace(&mut combined);
-                tracker.record_fp32_flops(combined.len() as u64);
-            }
-            x = combined;
-        }
-        BatchForwardOutput { logits: x }
+            combined
+        })
     }
 }
 

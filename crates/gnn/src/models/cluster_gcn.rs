@@ -11,13 +11,12 @@ use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
 use qgtc_tcsim::cost::CostTracker;
-use qgtc_tensor::gemm::gemm_f32;
 use qgtc_tensor::{ops, Matrix};
 
-use crate::layers::GnnModelParams;
+use crate::layers::{forward_layers, DenseTcScaffold, GnnModelParams};
 use crate::models::{
-    code_row_sums, dequantize_update, quantize_activations, quantize_weights, record_dense_tc_gemm,
-    row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting,
+    code_row_sums, dequantize_update, quantize_activations, quantize_weights, row_degrees,
+    row_normalize, BatchForwardOutput, QuantizationSetting,
 };
 
 /// The Cluster-GCN model: shared parameters plus both execution paths.
@@ -94,7 +93,18 @@ impl ClusterGcnModel {
         );
         match setting {
             QuantizationSetting::Quantized { bits } => {
-                self.forward_low_bit(subgraph, features, bits, kernel_config, tracker)
+                let adjacency_stack = StackedBitMatrix::from_binary_adjacency(
+                    &subgraph.adjacency,
+                    BitMatrixLayout::RowPacked,
+                );
+                self.forward_low_bit(
+                    subgraph,
+                    &adjacency_stack,
+                    features,
+                    bits,
+                    kernel_config,
+                    tracker,
+                )
             }
             QuantizationSetting::Half | QuantizationSetting::Full => {
                 self.forward_dense_tc(subgraph, features, setting, tracker)
@@ -102,19 +112,19 @@ impl ClusterGcnModel {
         }
     }
 
-    /// Bit-decomposed Tensor Core path (1–8 bits).
-    fn forward_low_bit(
+    /// Bit-decomposed Tensor Core path (1–8 bits) over a pre-packed adjacency.
+    /// Crate-visible so [`crate::models::GnnModel`] can route a
+    /// [`qgtc_kernels::packing::PreparedBatch`]'s payload adjacency here without
+    /// each model duplicating the dispatch.
+    pub(crate) fn forward_low_bit(
         &self,
         subgraph: &DenseSubgraph,
+        adjacency_stack: &StackedBitMatrix,
         features: &Matrix<f32>,
         bits: u32,
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
-        let adjacency_stack = StackedBitMatrix::from_binary_adjacency(
-            &subgraph.adjacency,
-            BitMatrixLayout::RowPacked,
-        );
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
         let mut x = features.clone();
@@ -126,7 +136,7 @@ impl ClusterGcnModel {
             tracker.record_int_ops(x.len() as u64 * bits as u64);
 
             // Neighbour aggregation on the binary adjacency.
-            let agg_acc = qgtc_aggregate(&adjacency_stack, &x_stack, kernel_config, tracker);
+            let agg_acc = qgtc_aggregate(adjacency_stack, &x_stack, kernel_config, tracker);
 
             // Epilogue 1 (fused): dequantize and fold in the mean normalisation.
             let mut aggregated = agg_acc.map(|&v| v as f32 * x_params.scale);
@@ -163,7 +173,9 @@ impl ClusterGcnModel {
         BatchForwardOutput { logits: x }
     }
 
-    /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations).
+    /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations):
+    /// aggregate on the row-normalised adjacency, then the linear update, on the
+    /// shared dense-TC layer scaffold.
     fn forward_dense_tc(
         &self,
         subgraph: &DenseSubgraph,
@@ -172,22 +184,11 @@ impl ClusterGcnModel {
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
         let normalized = row_normalize(&subgraph.adjacency);
-        let n = subgraph.num_nodes();
-        let num_layers = self.params.num_layers();
-        let mut x = features.clone();
-        for (l, layer) in self.params.layers.iter().enumerate() {
-            let last = l + 1 == num_layers;
-            let aggregated = gemm_f32(&normalized, &x);
-            record_dense_tc_gemm(n, x.cols(), n, setting, tracker);
-            let mut updated = ops::add_bias(&gemm_f32(&aggregated, &layer.weight), &layer.bias);
-            record_dense_tc_gemm(n, layer.weight.cols(), aggregated.cols(), setting, tracker);
-            if !last {
-                ops::relu_inplace(&mut updated);
-                tracker.record_fp32_flops(updated.len() as u64);
-            }
-            x = updated;
-        }
-        BatchForwardOutput { logits: x }
+        let tc = DenseTcScaffold::new(setting, tracker);
+        forward_layers(&self.params, features, tracker, |layer, x| {
+            let aggregated = tc.gemm(&normalized, x);
+            tc.linear(&aggregated, layer)
+        })
     }
 }
 

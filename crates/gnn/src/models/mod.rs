@@ -66,6 +66,92 @@ pub struct BatchForwardOutput {
     pub logits: Matrix<f32>,
 }
 
+/// Either evaluated model behind one prepared-batch execution interface.
+///
+/// The end-to-end pipeline (serial and streamed alike) builds one `GnnModel` and
+/// feeds every [`PreparedBatch`](qgtc_kernels::packing::PreparedBatch) through
+/// [`GnnModel::forward_prepared_quantized`] or [`GnnModel::forward_prepared_fp32`] —
+/// a single code path for both models and both executors, which is what makes the
+/// streamed/serial bit-identity argument local to this module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GnnModel {
+    /// Cluster GCN (aggregate → update).
+    ClusterGcn(cluster_gcn::ClusterGcnModel),
+    /// Batched GIN (update → aggregate + self term).
+    BatchedGin(batched_gin::BatchedGinModel),
+}
+
+impl GnnModel {
+    /// QGTC-path forward over a prepared batch: identical numerics and cost
+    /// accounting to each model's `forward_quantized_batch`, but when the batch
+    /// carries a payload the low-bit path consumes its already-packed 1-bit
+    /// adjacency instead of re-packing it. This is the *only* place the
+    /// prepared-path dispatch lives, for both models.
+    pub fn forward_prepared_quantized(
+        &self,
+        prepared: &qgtc_kernels::packing::PreparedBatch,
+        setting: QuantizationSetting,
+        kernel_config: &qgtc_kernels::bmm::KernelConfig,
+        tracker: &CostTracker,
+    ) -> BatchForwardOutput {
+        if let (QuantizationSetting::Quantized { bits }, Some(payload)) =
+            (setting, prepared.payload.as_ref())
+        {
+            debug_assert_eq!(payload.packed_adjacency.bits(), 1);
+            return match self {
+                GnnModel::ClusterGcn(model) => model.forward_low_bit(
+                    &prepared.subgraph,
+                    &payload.packed_adjacency,
+                    &prepared.features,
+                    bits,
+                    kernel_config,
+                    tracker,
+                ),
+                GnnModel::BatchedGin(model) => model.forward_low_bit(
+                    &prepared.subgraph,
+                    &payload.packed_adjacency,
+                    &prepared.features,
+                    bits,
+                    kernel_config,
+                    tracker,
+                ),
+            };
+        }
+        match self {
+            GnnModel::ClusterGcn(model) => model.forward_quantized_batch(
+                &prepared.subgraph,
+                &prepared.features,
+                setting,
+                kernel_config,
+                tracker,
+            ),
+            GnnModel::BatchedGin(model) => model.forward_quantized_batch(
+                &prepared.subgraph,
+                &prepared.features,
+                setting,
+                kernel_config,
+                tracker,
+            ),
+        }
+    }
+
+    /// Baseline fp32 forward over a prepared batch.
+    pub fn forward_prepared_fp32(
+        &self,
+        prepared: &qgtc_kernels::packing::PreparedBatch,
+        tracker: &CostTracker,
+    ) -> BatchForwardOutput {
+        match self {
+            GnnModel::ClusterGcn(model) => {
+                model.forward_fp32_batch(&prepared.subgraph, &prepared.features, tracker)
+            }
+            GnnModel::BatchedGin(model) => {
+                model.forward_fp32_batch(&prepared.subgraph, &prepared.features, tracker)
+            }
+        }
+    }
+}
+
 /// Quantize non-negative activations to `bits` with a zero-anchored range
 /// (`min = 0`), so dequantizing an integer GEMM over the codes is a pure rescale.
 ///
@@ -266,6 +352,79 @@ mod tests {
         assert_eq!(n[(2, 0)], 1.0);
         assert_eq!(n[(1, 0)], 0.0);
         assert_eq!(row_degrees(&adj), vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn prepared_forward_is_bit_identical_to_unprepared() {
+        use qgtc_graph::generate::{stochastic_block_model, SbmParams};
+        use qgtc_graph::{CsrGraph, DenseSubgraph};
+        use qgtc_kernels::bmm::KernelConfig;
+        use qgtc_kernels::packing::PreparedBatch;
+
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 90,
+                num_blocks: 3,
+                intra_degree: 6.0,
+                inter_degree: 0.5,
+            },
+            21,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let sub = DenseSubgraph::extract(&graph, &(0..90).collect::<Vec<_>>());
+        let features = random_uniform_matrix(90, 24, 0.0, 1.0, 22);
+
+        let models = [
+            GnnModel::ClusterGcn(cluster_gcn::ClusterGcnModel::new(24, 3, 7)),
+            GnnModel::BatchedGin(batched_gin::BatchedGinModel::new(24, 3, 7)),
+        ];
+        for setting in [
+            QuantizationSetting::from_bits(3),
+            QuantizationSetting::Half,
+            QuantizationSetting::Full,
+        ] {
+            let prepared = PreparedBatch::pack_quantized(
+                0,
+                sub.clone(),
+                features.clone(),
+                setting.bits().min(8),
+            );
+            for model in &models {
+                let t_prepared = CostTracker::new();
+                let via_prepared = model.forward_prepared_quantized(
+                    &prepared,
+                    setting,
+                    &KernelConfig::default(),
+                    &t_prepared,
+                );
+                let t_direct = CostTracker::new();
+                let direct = match model {
+                    GnnModel::ClusterGcn(m) => m.forward_quantized_batch(
+                        &sub,
+                        &features,
+                        setting,
+                        &KernelConfig::default(),
+                        &t_direct,
+                    ),
+                    GnnModel::BatchedGin(m) => m.forward_quantized_batch(
+                        &sub,
+                        &features,
+                        setting,
+                        &KernelConfig::default(),
+                        &t_direct,
+                    ),
+                };
+                assert_eq!(
+                    via_prepared.logits, direct.logits,
+                    "prepared path must be bit-identical"
+                );
+                assert_eq!(
+                    t_prepared.snapshot(),
+                    t_direct.snapshot(),
+                    "prepared path must record identical costs"
+                );
+            }
+        }
     }
 
     #[test]

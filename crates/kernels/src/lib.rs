@@ -36,4 +36,4 @@ pub mod zero_tile;
 
 pub use bmm::{qgtc_aggregate, qgtc_bitmm2int, qgtc_bmm, KernelConfig, ReductionOrder};
 pub use fusion::{Activation, FusedEpilogue};
-pub use packing::{SubgraphPayload, TransferStrategy};
+pub use packing::{PreparedBatch, SubgraphPayload, TransferStrategy};

@@ -120,6 +120,87 @@ impl SubgraphPayload {
     }
 }
 
+/// One batch fully prepared for the compute stage: the materialised dense subgraph,
+/// its gathered feature rows, and (on the QGTC path) the bit-packed transfer payload.
+///
+/// `PreparedBatch` is the hand-off object of the staged pipeline: a producer shard
+/// builds it (materialise → gather → pack) with no side effects, and the compute
+/// stage later records the transfer and runs the forward pass. Because construction
+/// touches no [`CostTracker`] and no global state, building batches out of order or
+/// on different threads cannot change any recorded counter — the property the
+/// streamed executor's determinism guarantee rests on.
+#[derive(Debug, Clone)]
+pub struct PreparedBatch {
+    /// Epoch position of this batch (the consumption order key).
+    pub batch_index: usize,
+    /// The materialised dense (block-diagonal) subgraph.
+    pub subgraph: DenseSubgraph,
+    /// The batch's gathered feature rows, `num_nodes × feature_dim`.
+    pub features: Matrix<f32>,
+    /// The packed transfer payload; `None` on the dense-baseline path (which ships
+    /// raw fp32 tensors) and for empty batches.
+    pub payload: Option<SubgraphPayload>,
+}
+
+impl PreparedBatch {
+    /// Prepare a batch for the QGTC path: pack the adjacency to 1 bit and the
+    /// features to `feature_bits`, exactly as [`SubgraphPayload::new`] does.
+    ///
+    /// Empty batches get no payload (there is nothing to pack or transfer).
+    pub fn pack_quantized(
+        batch_index: usize,
+        subgraph: DenseSubgraph,
+        features: Matrix<f32>,
+        feature_bits: u32,
+    ) -> Self {
+        let payload = if subgraph.num_nodes() == 0 {
+            None
+        } else {
+            Some(SubgraphPayload::new(&subgraph, &features, feature_bits))
+        };
+        Self {
+            batch_index,
+            subgraph,
+            features,
+            payload,
+        }
+    }
+
+    /// Prepare a batch for the dense fp32 baseline path (no packing).
+    pub fn dense(batch_index: usize, subgraph: DenseSubgraph, features: Matrix<f32>) -> Self {
+        Self {
+            batch_index,
+            subgraph,
+            features,
+            payload: None,
+        }
+    }
+
+    /// Number of nodes in the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.subgraph.num_nodes()
+    }
+
+    /// Record this batch's host-to-device transfer.
+    ///
+    /// With a payload the configured strategy is charged through
+    /// [`SubgraphPayload::record_transfer`] (bytes plus per-transfer overhead). On
+    /// the baseline path the batch ships as dense fp32 adjacency + features in the
+    /// framework's single logical allocation, so exactly
+    /// `n·n·4 + features.len()·4` bytes are charged — the same accounting the
+    /// serial DGL loop has always used.
+    pub fn record_transfer(&self, strategy: TransferStrategy, tracker: &CostTracker) {
+        match &self.payload {
+            Some(payload) => payload.record_transfer(strategy, tracker),
+            None => {
+                let n = self.subgraph.num_nodes() as u64;
+                let bytes = n * n * 4 + self.features.len() as u64 * 4;
+                tracker.record_pcie_h2d(bytes);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +273,85 @@ mod tests {
         payload.record_transfer(TransferStrategy::DenseFloat, &tracker2);
         let dense = tracker2.snapshot().pcie_h2d_bytes;
         assert!(dense > single);
+    }
+
+    #[test]
+    fn prepared_batch_quantized_carries_payload_and_matches_payload_accounting() {
+        let payload = sample_payload(2);
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 200,
+                num_blocks: 2,
+                intra_degree: 6.0,
+                inter_degree: 0.5,
+            },
+            1,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let nodes: Vec<usize> = (0..120).collect();
+        let sub = DenseSubgraph::extract(&graph, &nodes);
+        let features = random_uniform_matrix(120, 64, 0.0, 1.0, 2);
+        let prepared = PreparedBatch::pack_quantized(3, sub, features, 2);
+        assert_eq!(prepared.batch_index, 3);
+        assert_eq!(prepared.num_nodes(), 120);
+
+        // The prepared payload is byte-identical to a directly built one.
+        let embedded = prepared.payload.as_ref().expect("quantized path packs");
+        assert_eq!(
+            embedded.transfer_bytes(TransferStrategy::PackedCompound),
+            payload.transfer_bytes(TransferStrategy::PackedCompound)
+        );
+        let tracker = CostTracker::new();
+        prepared.record_transfer(TransferStrategy::PackedCompound, &tracker);
+        assert_eq!(
+            tracker.snapshot().pcie_h2d_bytes,
+            payload.transfer_bytes(TransferStrategy::PackedCompound) + PER_TRANSFER_OVERHEAD_BYTES
+        );
+    }
+
+    #[test]
+    fn prepared_batch_dense_charges_raw_fp32_bytes() {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 60,
+                num_blocks: 2,
+                intra_degree: 4.0,
+                inter_degree: 0.5,
+            },
+            5,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let sub = DenseSubgraph::extract(&graph, &(0..40).collect::<Vec<_>>());
+        let features = random_uniform_matrix(40, 16, 0.0, 1.0, 6);
+        let prepared = PreparedBatch::dense(0, sub, features);
+        assert!(prepared.payload.is_none());
+        let tracker = CostTracker::new();
+        prepared.record_transfer(TransferStrategy::DenseFloat, &tracker);
+        // Raw fp32 accounting without the per-transfer overhead model: exactly what
+        // the serial DGL loop records.
+        assert_eq!(
+            tracker.snapshot().pcie_h2d_bytes,
+            (40 * 40 * 4 + 40 * 16 * 4) as u64
+        );
+    }
+
+    #[test]
+    fn empty_prepared_batch_has_no_payload() {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 20,
+                num_blocks: 2,
+                intra_degree: 3.0,
+                inter_degree: 0.5,
+            },
+            7,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let sub = DenseSubgraph::extract(&graph, &[]);
+        let features = sub.gather_features(&random_uniform_matrix(20, 8, 0.0, 1.0, 8));
+        let prepared = PreparedBatch::pack_quantized(0, sub, features, 2);
+        assert_eq!(prepared.num_nodes(), 0);
+        assert!(prepared.payload.is_none());
     }
 
     #[test]

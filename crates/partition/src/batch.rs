@@ -42,6 +42,12 @@ impl SubgraphBatch {
 }
 
 /// Groups partitions into fixed-size batches.
+///
+/// The batcher doubles as an **indexable batch plan**: [`PartitionBatcher::batch`]
+/// materialises the batch at any epoch position independently of every other batch,
+/// so pipeline shards (the streamed executor's producers) can build batches
+/// concurrently without sharing an iterator. [`PartitionBatcher::batches`] is defined
+/// in terms of `batch`, which guarantees the two views agree batch-for-batch.
 #[derive(Debug, Clone)]
 pub struct PartitionBatcher {
     partitions: Vec<Vec<usize>>,
@@ -52,6 +58,13 @@ impl PartitionBatcher {
     /// Create a batcher over the partitions of `partitioning`, `batch_size` partitions
     /// per batch. Empty partitions are dropped (METIS can produce them for very large
     /// part counts; so can our substitute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`: a zero-partition batch has no meaning in the
+    /// cluster-GCN execution model, and silently clamping it would hide a
+    /// configuration bug upstream (`QgtcConfig::scaled_partitions` clamps to 1 for
+    /// callers that want the lenient behaviour).
     pub fn new(partitioning: &Partitioning, batch_size: usize) -> Self {
         assert!(batch_size >= 1, "batch_size must be at least 1");
         let partitions: Vec<Vec<usize>> = partitioning
@@ -66,6 +79,10 @@ impl PartitionBatcher {
     }
 
     /// Create a batcher from explicit partition node lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` (see [`PartitionBatcher::new`]).
     pub fn from_partitions(partitions: Vec<Vec<usize>>, batch_size: usize) -> Self {
         assert!(batch_size >= 1, "batch_size must be at least 1");
         Self {
@@ -79,23 +96,41 @@ impl PartitionBatcher {
         self.partitions.len()
     }
 
+    /// Partitions per batch (the processing-granularity knob).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
     /// Number of batches produced per epoch.
     pub fn num_batches(&self) -> usize {
         self.partitions.len().div_ceil(self.batch_size)
     }
 
+    /// Materialise the batch at epoch position `batch_index`, or `None` past the end.
+    ///
+    /// This is the random-access entry of the batch plan: it depends only on
+    /// `batch_index`, so any shard can build any batch without coordinating with the
+    /// others, and calling it for `0..num_batches()` reproduces [`Self::batches`]
+    /// exactly.
+    pub fn batch(&self, batch_index: usize) -> Option<SubgraphBatch> {
+        let start = batch_index.checked_mul(self.batch_size)?;
+        if start >= self.partitions.len() {
+            return None;
+        }
+        let end = (start + self.batch_size).min(self.partitions.len());
+        Some(SubgraphBatch {
+            batch_index,
+            partition_ids: (start..end).collect(),
+            partitions: self.partitions[start..end].to_vec(),
+        })
+    }
+
     /// Iterate over the batches of one epoch in order.
     pub fn batches(&self) -> impl Iterator<Item = SubgraphBatch> + '_ {
-        self.partitions
-            .chunks(self.batch_size)
-            .enumerate()
-            .map(|(batch_index, chunk)| SubgraphBatch {
-                batch_index,
-                partition_ids: (batch_index * self.batch_size
-                    ..batch_index * self.batch_size + chunk.len())
-                    .collect(),
-                partitions: chunk.to_vec(),
-            })
+        (0..self.num_batches()).map(|batch_index| {
+            self.batch(batch_index)
+                .expect("batch_index < num_batches always materialises")
+        })
     }
 }
 
@@ -144,6 +179,56 @@ mod tests {
         assert_eq!(batches[0].partitions.len(), 4);
         assert_eq!(batches[1].partitions.len(), 2);
         assert_eq!(batches[1].batch_index, 1);
+    }
+
+    #[test]
+    fn remainder_batch_covers_every_partition_and_node() {
+        // num_partitions (6) not divisible by batch_size (4): the remainder batch
+        // must carry the leftover partitions, every partition id must appear exactly
+        // once across the epoch, and the node counts must add up to the graph.
+        let (_, p) = graph_and_partitioning();
+        let batcher = PartitionBatcher::new(&p, 4);
+        assert_eq!(batcher.num_partitions() % batcher.batch_size(), 2);
+        let batches: Vec<_> = batcher.batches().collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1].partitions.len(), 2, "remainder batch size");
+
+        let mut seen_partition_ids = Vec::new();
+        let mut total_nodes = 0usize;
+        for batch in &batches {
+            assert_eq!(
+                batch.partition_ids.len(),
+                batch.partitions.len(),
+                "one id per included partition"
+            );
+            total_nodes += batch.num_nodes();
+            seen_partition_ids.extend_from_slice(&batch.partition_ids);
+        }
+        seen_partition_ids.sort_unstable();
+        assert_eq!(
+            seen_partition_ids,
+            (0..batcher.num_partitions()).collect::<Vec<_>>(),
+            "every partition id appears exactly once"
+        );
+        assert_eq!(total_nodes, 300, "every node appears in exactly one batch");
+    }
+
+    #[test]
+    fn indexable_plan_matches_iterator_batch_for_batch() {
+        let (_, p) = graph_and_partitioning();
+        for batch_size in [1, 2, 4, 5, 6, 7] {
+            let batcher = PartitionBatcher::new(&p, batch_size);
+            let iterated: Vec<_> = batcher.batches().collect();
+            assert_eq!(iterated.len(), batcher.num_batches());
+            for (index, expected) in iterated.iter().enumerate() {
+                let indexed = batcher.batch(index).expect("in range");
+                assert_eq!(indexed.batch_index, expected.batch_index);
+                assert_eq!(indexed.partition_ids, expected.partition_ids);
+                assert_eq!(indexed.partitions, expected.partitions);
+            }
+            assert!(batcher.batch(batcher.num_batches()).is_none());
+            assert!(batcher.batch(usize::MAX).is_none());
+        }
     }
 
     #[test]

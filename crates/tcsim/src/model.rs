@@ -40,6 +40,93 @@ impl KernelEstimate {
     pub fn total_ms(&self) -> f64 {
         self.total_s * 1e3
     }
+
+    /// The transfer lane of this estimate when it describes one pipeline batch: the
+    /// time the PCIe copy engine is busy shipping the batch.
+    pub fn transfer_lane_s(&self) -> f64 {
+        self.pcie_s
+    }
+
+    /// The compute lane of this estimate when it describes one pipeline batch: the
+    /// time the SMs are busy (compute/memory roofline plus launch overhead), i.e.
+    /// everything except the PCIe transfer.
+    pub fn compute_lane_s(&self) -> f64 {
+        self.compute_s.max(self.memory_s) + self.launch_s
+    }
+
+    /// The serial (no-overlap) duration of this batch: transfer then compute.
+    pub fn serial_lane_s(&self) -> f64 {
+        self.transfer_lane_s() + self.compute_lane_s()
+    }
+}
+
+/// Modeled latency of a *sequence* of batches executed as a transfer/compute
+/// pipeline, composed from per-batch [`KernelEstimate`] lanes.
+///
+/// `serial_s` is the no-overlap epoch: every batch transfers, then computes, before
+/// the next batch starts (`Σ (tᵢ + cᵢ)`). `overlapped_s` models QGTC's streamed
+/// execution with `staging_buffers` device-side buffers: batch `i`'s transfer may
+/// start once buffer slot `i mod D` is free (its previous occupant, batch `i − D`,
+/// has been consumed) and the copy engine is idle, and its compute starts once both
+/// its transfer and batch `i − 1`'s compute have finished — the classic
+/// double-buffering recurrence
+///
+/// ```text
+/// transfer_end(i) = max(transfer_end(i−1), compute_end(i−D)) + tᵢ
+/// compute_end(i)  = max(transfer_end(i),   compute_end(i−1)) + cᵢ
+/// ```
+///
+/// whose steady state is `max(tᵢ, cᵢ)` per batch. With `staging_buffers == 1` the
+/// recurrence degenerates to the serial sum *exactly* (bitwise, not just
+/// approximately — the additions happen in the same order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineEstimate {
+    /// No-overlap epoch latency: `Σ (transferᵢ + computeᵢ)`, in seconds.
+    pub serial_s: f64,
+    /// Overlapped epoch latency under the bounded-buffer recurrence, in seconds.
+    pub overlapped_s: f64,
+    /// Total transfer-lane time (`Σ transferᵢ`), in seconds.
+    pub transfer_s: f64,
+    /// Total compute-lane time (`Σ computeᵢ`), in seconds.
+    pub compute_s: f64,
+    /// Number of staging buffers the overlapped model assumed (1 = no overlap).
+    pub staging_buffers: usize,
+    /// Number of batches composed.
+    pub num_batches: usize,
+}
+
+impl PipelineEstimate {
+    /// An empty pipeline (no batches): all lanes zero.
+    pub fn empty(staging_buffers: usize) -> Self {
+        Self {
+            serial_s: 0.0,
+            overlapped_s: 0.0,
+            transfer_s: 0.0,
+            compute_s: 0.0,
+            staging_buffers: staging_buffers.max(1),
+            num_batches: 0,
+        }
+    }
+
+    /// Serial (no-overlap) epoch latency in milliseconds.
+    pub fn serial_ms(&self) -> f64 {
+        self.serial_s * 1e3
+    }
+
+    /// Overlapped epoch latency in milliseconds.
+    pub fn overlapped_ms(&self) -> f64 {
+        self.overlapped_s * 1e3
+    }
+
+    /// Speedup of the overlapped schedule over the serial one (≥ 1 by construction,
+    /// 1.0 for empty pipelines).
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.overlapped_s <= 0.0 {
+            1.0
+        } else {
+            self.serial_s / self.overlapped_s
+        }
+    }
 }
 
 /// The analytic device model: a [`GpuSpec`] plus estimation entry points.
@@ -113,6 +200,73 @@ impl DeviceModel {
             launch_s,
             pcie_s,
             total_s,
+        }
+    }
+
+    /// Compose per-batch cost snapshots into a pipelined epoch latency.
+    ///
+    /// Each snapshot is estimated independently (occupancy and rooflines are
+    /// per-batch), split into its transfer and compute lanes, and the lanes are
+    /// scheduled under the bounded-buffer recurrence documented on
+    /// [`PipelineEstimate`]. `staging_buffers == 1` reproduces the serial sum
+    /// exactly; `staging_buffers >= 2` is double (or deeper) buffering and can only
+    /// shorten the epoch.
+    ///
+    /// Note the serial number here is `Σᵢ max(computeᵢ, memoryᵢ)`-per-batch, which is
+    /// ≥ the whole-epoch aggregate `max(Σ compute, Σ memory)` of
+    /// [`DeviceModel::estimate`]: composing per batch forbids the aggregate model's
+    /// implicit overlap of one batch's compute with another batch's DRAM traffic, so
+    /// the two serial views bracket the real machine.
+    pub fn estimate_pipelined(
+        &self,
+        batch_costs: &[CostSnapshot],
+        staging_buffers: usize,
+    ) -> PipelineEstimate {
+        let depth = staging_buffers.max(1);
+        let n = batch_costs.len();
+        if n == 0 {
+            return PipelineEstimate::empty(depth);
+        }
+        let lanes: Vec<(f64, f64)> = batch_costs
+            .iter()
+            .map(|snapshot| {
+                let estimate = self.estimate(snapshot);
+                (estimate.transfer_lane_s(), estimate.compute_lane_s())
+            })
+            .collect();
+
+        let mut transfer_total = 0.0f64;
+        let mut compute_total = 0.0f64;
+        // Serial accumulates ((acc + t) + c) so the depth-1 recurrence below, which
+        // performs the identical additions, matches it bitwise.
+        let mut serial = 0.0f64;
+        for &(t, c) in &lanes {
+            transfer_total += t;
+            compute_total += c;
+            serial += t;
+            serial += c;
+        }
+
+        let mut transfer_end = vec![0.0f64; n];
+        let mut compute_end = vec![0.0f64; n];
+        for (i, &(t, c)) in lanes.iter().enumerate() {
+            let copy_engine_free = if i > 0 { transfer_end[i - 1] } else { 0.0 };
+            let slot_free = if i >= depth {
+                compute_end[i - depth]
+            } else {
+                0.0
+            };
+            transfer_end[i] = copy_engine_free.max(slot_free) + t;
+            let prev_compute = if i > 0 { compute_end[i - 1] } else { 0.0 };
+            compute_end[i] = transfer_end[i].max(prev_compute) + c;
+        }
+        PipelineEstimate {
+            serial_s: serial,
+            overlapped_s: compute_end[n - 1],
+            transfer_s: transfer_total,
+            compute_s: compute_total,
+            staging_buffers: depth,
+            num_batches: n,
         }
     }
 
@@ -258,6 +412,91 @@ mod tests {
         let est = model.estimate(&with_transfer);
         assert!(est.pcie_s > 0.09 && est.pcie_s < 0.11);
         assert!(est.total_s > est.pcie_s);
+    }
+
+    /// A batch snapshot with controllable compute (b1 tiles) and transfer (pcie).
+    fn batch_snapshot(tiles: u64, pcie: u64) -> CostSnapshot {
+        snapshot_with(|t| {
+            t.record_b1_tiles(tiles);
+            t.record_kernel_launch(4096);
+            t.record_pcie_h2d(pcie);
+        })
+    }
+
+    #[test]
+    fn pipeline_depth_one_is_exactly_serial() {
+        let model = DeviceModel::rtx3090();
+        let batches: Vec<CostSnapshot> = (0..7)
+            .map(|i| batch_snapshot(10_000 + i * 3_000, 40_000_000 + i * 7_000_000))
+            .collect();
+        let est = model.estimate_pipelined(&batches, 1);
+        assert_eq!(
+            est.overlapped_s, est.serial_s,
+            "one staging buffer must degenerate to the serial schedule bitwise"
+        );
+        assert_eq!(est.staging_buffers, 1);
+        assert_eq!(est.num_batches, 7);
+        assert!(est.overlap_speedup() == 1.0);
+    }
+
+    #[test]
+    fn pipeline_overlap_shortens_and_is_bounded_by_lanes() {
+        let model = DeviceModel::rtx3090();
+        // Sizeable transfers and compute so both lanes matter.
+        let batches: Vec<CostSnapshot> = (0..8)
+            .map(|i| batch_snapshot(200_000 + i * 10_000, 500_000_000))
+            .collect();
+        let serial = model.estimate_pipelined(&batches, 1);
+        let double = model.estimate_pipelined(&batches, 2);
+        let quad = model.estimate_pipelined(&batches, 4);
+        assert!(
+            double.overlapped_s < serial.overlapped_s,
+            "double buffering must hide transfer behind compute"
+        );
+        assert!(quad.overlapped_s <= double.overlapped_s + 1e-15);
+        // Overlap can never beat the busier lane, nor lose to serial.
+        for est in [&double, &quad] {
+            assert!(est.overlapped_s + 1e-12 >= est.transfer_s.max(est.compute_s));
+            assert!(est.overlapped_s <= est.serial_s);
+            assert!(est.overlap_speedup() >= 1.0);
+        }
+        // The serial sums are identical regardless of depth.
+        assert_eq!(serial.serial_s, double.serial_s);
+        assert_eq!(serial.serial_s, quad.serial_s);
+    }
+
+    #[test]
+    fn pipeline_steady_state_approaches_max_lane() {
+        let model = DeviceModel::rtx3090();
+        // Transfer-dominated batches: overlapped time should approach Σ transfer
+        // (plus one compute tail), far below serial.
+        let batches: Vec<CostSnapshot> = (0..64)
+            .map(|_| batch_snapshot(100, 2_000_000_000))
+            .collect();
+        let est = model.estimate_pipelined(&batches, 2);
+        let tail = est.compute_s / est.num_batches as f64;
+        assert!(
+            est.overlapped_s <= est.transfer_s + est.compute_s / 32.0 + tail,
+            "steady state must pipeline down to the transfer lane: overlapped {} vs transfer {}",
+            est.overlapped_s,
+            est.transfer_s
+        );
+    }
+
+    #[test]
+    fn pipeline_empty_and_lane_accessors() {
+        let model = DeviceModel::rtx3090();
+        let est = model.estimate_pipelined(&[], 3);
+        assert_eq!(est, PipelineEstimate::empty(3));
+        assert_eq!(est.overlap_speedup(), 1.0);
+
+        let one = model.estimate(&batch_snapshot(1_000, 1_000_000));
+        assert_eq!(one.transfer_lane_s(), one.pcie_s);
+        assert!((one.serial_lane_s() - one.total_s).abs() < 1e-15);
+        assert_eq!(
+            one.compute_lane_s(),
+            one.compute_s.max(one.memory_s) + one.launch_s
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@ use std::sync::Mutex;
 
 mod pool;
 
+/// Number of pool participants (spawned workers + the calling thread), mirroring
+/// `rayon::current_num_threads`: `RAYON_NUM_THREADS` when set, else one per
+/// available core.
+pub fn current_num_threads() -> usize {
+    pool::default_thread_count()
+}
+
 /// An enumerated chunk queued for the pool; each cell is taken exactly once
 /// because the pool hands out every index exactly once.
 type QueuedChunk<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;

@@ -1,0 +1,91 @@
+//! Streamed-executor oracle tests: the streamed epoch must record exactly the
+//! serial loop's cost counters — in total and batch for batch — on every Table-1
+//! dataset profile, and a prefetch depth of 1 must degenerate to the serial
+//! schedule in both the executor and the latency model.
+
+use qgtc_repro::core::{run_epoch, run_epoch_streamed, ModelKind, QgtcConfig};
+use qgtc_repro::graph::DatasetProfile;
+
+fn tiny_config(model: ModelKind, bits: u32) -> QgtcConfig {
+    QgtcConfig::qgtc(model, bits)
+        .scaled_partitions(12, 2)
+        .with_prefetch(4)
+}
+
+#[test]
+fn streamed_cost_equals_serial_batch_for_batch_on_all_six_profiles() {
+    for profile in DatasetProfile::all() {
+        let dataset = profile.materialize_tiny(31);
+        let config = tiny_config(ModelKind::ClusterGcn, 2);
+        let serial = run_epoch(&dataset, &config);
+        let streamed = run_epoch_streamed(&dataset, &config);
+
+        assert_eq!(serial.cost, streamed.cost, "{}: epoch totals", profile.name);
+        assert_eq!(
+            serial.batch_costs.len(),
+            streamed.batch_costs.len(),
+            "{}: batch count",
+            profile.name
+        );
+        for (index, (s, t)) in serial
+            .batch_costs
+            .iter()
+            .zip(streamed.batch_costs.iter())
+            .enumerate()
+        {
+            assert_eq!(s, t, "{}: batch {index} cost delta", profile.name);
+        }
+        assert_eq!(serial.num_batches, streamed.num_batches, "{}", profile.name);
+        assert_eq!(serial.num_nodes, streamed.num_nodes, "{}", profile.name);
+        assert_eq!(serial.modeled_ms, streamed.modeled_ms, "{}", profile.name);
+        assert_eq!(serial.pipeline, streamed.pipeline, "{}", profile.name);
+        // Depth 4 > 1: the overlapped schedule may only improve on serial.
+        assert!(
+            streamed.pipeline.overlapped_s <= streamed.pipeline.serial_s,
+            "{}: overlap must not lose to serial",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn streamed_matches_serial_for_gin_and_the_dense_baseline() {
+    let dataset = DatasetProfile::PPI.materialize_tiny(33);
+    for config in [
+        tiny_config(ModelKind::BatchedGin, 4),
+        QgtcConfig::dgl_baseline(ModelKind::ClusterGcn)
+            .scaled_partitions(12, 2)
+            .with_prefetch(3),
+    ] {
+        let serial = run_epoch(&dataset, &config);
+        let streamed = run_epoch_streamed(&dataset, &config);
+        assert_eq!(serial.cost, streamed.cost);
+        assert_eq!(serial.batch_costs, streamed.batch_costs);
+    }
+}
+
+#[test]
+fn prefetch_depth_one_degenerates_to_serial_latency() {
+    let dataset = DatasetProfile::PROTEINS.materialize_tiny(32);
+    let config = tiny_config(ModelKind::ClusterGcn, 2).with_prefetch(1);
+    let serial = run_epoch(&dataset, &config);
+    let streamed = run_epoch_streamed(&dataset, &config);
+    assert_eq!(serial.cost, streamed.cost);
+    assert_eq!(streamed.pipeline.staging_buffers, 1);
+    // With one staging buffer the documented recurrence performs the serial
+    // additions verbatim, so the degeneration is exact, not approximate.
+    assert_eq!(streamed.pipeline.overlapped_s, streamed.pipeline.serial_s);
+    assert_eq!(serial.pipeline, streamed.pipeline);
+}
+
+#[test]
+fn partitioning_is_excluded_from_epoch_wall_and_reported_separately() {
+    let dataset = DatasetProfile::PROTEINS.materialize_tiny(34);
+    let config = tiny_config(ModelKind::ClusterGcn, 2);
+    let report = run_epoch(&dataset, &config);
+    assert!(
+        report.partition_ms > 0.0,
+        "partitioning time must be reported"
+    );
+    assert!(report.host_wall_ms > 0.0);
+}

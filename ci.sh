@@ -1,47 +1,148 @@
 #!/usr/bin/env bash
-# CI gate for the QGTC reproduction workspace.
+# CI gate for the QGTC reproduction workspace — named, timed, selectable stages.
 #
-# Runs the full verification ladder; every step must pass. Works fully
+# Runs the full verification ladder; every stage must pass. Works fully
 # offline: all external dependencies are path shims under shims/.
 #
-# Usage: ./ci.sh
+# Usage:
+#   ./ci.sh                        # the full ladder
+#   QGTC_CI_STAGE=clippy ./ci.sh   # exactly one stage
+#   QGTC_CI_FAST=1 ./ci.sh        # quick local iteration: skips the release
+#                                  # build and the perf probes (perfsmoke)
+#
+# Stages, in order:
+#   fmt                    rustfmt --check over the workspace
+#   clippy                 clippy with -D warnings, all targets
+#   build-release          cargo build --release            [skipped in FAST]
+#   test                   cargo test --workspace (superset of tier-1)
+#   partition-determinism  the sharded-partitioner == serial-oracle proptests
+#                          under RAYON_NUM_THREADS in {1, 2, 8}
+#   bench-compile          criterion benches must compile
+#   examples               examples + bins must build
+#   perfsmoke              tiny-scale perf gates: fused GEMM, streamed
+#                          pipeline, sharded partitioner  [skipped in FAST]
+#   benchcheck             committed BENCH_*.json files parse, carry the
+#                          expected keys, and clear their committed bars
+#   doc                    cargo doc with zero warnings
+#
+# A wall-clock summary table of the executed stages prints at the end.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-step() {
-    echo
-    echo "==> $*"
-    "$@"
+FAST="${QGTC_CI_FAST:-0}"
+ONLY="${QGTC_CI_STAGE:-}"
+KNOWN_STAGES="fmt clippy build-release test partition-determinism bench-compile examples perfsmoke benchcheck doc"
+
+STAGE_NAMES=()
+STAGE_SECS=()
+STAGE_NOTES=()
+RAN_ANY=0
+
+selected() {
+    [[ -z "$ONLY" || "$ONLY" == "$1" ]]
 }
 
-step cargo fmt --all --check
-step cargo clippy --workspace --all-targets -- -D warnings
-step cargo build --release
-step cargo test --workspace -q           # superset of the tier-1 `cargo test -q`
-step cargo bench --no-run --workspace    # criterion benches must compile
-step cargo build --workspace --examples --bins
+record() { # name seconds note
+    STAGE_NAMES+=("$1")
+    STAGE_SECS+=("$2")
+    STAGE_NOTES+=("$3")
+}
 
-# Perf gates (see crates/bench/src/bin/perfsmoke.rs):
-#  * fused GEMM must not be slower than the plane-by-plane composition on the
-#    largest tiny-scale shape (full-scale runs enforce 2x; committed
-#    BENCH_gemm.json);
-#  * the streamed batch pipeline must not be slower than the serial epoch loop
-#    (wall-clock, 5% tolerance) and its modeled transfer/compute overlap must
-#    clear the scale's bar (1.0x tiny, 1.3x full; committed BENCH_pipeline.json).
-step env QGTC_SCALE=tiny QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
-    QGTC_PIPELINE_OUT=target/BENCH_pipeline.tiny.json \
-    cargo run --release -p qgtc-bench --bin perfsmoke
+stage() { # name command...
+    local name="$1"
+    shift
+    selected "$name" || return 0
+    RAN_ANY=1
+    echo
+    echo "==> [$name] $*"
+    local start=$SECONDS
+    "$@"
+    record "$name" "$((SECONDS - start))" "ok"
+}
 
-# cargo doc exits 0 even with rustdoc warnings; re-run capturing output to
-# enforce the zero-warning docs gate.
-echo
-echo "==> checking cargo doc output for warnings"
-doc_output=$(cargo doc --workspace --no-deps 2>&1)
-if grep -q "^warning" <<<"$doc_output"; then
-    echo "$doc_output" | grep -A4 "^warning"
-    echo "cargo doc produced warnings" >&2
+skip_stage() { # name reason
+    selected "$1" || return 0
+    # A selected-but-skipped stage still counts as handled, so the
+    # unknown-stage guard below does not misfire on it.
+    RAN_ANY=1
+    echo
+    echo "==> [$1] skipped ($2)"
+    record "$1" 0 "skipped: $2"
+}
+
+partition_determinism() {
+    # The proptests compare shard widths within one process; the pool's thread
+    # count is fixed per process, so sweep it across processes here.
+    local threads
+    for threads in 1 2 8; do
+        echo "--- RAYON_NUM_THREADS=$threads"
+        env RAYON_NUM_THREADS="$threads" cargo test --test partition_parallel_props -q
+    done
+}
+
+perfsmoke_tiny() {
+    # Perf gates (see crates/bench/src/bin/perfsmoke.rs):
+    #  * fused GEMM must not be slower than the plane-by-plane composition on
+    #    the largest tiny-scale shape (full scale enforces 2x; committed
+    #    BENCH_gemm.json);
+    #  * the streamed batch pipeline must not be slower than the serial epoch
+    #    loop and its modeled transfer/compute overlap must clear the scale's
+    #    bar (1.0x tiny, 1.3x full; committed BENCH_pipeline.json);
+    #  * the sharded partitioner must be bitwise identical to the serial oracle
+    #    on all six profiles and not slower (5% tolerance; full scale also
+    #    enforces a 1.5x modeled shard speedup on the largest profile;
+    #    committed BENCH_partition.json).
+    env QGTC_SCALE=tiny \
+        QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
+        QGTC_PIPELINE_OUT=target/BENCH_pipeline.tiny.json \
+        QGTC_PARTITION_OUT=target/BENCH_partition.tiny.json \
+        cargo run --release -p qgtc-bench --bin perfsmoke
+}
+
+doc_no_warnings() {
+    # cargo doc exits 0 even with rustdoc warnings; capture and grep to enforce
+    # the zero-warning docs gate.
+    local doc_output
+    doc_output=$(cargo doc --workspace --no-deps 2>&1)
+    if grep -q "^warning" <<<"$doc_output"; then
+        grep -A4 "^warning" <<<"$doc_output"
+        echo "cargo doc produced warnings" >&2
+        return 1
+    fi
+}
+
+stage fmt cargo fmt --all --check
+stage clippy cargo clippy --workspace --all-targets -- -D warnings
+if [[ "$FAST" == "1" ]]; then
+    skip_stage build-release "QGTC_CI_FAST=1"
+else
+    stage build-release cargo build --release
+fi
+stage test cargo test --workspace -q # superset of the tier-1 `cargo test -q`
+stage partition-determinism partition_determinism
+stage bench-compile cargo bench --no-run --workspace
+stage examples cargo build --workspace --examples --bins
+if [[ "$FAST" == "1" ]]; then
+    skip_stage perfsmoke "QGTC_CI_FAST=1"
+else
+    stage perfsmoke perfsmoke_tiny
+fi
+stage benchcheck cargo run -q -p qgtc-bench --bin benchcheck
+stage doc doc_no_warnings
+
+if [[ "$RAN_ANY" == "0" ]]; then
+    echo "ci.sh: unknown stage '$ONLY' (known stages: $KNOWN_STAGES)" >&2
     exit 1
 fi
+
+echo
+echo "== CI stage timing =="
+total=0
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-22s %4ss  %s\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "${STAGE_NOTES[$i]}"
+    total=$((total + STAGE_SECS[i]))
+done
+printf '  %-22s %4ss\n' "total" "$total"
 
 echo
 echo "CI green."

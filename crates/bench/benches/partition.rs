@@ -1,10 +1,12 @@
 //! Criterion bench of the METIS-substitute multilevel partitioner (the preprocessing
-//! step every end-to-end experiment depends on).
+//! step every end-to-end experiment depends on), in both its serial and sharded
+//! forms — the two produce bitwise-identical partitionings, so the comparison is
+//! pure dispatch-and-balance overhead vs multicore win.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qgtc_graph::generate::{stochastic_block_model, SbmParams};
 use qgtc_graph::CsrGraph;
-use qgtc_partition::{partition_kway, PartitionConfig};
+use qgtc_partition::{partition_kway, Parallelism, PartitionConfig};
 
 fn clustered_graph(nodes: usize) -> CsrGraph {
     let (coo, _) = stochastic_block_model(
@@ -26,6 +28,21 @@ fn bench_partitioner(c: &mut Criterion) {
         let graph = clustered_graph(nodes);
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| partition_kway(&graph, &PartitionConfig::with_parts(32)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("partitioner_serial_vs_sharded");
+    group.sample_size(10);
+    let graph = clustered_graph(8_000);
+    for (label, parallelism) in [
+        ("serial", Parallelism::Serial),
+        ("sharded-auto", Parallelism::Auto),
+        ("sharded-8", Parallelism::Sharded(8)),
+    ] {
+        let config = PartitionConfig::with_parts(32).with_parallelism(parallelism);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| partition_kway(&graph, &config))
         });
     }
     group.finish();

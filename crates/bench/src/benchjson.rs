@@ -1,0 +1,415 @@
+//! Validation of the committed `BENCH_*.json` perf-trajectory files.
+//!
+//! The perf reports at the repo root are written by `perfsmoke` and *committed*,
+//! so CI must catch a stale, truncated or hand-mangled file before it silently
+//! rots: the `benchcheck` binary parses each file with the minimal JSON reader
+//! here (the offline serde shim has no JSON support, and the reports are written
+//! by string formatting anyway) and checks it against a [`BenchSpec`] — required
+//! top-level keys, required per-row keys, a non-empty row array, and every
+//! recorded speedup clearing the bar recorded next to it.
+
+use std::iter::Peekable;
+use std::str::Chars;
+
+/// A parsed JSON value (the subset the BENCH reports use; no escape sequences
+/// beyond `\"` and `\\` are interpreted).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (rejecting trailing garbage).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut chars = text.chars().peekable();
+    let value = parse_value(&mut chars)?;
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(value),
+        Some(c) => Err(format!("trailing content starting at {c:?}")),
+    }
+}
+
+fn skip_ws(chars: &mut Peekable<Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Peekable<Chars<'_>>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, found {other:?}")),
+    }
+}
+
+fn parse_value(chars: &mut Peekable<Chars<'_>>) -> Result<JsonValue, String> {
+    skip_ws(chars);
+    match chars.peek() {
+        Some('{') => parse_object(chars),
+        Some('[') => parse_array(chars),
+        Some('"') => Ok(JsonValue::Str(parse_string(chars)?)),
+        Some('t') => parse_literal(chars, "true", JsonValue::Bool(true)),
+        Some('f') => parse_literal(chars, "false", JsonValue::Bool(false)),
+        Some('n') => parse_literal(chars, "null", JsonValue::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars),
+        other => Err(format!("unexpected start of value: {other:?}")),
+    }
+}
+
+fn parse_literal(
+    chars: &mut Peekable<Chars<'_>>,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    for want in word.chars() {
+        expect(chars, want)?;
+    }
+    Ok(value)
+}
+
+fn parse_number(chars: &mut Peekable<Chars<'_>>) -> Result<JsonValue, String> {
+    let mut literal = String::new();
+    while let Some(&c) = chars.peek() {
+        if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+            literal.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    literal
+        .parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("malformed number {literal:?}"))
+}
+
+fn parse_string(chars: &mut Peekable<Chars<'_>>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(c) => {
+                    out.push('\\');
+                    out.push(c);
+                }
+                None => return Err("unterminated escape in string".to_string()),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_array(chars: &mut Peekable<Chars<'_>>) -> Result<JsonValue, String> {
+    expect(chars, '[')?;
+    let mut items = Vec::new();
+    skip_ws(chars);
+    if chars.peek() == Some(&']') {
+        chars.next();
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(chars)?);
+        skip_ws(chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some(']') => return Ok(JsonValue::Arr(items)),
+            other => return Err(format!("expected ',' or ']' in array, found {other:?}")),
+        }
+    }
+}
+
+fn parse_object(chars: &mut Peekable<Chars<'_>>) -> Result<JsonValue, String> {
+    expect(chars, '{')?;
+    let mut fields = Vec::new();
+    skip_ws(chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(chars);
+        let key = parse_string(chars)?;
+        skip_ws(chars);
+        expect(chars, ':')?;
+        fields.push((key, parse_value(chars)?));
+        skip_ws(chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return Ok(JsonValue::Obj(fields)),
+            other => return Err(format!("expected ',' or '}}' in object, found {other:?}")),
+        }
+    }
+}
+
+/// What a committed BENCH report must contain to be considered healthy.
+pub struct BenchSpec {
+    /// File name at the repo root.
+    pub file: &'static str,
+    /// Expected `"bench"` identifier.
+    pub bench: &'static str,
+    /// Top-level keys that must be present.
+    pub required_keys: &'static [&'static str],
+    /// Key of the per-row array.
+    pub rows_key: &'static str,
+    /// Keys every row must carry.
+    pub row_keys: &'static [&'static str],
+    /// `(speedup_key, bar_key)` pairs: each recorded speedup must clear the bar
+    /// recorded beside it, so a regressed full-scale run cannot be committed.
+    pub gates: &'static [(&'static str, &'static str)],
+}
+
+/// The three committed perf reports and their contracts.
+pub fn committed_bench_specs() -> Vec<BenchSpec> {
+    vec![
+        BenchSpec {
+            file: "BENCH_gemm.json",
+            bench: "gemm_fused_vs_planewise",
+            required_keys: &["scale", "reps", "headline_speedup", "min_speedup_required"],
+            rows_key: "shapes",
+            row_keys: &[
+                "name",
+                "m",
+                "k",
+                "n",
+                "planewise_ns_per_op",
+                "fused_ns_per_op",
+                "speedup",
+            ],
+            gates: &[("headline_speedup", "min_speedup_required")],
+        },
+        BenchSpec {
+            file: "BENCH_pipeline.json",
+            bench: "pipeline_streamed_vs_serial",
+            required_keys: &[
+                "scale",
+                "reps",
+                "wall_speedup",
+                "wall_not_slower_bar",
+                "modeled_overlap_speedup",
+                "modeled_overlap_bar",
+            ],
+            rows_key: "datasets",
+            row_keys: &[
+                "dataset",
+                "num_batches",
+                "serial_wall_ms",
+                "streamed_wall_ms",
+                "modeled_serial_ms",
+                "modeled_overlapped_ms",
+            ],
+            gates: &[
+                ("wall_speedup", "wall_not_slower_bar"),
+                ("modeled_overlap_speedup", "modeled_overlap_bar"),
+            ],
+        },
+        BenchSpec {
+            file: "BENCH_partition.json",
+            bench: "partition_serial_vs_sharded",
+            required_keys: &[
+                "scale",
+                "reps",
+                "shards",
+                "wall_speedup",
+                "wall_not_slower_bar",
+                "modeled_shard_speedup_largest",
+                "modeled_shard_bar",
+                "largest_profile",
+            ],
+            rows_key: "datasets",
+            row_keys: &[
+                "dataset",
+                "nodes",
+                "edges",
+                "num_parts",
+                "serial_wall_ms",
+                "sharded_wall_ms",
+                "modeled_shard_speedup",
+            ],
+            gates: &[
+                ("wall_speedup", "wall_not_slower_bar"),
+                ("modeled_shard_speedup_largest", "modeled_shard_bar"),
+            ],
+        },
+    ]
+}
+
+/// Validate one report against its spec. Returns a human-readable summary line
+/// on success, the failure reason otherwise.
+pub fn validate_bench_report(spec: &BenchSpec, text: &str) -> Result<String, String> {
+    let doc = parse_json(text).map_err(|err| format!("{}: invalid JSON: {err}", spec.file))?;
+    let bench = doc
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{}: missing \"bench\" identifier", spec.file))?;
+    if bench != spec.bench {
+        return Err(format!(
+            "{}: bench identifier is {bench:?}, expected {:?}",
+            spec.file, spec.bench
+        ));
+    }
+    for key in spec.required_keys {
+        if doc.get(key).is_none() {
+            return Err(format!("{}: missing required key {key:?}", spec.file));
+        }
+    }
+    let rows = doc
+        .get(spec.rows_key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{}: {:?} must be an array", spec.file, spec.rows_key))?;
+    if rows.is_empty() {
+        return Err(format!("{}: {:?} is empty", spec.file, spec.rows_key));
+    }
+    for (index, row) in rows.iter().enumerate() {
+        for key in spec.row_keys {
+            if row.get(key).is_none() {
+                return Err(format!(
+                    "{}: {}[{index}] is missing key {key:?}",
+                    spec.file, spec.rows_key
+                ));
+            }
+        }
+    }
+    let mut gate_notes = Vec::new();
+    for (speedup_key, bar_key) in spec.gates {
+        let speedup = doc
+            .get(speedup_key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{}: {speedup_key:?} must be a number", spec.file))?;
+        let bar = doc
+            .get(bar_key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{}: {bar_key:?} must be a number", spec.file))?;
+        if speedup < bar {
+            return Err(format!(
+                "{}: recorded {speedup_key} {speedup:.3} is below its committed bar {bar:.3}",
+                spec.file
+            ));
+        }
+        gate_notes.push(format!("{speedup_key} {speedup:.3} >= {bar:.3}"));
+    }
+    Ok(format!(
+        "{}: {} rows, {}",
+        spec.file,
+        rows.len(),
+        gate_notes.join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        let doc = parse_json(r#"{"a": 1.5, "b": [true, null, "x"], "c": {"d": -2e3}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_f64(), Some(1.5));
+        let arr = doc.get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0], JsonValue::Bool(true));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(doc.get("c").unwrap().get("d").unwrap().as_f64(), Some(-2e3));
+    }
+
+    #[test]
+    fn rejects_truncated_documents() {
+        assert!(parse_json(r#"{"a": [1, 2"#).is_err());
+        assert!(parse_json(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    fn minimal_partition_report(speedup: f64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\": \"partition_serial_vs_sharded\", \"scale\": \"fast\", ",
+                "\"reps\": 3, \"shards\": 8, \"wall_speedup\": 1.0, ",
+                "\"wall_not_slower_bar\": 0.95, \"modeled_shard_speedup_largest\": {speedup}, ",
+                "\"modeled_shard_bar\": 1.5, \"largest_profile\": \"ogbn-products\", ",
+                "\"datasets\": [{{\"dataset\": \"ogbn-products\", \"nodes\": 1, \"edges\": 1, ",
+                "\"num_parts\": 4, \"serial_wall_ms\": 1.0, \"sharded_wall_ms\": 1.0, ",
+                "\"modeled_shard_speedup\": {speedup}}}]}}"
+            ),
+            speedup = speedup
+        )
+    }
+
+    #[test]
+    fn validates_a_healthy_partition_report() {
+        let spec = committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_partition.json")
+            .unwrap();
+        let summary = validate_bench_report(&spec, &minimal_partition_report(2.0)).unwrap();
+        assert!(summary.contains("1 rows"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_speedup_below_committed_bar() {
+        let spec = committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_partition.json")
+            .unwrap();
+        let err = validate_bench_report(&spec, &minimal_partition_report(1.2)).unwrap_err();
+        assert!(err.contains("below its committed bar"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_row_keys() {
+        let spec = committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_partition.json")
+            .unwrap();
+        let broken = minimal_partition_report(2.0).replace("\"edges\": 1, ", "");
+        let err = validate_bench_report(&spec, &broken).unwrap_err();
+        assert!(err.contains("missing key \"edges\""), "{err}");
+    }
+}

@@ -1,0 +1,39 @@
+//! benchcheck: CI gate over the committed `BENCH_*.json` perf reports.
+//!
+//! Each committed report is parsed and checked against its contract (see
+//! [`qgtc_bench::benchjson`]): the `bench` identifier, the required top-level
+//! keys, a non-empty row array with the expected per-row keys, and every
+//! recorded speedup clearing the bar committed beside it. A stale, truncated or
+//! regressed report therefore fails CI instead of silently rotting at the repo
+//! root.
+//!
+//! Usage: `cargo run -p qgtc-bench --bin benchcheck [root_dir]`
+//! (`root_dir` defaults to the current directory, which is where `ci.sh` runs).
+
+use qgtc_bench::benchjson::{committed_bench_specs, validate_bench_report};
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut failed = false;
+    for spec in committed_bench_specs() {
+        let path = std::path::Path::new(&root).join(spec.file);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("benchcheck FAIL: cannot read {}: {err}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        match validate_bench_report(&spec, &text) {
+            Ok(summary) => eprintln!("benchcheck OK: {summary}"),
+            Err(reason) => {
+                eprintln!("benchcheck FAIL: {reason}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -47,4 +47,5 @@ fn main() {
     println!("Geometric-mean speedup of QGTC 2-bit over DGL: {geo_mean:.2}x (paper reports ~2.6x average across bitwidths)");
 
     qgtc_bench::overlap_table(&rows, 2).print();
+    qgtc_bench::partition_table(&rows).print();
 }

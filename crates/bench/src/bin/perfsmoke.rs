@@ -13,6 +13,15 @@
 //! host wall-clock is not slower than the serial loop and recording the numbers
 //! as `BENCH_pipeline.json`.
 //!
+//! And it probes the **sharded partitioner**: one serial vs sharded
+//! `partition_kway` per Table-1 dataset profile, asserting the two produce a
+//! bitwise-identical `Partitioning` (the determinism contract), gating that the
+//! sharded path's wall-clock is not slower than the serial one (5% tolerance —
+//! on a single-core host the two run the same code), and recording the numbers
+//! plus the work-balance **modeled shard speedup** (deterministic: derived from
+//! per-shard work units, not timing) as `BENCH_partition.json`.  Full-scale
+//! runs additionally gate the modeled speedup on the largest profile at 1.5×.
+//!
 //! Usage: `cargo run --release -p qgtc-bench --bin perfsmoke`
 //!
 //! * `QGTC_SCALE=tiny|fast|paper` — problem sizes (default `fast`).  `tiny` is
@@ -26,6 +35,9 @@
 //! * `QGTC_PIPELINE_OUT` — output path for the pipeline JSON report (default
 //!   `BENCH_pipeline.json`; the committed copy at the repo root is a full-scale
 //!   run).
+//! * `QGTC_PARTITION_OUT` — output path for the partition JSON report (default
+//!   `BENCH_partition.json`; the committed copy at the repo root is a
+//!   full-scale run).
 
 use qgtc_bench::report::fmt3;
 use qgtc_bitmat::fused::{aggregate_adj_features_fused, any_bit_gemm_fused};
@@ -34,6 +46,7 @@ use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_core::{run_epoch, run_epoch_streamed, ModelKind, QgtcConfig};
 use qgtc_graph::DatasetProfile;
 use qgtc_kernels::tile_reuse::random_feature_codes;
+use qgtc_partition::{partition_kway, partition_kway_with_stats, Parallelism, PartitionConfig};
 use qgtc_tensor::rng::random_uniform_matrix;
 use std::time::Instant;
 
@@ -258,6 +271,102 @@ fn probe_pipeline(
     }
 }
 
+/// One dataset row of the partition probe: serial vs sharded `partition_kway`
+/// wall-clock plus the deterministic work-balance model of the sharded run.
+struct PartitionProbe {
+    dataset: String,
+    nodes: usize,
+    edges: usize,
+    num_parts: usize,
+    shards: usize,
+    serial_wall_ms: f64,
+    sharded_wall_ms: f64,
+    modeled_shard_speedup: f64,
+    edge_cut: u64,
+}
+
+impl PartitionProbe {
+    fn wall_speedup(&self) -> f64 {
+        if self.sharded_wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.serial_wall_ms / self.sharded_wall_ms
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, ",
+                "\"num_parts\": {}, \"shards\": {}, \"serial_wall_ms\": {}, ",
+                "\"sharded_wall_ms\": {}, \"wall_speedup\": {}, ",
+                "\"modeled_shard_speedup\": {}, \"edge_cut\": {}}}"
+            ),
+            self.dataset,
+            self.nodes,
+            self.edges,
+            self.num_parts,
+            self.shards,
+            fmt3(self.serial_wall_ms),
+            fmt3(self.sharded_wall_ms),
+            fmt3(self.wall_speedup()),
+            fmt3(self.modeled_shard_speedup),
+            self.edge_cut,
+        )
+    }
+}
+
+/// Probe one dataset profile: assert the sharded partitioner matches the serial
+/// oracle bitwise, then time `reps` runs of each (minimum wall-clock) and read
+/// the modeled shard speedup off the sharded run's work accounting.
+fn probe_partition(
+    profile: &DatasetProfile,
+    dataset_scale: f64,
+    shards: usize,
+    reps: usize,
+    seed: u64,
+) -> PartitionProbe {
+    let dataset = profile.materialize(dataset_scale, seed);
+    let n = dataset.graph.num_nodes();
+    // Keep the paper's partition granularity roughly: a few dozen nodes per part.
+    let num_parts = (n / 64).clamp(4, 512).min(n);
+    let serial_config =
+        PartitionConfig::with_parts(num_parts).with_parallelism(Parallelism::Serial);
+    let sharded_config =
+        PartitionConfig::with_parts(num_parts).with_parallelism(Parallelism::Sharded(shards));
+
+    // Determinism gate (doubles as warm-up): the sharded partitioner must be
+    // bitwise identical to the serial oracle on every profile.
+    let serial = partition_kway(&dataset.graph, &serial_config);
+    let (sharded, stats) = partition_kway_with_stats(&dataset.graph, &sharded_config);
+    assert_eq!(
+        serial, sharded,
+        "sharded partitioner must match the serial oracle bitwise on {}",
+        profile.name
+    );
+
+    let mut serial_wall_ms = f64::INFINITY;
+    let mut sharded_wall_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let _ = partition_kway(&dataset.graph, &serial_config);
+        serial_wall_ms = serial_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let _ = partition_kway(&dataset.graph, &sharded_config);
+        sharded_wall_ms = sharded_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    PartitionProbe {
+        dataset: profile.name.to_string(),
+        nodes: n,
+        edges: dataset.graph.num_edges(),
+        num_parts,
+        shards,
+        serial_wall_ms,
+        sharded_wall_ms,
+        modeled_shard_speedup: stats.modeled_speedup(),
+        edge_cut: sharded.edge_cut,
+    }
+}
+
 fn main() {
     let scale = std::env::var("QGTC_SCALE").unwrap_or_else(|_| "fast".to_string());
     let (headline_size, batch, min_speedup) = match scale.as_str() {
@@ -427,6 +536,105 @@ fn main() {
     });
     eprintln!("perfsmoke: wrote {pipeline_out}");
 
+    // ---- Sharded partitioner probe (all six Table-1 profiles) ----
+    // Two gates:
+    //
+    // * wall-clock — the sharded partitioner must not be slower than the serial
+    //   sweep (5% tolerance: on a single-core host the two run the same code and
+    //   only dispatch overhead plus timer noise separates them; on multicore
+    //   hosts the shards must pay for themselves);
+    // * modeled shard speedup — the work-balance model (total work units over
+    //   critical-path units, deterministic) must clear the scale's bar on the
+    //   largest profile.  This is the number a multicore host's wall-clock
+    //   approaches, exactly as the pipeline probe's modeled overlap carries the
+    //   double-buffering win.
+    let partition_wall_bar = 0.95f64;
+    let (partition_scale, partition_shards, partition_reps, partition_modeled_bar) =
+        match scale.as_str() {
+            "tiny" => (0.01f64, 8usize, 2usize, 1.0f64),
+            _ => (0.05, 8, 3, 1.5),
+        };
+    let partition_out =
+        std::env::var("QGTC_PARTITION_OUT").unwrap_or_else(|_| "BENCH_partition.json".to_string());
+    eprintln!(
+        "perfsmoke: sharded partitioner probe (scale {scale}, dataset scale {partition_scale}, \
+         {partition_shards} shards, modeled bar {partition_modeled_bar}x on the largest profile)"
+    );
+    let mut partition_probes = Vec::new();
+    let mut seed = 60u64;
+    for profile in DatasetProfile::all() {
+        let probe = probe_partition(
+            &profile,
+            partition_scale,
+            partition_shards,
+            partition_reps,
+            seed,
+        );
+        seed += 2;
+        eprintln!(
+            "  {:<28} serial {:>9} ms  sharded {:>9} ms  ({}x wall)  modeled {}x  \
+             ({} nodes, {} parts)",
+            probe.dataset,
+            fmt3(probe.serial_wall_ms),
+            fmt3(probe.sharded_wall_ms),
+            fmt3(probe.wall_speedup()),
+            fmt3(probe.modeled_shard_speedup),
+            probe.nodes,
+            probe.num_parts,
+        );
+        partition_probes.push(probe);
+    }
+    let total_serial_partition: f64 = partition_probes.iter().map(|p| p.serial_wall_ms).sum();
+    let total_sharded_partition: f64 = partition_probes.iter().map(|p| p.sharded_wall_ms).sum();
+    let partition_wall_speedup = if total_sharded_partition > 0.0 {
+        total_serial_partition / total_sharded_partition
+    } else {
+        1.0
+    };
+    let largest = partition_probes
+        .iter()
+        .max_by_key(|p| p.nodes)
+        .expect("six profiles probed");
+    let partition_modeled_speedup = largest.modeled_shard_speedup;
+    let largest_name = largest.dataset.clone();
+    let partition_lines: Vec<String> = partition_probes
+        .iter()
+        .map(PartitionProbe::to_json)
+        .collect();
+    let partition_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"partition_serial_vs_sharded\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"workload\": \"multilevel k-way partitioner on the six Table-1 profiles\",\n",
+            "  \"reps\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"generated_by\": \"cargo run --release -p qgtc-bench --bin perfsmoke\",\n",
+            "  \"wall_speedup\": {},\n",
+            "  \"wall_not_slower_bar\": {},\n",
+            "  \"modeled_shard_speedup_largest\": {},\n",
+            "  \"modeled_shard_bar\": {},\n",
+            "  \"largest_profile\": \"{}\",\n",
+            "  \"note\": \"wall times are host wall-clock; on a single-core host the sharded partitioner degenerates to the serial sweep (parity), so the modeled shard speedup — total work units over critical-path units, deterministic — carries the multicore win; the probe also asserts serial and sharded produce bitwise-identical partitionings on every profile\",\n",
+            "  \"datasets\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        partition_reps,
+        partition_shards,
+        fmt3(partition_wall_speedup),
+        partition_wall_bar,
+        fmt3(partition_modeled_speedup),
+        partition_modeled_bar,
+        largest_name,
+        partition_lines.join(",\n"),
+    );
+    std::fs::write(&partition_out, &partition_json).unwrap_or_else(|err| {
+        eprintln!("perfsmoke: cannot write {partition_out}: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("perfsmoke: wrote {partition_out}");
+
     let mut failed = false;
     if headline_speedup < min_speedup {
         eprintln!(
@@ -466,6 +674,32 @@ fn main() {
             "perfsmoke OK: modeled overlap is {}x over the serial composition across the fig7 \
              workload",
             fmt3(modeled_speedup)
+        );
+    }
+    if partition_wall_speedup < partition_wall_bar {
+        eprintln!(
+            "perfsmoke FAIL: sharded partitioner wall-clock is {}x the serial sweep (must not \
+             be slower; bar {partition_wall_bar}x)",
+            fmt3(partition_wall_speedup)
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: sharded partitioner wall-clock is {}x the serial sweep",
+            fmt3(partition_wall_speedup)
+        );
+    }
+    if partition_modeled_speedup < partition_modeled_bar {
+        eprintln!(
+            "perfsmoke FAIL: modeled shard speedup on {largest_name} is only {}x (need >= \
+             {partition_modeled_bar}x)",
+            fmt3(partition_modeled_speedup)
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: modeled shard speedup on {largest_name} is {}x",
+            fmt3(partition_modeled_speedup)
         );
     }
     if failed {

@@ -117,6 +117,11 @@ pub struct EndToEndRow {
     /// `qgtc_ms`): the streamed executor's double-buffering win on the same
     /// counters.
     pub qgtc_pipeline: Vec<(u32, PipelineEstimate)>,
+    /// Host wall-clock the shared partitioning of this row took, in milliseconds
+    /// (one `partition_kway` run amortised over every DGL/bitwidth epoch).
+    pub partition_ms: f64,
+    /// Shard count the partitioner resolved its `Auto` parallelism to.
+    pub partition_shards: usize,
 }
 
 impl EndToEndRow {
@@ -153,10 +158,11 @@ pub fn fig7_end_to_end(
             let dataset = profile.materialize(scale.dataset_scale, seed);
             // Partition once per dataset; every DGL/bitwidth epoch below runs over
             // the same plan instead of re-running the partitioner six times.
-            let partitioning = partition_kway(
-                &dataset.graph,
-                &PartitionConfig::with_parts(scale.num_partitions),
-            );
+            let partition_config = PartitionConfig::with_parts(scale.num_partitions);
+            let partition_shards = partition_config.parallelism.effective_shards();
+            let partition_start = std::time::Instant::now();
+            let partitioning = partition_kway(&dataset.graph, &partition_config);
+            let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
             let batcher = PartitionBatcher::new(&partitioning, scale.batch_size);
             let dgl_config = QgtcConfig::dgl_baseline(model)
                 .scaled_partitions(scale.num_partitions, scale.batch_size);
@@ -175,6 +181,8 @@ pub fn fig7_end_to_end(
                 dgl_ms: dgl.modeled_ms,
                 qgtc_ms,
                 qgtc_pipeline,
+                partition_ms,
+                partition_shards,
             }
         })
         .collect()
@@ -534,6 +542,24 @@ pub fn overlap_table(rows: &[EndToEndRow], bits: u32) -> crate::report::Table {
                 est.staging_buffers.to_string(),
             ]);
         }
+    }
+    table
+}
+
+/// The partitioning-cost table the fig7 drivers print below the latency tables:
+/// one `partition_kway` wall-clock per dataset (the preprocessing the epoch
+/// measurement excludes) plus the shard count the partitioner ran with.
+pub fn partition_table(rows: &[EndToEndRow]) -> crate::report::Table {
+    let mut table = crate::report::Table::new(
+        "Partitioning: METIS-substitute wall-clock per dataset (excluded from epoch latency)",
+        &["dataset", "partition (ms)", "partitioner shards"],
+    );
+    for row in rows {
+        table.add_row(vec![
+            row.dataset.clone(),
+            crate::report::fmt3(row.partition_ms),
+            row.partition_shards.to_string(),
+        ]);
     }
     table
 }

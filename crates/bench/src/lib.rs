@@ -15,6 +15,7 @@
 //! Absolute numbers come from the analytic device model, not hardware; see
 //! EXPERIMENTS.md for the paper-vs-measured comparison and the scaling caveats.
 
+pub mod benchjson;
 pub mod experiments;
 pub mod report;
 

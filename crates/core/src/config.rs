@@ -7,6 +7,7 @@
 
 use qgtc_kernels::bmm::KernelConfig;
 use qgtc_kernels::packing::TransferStrategy;
+use qgtc_partition::Parallelism;
 use qgtc_tcsim::GpuSpec;
 
 /// Which GNN model to run.
@@ -57,6 +58,13 @@ pub struct QgtcConfig {
     /// `false` the pipelined estimate is computed at depth 1 (serial), regardless of
     /// `prefetch_batches`; host-side prefetching still applies.
     pub overlap_transfer: bool,
+    /// How the METIS-substitute partitioner shards its phases over the worker
+    /// pool when `run_epoch`/`run_epoch_streamed` build the batch plan. The
+    /// partitioning is bitwise identical in every mode (the partitioner's
+    /// determinism contract); `Auto` (the default) uses one shard per pool
+    /// thread and therefore degenerates to the serial sweep on single-core
+    /// hosts, mirroring the streamed executor.
+    pub partition_parallelism: Parallelism,
 }
 
 impl Default for QgtcConfig {
@@ -73,6 +81,7 @@ impl Default for QgtcConfig {
             seed: 0xC0FFEE,
             prefetch_batches: 2,
             overlap_transfer: true,
+            partition_parallelism: Parallelism::Auto,
         }
     }
 }
@@ -121,6 +130,12 @@ impl QgtcConfig {
             1
         }
     }
+
+    /// Set the partitioner's parallelism mode.
+    pub fn with_partition_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.partition_parallelism = parallelism;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +175,15 @@ mod tests {
         assert_eq!(c.prefetch_batches, 2);
         assert!(c.overlap_transfer);
         assert_eq!(c.staging_depth(), 2);
+    }
+
+    #[test]
+    fn partitioner_defaults_to_auto_parallelism() {
+        let c = QgtcConfig::default();
+        assert_eq!(c.partition_parallelism, Parallelism::Auto);
+        let pinned = c.with_partition_parallelism(Parallelism::Sharded(4));
+        assert_eq!(pinned.partition_parallelism, Parallelism::Sharded(4));
+        assert_eq!(pinned.partition_parallelism.effective_shards(), 4);
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct EpochReport {
     /// Host wall-clock spent partitioning the graph and building the batch plan,
     /// in milliseconds.
     pub partition_ms: f64,
+    /// Shard count the partitioner ran with (1 = the serial sweep; 0 when the
+    /// epoch ran over an externally supplied plan, so no partitioning happened
+    /// inside this report's scope).
+    pub partition_shards: usize,
     /// Number of (non-empty) batches executed.
     pub num_batches: usize,
     /// Number of nodes processed.
@@ -109,13 +113,20 @@ pub(crate) struct EpochState {
 }
 
 /// Partition the graph and build the indexable batch plan (the preprocessing the
-/// paper excludes from its epoch measurement).
-pub(crate) fn build_plan(dataset: &LoadedDataset, config: &QgtcConfig) -> PartitionBatcher {
-    let partitioning = partition_kway(
-        &dataset.graph,
-        &PartitionConfig::with_parts(config.num_partitions),
-    );
-    PartitionBatcher::new(&partitioning, config.batch_size)
+/// paper excludes from its epoch measurement). Returns the plan plus the shard
+/// count the partitioner resolved `config.partition_parallelism` to.
+pub(crate) fn build_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+) -> (PartitionBatcher, usize) {
+    let partition_config = PartitionConfig::with_parts(config.num_partitions)
+        .with_parallelism(config.partition_parallelism);
+    let shards = partition_config.parallelism.effective_shards();
+    let partitioning = partition_kway(&dataset.graph, &partition_config);
+    (
+        PartitionBatcher::new(&partitioning, config.batch_size),
+        shards,
+    )
 }
 
 /// Prepare stage: materialise batch `index` of the plan and pack its payload.
@@ -178,6 +189,7 @@ pub(crate) fn finish_report(
     config: &QgtcConfig,
     state: EpochState,
     partition_ms: f64,
+    partition_shards: usize,
     epoch_start: Instant,
 ) -> EpochReport {
     let cost = state.tracker.snapshot();
@@ -190,6 +202,7 @@ pub(crate) fn finish_report(
         pipeline,
         host_wall_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
         partition_ms,
+        partition_shards,
         num_batches: state.num_batches,
         num_nodes: state.num_nodes,
         cost,
@@ -208,15 +221,16 @@ pub fn run_epoch(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
     // Phase 1: partitioning (host side; excluded from `host_wall_ms`, matching the
     // paper's measurement which excludes preprocessing).
     let partition_start = Instant::now();
-    let batcher = build_plan(dataset, config);
+    let (batcher, partition_shards) = build_plan(dataset, config);
     let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
-    serial_epoch_over_plan(dataset, config, &batcher, partition_ms)
+    serial_epoch_over_plan(dataset, config, &batcher, partition_ms, partition_shards)
 }
 
 /// Run one serial inference epoch over an already-built batch plan.
 ///
 /// For callers that partitioned the graph themselves (or want to amortise one
-/// partitioning across several epochs/analyses); `partition_ms` is reported as 0.
+/// partitioning across several epochs/analyses); `partition_ms` is reported as 0
+/// and `partition_shards` as 0 (no partitioning happened in this scope).
 /// The plan's batch size must match what `config` describes for the report's
 /// granularity fields to be meaningful, but nothing is re-derived from
 /// `config.num_partitions`/`config.batch_size` here.
@@ -225,7 +239,7 @@ pub fn run_epoch_with_plan(
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
 ) -> EpochReport {
-    serial_epoch_over_plan(dataset, config, batcher, 0.0)
+    serial_epoch_over_plan(dataset, config, batcher, 0.0, 0)
 }
 
 /// The serial epoch body shared by [`run_epoch`] and [`run_epoch_with_plan`]:
@@ -235,6 +249,7 @@ pub(crate) fn serial_epoch_over_plan(
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
     partition_ms: f64,
+    partition_shards: usize,
 ) -> EpochReport {
     let epoch_start = Instant::now();
     let ctx = EpochContext::new(dataset, config);
@@ -243,7 +258,7 @@ pub(crate) fn serial_epoch_over_plan(
         let prepared = prepare_batch(batcher, dataset, config, index);
         execute_batch(&ctx, &prepared, &mut state);
     }
-    finish_report(config, state, partition_ms, epoch_start)
+    finish_report(config, state, partition_ms, partition_shards, epoch_start)
 }
 
 #[cfg(test)]
@@ -271,6 +286,10 @@ mod tests {
         assert!(report.modeled_ms > 0.0);
         assert!(report.host_wall_ms > 0.0);
         assert!(report.partition_ms > 0.0);
+        assert!(
+            report.partition_shards >= 1,
+            "run_epoch partitions inline, so it must report the shard count"
+        );
         assert_eq!(report.batch_costs.len(), report.num_batches);
     }
 

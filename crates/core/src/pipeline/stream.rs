@@ -192,9 +192,9 @@ pub fn run_epoch_streamed(dataset: &LoadedDataset, config: &QgtcConfig) -> Epoch
         return super::run_epoch(dataset, config);
     }
     let partition_start = Instant::now();
-    let batcher = build_plan(dataset, config);
+    let (batcher, partition_shards) = build_plan(dataset, config);
     let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
-    streamed_epoch_over_plan(dataset, config, &batcher, partition_ms)
+    streamed_epoch_over_plan(dataset, config, &batcher, partition_ms, partition_shards)
 }
 
 /// Run one streamed inference epoch over an already-built batch plan (the
@@ -208,7 +208,7 @@ pub fn run_epoch_streamed_with_plan(
     if degenerates_to_serial(config) {
         return super::run_epoch_with_plan(dataset, config, batcher);
     }
-    streamed_epoch_over_plan(dataset, config, batcher, 0.0)
+    streamed_epoch_over_plan(dataset, config, batcher, 0.0, 0)
 }
 
 /// Whether the streamed executor should fall back to the serial loop: one staging
@@ -225,6 +225,7 @@ fn streamed_epoch_over_plan(
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
     partition_ms: f64,
+    partition_shards: usize,
 ) -> EpochReport {
     let epoch_start = Instant::now();
     let ctx = EpochContext::new(dataset, config);
@@ -237,7 +238,7 @@ fn streamed_epoch_over_plan(
             let prepared = prepare_batch(batcher, dataset, config, index);
             execute_batch(&ctx, &prepared, &mut state);
         }
-        return finish_report(config, state, partition_ms, epoch_start);
+        return finish_report(config, state, partition_ms, partition_shards, epoch_start);
     }
 
     // At most `depth` batches can be staged or in flight, so more shards than
@@ -284,7 +285,7 @@ fn streamed_epoch_over_plan(
             execute_batch(&ctx, &prepared, &mut state);
         }
     });
-    finish_report(config, state, partition_ms, epoch_start)
+    finish_report(config, state, partition_ms, partition_shards, epoch_start)
 }
 
 #[cfg(test)]
@@ -309,8 +310,8 @@ mod tests {
             let serial = run_epoch(&dataset, &config);
             // Call the threaded body directly so the queue is exercised even when
             // the test host has a single core (where the public entry degenerates).
-            let batcher = build_plan(&dataset, &config);
-            let streamed = streamed_epoch_over_plan(&dataset, &config, &batcher, 0.0);
+            let (batcher, _) = build_plan(&dataset, &config);
+            let streamed = streamed_epoch_over_plan(&dataset, &config, &batcher, 0.0, 0);
             assert_eq!(serial.cost, streamed.cost);
             assert_eq!(serial.batch_costs, streamed.batch_costs);
             assert_eq!(serial.num_batches, streamed.num_batches);
@@ -331,8 +332,8 @@ mod tests {
         let reference = run_epoch(&dataset, &base);
         for depth in [2, 3, 7, 64] {
             let config = base.clone().with_prefetch(depth);
-            let batcher = build_plan(&dataset, &config);
-            let streamed = streamed_epoch_over_plan(&dataset, &config, &batcher, 0.0);
+            let (batcher, _) = build_plan(&dataset, &config);
+            let streamed = streamed_epoch_over_plan(&dataset, &config, &batcher, 0.0, 0);
             assert_eq!(reference.cost, streamed.cost, "depth {depth}");
             assert_eq!(reference.batch_costs, streamed.batch_costs, "depth {depth}");
         }

@@ -6,9 +6,9 @@
 //! edge whose weight is the sum — exactly the bookkeeping METIS performs.
 
 use qgtc_graph::CsrGraph;
-use std::collections::HashMap;
 
 use crate::matching::Matching;
+use crate::shard::{map_shards, ShardStats};
 
 /// An undirected graph with integer node and edge weights, stored as adjacency lists.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +95,12 @@ impl WeightedGraph {
     pub fn total_edge_weight(&self) -> u64 {
         self.total_edge_weight
     }
+
+    /// Number of adjacency entries (each undirected edge counted twice) — the
+    /// work-unit currency of the sharded phases' accounting.
+    pub fn num_adjacency_entries(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
 }
 
 /// One level of the coarsening hierarchy: the coarse graph plus the mapping from fine
@@ -108,52 +114,94 @@ pub struct CoarseLevel {
 }
 
 /// Contract a matching: each matched pair becomes one coarse node, unmatched nodes map
-/// to singleton coarse nodes.
+/// to singleton coarse nodes. Serial convenience over [`contract_sharded`].
 pub fn contract(graph: &WeightedGraph, matching: &Matching) -> CoarseLevel {
+    contract_sharded(graph, matching, 1, &mut ShardStats::new(1))
+}
+
+/// Contract a matching with the coarse-row construction dealt over `shards`
+/// contiguous coarse-node ranges on the worker pool.
+///
+/// The fine-to-coarse renumbering is a cheap serial first-visit scan (its order
+/// defines the coarse ids, so it stays on one thread); every coarse node's
+/// adjacency row and weight then depend only on its own (at most two) fine
+/// members, so the rows are built shard-parallel and concatenated in shard
+/// order — bitwise identical output for every shard count.
+pub fn contract_sharded(
+    graph: &WeightedGraph,
+    matching: &Matching,
+    shards: usize,
+    stats: &mut ShardStats,
+) -> CoarseLevel {
     let n = graph.num_nodes();
+    // Serial renumber in first-visit order; `rep[c]` is the first fine node of
+    // coarse node `c` (its mate, when matched, is the only other member).
     let mut coarse_of = vec![usize::MAX; n];
-    let mut next = 0usize;
+    let mut rep: Vec<usize> = Vec::new();
     for u in 0..n {
         if coarse_of[u] != usize::MAX {
             continue;
         }
         let v = matching.mate[u];
-        coarse_of[u] = next;
+        coarse_of[u] = rep.len();
         if v != u {
-            coarse_of[v] = next;
+            coarse_of[v] = rep.len();
         }
-        next += 1;
+        rep.push(u);
     }
-    let coarse_n = next;
+    stats.record_serial(n as u64);
+    let coarse_n = rep.len();
 
-    let mut node_weights = vec![0u64; coarse_n];
-    for u in 0..n {
-        node_weights[coarse_of[u]] += graph.node_weight(u);
-    }
+    // Parallel: each coarse row from its own members, duplicates merged by a
+    // sort (the member lists are tiny, so this is cheaper than hashing and its
+    // output order is canonical).
+    type CoarseRow = (Vec<(usize, u64)>, u64);
+    let coarse_of_ref = &coarse_of;
+    let rep_ref = &rep;
+    let shard_rows: Vec<(Vec<CoarseRow>, u64)> = map_shards(coarse_n, shards, |range| {
+        let mut units = 0u64;
+        let rows: Vec<CoarseRow> = range
+            .map(|c| {
+                let u = rep_ref[c];
+                let v = matching.mate[u];
+                let mut row: Vec<(usize, u64)> = Vec::new();
+                let mut weight = graph.node_weight(u);
+                units += 1 + graph.neighbors(u).len() as u64;
+                push_coarse_neighbors(graph, u, c, coarse_of_ref, &mut row);
+                if v != u {
+                    weight += graph.node_weight(v);
+                    units += graph.neighbors(v).len() as u64;
+                    push_coarse_neighbors(graph, v, c, coarse_of_ref, &mut row);
+                }
+                row.sort_unstable_by_key(|&(cv, _)| cv);
+                let mut merged: Vec<(usize, u64)> = Vec::with_capacity(row.len());
+                for (cv, w) in row {
+                    match merged.last_mut() {
+                        Some((last, acc)) if *last == cv => *acc += w,
+                        _ => merged.push((cv, w)),
+                    }
+                }
+                (merged, weight)
+            })
+            .collect();
+        (rows, units)
+    });
+    let units: Vec<u64> = shard_rows.iter().map(|(_, u)| *u).collect();
+    stats.record_dispatch(&units);
 
-    // Accumulate coarse edges, collapsing parallels.
-    let mut adj: Vec<HashMap<usize, u64>> = vec![HashMap::new(); coarse_n];
-    for u in 0..n {
-        let cu = coarse_of[u];
-        for &(v, w) in graph.neighbors(u) {
-            let cv = coarse_of[v];
-            if cu != cv {
-                *adj[cu].entry(cv).or_insert(0) += w;
-            }
+    let mut adj_lists: Vec<Vec<(usize, u64)>> = Vec::with_capacity(coarse_n);
+    let mut node_weights: Vec<u64> = Vec::with_capacity(coarse_n);
+    for (rows, _) in shard_rows {
+        for (row, weight) in rows {
+            adj_lists.push(row);
+            node_weights.push(weight);
         }
     }
-    let adj_lists: Vec<Vec<(usize, u64)>> = adj
-        .into_iter()
-        .map(|m| {
-            let mut v: Vec<(usize, u64)> = m.into_iter().collect();
-            v.sort_unstable();
-            v
-        })
-        .collect();
     let total = adj_lists
         .iter()
         .map(|l| l.iter().map(|&(_, w)| w).sum::<u64>())
         .sum();
+    stats.record_serial(coarse_n as u64);
     CoarseLevel {
         graph: WeightedGraph {
             adj: adj_lists,
@@ -161,6 +209,23 @@ pub fn contract(graph: &WeightedGraph, matching: &Matching) -> CoarseLevel {
             total_edge_weight: total,
         },
         coarse_of,
+    }
+}
+
+/// Append the coarse images of `u`'s neighbours (dropping edges internal to
+/// coarse node `cu`) to `row`.
+fn push_coarse_neighbors(
+    graph: &WeightedGraph,
+    u: usize,
+    cu: usize,
+    coarse_of: &[usize],
+    row: &mut Vec<(usize, u64)>,
+) {
+    for &(v, w) in graph.neighbors(u) {
+        let cv = coarse_of[v];
+        if cv != cu {
+            row.push((cv, w));
+        }
     }
 }
 
@@ -238,6 +303,22 @@ mod tests {
     #[should_panic(expected = "node weight length mismatch")]
     fn from_weighted_edges_checks_weights() {
         let _ = WeightedGraph::from_weighted_edges(3, &[], &[1, 1]);
+    }
+
+    #[test]
+    fn sharded_contraction_is_bitwise_identical_to_serial() {
+        let g = cycle(37);
+        for seed in [1u64, 6] {
+            let m = heavy_edge_matching(&g, seed);
+            let serial = contract(&g, &m);
+            for shards in [2usize, 3, 8, 64] {
+                let mut stats = ShardStats::new(shards);
+                let sharded = contract_sharded(&g, &m, shards, &mut stats);
+                assert_eq!(serial.graph, sharded.graph, "seed {seed}, {shards} shards");
+                assert_eq!(serial.coarse_of, sharded.coarse_of);
+                assert_eq!(stats.dispatches, 1);
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! groups partitions into batches the way QGTC's data loader does, and [`quality`]
 //! reports edge-cut/density statistics used by the experiment binaries (Figure 8's
 //! zero-tile analysis depends on partition quality).
+//!
+//! Every phase shards over the rayon worker pool behind the
+//! [`metis::Parallelism`] knob ([`shard`] holds the dealing and work-accounting
+//! machinery); the sharded partitioner is bitwise identical to the serial one
+//! for any shard count — see the [`metis`] module docs for the determinism
+//! contract.
 
 pub mod alternatives;
 pub mod batch;
@@ -30,7 +36,11 @@ pub mod matching;
 pub mod metis;
 pub mod quality;
 pub mod refine;
+pub mod shard;
 
 pub use batch::{PartitionBatcher, SubgraphBatch};
-pub use metis::{partition_kway, PartitionConfig, Partitioning};
+pub use metis::{
+    partition_kway, partition_kway_with_stats, Parallelism, PartitionConfig, Partitioning,
+};
 pub use quality::{partition_quality, PartitionQuality};
+pub use shard::ShardStats;

@@ -1,12 +1,29 @@
-//! Heavy-edge matching for the coarsening phase.
+//! Heavy-edge matching for the coarsening phase — round-based handshaking.
 //!
 //! A matching pairs up adjacent nodes so each node appears in at most one pair.
-//! Heavy-edge matching visits nodes in random order and matches each unmatched node
-//! with the unmatched neighbour connected by the heaviest edge — the standard METIS
-//! coarsening heuristic, which preserves as much edge weight as possible inside the
-//! contracted super-nodes.
+//! The classic METIS heuristic visits nodes in random order and greedily matches
+//! each with its heaviest unmatched neighbour; that sequential sweep is inherently
+//! order-dependent, so this module uses the standard *parallel* formulation
+//! instead (the one mt-Metis style partitioners shard across threads): repeated
+//! **handshake rounds**. Each round, every unmatched node independently picks its
+//! preferred unmatched neighbour — heaviest edge first, ties broken by a seeded
+//! per-node rank and then by smaller id — and exactly the mutual pairs (u picks v
+//! *and* v picks u) are committed. Rounds repeat until one commits nothing.
+//!
+//! Two properties make this the right shape for the sharded partitioner:
+//!
+//! * **Determinism.** A node's pick depends only on the frozen matched state of
+//!   the previous round, never on a visiting order, so any shard decomposition of
+//!   the pick phase produces the same picks — the sharded matching is bitwise
+//!   identical to the serial one.
+//! * **Progress and maximality.** The preference key `(weight, rank, smaller id)`
+//!   is antisymmetric enough that the pick pointers can form no cycle longer than
+//!   two, so while any edge joins two unmatched nodes, some mutual pair exists
+//!   and the round commits at least one pair; when a round commits nothing, no
+//!   such edge remains and the matching is maximal.
 
 use crate::coarsen::WeightedGraph;
+use crate::shard::{map_shards, ShardStats};
 use qgtc_tensor::rng::SplitMix64;
 
 /// A matching: `mate[u] == v` when u and v are matched, `mate[u] == u` when unmatched.
@@ -18,37 +35,100 @@ pub struct Matching {
     pub num_pairs: usize,
 }
 
-/// Compute a heavy-edge matching of the weighted graph.
+/// "No pick" marker in the per-round preference array.
+const NO_PICK: usize = usize::MAX;
+
+/// Compute a heavy-edge matching of the weighted graph, serially.
 ///
-/// Nodes are visited in a seeded random order; each unmatched node greedily picks the
-/// unmatched neighbour with the largest edge weight (ties broken by smaller node id).
+/// This is the one-shard case of [`heavy_edge_matching_sharded`] — same rounds,
+/// same picks, same result.
 pub fn heavy_edge_matching(graph: &WeightedGraph, seed: u64) -> Matching {
+    heavy_edge_matching_sharded(graph, seed, 1, &mut ShardStats::new(1))
+}
+
+/// Compute a heavy-edge matching with the pick phase of every round dealt over
+/// `shards` contiguous node ranges on the worker pool.
+///
+/// The result is bitwise identical for every `shards` value (see the module
+/// docs); `stats` accumulates per-shard work units for the modeled-speedup
+/// report. The seed drives only the per-node tie-break ranks.
+pub fn heavy_edge_matching_sharded(
+    graph: &WeightedGraph,
+    seed: u64,
+    shards: usize,
+    stats: &mut ShardStats,
+) -> Matching {
     let n = graph.num_nodes();
+    // Seeded per-node rank: breaks weight ties without a visiting order, so
+    // different seeds still explore different matchings on unweighted graphs.
+    let rank: Vec<u64> = {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    };
+    stats.record_serial(n as u64);
+
     let mut mate: Vec<usize> = (0..n).collect();
     let mut matched = vec![false; n];
-    let mut order: Vec<usize> = (0..n).collect();
-    shuffle(&mut order, seed);
-
     let mut num_pairs = 0usize;
-    for &u in &order {
+    // With pseudorandom ranks the rounds converge in O(log n) expected, but an
+    // adversarial weight gradient (e.g. a chain of strictly increasing coarse
+    // edge weights) can commit only one pair per round. Cap the rounds and let
+    // the serial greedy sweep finish whatever remains — the capped rounds and
+    // the sweep are both shard-count independent, so determinism is preserved.
+    let max_rounds = 2 * (usize::BITS - n.leading_zeros()) as usize + 8;
+    for _ in 0..max_rounds {
+        // Pick phase (parallel): each unmatched node independently prefers its
+        // best unmatched neighbour under the frozen `matched` state.
+        let matched_ref = &matched;
+        let rank_ref = &rank;
+        let shard_picks: Vec<(Vec<usize>, u64)> = map_shards(n, shards, |range| {
+            let mut units = 0u64;
+            let picks: Vec<usize> = range
+                .map(|u| {
+                    units += 1;
+                    if matched_ref[u] {
+                        return NO_PICK;
+                    }
+                    units += graph.neighbors(u).len() as u64;
+                    best_unmatched_neighbor(graph, u, matched_ref, rank_ref)
+                })
+                .collect();
+            (picks, units)
+        });
+        let units: Vec<u64> = shard_picks.iter().map(|(_, u)| *u).collect();
+        stats.record_dispatch(&units);
+        let picks: Vec<usize> = shard_picks.into_iter().flat_map(|(p, _)| p).collect();
+
+        // Commit phase (serial, ascending): exactly the mutual pairs.
+        let mut round_pairs = 0usize;
+        for u in 0..n {
+            let v = picks[u];
+            if v != NO_PICK && v > u && picks[v] == u {
+                mate[u] = v;
+                mate[v] = u;
+                matched[u] = true;
+                matched[v] = true;
+                round_pairs += 1;
+            }
+        }
+        stats.record_serial(n as u64);
+        if round_pairs == 0 {
+            return Matching { mate, num_pairs };
+        }
+        num_pairs += round_pairs;
+    }
+
+    // Round cap hit: finish with one serial greedy sweep (ascending node order,
+    // same preference key), restoring maximality in O(n + m) whatever the
+    // weight structure.
+    let mut sweep_units = 0u64;
+    for u in 0..n {
         if matched[u] {
             continue;
         }
-        let mut best: Option<(usize, u64)> = None;
-        for &(v, w) in graph.neighbors(u) {
-            if v == u || matched[v] {
-                continue;
-            }
-            match best {
-                None => best = Some((v, w)),
-                Some((bv, bw)) => {
-                    if w > bw || (w == bw && v < bv) {
-                        best = Some((v, w));
-                    }
-                }
-            }
-        }
-        if let Some((v, _)) = best {
+        sweep_units += 1 + graph.neighbors(u).len() as u64;
+        let v = best_unmatched_neighbor(graph, u, &matched, &rank);
+        if v != NO_PICK {
             mate[u] = v;
             mate[v] = u;
             matched[u] = true;
@@ -56,16 +136,34 @@ pub fn heavy_edge_matching(graph: &WeightedGraph, seed: u64) -> Matching {
             num_pairs += 1;
         }
     }
+    stats.record_serial(sweep_units);
     Matching { mate, num_pairs }
 }
 
-/// Fisher–Yates shuffle with a SplitMix64 source.
-fn shuffle(order: &mut [usize], seed: u64) {
-    let mut rng = SplitMix64::new(seed);
-    for i in (1..order.len()).rev() {
-        let j = rng.next_bounded(i as u64 + 1) as usize;
-        order.swap(i, j);
+/// The unmatched neighbour of `u` maximising `(edge weight, rank, smaller id)`,
+/// or [`NO_PICK`] when every neighbour is matched (or `u` is isolated).
+fn best_unmatched_neighbor(
+    graph: &WeightedGraph,
+    u: usize,
+    matched: &[bool],
+    rank: &[u64],
+) -> usize {
+    let mut best: Option<(usize, u64)> = None;
+    for &(v, w) in graph.neighbors(u) {
+        if v == u || matched[v] {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bv, bw)) => {
+                w > bw || (w == bw && (rank[v] > rank[bv] || (rank[v] == rank[bv] && v < bv)))
+            }
+        };
+        if better {
+            best = Some((v, w));
+        }
     }
+    best.map_or(NO_PICK, |(v, _)| v)
 }
 
 #[cfg(test)]
@@ -95,8 +193,8 @@ mod tests {
 
     #[test]
     fn matching_is_maximal() {
-        // No two adjacent nodes may both remain unmatched: when the later of the two
-        // is visited the other is still available, so it would have been matched.
+        // No two adjacent nodes may both remain unmatched: the handshake rounds
+        // only stop once no edge joins two unmatched nodes.
         let g = weighted_path(31);
         for seed in 0..4 {
             let m = heavy_edge_matching(&g, seed);
@@ -116,30 +214,21 @@ mod tests {
 
     #[test]
     fn matching_prefers_heavy_edges() {
-        // Single pair: always matched regardless of visiting order.
+        // Single pair: always matched.
         let pair = WeightedGraph::from_weighted_edges(2, &[(0, 1, 7)], &[1, 1]);
         let m = heavy_edge_matching(&pair, 0);
         assert_eq!(m.mate[0], 1);
         assert_eq!(m.num_pairs, 1);
 
-        // Triangle with one heavy edge (0-1, weight 10). The greedy matching is
-        // visiting-order dependent, but whichever of {0, 1} is visited before node 2
-        // picks the heavy edge, so across seeds the heavy edge must win a clear
-        // majority of the time (2 of the 3 equally likely first-visited nodes).
+        // Triangle with one heavy edge (0-1, weight 10): both endpoints prefer
+        // it over their weight-1 alternatives, so the first round always commits
+        // the heavy edge, whatever the seed.
         let g =
             WeightedGraph::from_weighted_edges(3, &[(0, 1, 10), (1, 2, 1), (0, 2, 1)], &[1, 1, 1]);
-        let mut heavy_selected = 0usize;
-        let trials = 64;
-        for seed in 0..trials {
+        for seed in 0..64 {
             let m = heavy_edge_matching(&g, seed);
-            if m.mate[0] == 1 {
-                heavy_selected += 1;
-            }
+            assert_eq!(m.mate[0], 1, "heavy edge must win, seed {seed}");
         }
-        assert!(
-            heavy_selected * 2 > trials as usize,
-            "heavy edge selected only {heavy_selected}/{trials} times"
-        );
     }
 
     #[test]
@@ -165,5 +254,57 @@ mod tests {
     fn matching_deterministic_per_seed() {
         let g = weighted_path(50);
         assert_eq!(heavy_edge_matching(&g, 9), heavy_edge_matching(&g, 9));
+    }
+
+    #[test]
+    fn sharded_matching_is_bitwise_identical_to_serial() {
+        let g = weighted_path(97);
+        for seed in [0u64, 9, 41] {
+            let serial = heavy_edge_matching(&g, seed);
+            for shards in [2usize, 3, 8, 32] {
+                let mut stats = ShardStats::new(shards);
+                let sharded = heavy_edge_matching_sharded(&g, seed, shards, &mut stats);
+                assert_eq!(serial, sharded, "seed {seed}, {shards} shards");
+                assert!(stats.dispatches > 0);
+                assert!(stats.total_units >= stats.critical_units);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_gradient_chain_stays_linear_and_maximal() {
+        // A path with strictly increasing weights commits only one mutual pair
+        // per handshake round (the globally heaviest remaining edge), so the
+        // round cap must kick in and the serial sweep must finish the matching
+        // — still maximal, still identical across shard counts.
+        let n = 2000usize;
+        let edges: Vec<(usize, usize, u64)> =
+            (0..n - 1).map(|i| (i, i + 1, i as u64 + 1)).collect();
+        let g = WeightedGraph::from_weighted_edges(n, &edges, &vec![1; n]);
+        let serial = heavy_edge_matching(&g, 3);
+        for u in 0..n {
+            if serial.mate[u] != u {
+                continue;
+            }
+            for &(v, _) in g.neighbors(u) {
+                assert_ne!(serial.mate[v], v, "adjacent unmatched pair ({u}, {v})");
+            }
+        }
+        for shards in [2usize, 8] {
+            let mut stats = ShardStats::new(shards);
+            let sharded = heavy_edge_matching_sharded(&g, 3, shards, &mut stats);
+            assert_eq!(serial, sharded, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn stats_account_every_round() {
+        let g = weighted_path(20);
+        let mut stats = ShardStats::new(4);
+        let m = heavy_edge_matching_sharded(&g, 5, 4, &mut stats);
+        assert!(m.num_pairs >= 5);
+        // One dispatch per round, at least the final empty round plus one.
+        assert!(stats.dispatches >= 2);
+        assert!(stats.total_units > 0);
     }
 }

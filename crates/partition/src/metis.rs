@@ -2,16 +2,60 @@
 //!
 //! [`partition_kway`] chains the three phases implemented in the sibling modules:
 //! coarsen with heavy-edge matching until the graph is small, partition the coarsest
-//! graph greedily, then project back level by level with boundary refinement.  The
-//! result is a [`Partitioning`]: a part id per node plus the node lists of every part,
-//! in the exact shape QGTC hands to its batching stage.
+//! graph greedily (a panel of concurrent candidates, best cut wins), then project
+//! back level by level with boundary refinement.  The result is a [`Partitioning`]:
+//! a part id per node plus the node lists of every part, in the exact shape QGTC
+//! hands to its batching stage.
+//!
+//! # Sharding and the determinism contract
+//!
+//! Every phase deals its node (or candidate) space into contiguous ascending
+//! shards on the rayon worker pool — matching's pick rounds, contraction's
+//! coarse-row builds, the initial-partition candidate panel, refinement's gain
+//! scans and the final edge-cut sweep — behind the
+//! [`PartitionConfig::parallelism`] knob.  Each sharded step is a pure map whose
+//! results merge in shard order, so the partitioner is **deterministic**: for a
+//! fixed seed the [`Partitioning`] is bitwise identical for every
+//! [`Parallelism`] mode and every thread count, and `Parallelism::Serial` *is*
+//! the one-shard special case of the same code.  `Parallelism::Auto` (the
+//! default) sizes the shards to the pool and therefore degenerates to the serial
+//! sweep on single-core hosts, mirroring the streamed epoch executor.
+//! The contract is enforced by `tests/partition_parallel_props.rs` and by the
+//! perfsmoke partition probe on all six dataset profiles.
 
 use qgtc_graph::CsrGraph;
 
-use crate::coarsen::{contract, CoarseLevel, WeightedGraph};
-use crate::initial::greedy_kway;
-use crate::matching::heavy_edge_matching;
-use crate::refine::{edge_cut, project, refine};
+use crate::coarsen::{contract_sharded, CoarseLevel, WeightedGraph};
+use crate::initial::best_greedy_kway;
+use crate::matching::heavy_edge_matching_sharded;
+use crate::refine::{edge_cut_sharded, project, refine_sharded};
+use crate::shard::ShardStats;
+
+/// How the partitioner spreads its phases over the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run every phase on the calling thread (the one-shard code path).
+    Serial,
+    /// Deal every phase over this many contiguous shards on the rayon pool.
+    /// The result is identical to `Serial` for any shard count; more shards
+    /// than pool threads only cost dispatch overhead.
+    Sharded(usize),
+    /// One shard per pool thread (`RAYON_NUM_THREADS` / core count): the
+    /// sharded path on multicore hosts, the serial path on single-core hosts.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The shard count this mode resolves to on the current host (always ≥ 1).
+    pub fn effective_shards(&self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Sharded(shards) => (*shards).max(1),
+            Parallelism::Auto => rayon::current_num_threads().max(1),
+        }
+    }
+}
 
 /// Configuration of the multilevel partitioner.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +70,14 @@ pub struct PartitionConfig {
     pub coarsen_until_factor: usize,
     /// Maximum number of refinement passes per level.
     pub refine_passes: usize,
-    /// RNG seed (matching order, region-growing order).
+    /// Independent initial partitions grown on the coarsest graph; the one with
+    /// the smallest refined edge cut wins (ties by candidate index). They run
+    /// concurrently under [`PartitionConfig::parallelism`].
+    pub initial_candidates: usize,
+    /// How the phases shard over the worker pool; the result is identical in
+    /// every mode (see the module docs).
+    pub parallelism: Parallelism,
+    /// RNG seed (matching tie-break ranks, region-growing order).
     pub seed: u64,
 }
 
@@ -37,6 +88,8 @@ impl Default for PartitionConfig {
             balance_factor: 1.10,
             coarsen_until_factor: 8,
             refine_passes: 4,
+            initial_candidates: 4,
+            parallelism: Parallelism::Auto,
             seed: 0x9617C,
         }
     }
@@ -49,6 +102,12 @@ impl PartitionConfig {
             num_parts,
             ..Default::default()
         }
+    }
+
+    /// The same configuration pinned to a parallelism mode.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -95,103 +154,160 @@ impl Partitioning {
     }
 }
 
-/// Partition a graph into `config.num_parts` parts using multilevel k-way partitioning.
+/// Partition a graph into `config.num_parts` parts using multilevel k-way
+/// partitioning. Convenience over [`partition_kway_with_stats`], discarding the
+/// work accounting.
+///
+/// # Panics
+///
+/// Panics if `config.num_parts == 0` (a zero-way partition has no meaning) or if
+/// `config.num_parts` exceeds the graph's node count — silently clamping either
+/// would hide a configuration bug upstream, matching the `batch_size == 0`
+/// precedent in [`crate::batch::PartitionBatcher::new`]. An **empty graph** is
+/// exempt and yields an empty partitioning for any `num_parts ≥ 1` (there is no
+/// node count to exceed meaningfully). Also panics if
+/// `config.initial_candidates == 0`.
 pub fn partition_kway(graph: &CsrGraph, config: &PartitionConfig) -> Partitioning {
+    partition_kway_with_stats(graph, config).0
+}
+
+/// Partition a graph and return the per-shard work accounting alongside.
+///
+/// The [`ShardStats`] record how much work each phase did in total and on the
+/// critical path (serial glue plus each parallel dispatch's slowest shard), so
+/// callers — the perfsmoke partition probe — can report a modeled shard speedup
+/// that does not depend on the probing host's core count.
+///
+/// # Panics
+///
+/// As [`partition_kway`].
+pub fn partition_kway_with_stats(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+) -> (Partitioning, ShardStats) {
     let n = graph.num_nodes();
-    let k = config.num_parts.max(1);
+    let k = config.num_parts;
+    assert!(k >= 1, "num_parts must be at least 1 (got 0)");
+    assert!(
+        config.initial_candidates >= 1,
+        "initial_candidates must be at least 1 (got 0)"
+    );
+    let shards = config.parallelism.effective_shards();
+    let mut stats = ShardStats::new(shards);
     if n == 0 {
-        return Partitioning {
-            parts: Vec::new(),
-            num_parts: k,
-            edge_cut: 0,
-        };
+        return (
+            Partitioning {
+                parts: Vec::new(),
+                num_parts: k,
+                edge_cut: 0,
+            },
+            stats,
+        );
     }
+    assert!(
+        k <= n,
+        "num_parts ({k}) exceeds the graph's node count ({n}); partitions cannot be empty by construction"
+    );
     if k == 1 {
-        return Partitioning {
-            parts: vec![0; n],
-            num_parts: 1,
-            edge_cut: 0,
-        };
-    }
-    // If there are at least as many parts as nodes, each node is its own part.
-    if k >= n {
-        return Partitioning {
-            parts: (0..n).collect(),
-            num_parts: n,
-            edge_cut: edge_cut(&WeightedGraph::from_csr(graph), &(0..n).collect::<Vec<_>>()),
-        };
+        return (
+            Partitioning {
+                parts: vec![0; n],
+                num_parts: 1,
+                edge_cut: 0,
+            },
+            stats,
+        );
     }
 
-    // Phase 1: coarsening.
     let base = WeightedGraph::from_csr(graph);
+    stats.record_serial((n + base.num_adjacency_entries()) as u64);
+
+    // As many parts as nodes: each node is its own part.
+    if k == n {
+        let parts: Vec<usize> = (0..n).collect();
+        let cut = edge_cut_sharded(&base, &parts, shards, &mut stats);
+        return (
+            Partitioning {
+                parts,
+                num_parts: n,
+                edge_cut: cut,
+            },
+            stats,
+        );
+    }
+
+    // Phase 1: coarsening. The next level is built against the previous level's
+    // graph by reference (the base graph for the first level) — no per-level
+    // clones.
     let target_coarse_nodes = (config.coarsen_until_factor.max(2) * k).max(32);
     let mut levels: Vec<CoarseLevel> = Vec::new();
-    let mut current = base.clone();
     let mut level_seed = config.seed;
-    while current.num_nodes() > target_coarse_nodes {
-        let matching = heavy_edge_matching(&current, level_seed);
-        level_seed = level_seed.wrapping_add(1);
-        // Stop if coarsening stalls (e.g. star graphs where matchings are tiny).
-        if matching.num_pairs * 10 < current.num_nodes() {
-            break;
+    loop {
+        let next = {
+            let current = levels.last().map_or(&base, |level| &level.graph);
+            if current.num_nodes() <= target_coarse_nodes {
+                None
+            } else {
+                let matching = heavy_edge_matching_sharded(current, level_seed, shards, &mut stats);
+                level_seed = level_seed.wrapping_add(1);
+                // Stop if coarsening stalls (e.g. star graphs where matchings are tiny).
+                if matching.num_pairs * 10 < current.num_nodes() {
+                    None
+                } else {
+                    Some(contract_sharded(current, &matching, shards, &mut stats))
+                }
+            }
+        };
+        match next {
+            Some(level) => levels.push(level),
+            None => break,
         }
-        let level = contract(&current, &matching);
-        current = level.graph.clone();
-        levels.push(level);
     }
 
-    // Phase 2: initial partitioning of the coarsest graph.
-    let mut parts = greedy_kway(&current, k, config.balance_factor, config.seed ^ 0xABCD);
-    refine(
-        &current,
-        &mut parts,
+    // Phase 2: initial partitioning of the coarsest graph — a concurrent panel
+    // of candidates, each grown and refined independently; best cut wins.
+    let coarsest = levels.last().map_or(&base, |level| &level.graph);
+    let mut parts = best_greedy_kway(
+        coarsest,
         k,
         config.balance_factor,
+        config.seed ^ 0xABCD,
+        config.initial_candidates,
         config.refine_passes,
+        shards,
+        &mut stats,
     );
 
-    // Phase 3: uncoarsen and refine level by level.
-    for level in levels.iter().rev() {
-        parts = project(&parts, &level.coarse_of);
-        // The graph one level finer is either the next level's graph or the base.
-        // Find it: levels[i].coarse_of maps level i-1 graph -> level i graph. We
-        // reconstruct by refining on the finer graph, which for the last iteration is
-        // the base graph.
-        // To avoid storing every intermediate graph twice we recompute below.
-        let finer_graph = find_finer_graph(&base, &levels[..], level);
-        refine(
-            &finer_graph,
+    // Phase 3: uncoarsen and refine level by level; the graph one level finer is
+    // the previous level's graph, or the base graph at the bottom.
+    for index in (0..levels.len()).rev() {
+        parts = project(&parts, &levels[index].coarse_of);
+        stats.record_serial(parts.len() as u64);
+        let finer = if index == 0 {
+            &base
+        } else {
+            &levels[index - 1].graph
+        };
+        refine_sharded(
+            finer,
             &mut parts,
             k,
             config.balance_factor,
             config.refine_passes,
+            shards,
+            &mut stats,
         );
     }
 
-    let cut = edge_cut(&base, &parts);
-    Partitioning {
-        parts,
-        num_parts: k,
-        edge_cut: cut,
-    }
-}
-
-/// Return the graph one level finer than `level` in the hierarchy: the base graph if
-/// `level` is the first coarse level, otherwise the graph stored in the previous level.
-fn find_finer_graph<'a>(
-    base: &'a WeightedGraph,
-    levels: &'a [CoarseLevel],
-    level: &CoarseLevel,
-) -> WeightedGraph {
-    let idx = levels
-        .iter()
-        .position(|l| std::ptr::eq(l, level))
-        .expect("level must belong to the hierarchy");
-    if idx == 0 {
-        base.clone()
-    } else {
-        levels[idx - 1].graph.clone()
-    }
+    let cut = edge_cut_sharded(&base, &parts, shards, &mut stats);
+    (
+        Partitioning {
+            parts,
+            num_parts: k,
+            edge_cut: cut,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -248,12 +364,35 @@ mod tests {
     }
 
     #[test]
-    fn more_parts_than_nodes() {
+    fn as_many_parts_as_nodes_isolates_every_node() {
         let g = clustered_graph(20, 2, 7);
-        let p = partition_kway(&g, &PartitionConfig::with_parts(100));
+        let p = partition_kway(&g, &PartitionConfig::with_parts(20));
         assert_eq!(p.num_parts, 20);
         let sizes = p.part_sizes();
         assert!(sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_parts must be at least 1")]
+    fn zero_parts_rejected() {
+        let g = clustered_graph(20, 2, 7);
+        let _ = partition_kway(&g, &PartitionConfig::with_parts(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the graph's node count")]
+    fn more_parts_than_nodes_rejected() {
+        let g = clustered_graph(20, 2, 7);
+        let _ = partition_kway(&g, &PartitionConfig::with_parts(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_candidates must be at least 1")]
+    fn zero_candidates_rejected() {
+        let g = clustered_graph(20, 2, 7);
+        let mut config = PartitionConfig::with_parts(4);
+        config.initial_candidates = 0;
+        let _ = partition_kway(&g, &config);
     }
 
     #[test]
@@ -287,6 +426,43 @@ mod tests {
         let g = clustered_graph(300, 3, 2);
         let cfg = PartitionConfig::with_parts(3);
         assert_eq!(partition_kway(&g, &cfg), partition_kway(&g, &cfg));
+    }
+
+    #[test]
+    fn every_parallelism_mode_is_bitwise_identical() {
+        let g = clustered_graph(400, 4, 9);
+        let serial = partition_kway(
+            &g,
+            &PartitionConfig::with_parts(4).with_parallelism(Parallelism::Serial),
+        );
+        for mode in [
+            Parallelism::Sharded(2),
+            Parallelism::Sharded(3),
+            Parallelism::Sharded(8),
+            Parallelism::Sharded(61),
+            Parallelism::Auto,
+        ] {
+            let sharded =
+                partition_kway(&g, &PartitionConfig::with_parts(4).with_parallelism(mode));
+            assert_eq!(serial, sharded, "{mode:?} must match the serial oracle");
+        }
+    }
+
+    #[test]
+    fn stats_track_more_total_than_critical_work_when_sharded() {
+        let g = clustered_graph(500, 5, 4);
+        let config = PartitionConfig::with_parts(5).with_parallelism(Parallelism::Sharded(8));
+        let (partitioning, stats) = partition_kway_with_stats(&g, &config);
+        assert_eq!(partitioning.parts.len(), 500);
+        assert_eq!(stats.shards, 8);
+        assert!(stats.dispatches > 0);
+        assert!(
+            stats.total_units > stats.critical_units,
+            "sharded phases must shorten the critical path ({} vs {})",
+            stats.total_units,
+            stats.critical_units
+        );
+        assert!(stats.modeled_speedup() > 1.0);
     }
 
     #[test]

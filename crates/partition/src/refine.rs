@@ -1,70 +1,130 @@
-//! Boundary refinement (Kernighan–Lin / Fiduccia–Mattheyses style greedy moves).
+//! Boundary refinement (Kernighan–Lin / Fiduccia–Mattheyses style greedy moves),
+//! staged as a scan/apply pair so the expensive part shards across threads.
 //!
-//! After projecting a partition from a coarse level to a finer level, each boundary
-//! node is examined: if moving it to the neighbouring part with the highest connection
-//! weight reduces the edge cut without violating the balance constraint, the move is
-//! applied.  A few passes of this simple greedy refinement recover most of the cut
-//! quality that a full FM implementation would, which is all the QGTC experiments need
-//! (they depend on partitions being *dense*, not on a state-of-the-art cut).
+//! After projecting a partition from a coarse level to a finer level, each pass
+//! runs in two sub-phases:
+//!
+//! 1. **Gain scan** (parallel): every node's connection weights to its
+//!    neighbouring parts are computed against the partition *frozen at the start
+//!    of the pass*; nodes whose best external part beats their internal
+//!    connectivity become move candidates. This sweep touches every adjacency
+//!    entry — it is where the pass spends its time — and it is pure, so it deals
+//!    over contiguous node shards with no coordination.
+//! 2. **Apply** (serial, ascending node id): each candidate's gain is
+//!    re-evaluated against the *live* partition and applied only if it still
+//!    reduces the cut without violating balance or emptying a part. Re-checking
+//!    keeps every applied move a strict cut improvement (so passes terminate),
+//!    and the fixed apply order keeps the result bitwise identical for every
+//!    shard count.
+//!
+//! A few passes of this recover most of the cut quality a full FM implementation
+//! would, which is all the QGTC experiments need (they depend on partitions being
+//! *dense*, not on a state-of-the-art cut).
 
 use crate::coarsen::WeightedGraph;
+use crate::shard::{map_shards, ShardStats};
 
-/// Compute the weighted edge cut of a partition (each undirected edge counted once).
+/// Compute the weighted edge cut of a partition (each undirected edge counted
+/// once), serially.
 pub fn edge_cut(graph: &WeightedGraph, parts: &[usize]) -> u64 {
-    let mut cut = 0u64;
-    for u in 0..graph.num_nodes() {
-        for &(v, w) in graph.neighbors(u) {
-            if u < v && parts[u] != parts[v] {
-                cut += w;
-            }
-        }
-    }
-    cut
+    edge_cut_sharded(graph, parts, 1, &mut ShardStats::new(1))
 }
 
-/// One greedy boundary-refinement pass.  Returns the number of nodes moved.
-///
-/// `max_part_weight` is the balance bound each part must stay under after a move.
+/// Compute the weighted edge cut with the node sweep dealt over `shards` ranges;
+/// per-shard partial cuts are summed in shard order (u64 addition commutes, so
+/// the result is exact and shard-count independent).
+pub fn edge_cut_sharded(
+    graph: &WeightedGraph,
+    parts: &[usize],
+    shards: usize,
+    stats: &mut ShardStats,
+) -> u64 {
+    let partials: Vec<(u64, u64)> = map_shards(graph.num_nodes(), shards, |range| {
+        let mut cut = 0u64;
+        let mut units = 0u64;
+        for u in range {
+            units += 1 + graph.neighbors(u).len() as u64;
+            for &(v, w) in graph.neighbors(u) {
+                if u < v && parts[u] != parts[v] {
+                    cut += w;
+                }
+            }
+        }
+        (cut, units)
+    });
+    let units: Vec<u64> = partials.iter().map(|&(_, u)| u).collect();
+    stats.record_dispatch(&units);
+    partials.into_iter().map(|(cut, _)| cut).sum()
+}
+
+/// One gain-scan/apply refinement pass, serial. Returns the number of nodes
+/// moved. `max_part_weight` is the balance bound each part must stay under
+/// after a move.
 pub fn refine_pass(
     graph: &WeightedGraph,
     parts: &mut [usize],
     num_parts: usize,
     max_part_weight: u64,
 ) -> usize {
+    refine_pass_sharded(
+        graph,
+        parts,
+        num_parts,
+        max_part_weight,
+        1,
+        &mut ShardStats::new(1),
+    )
+}
+
+/// One refinement pass with the gain scan dealt over `shards` node ranges.
+/// Bitwise identical to [`refine_pass`] for every shard count (see the module
+/// docs for why).
+pub fn refine_pass_sharded(
+    graph: &WeightedGraph,
+    parts: &mut [usize],
+    num_parts: usize,
+    max_part_weight: u64,
+    shards: usize,
+    stats: &mut ShardStats,
+) -> usize {
     let n = graph.num_nodes();
     let mut part_weight = vec![0u64; num_parts];
     for u in 0..n {
         part_weight[parts[u]] += graph.node_weight(u);
     }
+    stats.record_serial(n as u64);
+
+    // Gain scan against the frozen partition: candidates in ascending node order
+    // (each shard emits an ascending slice; shards concatenate in order).
+    let frozen: &[usize] = parts;
+    let shard_candidates: Vec<(Vec<usize>, u64)> = map_shards(n, shards, |range| {
+        let mut units = 0u64;
+        let candidates: Vec<usize> = range
+            .filter(|&u| {
+                units += 1 + graph.neighbors(u).len() as u64;
+                best_move(graph, frozen, u).is_some()
+            })
+            .collect();
+        (candidates, units)
+    });
+    let units: Vec<u64> = shard_candidates.iter().map(|(_, u)| *u).collect();
+    stats.record_dispatch(&units);
+
+    // Apply in ascending order, re-validating each gain against the live parts.
     let mut moves = 0usize;
-    for u in 0..n {
-        let current = parts[u];
-        // Connection weight from u to each part that u touches.
-        let mut conn: Vec<(usize, u64)> = Vec::new();
-        for &(v, w) in graph.neighbors(u) {
-            let p = parts[v];
-            match conn.iter_mut().find(|(q, _)| *q == p) {
-                Some((_, cw)) => *cw += w,
-                None => conn.push((p, w)),
-            }
-        }
-        let internal = conn
-            .iter()
-            .find(|(p, _)| *p == current)
-            .map(|&(_, w)| w)
-            .unwrap_or(0);
-        // Best external part by connection weight.
-        let best_external = conn
-            .iter()
-            .filter(|(p, _)| *p != current)
-            .max_by_key(|&&(_, w)| w)
-            .copied();
-        if let Some((target, external)) = best_external {
-            let gain = external as i64 - internal as i64;
+    let mut apply_units = 0u64;
+    for (candidates, _) in shard_candidates {
+        for u in candidates {
+            apply_units += 1 + graph.neighbors(u).len() as u64;
+            let Some((target, gain)) = best_move(graph, parts, u) else {
+                continue;
+            };
+            debug_assert!(gain > 0);
+            let current = parts[u];
             let w_u = graph.node_weight(u);
             let fits = part_weight[target] + w_u <= max_part_weight;
             let not_emptying = part_weight[current] > w_u;
-            if gain > 0 && fits && not_emptying {
+            if fits && not_emptying {
                 parts[u] = target;
                 part_weight[current] -= w_u;
                 part_weight[target] += w_u;
@@ -72,10 +132,39 @@ pub fn refine_pass(
             }
         }
     }
+    stats.record_serial(apply_units);
     moves
 }
 
-/// Run refinement passes until no node moves or `max_passes` is reached.
+/// The best strictly-cut-reducing move for `u` under `parts`: the external part
+/// with the largest connection weight, provided it beats `u`'s internal
+/// connectivity. Returns `(target_part, gain)`, or `None` when no move helps.
+fn best_move(graph: &WeightedGraph, parts: &[usize], u: usize) -> Option<(usize, i64)> {
+    let current = parts[u];
+    // Connection weight from u to each part that u touches.
+    let mut conn: Vec<(usize, u64)> = Vec::new();
+    for &(v, w) in graph.neighbors(u) {
+        let p = parts[v];
+        match conn.iter_mut().find(|(q, _)| *q == p) {
+            Some((_, cw)) => *cw += w,
+            None => conn.push((p, w)),
+        }
+    }
+    let internal = conn
+        .iter()
+        .find(|(p, _)| *p == current)
+        .map(|&(_, w)| w)
+        .unwrap_or(0);
+    let (target, external) = conn
+        .iter()
+        .filter(|(p, _)| *p != current)
+        .max_by_key(|&&(_, w)| w)
+        .copied()?;
+    let gain = external as i64 - internal as i64;
+    (gain > 0).then_some((target, gain))
+}
+
+/// Run serial refinement passes until no node moves or `max_passes` is reached.
 /// Returns the final edge cut.
 pub fn refine(
     graph: &WeightedGraph,
@@ -84,14 +173,44 @@ pub fn refine(
     balance_factor: f64,
     max_passes: usize,
 ) -> u64 {
+    refine_sharded(
+        graph,
+        parts,
+        num_parts,
+        balance_factor,
+        max_passes,
+        1,
+        &mut ShardStats::new(1),
+    )
+}
+
+/// Run refinement passes with the gain scans dealt over `shards` node ranges.
+/// Bitwise identical to [`refine`] for every shard count.
+pub fn refine_sharded(
+    graph: &WeightedGraph,
+    parts: &mut [usize],
+    num_parts: usize,
+    balance_factor: f64,
+    max_passes: usize,
+    shards: usize,
+    stats: &mut ShardStats,
+) -> u64 {
     let total = graph.total_node_weight();
     let max_part_weight = ((total as f64 / num_parts.max(1) as f64) * balance_factor).ceil() as u64;
     for _ in 0..max_passes {
-        if refine_pass(graph, parts, num_parts, max_part_weight.max(1)) == 0 {
+        if refine_pass_sharded(
+            graph,
+            parts,
+            num_parts,
+            max_part_weight.max(1),
+            shards,
+            stats,
+        ) == 0
+        {
             break;
         }
     }
-    edge_cut(graph, parts)
+    edge_cut_sharded(graph, parts, shards, stats)
 }
 
 /// Project a coarse-level partition onto the finer level it was contracted from.
@@ -160,6 +279,57 @@ mod tests {
         let moved = refine_pass(&g, &mut parts, 2, 4);
         assert_eq!(moved, 0);
         assert_eq!(parts, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sharded_refinement_is_bitwise_identical_to_serial() {
+        let g = two_cliques();
+        for start in [
+            vec![0, 0, 0, 1, 1, 1, 1, 0],
+            vec![0, 1, 0, 1, 0, 1, 0, 1],
+            vec![1, 1, 0, 0, 0, 1, 1, 0],
+        ] {
+            let mut serial = start.clone();
+            let serial_cut = refine(&g, &mut serial, 2, 1.3, 8);
+            for shards in [2usize, 3, 8] {
+                let mut sharded = start.clone();
+                let mut stats = ShardStats::new(shards);
+                let cut = refine_sharded(&g, &mut sharded, 2, 1.3, 8, shards, &mut stats);
+                assert_eq!(serial, sharded, "{shards} shards from {start:?}");
+                assert_eq!(serial_cut, cut);
+                assert!(stats.dispatches > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_edge_cut_matches_serial() {
+        let g = two_cliques();
+        let parts = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let serial = edge_cut(&g, &parts);
+        for shards in [2usize, 4, 16] {
+            let mut stats = ShardStats::new(shards);
+            assert_eq!(serial, edge_cut_sharded(&g, &parts, shards, &mut stats));
+        }
+    }
+
+    #[test]
+    fn every_applied_move_strictly_reduces_the_cut() {
+        // The apply phase re-validates gains live, so a pass can never increase
+        // the cut — even from a pathological start where frozen gains collide.
+        let g = two_cliques();
+        let mut parts = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let mut previous = edge_cut(&g, &parts);
+        loop {
+            let moved = refine_pass(&g, &mut parts, 2, 6);
+            let cut = edge_cut(&g, &parts);
+            assert!(cut <= previous, "pass increased cut {previous} -> {cut}");
+            if moved == 0 {
+                break;
+            }
+            assert!(cut < previous, "a pass with moves must reduce the cut");
+            previous = cut;
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Shard dealing, deterministic parallel map, and work accounting for the
+//! sharded partitioner.
+//!
+//! Every parallel phase of the multilevel partitioner follows the same
+//! discipline, mirroring the rayon shim's pool (ascending contiguous runs,
+//! results merged in shard order):
+//!
+//! 1. deal the item space `0..n` into at most `shards` **contiguous ascending
+//!    ranges** ([`shard_ranges`]);
+//! 2. map a **pure** function over each range on the worker pool
+//!    ([`map_shards`]), collecting the per-shard results **in shard order**;
+//! 3. reduce the per-shard results serially, lowest shard first.
+//!
+//! Because each shard's function is pure (it never observes another shard's
+//! writes) and the reduction order is fixed, the result is *bitwise identical*
+//! for every shard count — including one, which is exactly the serial code
+//! path. That identity is the partitioner's determinism contract; the proptest
+//! suite (`tests/partition_parallel_props.rs`) and the perfsmoke partition
+//! probe both enforce it.
+//!
+//! [`ShardStats`] records how much work each phase did per shard, so the
+//! probe can report a *modeled* shard speedup (total work over critical-path
+//! work) that is independent of the host's core count — the partition-side
+//! analogue of the pipelined latency model's overlap estimate.
+
+use std::ops::Range;
+
+use rayon::prelude::*;
+
+/// Deal `0..n` into at most `shards` contiguous ascending ranges, the same
+/// dealing the rayon shim's pool uses (shard 0 owns the lowest indices).
+/// Empty ranges are dropped, so fewer than `shards` ranges come back when
+/// `n < shards`.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    let per = n.div_ceil(shards).max(1);
+    (0..shards)
+        .map(|s| (s * per).min(n)..((s + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Map a pure function over the shard ranges of `0..n`, returning the results
+/// in shard order. With one shard (or one item range) the map runs inline on
+/// the calling thread — the serial code path — and with more it dispatches on
+/// the rayon pool; either way the output is the same `Vec`, in the same
+/// order, which is what makes the sharded partitioner deterministic.
+pub fn map_shards<T, F>(n: usize, shards: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = shard_ranges(n, shards);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    (0..ranges.len())
+        .into_par_iter()
+        .map(|s| f(ranges[s].clone()))
+        .collect()
+}
+
+/// Work accounting of one sharded partitioner run.
+///
+/// Work units are edge/node touches (each neighbour-list entry scanned counts
+/// one unit), recorded per parallel dispatch and for the serial glue between
+/// dispatches. The modeled speedup is `total / critical` where the critical
+/// path charges each parallel dispatch its *maximum* shard — i.e. the runtime
+/// a host with at least `shards` cores would see under perfect scheduling.
+/// Both counters are integers derived from graph structure alone, so the
+/// model is deterministic: it does not depend on the machine the probe ran on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard width the run was configured with (1 = serial).
+    pub shards: usize,
+    /// Work units across every phase, serial and parallel.
+    pub total_units: u64,
+    /// Serial units plus the per-dispatch maximum shard units.
+    pub critical_units: u64,
+    /// Number of parallel dispatches issued.
+    pub dispatches: usize,
+}
+
+impl ShardStats {
+    /// Fresh accounting for a run at the given shard width.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            total_units: 0,
+            critical_units: 0,
+            dispatches: 0,
+        }
+    }
+
+    /// Record work done serially (charged to the critical path in full).
+    pub fn record_serial(&mut self, units: u64) {
+        self.total_units += units;
+        self.critical_units += units;
+    }
+
+    /// Record one parallel dispatch from its per-shard work-unit vector: the
+    /// critical path is charged the slowest shard only.
+    pub fn record_dispatch(&mut self, per_shard_units: &[u64]) {
+        self.total_units += per_shard_units.iter().sum::<u64>();
+        self.critical_units += per_shard_units.iter().copied().max().unwrap_or(0);
+        self.dispatches += 1;
+    }
+
+    /// Modeled speedup of the sharded run over the same work done serially:
+    /// `total / critical`, 1.0 when nothing was recorded.
+    pub fn modeled_speedup(&self) -> f64 {
+        if self.critical_units == 0 {
+            return 1.0;
+        }
+        self.total_units as f64 / self.critical_units as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_ascending_contiguous_and_cover() {
+        let ranges = shard_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        let ranges = shard_ranges(2, 8);
+        assert_eq!(ranges, vec![0..1, 1..2]);
+        assert!(shard_ranges(0, 4).is_empty());
+        assert_eq!(shard_ranges(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn map_shards_preserves_shard_order() {
+        for shards in [1, 2, 3, 7, 16] {
+            let pieces: Vec<Vec<usize>> = map_shards(23, shards, |r| r.collect());
+            let flat: Vec<usize> = pieces.into_iter().flatten().collect();
+            assert_eq!(flat, (0..23).collect::<Vec<_>>(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn map_shards_on_empty_domain_is_empty() {
+        let pieces: Vec<usize> = map_shards(0, 4, |r| r.len());
+        assert!(pieces.is_empty());
+    }
+
+    #[test]
+    fn stats_model_charges_max_shard_on_dispatches() {
+        let mut stats = ShardStats::new(4);
+        stats.record_serial(10);
+        stats.record_dispatch(&[30, 10, 20, 30]);
+        assert_eq!(stats.total_units, 100);
+        assert_eq!(stats.critical_units, 40);
+        assert_eq!(stats.dispatches, 1);
+        assert!((stats.modeled_speedup() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_report_unity_speedup() {
+        assert_eq!(ShardStats::new(8).modeled_speedup(), 1.0);
+    }
+}

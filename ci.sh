@@ -33,10 +33,23 @@ FAST="${QGTC_CI_FAST:-0}"
 ONLY="${QGTC_CI_STAGE:-}"
 KNOWN_STAGES="fmt clippy build-release test partition-determinism bench-compile examples perfsmoke benchcheck doc"
 
+# Surface the stage menu up front instead of failing silently later: an unknown
+# QGTC_CI_STAGE aborts immediately with the list, and an unset one announces
+# the full ladder (with the same list) before running it.
+if [[ -n "$ONLY" && " $KNOWN_STAGES " != *" $ONLY "* ]]; then
+    echo "ci.sh: unknown stage '$ONLY'" >&2
+    echo "ci.sh: available stages: $KNOWN_STAGES" >&2
+    exit 1
+fi
+if [[ -z "$ONLY" ]]; then
+    echo "ci.sh: QGTC_CI_STAGE not set — running every stage: $KNOWN_STAGES"
+else
+    echo "ci.sh: running stage '$ONLY'"
+fi
+
 STAGE_NAMES=()
 STAGE_SECS=()
 STAGE_NOTES=()
-RAN_ANY=0
 
 selected() {
     [[ -z "$ONLY" || "$ONLY" == "$1" ]]
@@ -52,7 +65,6 @@ stage() { # name command...
     local name="$1"
     shift
     selected "$name" || return 0
-    RAN_ANY=1
     echo
     echo "==> [$name] $*"
     local start=$SECONDS
@@ -62,9 +74,6 @@ stage() { # name command...
 
 skip_stage() { # name reason
     selected "$1" || return 0
-    # A selected-but-skipped stage still counts as handled, so the
-    # unknown-stage guard below does not misfire on it.
-    RAN_ANY=1
     echo
     echo "==> [$1] skipped ($2)"
     record "$1" 0 "skipped: $2"
@@ -130,8 +139,11 @@ fi
 stage benchcheck cargo run -q -p qgtc-bench --bin benchcheck
 stage doc doc_no_warnings
 
-if [[ "$RAN_ANY" == "0" ]]; then
-    echo "ci.sh: unknown stage '$ONLY' (known stages: $KNOWN_STAGES)" >&2
+# Backstop against KNOWN_STAGES drifting from the stage calls above: a
+# selected stage that passed the membership check but never actually ran (or
+# was skipped) would otherwise exit green having verified nothing.
+if [[ "${#STAGE_NAMES[@]}" -eq 0 ]]; then
+    echo "ci.sh: stage '$ONLY' passed the name check but no stage ran — KNOWN_STAGES is out of sync with the stage calls" >&2
     exit 1
 fi
 

@@ -214,7 +214,17 @@ pub fn committed_bench_specs() -> Vec<BenchSpec> {
         BenchSpec {
             file: "BENCH_gemm.json",
             bench: "gemm_fused_vs_planewise",
-            required_keys: &["scale", "reps", "headline_speedup", "min_speedup_required"],
+            required_keys: &[
+                "scale",
+                "reps",
+                "headline_speedup",
+                "min_speedup_required",
+                "sparse_skip_speedup",
+                "sparse_skip_bar",
+                "sparse_skip_ratio",
+                "sparse_skip_min_ratio",
+                "sparse_probe",
+            ],
             rows_key: "shapes",
             row_keys: &[
                 "name",
@@ -225,7 +235,11 @@ pub fn committed_bench_specs() -> Vec<BenchSpec> {
                 "fused_ns_per_op",
                 "speedup",
             ],
-            gates: &[("headline_speedup", "min_speedup_required")],
+            gates: &[
+                ("headline_speedup", "min_speedup_required"),
+                ("sparse_skip_speedup", "sparse_skip_bar"),
+                ("sparse_skip_ratio", "sparse_skip_min_ratio"),
+            ],
         },
         BenchSpec {
             file: "BENCH_pipeline.json",
@@ -380,6 +394,54 @@ mod tests {
             ),
             speedup = speedup
         )
+    }
+
+    fn minimal_gemm_report(sparse_speedup: f64, sparse_ratio: f64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\": \"gemm_fused_vs_planewise\", \"scale\": \"fast\", \"reps\": 3, ",
+                "\"headline_speedup\": 4.0, \"min_speedup_required\": 2, ",
+                "\"sparse_skip_speedup\": {speedup}, \"sparse_skip_bar\": 1.5, ",
+                "\"sparse_skip_ratio\": {ratio}, \"sparse_skip_min_ratio\": 0.9, ",
+                "\"sparse_probe\": {{\"name\": \"block-diagonal\", \"speedup\": {speedup}}}, ",
+                "\"shapes\": [{{\"name\": \"headline\", \"m\": 1024, \"k\": 1024, \"n\": 1024, ",
+                "\"planewise_ns_per_op\": 4, \"fused_ns_per_op\": 1, \"speedup\": 4.0}}]}}"
+            ),
+            speedup = sparse_speedup,
+            ratio = sparse_ratio
+        )
+    }
+
+    #[test]
+    fn validates_a_healthy_gemm_report_with_sparse_probe() {
+        let spec = committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_gemm.json")
+            .unwrap();
+        let summary = validate_bench_report(&spec, &minimal_gemm_report(2.0, 0.95)).unwrap();
+        assert!(
+            summary.contains("sparse_skip_speedup 2.000 >= 1.500"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("sparse_skip_ratio 0.950 >= 0.900"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn rejects_sparse_probe_regressions() {
+        let spec = committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_gemm.json")
+            .unwrap();
+        let slow = validate_bench_report(&spec, &minimal_gemm_report(1.2, 0.95)).unwrap_err();
+        assert!(slow.contains("sparse_skip_speedup"), "{slow}");
+        let dense = validate_bench_report(&spec, &minimal_gemm_report(2.0, 0.5)).unwrap_err();
+        assert!(dense.contains("sparse_skip_ratio"), "{dense}");
+        let missing = minimal_gemm_report(2.0, 0.95).replace("\"sparse_skip_ratio\": 0.95, ", "");
+        let err = validate_bench_report(&spec, &missing).unwrap_err();
+        assert!(err.contains("sparse_skip_ratio"), "{err}");
     }
 
     #[test]

@@ -40,7 +40,9 @@
 //!   full-scale run).
 
 use qgtc_bench::report::fmt3;
-use qgtc_bitmat::fused::{aggregate_adj_features_fused, any_bit_gemm_fused};
+use qgtc_bitmat::fused::{
+    aggregate_adj_features_fused, aggregate_adj_features_fused_skip, any_bit_gemm_fused,
+};
 use qgtc_bitmat::gemm::{aggregate_adj_features, any_bit_gemm};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_core::{run_epoch, run_epoch_streamed, ModelKind, QgtcConfig};
@@ -169,6 +171,93 @@ fn profile_shape(profile: &DatasetProfile, batch: usize, seed: u64) -> ShapeResu
         b_bits: AGG_BITS,
         planewise_ns,
         fused_ns,
+    }
+}
+
+/// The sparse-adjacency zero-word-skip probe: a block-diagonal adjacency (the
+/// batched-subgraph shape) where ≥90% of the packed K-loop words are zero, so
+/// the fused kernel's span index must both skip that fraction and convert it
+/// into wall-clock.
+struct SparseProbe {
+    name: String,
+    nodes: usize,
+    block: usize,
+    feature_dim: usize,
+    skip_ratio: f64,
+    noskip_ns: u128,
+    skip_ns: u128,
+}
+
+impl SparseProbe {
+    fn speedup(&self) -> f64 {
+        if self.skip_ns == 0 {
+            return 1.0;
+        }
+        self.noskip_ns as f64 / self.skip_ns as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"block\": {}, ",
+                "\"skip_ratio\": {}, \"noskip_ns_per_op\": {}, \"skip_ns_per_op\": {}, ",
+                "\"speedup\": {}}}"
+            ),
+            self.name,
+            self.nodes,
+            self.nodes,
+            self.feature_dim,
+            self.block,
+            fmt3(self.skip_ratio),
+            self.noskip_ns,
+            self.skip_ns,
+            fmt3(self.speedup()),
+        )
+    }
+}
+
+/// Build and time the sparse probe: `nodes`-node adjacency made of dense
+/// `block`-node diagonal communities (everything off-block zero), 2-bit
+/// features.  Asserts the skip path is bitwise identical to the non-skipping
+/// fused kernel before timing either.
+fn sparse_skip_probe(nodes: usize, block: usize, feature_dim: usize, seed: u64) -> SparseProbe {
+    let mut adjacency: Vec<f32> = vec![0.0; nodes * nodes];
+    let pattern = random_uniform_matrix(block, block, 0.0, 1.0, seed);
+    for start in (0..nodes).step_by(block) {
+        let width = block.min(nodes - start);
+        for i in 0..width {
+            for j in 0..width {
+                if pattern[(i, j)] < 0.3 {
+                    adjacency[(start + i) * nodes + start + j] = 1.0;
+                }
+            }
+        }
+    }
+    let adjacency = qgtc_tensor::Matrix::from_vec(nodes, nodes, adjacency).expect("square");
+    let features = random_feature_codes(nodes, feature_dim, AGG_BITS, seed + 1);
+    let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+    let x = StackedBitMatrix::from_codes(&features, AGG_BITS, BitMatrixLayout::ColPacked);
+
+    let (skipped_out, stats) = aggregate_adj_features_fused_skip(&adj, &x);
+    assert_eq!(
+        skipped_out,
+        aggregate_adj_features_fused(&adj, &x),
+        "zero-word skipping must be bitwise identical to the non-skipping kernel"
+    );
+    let noskip_ns = time_min(|| {
+        let _ = aggregate_adj_features_fused(&adj, &x);
+    });
+    let skip_ns = time_min(|| {
+        let _ = aggregate_adj_features_fused_skip(&adj, &x);
+    });
+    SparseProbe {
+        name: format!("block-diagonal-{nodes}x{block}"),
+        nodes,
+        block,
+        feature_dim,
+        skip_ratio: stats.skip_ratio(),
+        noskip_ns,
+        skip_ns,
     }
 }
 
@@ -406,6 +495,27 @@ fn main() {
     let headline_speedup = headline.speedup();
     shapes.push(headline);
 
+    // ---- Sparse-adjacency zero-word-skip probe ----
+    // A ≥90%-word-sparse block-diagonal adjacency (the batched-subgraph shape):
+    // the skip path must match the non-skipping kernel bitwise (asserted inside
+    // the probe) and clear the scale's speedup bar.
+    let (sparse_nodes, sparse_bar) = match scale.as_str() {
+        "tiny" => (2048usize, 1.0f64),
+        _ => (4096, 1.5),
+    };
+    let sparse_min_ratio = 0.9f64;
+    let sparse = sparse_skip_probe(sparse_nodes, 128, 128, 30);
+    eprintln!(
+        "  {:<28} no-skip   {:>12} ns  skip  {:>12} ns  speedup {}x  (skip ratio {})",
+        sparse.name,
+        sparse.noskip_ns,
+        sparse.skip_ns,
+        fmt3(sparse.speedup()),
+        fmt3(sparse.skip_ratio),
+    );
+    let sparse_speedup = sparse.speedup();
+    let sparse_ratio = sparse.skip_ratio;
+
     let shape_lines: Vec<String> = shapes.iter().map(ShapeResult::to_json).collect();
     let json = format!(
         concat!(
@@ -416,6 +526,11 @@ fn main() {
             "  \"generated_by\": \"cargo run --release -p qgtc-bench --bin perfsmoke\",\n",
             "  \"headline_speedup\": {},\n",
             "  \"min_speedup_required\": {},\n",
+            "  \"sparse_skip_speedup\": {},\n",
+            "  \"sparse_skip_bar\": {},\n",
+            "  \"sparse_skip_ratio\": {},\n",
+            "  \"sparse_skip_min_ratio\": {},\n",
+            "  \"sparse_probe\": {},\n",
             "  \"shapes\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -423,6 +538,11 @@ fn main() {
         REPS,
         fmt3(headline_speedup),
         min_speedup,
+        fmt3(sparse_speedup),
+        sparse_bar,
+        fmt3(sparse_ratio),
+        sparse_min_ratio,
+        sparse.to_json(),
         shape_lines.join(",\n"),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|err| {
@@ -647,6 +767,29 @@ fn main() {
         eprintln!(
             "perfsmoke OK: fused path is {}x the plane-by-plane path on the headline shape",
             fmt3(headline_speedup)
+        );
+    }
+    if sparse_speedup < sparse_bar {
+        eprintln!(
+            "perfsmoke FAIL: zero-word skipping is only {}x the non-skipping fused kernel on \
+             the {} sparse probe (need >= {sparse_bar}x)",
+            fmt3(sparse_speedup),
+            sparse.name,
+        );
+        failed = true;
+    } else if sparse_ratio < sparse_min_ratio {
+        eprintln!(
+            "perfsmoke FAIL: the sparse probe only skipped {} of its words (need >= \
+             {sparse_min_ratio})",
+            fmt3(sparse_ratio)
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: zero-word skipping is {}x on the {} probe ({} of words skipped)",
+            fmt3(sparse_speedup),
+            sparse.name,
+            fmt3(sparse_ratio),
         );
     }
     if wall_speedup < wall_bar {

@@ -30,11 +30,27 @@
 //! [`crate::gemm::any_bit_gemm_serial`] remains the semantic oracle: the
 //! property suite asserts bit-for-bit equality against it across random shapes,
 //! bit widths and padded/odd K values.
+//!
+//! # Zero-word skipping
+//!
+//! Sparse adjacencies (the left operand of every aggregation) are mostly zero
+//! words after packing, and an all-zero A word contributes nothing to an
+//! AND+popcount reduction.  [`any_bit_gemm_fused_skip`] therefore scans each
+//! widened A lane once, collects the maximal runs ("spans") of non-zero `u64`
+//! words, and runs the micro-kernel only over those spans — the word-granular
+//! analogue of the kernel's 8×128 zero-tile jumping (paper §4.3).  Skipped
+//! words are exactly the all-zero ones, so the result is **bitwise identical**
+//! to the non-skipping path by construction (asserted by the property suite),
+//! and both the AVX-512 and portable micro-kernel bodies honour the same span
+//! index — they only differ in how they traverse the surviving words.  The
+//! returned [`FusedGemmStats`] reports how much popcount work the index
+//! removed.
 
 use crate::bitmatrix::BitMatrixLayout;
 use crate::stacked::StackedBitMatrix;
 use qgtc_tensor::Matrix;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Output rows per parallel work item (one pool dispatch covers all of C).
 pub const ROW_BLOCK: usize = 8;
@@ -42,17 +58,106 @@ pub const ROW_BLOCK: usize = 8;
 /// Output columns produced per micro-kernel step.
 pub const COL_BLOCK: usize = 4;
 
+/// A maximal run of non-zero widened A words: `(first_word, word_count)`.
+type Span = (usize, usize);
+
+/// Zero-word accounting of one fused GEMM execution.
+///
+/// Words are the widened 64-bit units of the inner (K) loop; the totals count
+/// one word per `(A plane, output row)` lane, i.e. the K-loop trip count the
+/// kernel would pay per B lane without skipping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedGemmStats {
+    /// Widened A words the K loop would visit without skipping.
+    pub total_words: u64,
+    /// Words inside a non-zero span (actually popcounted).
+    pub visited_words: u64,
+}
+
+impl FusedGemmStats {
+    /// Words the span index removed from the popcount loop.
+    pub fn skipped_words(&self) -> u64 {
+        self.total_words - self.visited_words
+    }
+
+    /// Fraction of K-loop work skipped, in `[0, 1]` (0.0 when nothing ran).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.total_words == 0 {
+            0.0
+        } else {
+            self.skipped_words() as f64 / self.total_words as f64
+        }
+    }
+}
+
 /// Fused any-bitwidth GEMM `C = A · B` between an `s`-bit row-packed stack and a
 /// `t`-bit column-packed stack.  Bit-for-bit equal to
 /// [`crate::gemm::any_bit_gemm_serial`], but performs the whole composition in
 /// one pass over the output with no intermediate plane products.
 pub fn any_bit_gemm_fused(a: &StackedBitMatrix, b: &StackedBitMatrix) -> Matrix<i64> {
+    fused_gemm_impl(a, b, false).0
+}
+
+/// [`any_bit_gemm_fused`] with zero-word skipping: all-zero `u64` words of the
+/// A operand are jumped via a per-row non-zero-span index.  Bitwise identical
+/// to the non-skipping path; returns the measured skip statistics alongside the
+/// product.
+pub fn any_bit_gemm_fused_skip(
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+) -> (Matrix<i64>, FusedGemmStats) {
+    fused_gemm_impl(a, b, true)
+}
+
+/// Run the fused GEMM with skipping on or off, always returning the word
+/// accounting.  With `skip_zero_words == false` every K-loop word is visited
+/// and the stats report zero skips — the kernel's own count, so callers that
+/// toggle skipping (e.g. the BMM cost model) never re-derive the total
+/// themselves.
+pub fn any_bit_gemm_fused_with_stats(
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+    skip_zero_words: bool,
+) -> (Matrix<i64>, FusedGemmStats) {
+    fused_gemm_impl(a, b, skip_zero_words)
+}
+
+/// Fused neighbour aggregation `X_new = A · X`: a 1-bit adjacency stack times an
+/// `s`-bit feature stack, semantically identical to
+/// [`crate::gemm::aggregate_adj_features`].
+pub fn aggregate_adj_features_fused(adj: &StackedBitMatrix, x: &StackedBitMatrix) -> Matrix<i64> {
+    assert_eq!(adj.bits(), 1, "adjacency stack must be 1-bit");
+    any_bit_gemm_fused(adj, x)
+}
+
+/// [`aggregate_adj_features_fused`] with zero-word skipping — the shape the
+/// skip index was designed for, since a batched-subgraph adjacency is mostly
+/// zero words.
+pub fn aggregate_adj_features_fused_skip(
+    adj: &StackedBitMatrix,
+    x: &StackedBitMatrix,
+) -> (Matrix<i64>, FusedGemmStats) {
+    assert_eq!(adj.bits(), 1, "adjacency stack must be 1-bit");
+    any_bit_gemm_fused_skip(adj, x)
+}
+
+/// Shared body of the skipping and non-skipping entry points.
+///
+/// The two modes run distinct row kernels: the non-skipping path is the
+/// original dense micro-kernel (full-lane popcounts, no span indirection, no
+/// shared counters — its stats are the arithmetic `rows × planes × pairs`), so
+/// enabling the skip machinery costs the dense hot path nothing.
+fn fused_gemm_impl(
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+    skip_zero_words: bool,
+) -> (Matrix<i64>, FusedGemmStats) {
     validate_fused_operands(a, b);
     let m = a.rows();
     let n = b.cols();
     let mut out: Matrix<i64> = Matrix::zeros(m, n);
     if m == 0 || n == 0 {
-        return out;
+        return (out, FusedGemmStats::default());
     }
     let words = a.plane(0).words_per_lane();
     debug_assert_eq!(words % 2, 0, "PAD128 guarantees an even word count");
@@ -70,33 +175,81 @@ pub fn any_bit_gemm_fused(a: &StackedBitMatrix, b: &StackedBitMatrix) -> Matrix<
         }
     }
     let a_planes = a.planes();
+    let total_words = (m * s * pairs) as u64;
 
+    if !skip_zero_words {
+        out.data_mut()
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(block, rows)| {
+                let row_base = block * ROW_BLOCK;
+                // Worker-local scratch: the current row's A lanes, widened.
+                let mut a_wide = vec![0u64; s * pairs];
+                for (local, out_row) in rows.chunks_mut(n).enumerate() {
+                    for (plane_idx, plane) in a_planes.iter().enumerate() {
+                        widen_lane(
+                            &mut a_wide[plane_idx * pairs..(plane_idx + 1) * pairs],
+                            &plane.lane(row_base + local)[..words],
+                        );
+                    }
+                    fused_row_full(&a_wide, s, &b_wide, t, pairs, out_row);
+                }
+            });
+        let stats = FusedGemmStats {
+            total_words,
+            visited_words: total_words,
+        };
+        return (out, stats);
+    }
+
+    let visited_words = AtomicU64::new(0);
     out.data_mut()
         .par_chunks_mut(ROW_BLOCK * n)
         .enumerate()
         .for_each(|(block, rows)| {
             let row_base = block * ROW_BLOCK;
-            // Worker-local scratch: the current row's A lanes, widened.
+            // Worker-local scratch: the current row's A lanes, widened, plus
+            // the per-plane non-zero span index of those lanes.
             let mut a_wide = vec![0u64; s * pairs];
+            let mut spans: Vec<Vec<Span>> = vec![Vec::new(); s];
+            let mut visited = 0u64;
             for (local, out_row) in rows.chunks_mut(n).enumerate() {
                 for (plane_idx, plane) in a_planes.iter().enumerate() {
-                    widen_lane(
-                        &mut a_wide[plane_idx * pairs..(plane_idx + 1) * pairs],
-                        &plane.lane(row_base + local)[..words],
-                    );
+                    let lane = &mut a_wide[plane_idx * pairs..(plane_idx + 1) * pairs];
+                    widen_lane(lane, &plane.lane(row_base + local)[..words]);
+                    visited += nonzero_spans(lane, &mut spans[plane_idx]) as u64;
                 }
-                fused_row(&a_wide, s, &b_wide, t, pairs, out_row);
+                fused_row_spans(&a_wide, s, &b_wide, t, pairs, &spans, out_row);
             }
+            visited_words.fetch_add(visited, Ordering::Relaxed);
         });
-    out
+    let stats = FusedGemmStats {
+        total_words,
+        visited_words: visited_words.into_inner(),
+    };
+    (out, stats)
 }
 
-/// Fused neighbour aggregation `X_new = A · X`: a 1-bit adjacency stack times an
-/// `s`-bit feature stack, semantically identical to
-/// [`crate::gemm::aggregate_adj_features`].
-pub fn aggregate_adj_features_fused(adj: &StackedBitMatrix, x: &StackedBitMatrix) -> Matrix<i64> {
-    assert_eq!(adj.bits(), 1, "adjacency stack must be 1-bit");
-    any_bit_gemm_fused(adj, x)
+/// Collect the maximal runs of non-zero words of one widened lane into `spans`
+/// (reusing its allocation).  Returns the number of covered (non-zero) words.
+#[inline]
+fn nonzero_spans(lane: &[u64], spans: &mut Vec<Span>) -> usize {
+    spans.clear();
+    let mut covered = 0usize;
+    let mut idx = 0usize;
+    while idx < lane.len() {
+        if lane[idx] == 0 {
+            idx += 1;
+            continue;
+        }
+        let start = idx;
+        while idx < lane.len() && lane[idx] != 0 {
+            idx += 1;
+        }
+        spans.push((start, idx - start));
+        covered += idx - start;
+    }
+    covered
 }
 
 /// Check layouts and inner dimensions, matching the single-plane BMM contract.
@@ -129,10 +282,12 @@ fn widen_lane(dst: &mut [u64], src: &[u32]) {
     }
 }
 
-/// Compute one output row: all plane pairs, shift-accumulated in registers,
-/// stored exactly once per element.  `a_wide` holds the row's `s` widened A
-/// lanes back to back; `b_wide` holds all `t · n` widened B lanes.
-fn fused_row(
+/// Compute one output row with no skip index: all plane pairs over the full
+/// lanes, shift-accumulated in registers, stored exactly once per element.
+/// `a_wide` holds the row's `s` widened A lanes back to back; `b_wide` holds
+/// all `t · n` widened B lanes.  This is the dense hot path — it must stay
+/// free of span indirection.
+fn fused_row_full(
     a_wide: &[u64],
     s: usize,
     b_wide: &[u64],
@@ -175,6 +330,76 @@ fn fused_row(
                     .zip(b_lane.iter())
                     .map(|(&x, &y)| u64::from((x & y).count_ones()))
                     .sum();
+                total += (count as i64) << (plane_a + plane_b);
+            }
+        }
+        *slot = total;
+    }
+}
+
+/// [`fused_row_full`] with a zero-word skip index: `spans` holds, per A plane,
+/// the non-zero word runs the K loop must visit; everything outside a span is
+/// all-zero A words and contributes nothing to any AND+popcount.
+fn fused_row_spans(
+    a_wide: &[u64],
+    s: usize,
+    b_wide: &[u64],
+    t: usize,
+    pairs: usize,
+    spans: &[Vec<Span>],
+    out_row: &mut [i64],
+) {
+    let n = out_row.len();
+    let mut col = 0;
+    while col + COL_BLOCK <= n {
+        let mut totals = [0i64; COL_BLOCK];
+        for plane_b in 0..t {
+            let base = (plane_b * n + col) * pairs;
+            let b_block = &b_wide[base..base + COL_BLOCK * pairs];
+            let (b0, rest) = b_block.split_at(pairs);
+            let (b1, rest) = rest.split_at(pairs);
+            let (b2, b3) = rest.split_at(pairs);
+            for plane_a in 0..s {
+                let a_lane = &a_wide[plane_a * pairs..(plane_a + 1) * pairs];
+                let mut counts = [0u64; COL_BLOCK];
+                for &(start, len) in &spans[plane_a] {
+                    let end = start + len;
+                    let span_counts = popcount4(
+                        &a_lane[start..end],
+                        &b0[start..end],
+                        &b1[start..end],
+                        &b2[start..end],
+                        &b3[start..end],
+                    );
+                    for (count, span_count) in counts.iter_mut().zip(span_counts.iter()) {
+                        *count += span_count;
+                    }
+                }
+                let shift = (plane_a + plane_b) as u32;
+                for (total, &count) in totals.iter_mut().zip(counts.iter()) {
+                    *total += (count as i64) << shift;
+                }
+            }
+        }
+        out_row[col..col + COL_BLOCK].copy_from_slice(&totals);
+        col += COL_BLOCK;
+    }
+    // Column remainder (n mod COL_BLOCK): scalar micro-kernel, same reduction.
+    for (j_col, slot) in out_row.iter_mut().enumerate().skip(col) {
+        let mut total = 0i64;
+        for plane_b in 0..t {
+            let base = (plane_b * n + j_col) * pairs;
+            let b_lane = &b_wide[base..base + pairs];
+            for plane_a in 0..s {
+                let a_lane = &a_wide[plane_a * pairs..(plane_a + 1) * pairs];
+                let mut count = 0u64;
+                for &(start, len) in &spans[plane_a] {
+                    count += a_lane[start..start + len]
+                        .iter()
+                        .zip(b_lane[start..start + len].iter())
+                        .map(|(&x, &y)| u64::from((x & y).count_ones()))
+                        .sum::<u64>();
+                }
                 total += (count as i64) << (plane_a + plane_b);
             }
         }
@@ -351,6 +576,72 @@ mod tests {
             aggregate_adj_features_fused(&adj, &x),
             aggregate_adj_features(&adj, &x)
         );
+    }
+
+    #[test]
+    fn skip_path_is_bitwise_identical_and_counts_words() {
+        // Block-diagonal adjacency: rows only touch their own 48-column block,
+        // so most widened words are zero and must be skipped.
+        let mut adj: Matrix<f32> = Matrix::zeros(192, 192);
+        let dense_block =
+            random_uniform_matrix(48, 48, 0.0, 1.0, 9).map(|&v| (v < 0.5) as u32 as f32);
+        for &start in &[0usize, 96] {
+            for i in 0..48 {
+                for j in 0..48 {
+                    if dense_block[(i, j)] != 0.0 {
+                        adj[(start + i, start + j)] = 1.0;
+                    }
+                }
+            }
+        }
+        let x_codes = random_codes(192, 20, 3, 10);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&x_codes, 3, BitMatrixLayout::ColPacked);
+        let (skipped, stats) = any_bit_gemm_fused_skip(&a, &x);
+        assert_eq!(
+            skipped,
+            any_bit_gemm_fused(&a, &x),
+            "skip must not change bits"
+        );
+        // 192 rows x PAD128(192)/64 = 4 widened words per row, one plane.
+        assert_eq!(stats.total_words, 192 * 4);
+        assert!(stats.skipped_words() > 0, "sparse rows must skip words");
+        assert!(stats.skip_ratio() > 0.3, "ratio {}", stats.skip_ratio());
+        let (agg, agg_stats) = aggregate_adj_features_fused_skip(&a, &x);
+        assert_eq!(agg, skipped);
+        assert_eq!(agg_stats, stats);
+    }
+
+    #[test]
+    fn skip_stats_on_dense_input_visit_every_word() {
+        let a_codes = random_codes(10, 200, 2, 30).map(|&v| v | 1);
+        let b_codes = random_codes(200, 6, 3, 31);
+        let a = StackedBitMatrix::from_codes(&a_codes, 2, BitMatrixLayout::RowPacked);
+        let b = StackedBitMatrix::from_codes(&b_codes, 3, BitMatrixLayout::ColPacked);
+        let (out, stats) = any_bit_gemm_fused_skip(&a, &b);
+        assert_eq!(out, any_bit_gemm_serial(&a, &b));
+        // Plane 0 is all-ones (codes |= 1), so only plane 1 and the PAD128
+        // padding words can be skipped; every touched word is accounted for.
+        assert_eq!(stats.total_words, 10 * 2 * 4); // 10 rows x 2 planes x 256/64
+        assert_eq!(
+            stats.visited_words + stats.skipped_words(),
+            stats.total_words
+        );
+        assert!(stats.visited_words >= 10 * 4, "plane 0 is fully dense");
+    }
+
+    #[test]
+    fn skip_of_all_zero_operand_skips_everything() {
+        let a = StackedBitMatrix::from_binary_adjacency(
+            &Matrix::zeros(16, 256),
+            BitMatrixLayout::RowPacked,
+        );
+        let b_codes = random_codes(256, 8, 2, 33);
+        let b = StackedBitMatrix::from_codes(&b_codes, 2, BitMatrixLayout::ColPacked);
+        let (out, stats) = any_bit_gemm_fused_skip(&a, &b);
+        assert!(out.data().iter().all(|&v| v == 0));
+        assert_eq!(stats.visited_words, 0);
+        assert!((stats.skip_ratio() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -129,6 +129,23 @@ impl StackedBitMatrix {
         self.dense_f32_bytes() as f64 / self.packed_bytes() as f64
     }
 
+    /// Re-pack the same codes under another plane layout, preserving the
+    /// quantization parameters.
+    ///
+    /// This is a pure bit shuffle in the quantized domain — no calibration and
+    /// no quantize calls — used when a stack packed as one GEMM operand (e.g.
+    /// the payload's column-packed features) must enter a GEMM on the other
+    /// side (e.g. batched GIN's update-first order, which wants a row-packed
+    /// left operand).  Returns a clone when the layout already matches.
+    pub fn repack(&self, layout: BitMatrixLayout) -> Self {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut repacked = Self::from_codes(&self.to_codes(), self.bits, layout);
+        repacked.quant = self.quant;
+        repacked
+    }
+
     /// Reassemble the unsigned code matrix (exact inverse of `from_codes`).
     pub fn to_codes(&self) -> Matrix<u32> {
         let dense_planes: Vec<Matrix<u8>> = self.planes.iter().map(BitMatrix::to_dense).collect();
@@ -207,6 +224,20 @@ mod tests {
         assert_eq!(s.plane(0).count_ones(), 3);
         assert_eq!(s.to_codes()[(0, 1)], 1);
         assert_eq!(s.to_codes()[(2, 2)], 0);
+    }
+
+    #[test]
+    fn repack_preserves_codes_and_params() {
+        let x = random_uniform_matrix(11, 37, -2.0, 2.0, 6);
+        let q = Quantizer::calibrate(3, &x).unwrap();
+        let codes = q.quantize_matrix_u32(&x);
+        let col = StackedBitMatrix::from_quantized(&codes, q.params(), BitMatrixLayout::ColPacked);
+        let row = col.repack(BitMatrixLayout::RowPacked);
+        assert_eq!(row.layout(), BitMatrixLayout::RowPacked);
+        assert_eq!(row.to_codes(), codes);
+        assert_eq!(row.quant_params(), Some(q.params()));
+        // Re-packing to the same layout is the identity.
+        assert_eq!(col.repack(BitMatrixLayout::ColPacked), col);
     }
 
     #[test]

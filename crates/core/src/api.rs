@@ -12,10 +12,10 @@
 //! both record their work when handed a [`CostTracker`].
 
 use crate::bit_tensor::BitTensor;
-use qgtc_bitmat::BitMatrixLayout;
 use qgtc_kernels::bmm::{qgtc_bitmm2int, KernelConfig};
+use qgtc_kernels::fusion::FusedEpilogue;
 use qgtc_tcsim::cost::CostTracker;
-use qgtc_tensor::{Matrix, QuantParams, Quantizer};
+use qgtc_tensor::{Matrix, QuantParams};
 
 /// `bitMM2Int`: multiply two bit tensors and return the integer accumulator matrix.
 ///
@@ -32,6 +32,11 @@ pub fn bit_mm_to_int(
 
 /// `bitMM2Bit`: multiply two bit tensors and re-quantize the result to `out_bits`,
 /// returning a new (column-packed) bit tensor plus its quantization parameters.
+///
+/// The re-quantization runs through the same [`FusedEpilogue`] the models use
+/// between layers, so this API has no quantize site of its own — the
+/// one-quantize-site-per-transition invariant of the quantized data path holds
+/// for the framework-facing entry points too.
 pub fn bit_mm_to_bit(
     a: &BitTensor,
     b: &BitTensor,
@@ -40,21 +45,17 @@ pub fn bit_mm_to_bit(
     tracker: &CostTracker,
 ) -> (BitTensor, QuantParams) {
     let accumulator = qgtc_bitmm2int(a.stack(), b.stack(), config, tracker);
-    let dense = accumulator.map(|&v| v as f32);
-    let quantizer = Quantizer::calibrate(out_bits, &dense).expect("out_bits must be in 1..=32");
-    let codes = quantizer.quantize_matrix_u32(&dense);
-    tracker.record_int_ops(dense.len() as u64 * out_bits as u64);
-    let stack = qgtc_bitmat::StackedBitMatrix::from_quantized(
-        &codes,
-        quantizer.params(),
-        BitMatrixLayout::ColPacked,
-    );
-    (BitTensor::from_stack(stack), quantizer.params())
+    let (stack, params) = FusedEpilogue::requantize_right_operand(1.0, out_bits)
+        .apply(&accumulator, tracker)
+        .into_quantized()
+        .expect("requantizing epilogue");
+    (BitTensor::from_stack(stack), params)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qgtc_bitmat::BitMatrixLayout;
     use qgtc_tensor::gemm::gemm_i64;
     use qgtc_tensor::rng::random_uniform_matrix;
 

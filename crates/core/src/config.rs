@@ -41,7 +41,9 @@ pub struct QgtcConfig {
     pub num_partitions: usize,
     /// Partitions per batch.
     pub batch_size: usize,
-    /// Kernel optimisation toggles.
+    /// Kernel optimisation toggles.  `kernel.zero_tile_jumping` also selects
+    /// the fused kernel's zero-word-skipping execution path; the measured skip
+    /// ratio lands in [`crate::pipeline::EpochReport::fused_word_skip_ratio`].
     pub kernel: KernelConfig,
     /// How batches are shipped to the device.
     pub transfer: TransferStrategy,

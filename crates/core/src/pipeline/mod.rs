@@ -74,6 +74,16 @@ pub struct EpochReport {
     pub batch_costs: Vec<CostSnapshot>,
 }
 
+impl EpochReport {
+    /// Measured zero-word skip ratio of the epoch's fused GEMMs: the fraction of
+    /// K-loop words the kernel's zero-word span index actually jumped (0.0 when
+    /// zero-tile jumping was disabled or nothing ran).  This is the executed
+    /// counterpart of the analytic [`CostSnapshot::tile_processing_ratio`].
+    pub fn fused_word_skip_ratio(&self) -> f64 {
+        self.cost.fused_word_skip_ratio()
+    }
+}
+
 /// Everything the execute stage needs that is built once per epoch: the model
 /// (constructed from the dataset's dimensions and the config seed) and the
 /// quantization setting.
@@ -303,6 +313,24 @@ mod tests {
         assert!(report.cost.tc_b1_tiles > 0);
         assert!(report.cost.pcie_h2d_bytes > 0);
         assert_eq!(report.cost.cuda_sparse_flops, 0);
+        // Batched subgraphs are block-diagonal, so the default config's
+        // zero-word skipping must have jumped real work.
+        assert!(report.cost.fused_words_total > 0);
+        assert!(
+            report.fused_word_skip_ratio() > 0.0,
+            "block-diagonal adjacencies must skip words"
+        );
+    }
+
+    #[test]
+    fn skip_ratio_is_zero_when_jumping_is_disabled() {
+        let dataset = tiny_dataset();
+        let mut config = tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 4));
+        config.kernel.zero_tile_jumping = false;
+        let report = run_epoch(&dataset, &config);
+        assert!(report.cost.fused_words_total > 0);
+        assert_eq!(report.cost.fused_words_skipped, 0);
+        assert_eq!(report.fused_word_skip_ratio(), 0.0);
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //! ReLU-between-hidden-layers convention — so Cluster-GCN and batched-GIN differ only
 //! in the aggregation order their closures express.
 
+use qgtc_bitmat::StackedBitMatrix;
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::gemm::gemm_f32;
 use qgtc_tensor::rng::xavier_init;
-use qgtc_tensor::{ops, Matrix};
+use qgtc_tensor::{ops, Matrix, QuantParams};
 
 use crate::models::{record_dense_tc_gemm, BatchForwardOutput, QuantizationSetting};
 
@@ -92,6 +93,51 @@ impl GnnModelParams {
     pub fn output_dim(&self) -> usize {
         self.layers.last().expect("at least one layer").out_dim()
     }
+}
+
+/// Row sums of a code stack's logical values (needed for the affine weight
+/// correction of the node-update dequantization).
+pub(crate) fn code_row_sums(stack: &StackedBitMatrix) -> Vec<i64> {
+    let codes = stack.to_codes();
+    (0..codes.rows())
+        .map(|r| codes.row(r).iter().map(|&c| c as i64).sum())
+        .collect()
+}
+
+/// The affine×affine correction offsets of a node-update GEMM, for the fused
+/// epilogue.  With `H ≈ s_h·Hc + m_h` and `W ≈ s_w·Wc + m_w`,
+///
+/// ```text
+/// (H·W)[i,j] ≈ s_h s_w (Hc·Wc)[i,j]
+///            + s_h m_w rowsum(Hc)[i]                       // row offset
+///            + m_h s_w colsum(Wc)[j] + K m_h m_w + bias[j] // col offset
+/// ```
+///
+/// so the epilogue's accumulator scale is `s_h·s_w` and the two returned
+/// vectors are its row and column offsets.  With zero-anchored activations
+/// (`m_h = 0`) this degenerates to the classic affine-weight correction.
+/// `w_colsums` comes from the quantize site (the models' `quantize_weights`
+/// computes it from the dense codes, avoiding a stack unpack).
+pub(crate) fn affine_update_offsets(
+    h_params: QuantParams,
+    w_params: QuantParams,
+    h_rowsums: &[i64],
+    w_colsums: &[i64],
+    inner_dim: usize,
+    bias: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(w_colsums.len(), bias.len(), "bias/colsum length mismatch");
+    let row_offsets = h_rowsums
+        .iter()
+        .map(|&rowsum| w_params.min * h_params.scale * rowsum as f32)
+        .collect();
+    let cross_term = inner_dim as f32 * h_params.min * w_params.min;
+    let col_offsets = w_colsums
+        .iter()
+        .zip(bias.iter())
+        .map(|(&colsum, &b)| h_params.min * w_params.scale * colsum as f32 + cross_term + b)
+        .collect();
+    (row_offsets, col_offsets)
 }
 
 /// The shared building blocks of the dense fp16/TF32 Tensor-Core execution path.
@@ -182,6 +228,64 @@ mod tests {
         assert!(out.logits.data().iter().all(|&v| v == -2.0));
         // Two hidden ReLUs, 5×4 elements each.
         assert_eq!(tracker.snapshot().cuda_fp32_flops, 2 * 5 * 4);
+    }
+
+    #[test]
+    fn code_sums_match_dense_codes() {
+        use qgtc_bitmat::BitMatrixLayout;
+        let codes = Matrix::from_vec(2, 3, vec![1u32, 2, 3, 4, 5, 6]).unwrap();
+        let stack = StackedBitMatrix::from_codes(&codes, 3, BitMatrixLayout::RowPacked);
+        assert_eq!(code_row_sums(&stack), vec![6, 15]);
+    }
+
+    #[test]
+    fn affine_offsets_reconstruct_the_affine_product() {
+        use qgtc_bitmat::BitMatrixLayout;
+        use qgtc_tensor::gemm::gemm_i64;
+        use qgtc_tensor::rng::random_uniform_matrix;
+        use qgtc_tensor::Quantizer;
+
+        // Quantize h (signed!) and w with the affine scheme, run the exact code
+        // GEMM, dequantize through the offsets, and compare against the product
+        // of the *decoded* operands — which the correction must match exactly.
+        let h = random_uniform_matrix(7, 12, -1.5, 2.0, 1);
+        let w = random_uniform_matrix(12, 5, -0.5, 0.5, 2);
+        let bias = vec![0.25f32; 5];
+        let hq = Quantizer::calibrate(4, &h).unwrap();
+        let wq = Quantizer::calibrate(4, &w).unwrap();
+        let h_codes = hq.quantize_matrix_u32(&h);
+        let w_codes = wq.quantize_matrix_u32(&w);
+        let h_stack = StackedBitMatrix::from_codes(&h_codes, 4, BitMatrixLayout::RowPacked);
+        let acc = gemm_i64(&h_codes.map(|&v| v as i64), &w_codes.map(|&v| v as i64));
+        let mut w_colsums = vec![0i64; 5];
+        for r in 0..12 {
+            for (sum, &c) in w_colsums.iter_mut().zip(w_codes.row(r)) {
+                *sum += c as i64;
+            }
+        }
+        let (row_off, col_off) = affine_update_offsets(
+            hq.params(),
+            wq.params(),
+            &code_row_sums(&h_stack),
+            &w_colsums,
+            12,
+            &bias,
+        );
+        let scale = hq.params().scale * wq.params().scale;
+        // Decoded operands under the floor convention: value = min + code·scale.
+        let h_dec = h_codes.map(|&c| hq.params().min + c as f32 * hq.params().scale);
+        let w_dec = w_codes.map(|&c| wq.params().min + c as f32 * wq.params().scale);
+        let exact = qgtc_tensor::gemm::gemm_f32(&h_dec, &w_dec);
+        for i in 0..7 {
+            for j in 0..5 {
+                let corrected = acc[(i, j)] as f32 * scale + row_off[i] + col_off[j];
+                let expected = exact[(i, j)] + bias[j];
+                assert!(
+                    (corrected - expected).abs() < 1e-3,
+                    "({i},{j}): {corrected} vs {expected}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,14 +10,15 @@ use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
+use qgtc_kernels::fusion::FusedEpilogue;
+use qgtc_kernels::packing::pack_feature_matrix;
 use qgtc_tcsim::cost::CostTracker;
-use qgtc_tensor::{ops, Matrix, QuantParams, Quantizer};
+use qgtc_tensor::{ops, Matrix};
 
-use crate::layers::{forward_layers, DenseTcScaffold, GnnModelParams};
-use crate::models::{
-    code_row_sums, dequantize_update, quantize_activations, quantize_weights, row_degrees,
-    BatchForwardOutput, QuantizationSetting,
+use crate::layers::{
+    affine_update_offsets, code_row_sums, forward_layers, DenseTcScaffold, GnnModelParams,
 };
+use crate::models::{quantize_weights, row_degrees, BatchForwardOutput, QuantizationSetting};
 
 /// The batched GIN model.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,10 +106,16 @@ impl BatchedGinModel {
                     &subgraph.adjacency,
                     BitMatrixLayout::RowPacked,
                 );
+                // The single host-side quantize site: same codes and params
+                // as the transfer payload, packed directly in the row-wise
+                // layout GIN's update-first order consumes (the payload path
+                // reaches the same stack via `repack`).
+                let packed_features =
+                    pack_feature_matrix(features, bits, BitMatrixLayout::RowPacked);
                 self.forward_low_bit(
                     subgraph,
                     &adjacency_stack,
-                    features,
+                    &packed_features,
                     bits,
                     kernel_config,
                     tracker,
@@ -120,68 +127,94 @@ impl BatchedGinModel {
         }
     }
 
-    /// Bit-decomposed Tensor Core path (1–8 bits) over a pre-packed adjacency.
-    /// Crate-visible so [`crate::models::GnnModel`] can route a
-    /// [`qgtc_kernels::packing::PreparedBatch`]'s payload adjacency here without
-    /// each model duplicating the dispatch.
+    /// Bit-decomposed Tensor Core path (1–8 bits) over a pre-packed adjacency
+    /// and pre-packed features — the whole pass stays in the quantized domain.
+    ///
+    /// `packed_features` is the payload's column-packed stack; GIN's
+    /// update-first order wants a row-packed *left* operand, so the first layer
+    /// re-packs the stack in the quantized domain (a pure bit shuffle — no
+    /// dense features enter this function and no quantize call happens outside
+    /// [`FusedEpilogue`]).  Each layer runs update GEMM → epilogue (affine
+    /// dequantize + bias) → intra-layer re-quantize as the aggregation's right
+    /// operand → aggregation → affine dequantize → `+ (1+ε)·self` combine →
+    /// transition epilogue (ReLU + re-quantize as the next update's left
+    /// operand).  Crate-visible so [`crate::models::GnnModel`] can route a
+    /// [`qgtc_kernels::packing::PreparedBatch`]'s payload here without each
+    /// model duplicating the dispatch.
     pub(crate) fn forward_low_bit(
         &self,
         subgraph: &DenseSubgraph,
         adjacency_stack: &StackedBitMatrix,
-        features: &Matrix<f32>,
+        packed_features: &StackedBitMatrix,
         bits: u32,
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
-        let mut x = features.clone();
+        // Quantized-domain re-layout for the update-first order (no quantize).
+        let mut x = packed_features.repack(BitMatrixLayout::RowPacked);
 
         for (l, layer) in self.params.layers.iter().enumerate() {
             let last = l + 1 == num_layers;
+            let x_params = x
+                .quant_params()
+                .expect("the quantized currency always carries its parameters");
 
-            // Node update first: quantize activations as the GEMM's left operand.
-            let (x_stack, x_params) = quantize_activations(&x, bits, BitMatrixLayout::RowPacked);
-            tracker.record_int_ops(x.len() as u64 * bits as u64);
-            let (w_stack, w_params) =
+            // Node update first, on the packed left operand.
+            let (w_stack, w_params, w_colsums) =
                 quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
-            let update_acc = qgtc_bitmm2int(&x_stack, &w_stack, kernel_config, tracker);
-            let rowsums = code_row_sums(&x_stack);
-            let updated = dequantize_update(&update_acc, x_params, w_params, &rowsums, &layer.bias);
-            tracker.record_fp32_flops(3 * updated.len() as u64);
+            let update_acc = qgtc_bitmm2int(&x, &w_stack, kernel_config, tracker);
+            let (row_off, col_off) = affine_update_offsets(
+                x_params,
+                w_params,
+                &code_row_sums(&x),
+                &w_colsums,
+                x.cols(),
+                &layer.bias,
+            );
+            let updated = FusedEpilogue::dequantize_only(x_params.scale * w_params.scale)
+                .with_row_offset(row_off)
+                .with_col_offset(col_off)
+                .apply(&update_acc, tracker)
+                .into_dense()
+                .expect("dense epilogue");
 
-            // Aggregation: the updated activations may be negative (no ReLU yet), so
-            // quantize them with the affine scheme and correct with the node degrees.
-            let u_params = QuantParams::calibrate(bits, &updated).expect("valid bits");
-            let u_quantizer = Quantizer::new(u_params);
-            let u_codes = u_quantizer.quantize_matrix_u32(&updated);
-            let u_stack =
-                StackedBitMatrix::from_quantized(&u_codes, u_params, BitMatrixLayout::ColPacked);
-            tracker.record_int_ops(updated.len() as u64 * bits as u64);
-            let agg_acc = qgtc_aggregate(adjacency_stack, &u_stack, kernel_config, tracker);
-            // Dequantize: A·u ≈ scale · (A·uc) + min · deg.
-            let mut aggregated = Matrix::zeros(updated.rows(), updated.cols());
-            for (i, &degree) in degrees.iter().enumerate().take(aggregated.rows()) {
-                let correction = u_params.min * degree;
-                let acc_row = agg_acc.row(i);
-                let out_row = aggregated.row_mut(i);
-                for j in 0..out_row.len() {
-                    out_row[j] = acc_row[j] as f32 * u_params.scale + correction;
-                }
-            }
-            tracker.record_fp32_flops(2 * aggregated.len() as u64);
-
-            // Self term and activation.
+            // The (1 + ε) self term only needs `updated` scaled, so compute it
+            // first and let the epilogue consume `updated` by move.
             let self_term = ops::scale(&updated, 1.0 + self.epsilon);
-            let mut combined = ops::add(&aggregated, &self_term).expect("shapes match");
+
+            // Intra-layer epilogue: re-quantize the (possibly negative) update
+            // result as the aggregation's right operand.
+            let (u_stack, u_params) = FusedEpilogue::requantize_right_operand(1.0, bits)
+                .apply_dense(updated, tracker)
+                .into_quantized()
+                .expect("requantizing epilogue");
+            let agg_acc = qgtc_aggregate(adjacency_stack, &u_stack, kernel_config, tracker);
+            // Affine dequantize: A·u ≈ scale · (A·uc) + min · deg.
+            let aggregated = FusedEpilogue::dequantize_only(u_params.scale)
+                .with_row_offset(degrees.iter().map(|&d| u_params.min * d).collect())
+                .apply(&agg_acc, tracker)
+                .into_dense()
+                .expect("dense epilogue");
+
+            // Combine (the elementwise tail the fused kernel would fold into
+            // the same epilogue).
+            let combined = ops::add(&aggregated, &self_term).expect("shapes match");
             tracker.record_fp32_flops(2 * combined.len() as u64);
-            if !last {
-                ops::relu_inplace(&mut combined);
-                tracker.record_fp32_flops(combined.len() as u64);
+            if last {
+                return BatchForwardOutput { logits: combined };
             }
-            x = combined;
+            // Layer transition: ReLU + re-quantize as the next update's left
+            // operand — the transition's single quantize site.
+            x = FusedEpilogue::hidden_layer(1.0, bits)
+                .with_output_layout(BitMatrixLayout::RowPacked)
+                .apply_dense(combined, tracker)
+                .into_quantized()
+                .expect("requantizing epilogue")
+                .0;
         }
-        BatchForwardOutput { logits: x }
+        unreachable!("models have at least one layer, and the last layer returns")
     }
 
     /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations):

@@ -10,13 +10,16 @@ use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
+use qgtc_kernels::fusion::{EpilogueOutput, FusedEpilogue};
+use qgtc_kernels::packing::pack_feature_matrix;
 use qgtc_tcsim::cost::CostTracker;
-use qgtc_tensor::{ops, Matrix};
+use qgtc_tensor::Matrix;
 
-use crate::layers::{forward_layers, DenseTcScaffold, GnnModelParams};
+use crate::layers::{
+    affine_update_offsets, code_row_sums, forward_layers, DenseTcScaffold, GnnModelParams,
+};
 use crate::models::{
-    code_row_sums, dequantize_update, quantize_activations, quantize_weights, row_degrees,
-    row_normalize, BatchForwardOutput, QuantizationSetting,
+    quantize_weights, row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting,
 };
 
 /// The Cluster-GCN model: shared parameters plus both execution paths.
@@ -97,10 +100,14 @@ impl ClusterGcnModel {
                     &subgraph.adjacency,
                     BitMatrixLayout::RowPacked,
                 );
+                // The single host-side quantize site: pack exactly as the
+                // transfer payload does, then stay in the quantized domain.
+                let packed_features =
+                    pack_feature_matrix(features, bits, BitMatrixLayout::ColPacked);
                 self.forward_low_bit(
                     subgraph,
                     &adjacency_stack,
-                    features,
+                    &packed_features,
                     bits,
                     kernel_config,
                     tracker,
@@ -112,65 +119,88 @@ impl ClusterGcnModel {
         }
     }
 
-    /// Bit-decomposed Tensor Core path (1–8 bits) over a pre-packed adjacency.
-    /// Crate-visible so [`crate::models::GnnModel`] can route a
-    /// [`qgtc_kernels::packing::PreparedBatch`]'s payload adjacency here without
-    /// each model duplicating the dispatch.
+    /// Bit-decomposed Tensor Core path (1–8 bits) over a pre-packed adjacency
+    /// and pre-packed features — the whole pass stays in the quantized domain.
+    ///
+    /// `packed_features` is the payload's column-packed stack (it must carry
+    /// its [`qgtc_tensor::QuantParams`]); no dense feature matrix enters this
+    /// function, so zero feature re-quantization can happen here *by
+    /// construction*.  Each layer runs aggregation → epilogue 1 (affine
+    /// dequantize + mean fold + re-quantize as the update's left operand) →
+    /// update GEMM → epilogue 2 (affine dequantize + bias, then ReLU +
+    /// re-quantize for hidden layers), with both epilogues — the only quantize
+    /// sites — inside [`FusedEpilogue`].  Crate-visible so
+    /// [`crate::models::GnnModel`] can route a
+    /// [`qgtc_kernels::packing::PreparedBatch`]'s payload here without each
+    /// model duplicating the dispatch.
     pub(crate) fn forward_low_bit(
         &self,
         subgraph: &DenseSubgraph,
         adjacency_stack: &StackedBitMatrix,
-        features: &Matrix<f32>,
+        packed_features: &StackedBitMatrix,
         bits: u32,
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
+        assert_eq!(
+            packed_features.layout(),
+            BitMatrixLayout::ColPacked,
+            "packed features are the aggregation's right operand"
+        );
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
-        let mut x = features.clone();
+        let mut x = packed_features.clone();
 
         for (l, layer) in self.params.layers.iter().enumerate() {
             let last = l + 1 == num_layers;
-            // Quantize the (non-negative) activations for the aggregation's right operand.
-            let (x_stack, x_params) = quantize_activations(&x, bits, BitMatrixLayout::ColPacked);
-            tracker.record_int_ops(x.len() as u64 * bits as u64);
+            let x_params = x
+                .quant_params()
+                .expect("the quantized currency always carries its parameters");
 
             // Neighbour aggregation on the binary adjacency.
-            let agg_acc = qgtc_aggregate(adjacency_stack, &x_stack, kernel_config, tracker);
+            let agg_acc = qgtc_aggregate(adjacency_stack, &x, kernel_config, tracker);
 
-            // Epilogue 1 (fused): dequantize and fold in the mean normalisation.
-            let mut aggregated = agg_acc.map(|&v| v as f32 * x_params.scale);
-            for (i, row) in (0..aggregated.rows()).zip(0..aggregated.rows()) {
-                let _ = row;
-                let deg = degrees[i].max(1.0);
-                for v in aggregated.row_mut(i) {
-                    *v /= deg;
-                }
-            }
-            tracker.record_fp32_flops(2 * aggregated.len() as u64);
+            // Epilogue 1 (fused into the aggregation): affine dequantize
+            // (A·x ≈ s·acc + min·deg), fold the mean normalisation, and
+            // re-quantize as the update's left operand.
+            let (h_stack, h_params) = FusedEpilogue::requantize_left_operand(x_params.scale, bits)
+                .with_row_offset(degrees.iter().map(|&d| x_params.min * d).collect())
+                .with_row_scale(degrees.iter().map(|&d| 1.0 / d.max(1.0)).collect())
+                .apply(&agg_acc, tracker)
+                .into_quantized()
+                .expect("requantizing epilogue");
 
-            // Re-quantize the aggregated activations as the update's left operand.
-            let (h_stack, h_params) =
-                quantize_activations(&aggregated, bits, BitMatrixLayout::RowPacked);
-            tracker.record_int_ops(aggregated.len() as u64 * bits as u64);
-            let (w_stack, w_params) =
+            let (w_stack, w_params, w_colsums) =
                 quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
 
             // Node update GEMM (the framework's fused bitMM2Int entry point).
             let update_acc = qgtc_bitmm2int(&h_stack, &w_stack, kernel_config, tracker);
 
-            // Epilogue 2 (fused): affine-corrected dequantization, bias, activation.
-            let rowsums = code_row_sums(&h_stack);
-            let mut updated =
-                dequantize_update(&update_acc, h_params, w_params, &rowsums, &layer.bias);
-            tracker.record_fp32_flops(3 * updated.len() as u64);
-            if !last {
-                ops::relu_inplace(&mut updated);
-                tracker.record_fp32_flops(updated.len() as u64);
+            // Epilogue 2 (fused into the update): affine×affine dequantization
+            // plus bias; hidden layers additionally ReLU and re-quantize for
+            // the next aggregation — the transition's single quantize site.
+            let (row_off, col_off) = affine_update_offsets(
+                h_params,
+                w_params,
+                &code_row_sums(&h_stack),
+                &w_colsums,
+                h_stack.cols(),
+                &layer.bias,
+            );
+            let scale = h_params.scale * w_params.scale;
+            let epilogue = if last {
+                FusedEpilogue::dequantize_only(scale)
+            } else {
+                FusedEpilogue::hidden_layer(scale, bits)
             }
-            x = updated;
+            .with_row_offset(row_off)
+            .with_col_offset(col_off);
+            match epilogue.apply(&update_acc, tracker) {
+                EpilogueOutput::Dense(logits) => return BatchForwardOutput { logits },
+                EpilogueOutput::Quantized { stack, .. } => x = stack,
+            }
         }
-        BatchForwardOutput { logits: x }
+        unreachable!("models have at least one layer, and the last layer returns")
     }
 
     /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations):

@@ -15,6 +15,19 @@
 //! computation runs as dense fp16/TF32 Tensor Core GEMMs — composing them from 16 or
 //! 32 binary planes would be slower than the hardware's native wide types, and the
 //! paper's own measurements show exactly that regime change between 8 and 16 bits.
+//!
+//! # The quantized currency
+//!
+//! On the low-bit path, [`StackedBitMatrix`] is the single currency between
+//! layers: features are quantized **once on the host**
+//! ([`qgtc_kernels::packing::pack_feature_matrix`], the same packing the
+//! transfer payload uses), every `forward_low_bit` consumes that packed stack
+//! plus its [`qgtc_tensor::QuantParams`] directly, and each layer transition
+//! re-quantizes exactly once inside a
+//! [`qgtc_kernels::fusion::FusedEpilogue`].  No model ever re-quantizes
+//! features from dense floats — the packed-payload pipeline path and the
+//! dense-entry `forward_quantized_batch` are bitwise identical by
+//! construction.
 
 pub mod batched_gin;
 pub mod cluster_gcn;
@@ -85,7 +98,8 @@ impl GnnModel {
     /// QGTC-path forward over a prepared batch: identical numerics and cost
     /// accounting to each model's `forward_quantized_batch`, but when the batch
     /// carries a payload the low-bit path consumes its already-packed 1-bit
-    /// adjacency instead of re-packing it. This is the *only* place the
+    /// adjacency **and its packed feature stack** directly — no feature value
+    /// is re-quantized from dense floats. This is the *only* place the
     /// prepared-path dispatch lives, for both models.
     pub fn forward_prepared_quantized(
         &self,
@@ -98,11 +112,16 @@ impl GnnModel {
             (setting, prepared.payload.as_ref())
         {
             debug_assert_eq!(payload.packed_adjacency.bits(), 1);
+            debug_assert_eq!(
+                payload.packed_features.bits(),
+                bits,
+                "payload features must be packed at the run's bitwidth"
+            );
             return match self {
                 GnnModel::ClusterGcn(model) => model.forward_low_bit(
                     &prepared.subgraph,
                     &payload.packed_adjacency,
-                    &prepared.features,
+                    &payload.packed_features,
                     bits,
                     kernel_config,
                     tracker,
@@ -110,7 +129,7 @@ impl GnnModel {
                 GnnModel::BatchedGin(model) => model.forward_low_bit(
                     &prepared.subgraph,
                     &payload.packed_adjacency,
-                    &prepared.features,
+                    &payload.packed_features,
                     bits,
                     kernel_config,
                     tracker,
@@ -152,79 +171,30 @@ impl GnnModel {
     }
 }
 
-/// Quantize non-negative activations to `bits` with a zero-anchored range
-/// (`min = 0`), so dequantizing an integer GEMM over the codes is a pure rescale.
-///
-/// Returns the packed stack and the quantization parameters.
-pub(crate) fn quantize_activations(
-    x: &Matrix<f32>,
-    bits: u32,
-    layout: BitMatrixLayout,
-) -> (StackedBitMatrix, QuantParams) {
-    let (_, max) = x.min_max();
-    let params = QuantParams::from_range(bits, 0.0, max.max(1e-6)).expect("valid bits");
-    let quantizer = Quantizer::new(params);
-    let codes = quantizer.quantize_matrix_u32(x);
-    (
-        StackedBitMatrix::from_quantized(&codes, params, layout),
-        params,
-    )
-}
-
 /// Quantize a (possibly negative) weight matrix with the paper's affine scheme
-/// (Equation 2).  Returns the packed stack and its parameters; the affine offset is
-/// corrected after the GEMM by [`affine_weight_correction`].
+/// (Equation 2).  Returns the packed stack, its parameters and the code column
+/// sums — computed here from the dense codes, before packing, so the epilogue
+/// offsets of [`crate::layers::affine_update_offsets`] never need to unpack
+/// the weight stack again.
 pub(crate) fn quantize_weights(
     w: &Matrix<f32>,
     bits: u32,
     layout: BitMatrixLayout,
-) -> (StackedBitMatrix, QuantParams) {
+) -> (StackedBitMatrix, QuantParams, Vec<i64>) {
     let params = QuantParams::calibrate(bits, w).expect("valid bits");
     let quantizer = Quantizer::new(params);
     let codes = quantizer.quantize_matrix_u32(w);
+    let mut colsums = vec![0i64; codes.cols()];
+    for r in 0..codes.rows() {
+        for (sum, &c) in colsums.iter_mut().zip(codes.row(r)) {
+            *sum += c as i64;
+        }
+    }
     (
         StackedBitMatrix::from_quantized(&codes, params, layout),
         params,
+        colsums,
     )
-}
-
-/// Dequantize the accumulator of `Hc · Wc` where `h ≈ s_h · Hc` (zero-anchored) and
-/// `w ≈ s_w · Wc + min_w` (affine):
-///
-/// ```text
-/// H · W ≈ s_h s_w (Hc · Wc) + min_w · s_h · rowsum(Hc)
-/// ```
-///
-/// `acc` is the integer GEMM result, `h_code_rowsums[i] = Σ_j Hc[i, j]`.
-pub(crate) fn dequantize_update(
-    acc: &Matrix<i64>,
-    h_params: QuantParams,
-    w_params: QuantParams,
-    h_code_rowsums: &[i64],
-    bias: &[f32],
-) -> Matrix<f32> {
-    assert_eq!(acc.rows(), h_code_rowsums.len(), "row-sum length mismatch");
-    assert_eq!(acc.cols(), bias.len(), "bias length mismatch");
-    let mut out = Matrix::zeros(acc.rows(), acc.cols());
-    let s = h_params.scale * w_params.scale;
-    for (i, &rowsum) in h_code_rowsums.iter().enumerate().take(acc.rows()) {
-        let correction = w_params.min * h_params.scale * rowsum as f32;
-        let out_row = out.row_mut(i);
-        let acc_row = acc.row(i);
-        for j in 0..acc.cols() {
-            out_row[j] = acc_row[j] as f32 * s + correction + bias[j];
-        }
-    }
-    out
-}
-
-/// Row sums of a code stack's logical values (needed for the affine weight
-/// correction).
-pub(crate) fn code_row_sums(stack: &StackedBitMatrix) -> Vec<i64> {
-    let codes = stack.to_codes();
-    (0..codes.rows())
-        .map(|r| codes.row(r).iter().map(|&c| c as i64).sum())
-        .collect()
 }
 
 /// Record the cost of a dense Tensor Core GEMM in half (16-bit) or TF32 (32-bit)
@@ -306,34 +276,34 @@ mod tests {
     }
 
     #[test]
-    fn activation_quantization_is_zero_anchored() {
-        let x = random_uniform_matrix(10, 6, 0.0, 3.0, 1);
-        let (stack, params) = quantize_activations(&x, 4, BitMatrixLayout::ColPacked);
-        assert_eq!(params.min, 0.0);
-        assert_eq!(stack.bits(), 4);
-        // Decoded codes approximate the input within one bucket.
-        let codes = stack.to_codes();
-        for r in 0..10 {
-            for c in 0..6 {
-                let approx = codes[(r, c)] as f32 * params.scale;
-                assert!((approx - x[(r, c)]).abs() <= params.scale + 1e-6);
-            }
-        }
-    }
-
-    #[test]
     fn quantized_update_approximates_fp32_product() {
-        // h >= 0, w arbitrary sign: the affine-corrected dequantization must track
-        // the fp32 product within the quantization error budget.
-        let h = random_uniform_matrix(12, 20, 0.0, 2.0, 2);
+        // h and w of arbitrary sign: the epilogue with the affine×affine
+        // correction offsets must track the fp32 product within the
+        // quantization error budget.
+        use crate::layers::{affine_update_offsets, code_row_sums};
+        use qgtc_kernels::fusion::FusedEpilogue;
+
+        let h = random_uniform_matrix(12, 20, -0.5, 2.0, 2);
         let w = random_uniform_matrix(20, 8, -0.5, 0.5, 3);
         let bias = vec![0.1f32; 8];
         let bits = 8;
-        let (h_stack, h_params) = quantize_activations(&h, bits, BitMatrixLayout::RowPacked);
-        let (w_stack, w_params) = quantize_weights(&w, bits, BitMatrixLayout::ColPacked);
+        let (h_stack, h_params, _) = quantize_weights(&h, bits, BitMatrixLayout::RowPacked);
+        let (w_stack, w_params, w_colsums) = quantize_weights(&w, bits, BitMatrixLayout::ColPacked);
         let acc = qgtc_bitmat::gemm::any_bit_gemm(&h_stack, &w_stack);
-        let rowsums = code_row_sums(&h_stack);
-        let approx = dequantize_update(&acc, h_params, w_params, &rowsums, &bias);
+        let (row_off, col_off) = affine_update_offsets(
+            h_params,
+            w_params,
+            &code_row_sums(&h_stack),
+            &w_colsums,
+            20,
+            &bias,
+        );
+        let approx = FusedEpilogue::dequantize_only(h_params.scale * w_params.scale)
+            .with_row_offset(row_off)
+            .with_col_offset(col_off)
+            .apply(&acc, &qgtc_tcsim::cost::CostTracker::new())
+            .into_dense()
+            .unwrap();
         let exact = qgtc_tensor::ops::add_bias(&gemm_f32(&h, &w), &bias);
         let err = approx.max_abs_diff(&exact).unwrap();
         // Error budget: K * (s_h * |w|_max + s_w * |h|_max) plus cross terms.

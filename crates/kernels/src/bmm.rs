@@ -27,7 +27,7 @@
 //! GEMM, exposed under its framework name as [`qgtc_bitmm2int`].
 
 use crate::zero_tile::census_plane;
-use qgtc_bitmat::fused::any_bit_gemm_fused;
+use qgtc_bitmat::fused::any_bit_gemm_fused_with_stats;
 use qgtc_bitmat::gemm::any_bit_gemm_serial;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_tcsim::cost::CostTracker;
@@ -51,7 +51,11 @@ pub enum ReductionOrder {
 /// Tunable behaviour of the QGTC kernels.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelConfig {
-    /// Skip all-zero 8×128 tiles of the left operand (§4.3).
+    /// Skip all-zero 8×128 tiles of the left operand (§4.3).  This toggle
+    /// drives both sides of the kernel: the analytic tile walk discounts the
+    /// zero tiles of the census, and the fused host execution runs its
+    /// word-granular zero-skip index (bitwise identical output, measured word
+    /// counts recorded as `fused_words_*` in the tracker).
     pub zero_tile_jumping: bool,
     /// Bit-plane/tile reduction order (§4.4).
     pub reduction_order: ReductionOrder,
@@ -122,7 +126,13 @@ pub fn qgtc_bmm(
     // One kernel launch; the thread-block grid is the output tile grid.
     tracker.record_kernel_launch((m_tiles * n_tiles) as u64);
     record_tile_walk(a, b, config, tracker, n_tiles as u64);
-    let out = any_bit_gemm_fused(a, b);
+    // The same toggle drives the analytic zero-tile accounting above and the
+    // actual execution: with jumping on, the fused kernel runs its word-granular
+    // zero-skip index (bitwise identical output); either way the kernel's own
+    // word counts land in the tracker (every word visited, zero skipped, when
+    // jumping is off).
+    let (out, stats) = any_bit_gemm_fused_with_stats(a, b, config.zero_tile_jumping);
+    tracker.record_fused_words(stats.total_words, stats.skipped_words());
     // Output write traffic: one accumulator tile per output tile.
     tracker.record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
     out

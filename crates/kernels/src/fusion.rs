@@ -69,6 +69,22 @@ impl EpilogueOutput {
             EpilogueOutput::Quantized { .. } => None,
         }
     }
+
+    /// Consume the output as a dense matrix, if it is one.
+    pub fn into_dense(self) -> Option<Matrix<f32>> {
+        match self {
+            EpilogueOutput::Dense(m) => Some(m),
+            EpilogueOutput::Quantized { .. } => None,
+        }
+    }
+
+    /// Consume the output as a quantized stack plus its parameters, if it is one.
+    pub fn into_quantized(self) -> Option<(StackedBitMatrix, QuantParams)> {
+        match self {
+            EpilogueOutput::Quantized { stack, params } => Some((stack, params)),
+            EpilogueOutput::Dense(_) => None,
+        }
+    }
 }
 
 /// Configuration of a fused GEMM epilogue.
@@ -93,6 +109,17 @@ pub struct FusedEpilogue {
     /// Whether the epilogue runs fused inside the GEMM kernel (`true`) or as
     /// standalone kernels (`false`); affects only cost accounting.
     pub fused: bool,
+    /// Optional per-row additive correction, applied to the dequantized value
+    /// before `row_scale`: the home of the affine quantization corrections
+    /// (`min_x · degree` after an aggregation, `min_w · s_h · rowsum(Hc)` after
+    /// a node update).
+    pub row_offset: Option<Vec<f32>>,
+    /// Optional per-column additive correction, applied alongside `row_offset`:
+    /// the layer bias plus the affine column-sum terms.
+    pub col_offset: Option<Vec<f32>>,
+    /// Optional per-row multiplier, applied after the offsets (e.g. the `1/deg`
+    /// of a mean aggregation), before the activation.
+    pub row_scale: Option<Vec<f32>>,
 }
 
 impl FusedEpilogue {
@@ -105,18 +132,18 @@ impl FusedEpilogue {
             requantize_bits: None,
             output_layout: BitMatrixLayout::ColPacked,
             fused: true,
+            row_offset: None,
+            col_offset: None,
+            row_scale: None,
         }
     }
 
     /// The hidden-layer epilogue used by the QGTC models: ReLU then re-quantize.
     pub fn hidden_layer(accumulator_scale: f32, bits: u32) -> Self {
         Self {
-            accumulator_scale,
             activation: Activation::Relu,
-            batch_norm: None,
             requantize_bits: Some(bits),
-            output_layout: BitMatrixLayout::ColPacked,
-            fused: true,
+            ..Self::dequantize_only(accumulator_scale)
         }
     }
 
@@ -124,28 +151,113 @@ impl FusedEpilogue {
     /// *left* operand of the following GEMM (the aggregate → update hand-off).
     pub fn requantize_left_operand(accumulator_scale: f32, bits: u32) -> Self {
         Self {
-            accumulator_scale,
-            activation: Activation::None,
-            batch_norm: None,
             requantize_bits: Some(bits),
             output_layout: BitMatrixLayout::RowPacked,
-            fused: true,
+            ..Self::dequantize_only(accumulator_scale)
         }
     }
 
-    /// Apply the epilogue to an integer accumulator matrix.
+    /// A re-quantizing epilogue with no activation, packing its output for use as
+    /// the *right* operand of the following GEMM (the update → aggregate hand-off
+    /// of the update-first models).
+    pub fn requantize_right_operand(accumulator_scale: f32, bits: u32) -> Self {
+        Self {
+            requantize_bits: Some(bits),
+            ..Self::dequantize_only(accumulator_scale)
+        }
+    }
+
+    /// Set the per-row additive correction.
+    pub fn with_row_offset(mut self, offsets: Vec<f32>) -> Self {
+        self.row_offset = Some(offsets);
+        self
+    }
+
+    /// Set the per-column additive correction.
+    pub fn with_col_offset(mut self, offsets: Vec<f32>) -> Self {
+        self.col_offset = Some(offsets);
+        self
+    }
+
+    /// Set the per-row multiplier (applied after the offsets).
+    pub fn with_row_scale(mut self, scales: Vec<f32>) -> Self {
+        self.row_scale = Some(scales);
+        self
+    }
+
+    /// Set the packing layout of the re-quantized output.
+    pub fn with_output_layout(mut self, layout: BitMatrixLayout) -> Self {
+        self.output_layout = layout;
+        self
+    }
+
+    /// Apply the epilogue to an integer accumulator matrix: dequantize with the
+    /// affine corrections, then activation / batch norm / re-quantization.
     ///
     /// Cost model: the arithmetic itself is `O(rows × cols)` CUDA-core work in both
     /// modes; the unfused mode additionally writes the intermediate to DRAM, reads it
     /// back and launches one extra kernel per stage (activation / BN / quantize).
     pub fn apply(&self, accumulator: &Matrix<i64>, tracker: &CostTracker) -> EpilogueOutput {
         let elems = accumulator.len() as u64;
-        let mut stages = 1u64; // dequantize + activation counts as one stage
+        if let Some(offsets) = &self.row_offset {
+            assert_eq!(offsets.len(), accumulator.rows(), "row-offset length");
+        }
+        if let Some(offsets) = &self.col_offset {
+            assert_eq!(offsets.len(), accumulator.cols(), "col-offset length");
+        }
+        if let Some(scales) = &self.row_scale {
+            assert_eq!(scales.len(), accumulator.rows(), "row-scale length");
+        }
 
-        // Dequantize and activate.
-        let mut dense =
-            accumulator.map(|&v| self.activation.apply(v as f32 * self.accumulator_scale));
-        tracker.record_fp32_flops(2 * elems);
+        // Dequantize with the affine corrections:
+        //   dense[i][j] = (acc · scale + row_offset[i] + col_offset[j]) · row_scale[i]
+        let mut dense: Matrix<f32> = Matrix::zeros(accumulator.rows(), accumulator.cols());
+        let mut flops = elems;
+        for i in 0..accumulator.rows() {
+            let row_offset = self.row_offset.as_ref().map_or(0.0, |o| o[i]);
+            let row_scale = self.row_scale.as_ref().map_or(1.0, |s| s[i]);
+            let acc_row = accumulator.row(i);
+            let out_row = dense.row_mut(i);
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                let col_offset = self.col_offset.as_ref().map_or(0.0, |o| o[j]);
+                *slot = (acc_row[j] as f32 * self.accumulator_scale + row_offset + col_offset)
+                    * row_scale;
+            }
+        }
+        for present in [&self.row_offset, &self.col_offset, &self.row_scale] {
+            if present.is_some() {
+                flops += elems;
+            }
+        }
+        tracker.record_fp32_flops(flops);
+        self.finish(dense, tracker)
+    }
+
+    /// Apply the epilogue's activation / batch-norm / re-quantization stages to
+    /// an already-dense activation matrix.
+    ///
+    /// This is the layer-transition entry for values that leave the accumulator
+    /// domain before the epilogue (e.g. batched GIN's `aggregated + (1+ε)·self`
+    /// combine): the accumulator scale and the affine offsets do not apply, but
+    /// the re-quantization — the single quantize site of a layer transition —
+    /// still lives here.  Takes the matrix by value — callers that still need
+    /// the dense activations afterwards clone at the call site.
+    pub fn apply_dense(&self, dense: Matrix<f32>, tracker: &CostTracker) -> EpilogueOutput {
+        self.finish(dense, tracker)
+    }
+
+    /// Shared tail of [`FusedEpilogue::apply`] / [`FusedEpilogue::apply_dense`]:
+    /// activation, optional batch norm, optional re-quantization, plus the
+    /// unfused-execution launch/DRAM accounting.
+    fn finish(&self, mut dense: Matrix<f32>, tracker: &CostTracker) -> EpilogueOutput {
+        let elems = dense.len() as u64;
+        let rows = dense.rows() as u64;
+        let mut stages = 1u64; // dequantize (or combine) + activation is one stage
+
+        for v in dense.data_mut() {
+            *v = self.activation.apply(*v);
+        }
+        tracker.record_fp32_flops(elems);
 
         if let Some(bn) = &self.batch_norm {
             dense = qgtc_tensor::ops::batch_norm(&dense, bn)
@@ -179,7 +291,7 @@ impl FusedEpilogue {
             // round trip of the intermediate activations.
             let bytes = elems * 4;
             for _ in 0..stages {
-                tracker.record_kernel_launch((accumulator.rows() as u64).div_ceil(4).max(1));
+                tracker.record_kernel_launch(rows.div_ceil(4).max(1));
                 tracker.record_dram_write(bytes);
                 tracker.record_dram_read(bytes);
             }
@@ -259,6 +371,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn affine_corrections_follow_the_documented_formula() {
+        let tracker = CostTracker::new();
+        let ep = FusedEpilogue::dequantize_only(0.5)
+            .with_row_offset(vec![10.0, 20.0])
+            .with_col_offset(vec![1.0, 2.0, 3.0])
+            .with_row_scale(vec![0.1, 10.0]);
+        let out = ep.apply(&accumulator(), &tracker);
+        let dense = out.as_dense().unwrap();
+        // dense[i][j] = (acc * 0.5 + row_offset[i] + col_offset[j]) * row_scale[i]
+        assert_eq!(dense[(0, 0)], (-4.0 * 0.5 + 10.0 + 1.0) * 0.1);
+        assert_eq!(dense[(0, 2)], (2.0 * 0.5 + 10.0 + 3.0) * 0.1);
+        assert_eq!(dense[(1, 1)], (-0.5 + 20.0 + 2.0) * 10.0);
+        // Base dequantize + activation (2 passes) plus one pass per correction.
+        assert_eq!(tracker.snapshot().cuda_fp32_flops, 5 * 6);
+    }
+
+    #[test]
+    fn apply_dense_requantizes_without_rescaling() {
+        let tracker = CostTracker::new();
+        let dense = Matrix::from_vec(2, 2, vec![-1.0f32, 0.5, 2.0, 4.0]).unwrap();
+        let ep = FusedEpilogue::hidden_layer(123.0, 4); // scale must be ignored
+        let (stack, params) = ep
+            .apply_dense(dense.clone(), &tracker)
+            .into_quantized()
+            .expect("requantizing epilogue");
+        assert_eq!(stack.bits(), 4);
+        let codes = stack.to_codes();
+        for r in 0..2 {
+            for c in 0..2 {
+                let relu = dense[(r, c)].max(0.0);
+                let decoded = params.min + codes[(r, c)] as f32 * params.scale;
+                assert!(
+                    (relu - decoded).abs() <= params.scale,
+                    "({r},{c}): {relu} vs {decoded}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_correction_lengths_are_rejected() {
+        let ep = FusedEpilogue::dequantize_only(1.0).with_row_offset(vec![0.0; 5]);
+        let result = std::panic::catch_unwind(|| ep.apply(&accumulator(), &CostTracker::new()));
+        assert!(result.is_err(), "2-row accumulator, 5 row offsets");
+    }
+
+    #[test]
+    fn dead_relu_batch_requantizes_to_a_valid_zero_stack() {
+        // Regression: an all-zero hidden activation matrix (every ReLU dead, or
+        // an all-negative accumulator) must calibrate to the degenerate range
+        // and produce an all-zero stack — not panic in `Quantizer::calibrate`.
+        let tracker = CostTracker::new();
+        let all_negative = Matrix::from_vec(2, 3, vec![-5i64, -4, -3, -2, -1, -6]).unwrap();
+        let ep = FusedEpilogue::hidden_layer(1.0, 3);
+        let (stack, params) = ep
+            .apply(&all_negative, &tracker)
+            .into_quantized()
+            .expect("requantizing epilogue");
+        assert_eq!(stack.bits(), 3);
+        assert!(stack.to_codes().data().iter().all(|&c| c == 0));
+        assert!(params.scale.is_finite() && params.scale > 0.0);
+        assert_eq!(params.min, 0.0);
+
+        // The dense-entry path (the GIN layer transition) hits the same edge.
+        let zeros: Matrix<f32> = Matrix::zeros(4, 4);
+        let (stack, params) = FusedEpilogue::requantize_right_operand(1.0, 2)
+            .apply_dense(zeros, &tracker)
+            .into_quantized()
+            .expect("requantizing epilogue");
+        assert!(stack.to_codes().data().iter().all(|&c| c == 0));
+        assert!(params.scale.is_finite());
     }
 
     #[test]

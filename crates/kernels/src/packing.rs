@@ -18,6 +18,29 @@ use qgtc_graph::DenseSubgraph;
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::{Matrix, Quantizer};
 
+/// Quantize and bit-pack a dense feature matrix exactly as the transfer payload
+/// does: per-batch affine calibration at `feature_bits`, quantization
+/// parameters remembered on the stack.  The codes are layout-independent, so
+/// `layout` only chooses the packing direction — column-packed for a GEMM
+/// right operand (the payload's layout), row-packed when the first GEMM wants
+/// a left operand (batched GIN's update-first order).
+///
+/// This is the **single host-side quantize site** of the QGTC forward pass:
+/// [`SubgraphPayload::new`] uses it to build the transferable payload, and the
+/// models' dense-feature entry points use it to pack once before the first
+/// layer, so the packed-payload path and the dense-entry path are bitwise
+/// identical by construction.
+pub fn pack_feature_matrix(
+    features: &Matrix<f32>,
+    feature_bits: u32,
+    layout: BitMatrixLayout,
+) -> StackedBitMatrix {
+    let quantizer =
+        Quantizer::calibrate(feature_bits, features).expect("feature_bits validated by caller");
+    let codes = quantizer.quantize_matrix_u32(features);
+    StackedBitMatrix::from_quantized(&codes, quantizer.params(), layout)
+}
+
 /// Fixed per-transfer overhead in bytes-equivalent terms: a separate cudaMemcpy has
 /// driver/launch latency that we charge as if it were extra payload at PCIe speed
 /// (≈ 10 µs ≈ 250 KB at 25 GB/s).
@@ -67,14 +90,8 @@ impl SubgraphPayload {
             &subgraph.adjacency,
             BitMatrixLayout::RowPacked,
         );
-        let quantizer =
-            Quantizer::calibrate(feature_bits, features).expect("feature_bits validated by caller");
-        let codes = quantizer.quantize_matrix_u32(features);
-        let packed_features = StackedBitMatrix::from_quantized(
-            &codes,
-            quantizer.params(),
-            BitMatrixLayout::ColPacked,
-        );
+        let packed_features =
+            pack_feature_matrix(features, feature_bits, BitMatrixLayout::ColPacked);
         Self {
             num_nodes: subgraph.num_nodes(),
             num_edges: subgraph.num_edges,

@@ -6,6 +6,7 @@
 //! zero-tile jumping removes.  Figure 8 reports that ratio per dataset; this module
 //! computes it.
 
+use qgtc_bitmat::fused::FusedGemmStats;
 use qgtc_bitmat::pack::{pad128, pad8};
 use qgtc_bitmat::{BitMatrix, BitMatrixLayout, StackedBitMatrix};
 use qgtc_tcsim::fragment::TILE_M;
@@ -59,6 +60,36 @@ pub fn census_plane(plane: &BitMatrix) -> TileCensus {
     TileCensus {
         total_tiles: row_tiles * k_tiles,
         nonzero_tiles: nonzero,
+    }
+}
+
+/// Census the widened 64-bit words of one packed plane: [`census_plane`] at
+/// word granularity.  Returns the same [`FusedGemmStats`] shape the fused
+/// kernel reports from an actual execution, and predicts those counts exactly
+/// — the kernel widens lane word pairs the same way before building its span
+/// index (non-zero words are the kernel's "visited" words).
+pub fn census_plane_words(plane: &BitMatrix) -> FusedGemmStats {
+    let words = plane.words_per_lane();
+    debug_assert_eq!(words % 2, 0, "PAD128 guarantees an even u32 word count");
+    // Only logical lanes: the kernel's row loop never visits the PAD8 padding
+    // lanes, so they must not inflate the census either.
+    let logical_lanes = match plane.layout() {
+        BitMatrixLayout::RowPacked => plane.rows(),
+        BitMatrixLayout::ColPacked => plane.cols(),
+    };
+    let mut nonzero = 0u64;
+    let mut total = 0u64;
+    for lane in 0..logical_lanes {
+        for pair in plane.lane(lane).chunks_exact(2) {
+            total += 1;
+            if pair[0] != 0 || pair[1] != 0 {
+                nonzero += 1;
+            }
+        }
+    }
+    FusedGemmStats {
+        total_words: total,
+        visited_words: nonzero,
     }
 }
 
@@ -152,6 +183,40 @@ mod tests {
         let n_tiles = 16 / 8;
         let expected_skipped = census.zero_tiles() as u64 * n_tiles as u64 * 2;
         assert_eq!(s.tc_b1_tiles_skipped, expected_skipped);
+    }
+
+    #[test]
+    fn word_census_counts_logical_words() {
+        // 10 rows x 200 cols: PAD128(200) = 256 bits = 4 widened words per row.
+        let mut m: Matrix<u8> = Matrix::zeros(10, 200);
+        m[(3, 70)] = 1; // word 1 of row 3
+        m[(3, 130)] = 1; // word 2 of row 3
+        m[(7, 0)] = 1; // word 0 of row 7
+        let plane = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        let census = census_plane_words(&plane);
+        assert_eq!(census.total_words, 10 * 4);
+        assert_eq!(census.visited_words, 3);
+        assert_eq!(census.skipped_words(), 37);
+        assert!((census.skip_ratio() - 37.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_census_predicts_kernel_skip_stats() {
+        use crate::bmm::{qgtc_aggregate, KernelConfig};
+        use qgtc_tcsim::cost::CostTracker;
+
+        let adj = random_uniform_matrix(96, 96, 0.0, 1.0, 17).map(|&v| (v < 0.02) as u32 as f32);
+        let x_codes = random_uniform_matrix(96, 12, 0.0, 3.99, 18).map(|&v| v as u32);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&x_codes, 2, BitMatrixLayout::ColPacked);
+        let census = census_plane_words(a.plane(0));
+
+        let tracker = CostTracker::new();
+        let _ = qgtc_aggregate(&a, &x, &KernelConfig::default(), &tracker);
+        let s = tracker.snapshot();
+        assert_eq!(s.fused_words_total, census.total_words);
+        assert_eq!(s.fused_words_skipped, census.skipped_words());
+        assert!((s.fused_word_skip_ratio() - census.skip_ratio()).abs() < 1e-12);
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub struct CostTracker {
     thread_blocks: AtomicU64,
     pcie_h2d_bytes: AtomicU64,
     pcie_d2h_bytes: AtomicU64,
+    fused_words_total: AtomicU64,
+    fused_words_skipped: AtomicU64,
 }
 
 /// Plain-data copy of the counters at one point in time.
@@ -64,6 +66,11 @@ pub struct CostSnapshot {
     pub pcie_h2d_bytes: u64,
     /// Device-to-host PCIe bytes.
     pub pcie_d2h_bytes: u64,
+    /// Widened 64-bit A words the fused GEMM's K loops would visit without
+    /// zero-word skipping (the denominator of the measured skip ratio).
+    pub fused_words_total: u64,
+    /// Fused-GEMM K-loop words removed by the zero-word span index.
+    pub fused_words_skipped: u64,
 }
 
 impl CostTracker {
@@ -143,6 +150,15 @@ impl CostTracker {
         self.pcie_d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record one fused GEMM's zero-word accounting: the K-loop word total it
+    /// would pay without skipping and how many of those words were skipped.
+    pub fn record_fused_words(&self, total: u64, skipped: u64) {
+        debug_assert!(skipped <= total, "cannot skip more words than exist");
+        self.fused_words_total.fetch_add(total, Ordering::Relaxed);
+        self.fused_words_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
+    }
+
     /// Add every counter of `other` into `self`.
     pub fn merge_snapshot(&self, other: &CostSnapshot) {
         self.tc_b1_tiles
@@ -175,6 +191,10 @@ impl CostTracker {
             .fetch_add(other.pcie_h2d_bytes, Ordering::Relaxed);
         self.pcie_d2h_bytes
             .fetch_add(other.pcie_d2h_bytes, Ordering::Relaxed);
+        self.fused_words_total
+            .fetch_add(other.fused_words_total, Ordering::Relaxed);
+        self.fused_words_skipped
+            .fetch_add(other.fused_words_skipped, Ordering::Relaxed);
     }
 
     /// Copy the current counter values.
@@ -195,6 +215,8 @@ impl CostTracker {
             thread_blocks: self.thread_blocks.load(Ordering::Relaxed),
             pcie_h2d_bytes: self.pcie_h2d_bytes.load(Ordering::Relaxed),
             pcie_d2h_bytes: self.pcie_d2h_bytes.load(Ordering::Relaxed),
+            fused_words_total: self.fused_words_total.load(Ordering::Relaxed),
+            fused_words_skipped: self.fused_words_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -215,6 +237,8 @@ impl CostTracker {
         self.thread_blocks.store(0, Ordering::Relaxed);
         self.pcie_h2d_bytes.store(0, Ordering::Relaxed);
         self.pcie_d2h_bytes.store(0, Ordering::Relaxed);
+        self.fused_words_total.store(0, Ordering::Relaxed);
+        self.fused_words_skipped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -245,6 +269,16 @@ impl CostSnapshot {
         }
     }
 
+    /// Fraction of fused-GEMM K-loop words the zero-word index skipped:
+    /// skipped / total, or 0.0 when no fused GEMM recorded word counts.
+    pub fn fused_word_skip_ratio(&self) -> f64 {
+        if self.fused_words_total == 0 {
+            0.0
+        } else {
+            self.fused_words_skipped as f64 / self.fused_words_total as f64
+        }
+    }
+
     /// Elementwise difference (`self - earlier`), for extracting per-phase costs.
     pub fn delta_since(&self, earlier: &CostSnapshot) -> CostSnapshot {
         CostSnapshot {
@@ -263,6 +297,8 @@ impl CostSnapshot {
             thread_blocks: self.thread_blocks - earlier.thread_blocks,
             pcie_h2d_bytes: self.pcie_h2d_bytes - earlier.pcie_h2d_bytes,
             pcie_d2h_bytes: self.pcie_d2h_bytes - earlier.pcie_d2h_bytes,
+            fused_words_total: self.fused_words_total - earlier.fused_words_total,
+            fused_words_skipped: self.fused_words_skipped - earlier.fused_words_skipped,
         }
     }
 }
@@ -309,6 +345,18 @@ mod tests {
         s.tc_b1_tiles = 30;
         s.tc_b1_tiles_skipped = 70;
         assert!((s.tile_processing_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_word_skip_ratio_tracks_recorded_words() {
+        let t = CostTracker::new();
+        assert_eq!(t.snapshot().fused_word_skip_ratio(), 0.0);
+        t.record_fused_words(100, 75);
+        t.record_fused_words(100, 25);
+        let s = t.snapshot();
+        assert_eq!(s.fused_words_total, 200);
+        assert_eq!(s.fused_words_skipped, 100);
+        assert!((s.fused_word_skip_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]

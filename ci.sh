@@ -17,6 +17,10 @@
 #   test                   cargo test --workspace (superset of tier-1)
 #   partition-determinism  the sharded-partitioner == serial-oracle proptests
 #                          under RAYON_NUM_THREADS in {1, 2, 8}
+#   backend                every kernel backend == portable-oracle conformance
+#                          proptests under RAYON_NUM_THREADS in {1, 2, 8},
+#                          plus the tiny-scale backend race (the race — and
+#                          only the race — is skipped in FAST)
 #   bench-compile          criterion benches must compile
 #   examples               examples + bins must build
 #   perfsmoke              tiny-scale perf gates: fused GEMM, streamed
@@ -31,7 +35,7 @@ cd "$(dirname "$0")"
 
 FAST="${QGTC_CI_FAST:-0}"
 ONLY="${QGTC_CI_STAGE:-}"
-KNOWN_STAGES="fmt clippy build-release test partition-determinism bench-compile examples perfsmoke benchcheck doc"
+KNOWN_STAGES="fmt clippy build-release test partition-determinism backend bench-compile examples perfsmoke benchcheck doc"
 
 # Surface the stage menu up front instead of failing silently later: an unknown
 # QGTC_CI_STAGE aborts immediately with the list, and an unset one announces
@@ -89,6 +93,28 @@ partition_determinism() {
     done
 }
 
+backend_stage() {
+    # Differential conformance: every registered backend (portable, avx512
+    # where the host has VPOPCNTDQ, modeled-tc) must be bitwise identical to
+    # the portable oracle — fused GEMM, skip path, aggregation, epilogue —
+    # across the thread-pool widths the models run under.  Conformance always
+    # runs; only the timing race is elided in FAST.
+    local threads
+    for threads in 1 2 8; do
+        echo "--- RAYON_NUM_THREADS=$threads"
+        env RAYON_NUM_THREADS="$threads" cargo test --test backend_conformance -q
+    done
+    if [[ "$FAST" == "1" ]]; then
+        echo "--- backend race skipped (QGTC_CI_FAST=1)"
+    else
+        echo "--- backend race (tiny scale)"
+        env QGTC_SCALE=tiny \
+            QGTC_PERFSMOKE_PROBE=backend \
+            QGTC_BACKEND_OUT=target/BENCH_backend.tiny.json \
+            cargo run --release -p qgtc-bench --bin perfsmoke
+    fi
+}
+
 perfsmoke_tiny() {
     # Perf gates (see crates/bench/src/bin/perfsmoke.rs):
     #  * fused GEMM must not be slower than the plane-by-plane composition on
@@ -105,6 +131,7 @@ perfsmoke_tiny() {
         QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
         QGTC_PIPELINE_OUT=target/BENCH_pipeline.tiny.json \
         QGTC_PARTITION_OUT=target/BENCH_partition.tiny.json \
+        QGTC_BACKEND_OUT=target/BENCH_backend.tiny.json \
         cargo run --release -p qgtc-bench --bin perfsmoke
 }
 
@@ -129,6 +156,7 @@ else
 fi
 stage test cargo test --workspace -q # superset of the tier-1 `cargo test -q`
 stage partition-determinism partition_determinism
+stage backend backend_stage
 stage bench-compile cargo bench --no-run --workspace
 stage examples cargo build --workspace --examples --bins
 if [[ "$FAST" == "1" ]]; then

@@ -208,7 +208,7 @@ pub struct BenchSpec {
     pub gates: &'static [(&'static str, &'static str)],
 }
 
-/// The three committed perf reports and their contracts.
+/// The four committed perf reports and their contracts.
 pub fn committed_bench_specs() -> Vec<BenchSpec> {
     vec![
         BenchSpec {
@@ -293,6 +293,30 @@ pub fn committed_bench_specs() -> Vec<BenchSpec> {
                 ("wall_speedup", "wall_not_slower_bar"),
                 ("modeled_shard_speedup_largest", "modeled_shard_bar"),
             ],
+        },
+        BenchSpec {
+            file: "BENCH_backend.json",
+            bench: "backend_race",
+            required_keys: &[
+                "scale",
+                "reps",
+                "host_backends",
+                "headline_winner",
+                "winner_speedup_vs_portable",
+                "winner_not_slower_bar",
+            ],
+            rows_key: "shapes",
+            row_keys: &[
+                "name",
+                "m",
+                "k",
+                "n",
+                "winner",
+                "portable_ns_per_op",
+                "winner_ns_per_op",
+                "speedup_vs_portable",
+            ],
+            gates: &[("winner_speedup_vs_portable", "winner_not_slower_bar")],
         },
     ]
 }
@@ -410,6 +434,73 @@ mod tests {
             speedup = sparse_speedup,
             ratio = sparse_ratio
         )
+    }
+
+    fn minimal_backend_report(speedup: f64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\": \"backend_race\", \"scale\": \"fast\", \"reps\": 3, ",
+                "\"host_backends\": [\"portable\", \"modeled-tc\"], ",
+                "\"headline_winner\": \"portable\", ",
+                "\"winner_speedup_vs_portable\": {speedup}, ",
+                "\"winner_not_slower_bar\": 1.0, ",
+                "\"shapes\": [{{\"name\": \"headline\", \"m\": 1024, \"k\": 1024, \"n\": 1024, ",
+                "\"winner\": \"portable\", \"portable_ns_per_op\": 2.0, ",
+                "\"winner_ns_per_op\": 2.0, \"speedup_vs_portable\": {speedup}}}]}}"
+            ),
+            speedup = speedup
+        )
+    }
+
+    fn backend_spec() -> BenchSpec {
+        committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_backend.json")
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_a_healthy_backend_race_report() {
+        let summary = validate_bench_report(&backend_spec(), &minimal_backend_report(1.0)).unwrap();
+        assert!(
+            summary.contains("winner_speedup_vs_portable 1.000 >= 1.000"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_malformed_backend_report_as_invalid_json() {
+        let truncated = &minimal_backend_report(1.0)[..40];
+        let err = validate_bench_report(&backend_spec(), truncated).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_backend_report_missing_its_speedup_key_by_name() {
+        let missing = minimal_backend_report(1.0)
+            .replace("\"winner_speedup_vs_portable\": 1, ", "")
+            .replace("\"winner_speedup_vs_portable\": 1.0, ", "");
+        let err = validate_bench_report(&backend_spec(), &missing).unwrap_err();
+        assert!(err.contains("winner_speedup_vs_portable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_non_numeric_speedup_by_name() {
+        let stringly = minimal_backend_report(1.0).replace(
+            "\"winner_speedup_vs_portable\": 1,",
+            "\"winner_speedup_vs_portable\": \"fast\",",
+        );
+        let err = validate_bench_report(&backend_spec(), &stringly).unwrap_err();
+        assert!(
+            err.contains("\"winner_speedup_vs_portable\" must be a number"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_backend_race_won_below_the_bar() {
+        let err = validate_bench_report(&backend_spec(), &minimal_backend_report(0.8)).unwrap_err();
+        assert!(err.contains("below its committed bar"), "{err}");
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! per-shard work units, not timing) as `BENCH_partition.json`.  Full-scale
 //! runs additionally gate the modeled speedup on the largest profile at 1.5×.
 //!
+//! And it runs the **backend race**: every available `GemmBackend` is timed
+//! head-to-head on the headline GEMM shape and one aggregation shape per
+//! Table-1 profile, after asserting all of them return the portable oracle's
+//! bits.  The race records which backend won each shape into
+//! `BENCH_backend.json` and gates that the overall winner is not slower than
+//! the portable oracle (trivially ≥1.0× — portable races too — so the gate
+//! catches a corrupted report, not a slow host).
+//!
 //! Usage: `cargo run --release -p qgtc-bench --bin perfsmoke`
 //!
 //! * `QGTC_SCALE=tiny|fast|paper` — problem sizes (default `fast`).  `tiny` is
@@ -29,6 +37,8 @@
 //!   of 1.0× (fused must simply not be slower; streamed must simply not be
 //!   slower).  Every other scale runs the full 1024³ headline shape with the
 //!   2.0× bar of the fused-kernel PR and a 1.3× bar on the streamed pipeline.
+//! * `QGTC_PERFSMOKE_PROBE=backend` — run **only** the backend race (the ci.sh
+//!   `backend` stage uses this so conformance + race stay cheap and separable).
 //! * `QGTC_PERFSMOKE_OUT` — output path for the GEMM JSON report (default
 //!   `BENCH_gemm.json`; the committed copy at the repo root is a full-scale
 //!   run).
@@ -37,6 +47,9 @@
 //!   run).
 //! * `QGTC_PARTITION_OUT` — output path for the partition JSON report (default
 //!   `BENCH_partition.json`; the committed copy at the repo root is a
+//!   full-scale run).
+//! * `QGTC_BACKEND_OUT` — output path for the backend-race JSON report
+//!   (default `BENCH_backend.json`; the committed copy at the repo root is a
 //!   full-scale run).
 
 use qgtc_bench::report::fmt3;
@@ -47,6 +60,7 @@ use qgtc_bitmat::gemm::{aggregate_adj_features, any_bit_gemm};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_core::{run_epoch, run_epoch_streamed, ModelKind, QgtcConfig};
 use qgtc_graph::DatasetProfile;
+use qgtc_kernels::backend::available_backends;
 use qgtc_kernels::tile_reuse::random_feature_codes;
 use qgtc_partition::{partition_kway, partition_kway_with_stats, Parallelism, PartitionConfig};
 use qgtc_tensor::rng::random_uniform_matrix;
@@ -456,12 +470,241 @@ fn probe_partition(
     }
 }
 
+/// One shape of the backend race: every available backend timed on identical
+/// operands, after a bitwise-equality assertion against the portable oracle.
+struct BackendRaceRow {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_bits: u32,
+    b_bits: u32,
+    /// `(backend name, min ns per op)` in registry order.
+    lanes: Vec<(String, u128)>,
+}
+
+impl BackendRaceRow {
+    fn portable_ns(&self) -> u128 {
+        self.lanes
+            .iter()
+            .find(|(name, _)| name == "portable")
+            .map(|&(_, ns)| ns)
+            .expect("portable always races")
+    }
+
+    fn winner(&self) -> (&str, u128) {
+        let (name, ns) = self
+            .lanes
+            .iter()
+            .min_by_key(|&&(_, ns)| ns)
+            .expect("at least the portable lane");
+        (name, *ns)
+    }
+
+    fn speedup_vs_portable(&self) -> f64 {
+        let (_, winner_ns) = self.winner();
+        if winner_ns == 0 {
+            return 1.0;
+        }
+        self.portable_ns() as f64 / winner_ns as f64
+    }
+
+    fn to_json(&self) -> String {
+        let (winner, winner_ns) = self.winner();
+        let lanes: Vec<String> = self
+            .lanes
+            .iter()
+            .map(|(name, ns)| format!("\"{name}\": {ns}"))
+            .collect();
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, ",
+                "\"a_bits\": {}, \"b_bits\": {}, \"winner\": \"{}\", ",
+                "\"portable_ns_per_op\": {}, \"winner_ns_per_op\": {}, ",
+                "\"speedup_vs_portable\": {}, \"backend_ns_per_op\": {{{}}}}}"
+            ),
+            self.name,
+            self.m,
+            self.k,
+            self.n,
+            self.a_bits,
+            self.b_bits,
+            winner,
+            self.portable_ns(),
+            winner_ns,
+            fmt3(self.speedup_vs_portable()),
+            lanes.join(", "),
+        )
+    }
+}
+
+/// Race every available backend on one operand pair.  Asserts all backends
+/// agree bitwise (result *and* word statistics) before any lane is timed.
+fn race_backends(
+    name: &str,
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+    skip_zero_words: bool,
+) -> BackendRaceRow {
+    let backends = available_backends();
+    let (oracle, oracle_stats) = backends
+        .iter()
+        .find(|backend| backend.name() == "portable")
+        .expect("portable always available")
+        .any_bit_gemm_with_stats(a, b, skip_zero_words);
+    let mut lanes = Vec::new();
+    for backend in &backends {
+        let (out, stats) = backend.any_bit_gemm_with_stats(a, b, skip_zero_words);
+        assert_eq!(
+            out,
+            oracle,
+            "{} disagrees with the portable oracle on {name}",
+            backend.name()
+        );
+        assert_eq!(
+            stats,
+            oracle_stats,
+            "{} word stats disagree with the portable oracle on {name}",
+            backend.name()
+        );
+        let ns = time_min(|| {
+            let _ = backend.any_bit_gemm_with_stats(a, b, skip_zero_words);
+        });
+        lanes.push((backend.name().to_string(), ns));
+    }
+    BackendRaceRow {
+        name: name.to_string(),
+        m: a.rows(),
+        k: a.cols(),
+        n: b.cols(),
+        a_bits: a.bits(),
+        b_bits: b.bits(),
+        lanes,
+    }
+}
+
+/// The backend race: head-to-head timing of every available backend on the
+/// headline GEMM shape plus one Table-1 aggregation shape per profile.
+/// Returns `true` when the race failed its gate.
+fn run_backend_race(scale: &str, headline_size: usize, batch: usize) -> bool {
+    let backend_out =
+        std::env::var("QGTC_BACKEND_OUT").unwrap_or_else(|_| "BENCH_backend.json".to_string());
+    let backends = available_backends();
+    let names: Vec<String> = backends
+        .iter()
+        .map(|b| format!("\"{}\"", b.name()))
+        .collect();
+    eprintln!(
+        "perfsmoke: backend race (scale {scale}, headline {headline_size}^3, backends [{}])",
+        names.join(", ")
+    );
+
+    let mut rows = Vec::new();
+    let mut seed = 80u64;
+    for profile in DatasetProfile::all() {
+        let density = (profile.avg_degree() / batch as f64).clamp(0.005, 0.5) as f32;
+        let adjacency = random_uniform_matrix(batch, batch, 0.0, 1.0, seed)
+            .map(|&v| (v < density) as u32 as f32);
+        let features = random_feature_codes(batch, profile.feature_dim, AGG_BITS, seed + 1);
+        let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&features, AGG_BITS, BitMatrixLayout::ColPacked);
+        seed += 2;
+        // Aggregations race with zero-word skipping on — the form the models run.
+        let row = race_backends(profile.name, &adj, &x, true);
+        let (winner, winner_ns) = row.winner();
+        eprintln!(
+            "  {:<28} winner {:<10} {:>12} ns  ({}x vs portable)",
+            row.name,
+            winner,
+            winner_ns,
+            fmt3(row.speedup_vs_portable()),
+        );
+        rows.push(row);
+    }
+    let a_codes = random_feature_codes(headline_size, headline_size, HEADLINE_A_BITS, 91);
+    let b_codes = random_feature_codes(headline_size, headline_size, HEADLINE_B_BITS, 92);
+    let a = StackedBitMatrix::from_codes(&a_codes, HEADLINE_A_BITS, BitMatrixLayout::RowPacked);
+    let b = StackedBitMatrix::from_codes(&b_codes, HEADLINE_B_BITS, BitMatrixLayout::ColPacked);
+    let headline_row = race_backends(
+        &format!("headline-{HEADLINE_A_BITS}x{HEADLINE_B_BITS}-{headline_size}"),
+        &a,
+        &b,
+        false,
+    );
+    let (headline_winner, headline_winner_ns) = headline_row.winner();
+    let headline_winner = headline_winner.to_string();
+    let winner_speedup = headline_row.speedup_vs_portable();
+    eprintln!(
+        "  {:<28} winner {:<10} {:>12} ns  ({}x vs portable)",
+        headline_row.name,
+        headline_winner,
+        headline_winner_ns,
+        fmt3(winner_speedup),
+    );
+    rows.push(headline_row);
+
+    // Portable races too, so the winner is ≥1.0× by construction; the gate
+    // exists so a hand-mangled or stale committed report cannot pass benchcheck.
+    let winner_bar = 1.0f64;
+    let row_lines: Vec<String> = rows.iter().map(BackendRaceRow::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"backend_race\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"reps\": {},\n",
+            "  \"generated_by\": \"cargo run --release -p qgtc-bench --bin perfsmoke\",\n",
+            "  \"host_backends\": [{}],\n",
+            "  \"headline_winner\": \"{}\",\n",
+            "  \"winner_speedup_vs_portable\": {},\n",
+            "  \"winner_not_slower_bar\": {},\n",
+            "  \"note\": \"every lane is asserted bitwise-equal to the portable oracle before timing; on hosts without AVX-512 VPOPCNTDQ the portable body is expected to win and the modeled-tc lane pays its census overhead\",\n",
+            "  \"shapes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        REPS,
+        names.join(", "),
+        headline_winner,
+        fmt3(winner_speedup),
+        winner_bar,
+        row_lines.join(",\n"),
+    );
+    std::fs::write(&backend_out, &json).unwrap_or_else(|err| {
+        eprintln!("perfsmoke: cannot write {backend_out}: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("perfsmoke: wrote {backend_out}");
+
+    if winner_speedup < winner_bar {
+        eprintln!(
+            "perfsmoke FAIL: backend-race winner {headline_winner} is only {}x the portable \
+             oracle on the headline shape (need >= {winner_bar}x)",
+            fmt3(winner_speedup)
+        );
+        true
+    } else {
+        eprintln!(
+            "perfsmoke OK: backend-race winner on the headline shape is {headline_winner} \
+             ({}x vs portable)",
+            fmt3(winner_speedup)
+        );
+        false
+    }
+}
+
 fn main() {
     let scale = std::env::var("QGTC_SCALE").unwrap_or_else(|_| "fast".to_string());
     let (headline_size, batch, min_speedup) = match scale.as_str() {
         "tiny" => (256usize, 128usize, 1.0f64),
         _ => (1024, 512, 2.0),
     };
+    if std::env::var("QGTC_PERFSMOKE_PROBE").as_deref() == Ok("backend") {
+        if run_backend_race(&scale, headline_size, batch) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let out_path =
         std::env::var("QGTC_PERFSMOKE_OUT").unwrap_or_else(|_| "BENCH_gemm.json".to_string());
 
@@ -755,7 +998,7 @@ fn main() {
     });
     eprintln!("perfsmoke: wrote {partition_out}");
 
-    let mut failed = false;
+    let mut failed = run_backend_race(&scale, headline_size, batch);
     if headline_speedup < min_speedup {
         eprintln!(
             "perfsmoke FAIL: fused path is only {}x the plane-by-plane path on the headline \

@@ -61,6 +61,44 @@ pub const COL_BLOCK: usize = 4;
 /// A maximal run of non-zero widened A words: `(first_word, word_count)`.
 type Span = (usize, usize);
 
+/// Which popcount micro-kernel body the fused GEMM runs.
+///
+/// Both bodies are bitwise identical over any input (the AVX-512 body's tail
+/// loop *is* the portable body); they differ only in how many widened words
+/// they traverse per step.  The default entry points pick
+/// [`PopcountBody::detect`]; the kernel-backend layer selects a body
+/// explicitly so the portable and vector paths can be raced and
+/// conformance-tested against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PopcountBody {
+    /// Scalar `u64::count_ones` loop — available on every host.
+    #[default]
+    Portable,
+    /// AVX-512 `VPOPCNTQ`, 512 bits per step — x86-64 hosts with
+    /// `avx512f` + `avx512vpopcntdq` only.
+    Avx512,
+}
+
+impl PopcountBody {
+    /// The fastest body available on this host (the dispatch the default
+    /// fused entry points use).
+    pub fn detect() -> Self {
+        if avx512_popcount_available() {
+            PopcountBody::Avx512
+        } else {
+            PopcountBody::Portable
+        }
+    }
+
+    /// Whether this body can run on this host.
+    pub fn is_available(self) -> bool {
+        match self {
+            PopcountBody::Portable => true,
+            PopcountBody::Avx512 => avx512_popcount_available(),
+        }
+    }
+}
+
 /// Zero-word accounting of one fused GEMM execution.
 ///
 /// Words are the widened 64-bit units of the inner (K) loop; the totals count
@@ -95,7 +133,7 @@ impl FusedGemmStats {
 /// [`crate::gemm::any_bit_gemm_serial`], but performs the whole composition in
 /// one pass over the output with no intermediate plane products.
 pub fn any_bit_gemm_fused(a: &StackedBitMatrix, b: &StackedBitMatrix) -> Matrix<i64> {
-    fused_gemm_impl(a, b, false).0
+    fused_gemm_impl(a, b, false, PopcountBody::detect()).0
 }
 
 /// [`any_bit_gemm_fused`] with zero-word skipping: all-zero `u64` words of the
@@ -106,7 +144,7 @@ pub fn any_bit_gemm_fused_skip(
     a: &StackedBitMatrix,
     b: &StackedBitMatrix,
 ) -> (Matrix<i64>, FusedGemmStats) {
-    fused_gemm_impl(a, b, true)
+    fused_gemm_impl(a, b, true, PopcountBody::detect())
 }
 
 /// Run the fused GEMM with skipping on or off, always returning the word
@@ -119,7 +157,29 @@ pub fn any_bit_gemm_fused_with_stats(
     b: &StackedBitMatrix,
     skip_zero_words: bool,
 ) -> (Matrix<i64>, FusedGemmStats) {
-    fused_gemm_impl(a, b, skip_zero_words)
+    fused_gemm_impl(a, b, skip_zero_words, PopcountBody::detect())
+}
+
+/// [`any_bit_gemm_fused_with_stats`] with an explicitly selected popcount
+/// body instead of the runtime-detected one.  The backend layer uses this to
+/// pin a kernel to one body (e.g. racing portable against AVX-512 on the same
+/// host, or forcing the scalar oracle in a differential test).
+///
+/// # Panics
+///
+/// Panics if `body` is not available on this host (see
+/// [`PopcountBody::is_available`]).
+pub fn any_bit_gemm_fused_with_body(
+    a: &StackedBitMatrix,
+    b: &StackedBitMatrix,
+    skip_zero_words: bool,
+    body: PopcountBody,
+) -> (Matrix<i64>, FusedGemmStats) {
+    assert!(
+        body.is_available(),
+        "popcount body {body:?} is not available on this host"
+    );
+    fused_gemm_impl(a, b, skip_zero_words, body)
 }
 
 /// Fused neighbour aggregation `X_new = A · X`: a 1-bit adjacency stack times an
@@ -151,6 +211,7 @@ fn fused_gemm_impl(
     a: &StackedBitMatrix,
     b: &StackedBitMatrix,
     skip_zero_words: bool,
+    body: PopcountBody,
 ) -> (Matrix<i64>, FusedGemmStats) {
     validate_fused_operands(a, b);
     let m = a.rows();
@@ -192,7 +253,7 @@ fn fused_gemm_impl(
                             &plane.lane(row_base + local)[..words],
                         );
                     }
-                    fused_row_full(&a_wide, s, &b_wide, t, pairs, out_row);
+                    fused_row_full(&a_wide, s, &b_wide, t, pairs, out_row, body);
                 }
             });
         let stats = FusedGemmStats {
@@ -219,7 +280,7 @@ fn fused_gemm_impl(
                     widen_lane(lane, &plane.lane(row_base + local)[..words]);
                     visited += nonzero_spans(lane, &mut spans[plane_idx]) as u64;
                 }
-                fused_row_spans(&a_wide, s, &b_wide, t, pairs, &spans, out_row);
+                fused_row_spans(&a_wide, s, &b_wide, t, pairs, &spans, out_row, body);
             }
             visited_words.fetch_add(visited, Ordering::Relaxed);
         });
@@ -294,6 +355,7 @@ fn fused_row_full(
     t: usize,
     pairs: usize,
     out_row: &mut [i64],
+    body: PopcountBody,
 ) {
     let n = out_row.len();
     let mut col = 0;
@@ -307,7 +369,7 @@ fn fused_row_full(
             let (b2, b3) = rest.split_at(pairs);
             for plane_a in 0..s {
                 let a_lane = &a_wide[plane_a * pairs..(plane_a + 1) * pairs];
-                let counts = popcount4(a_lane, b0, b1, b2, b3);
+                let counts = popcount4(body, a_lane, b0, b1, b2, b3);
                 let shift = (plane_a + plane_b) as u32;
                 for (total, &count) in totals.iter_mut().zip(counts.iter()) {
                     *total += (count as i64) << shift;
@@ -340,6 +402,7 @@ fn fused_row_full(
 /// [`fused_row_full`] with a zero-word skip index: `spans` holds, per A plane,
 /// the non-zero word runs the K loop must visit; everything outside a span is
 /// all-zero A words and contributes nothing to any AND+popcount.
+#[allow(clippy::too_many_arguments)]
 fn fused_row_spans(
     a_wide: &[u64],
     s: usize,
@@ -348,6 +411,7 @@ fn fused_row_spans(
     pairs: usize,
     spans: &[Vec<Span>],
     out_row: &mut [i64],
+    body: PopcountBody,
 ) {
     let n = out_row.len();
     let mut col = 0;
@@ -365,6 +429,7 @@ fn fused_row_spans(
                 for &(start, len) in &spans[plane_a] {
                     let end = start + len;
                     let span_counts = popcount4(
+                        body,
                         &a_lane[start..end],
                         &b0[start..end],
                         &b1[start..end],
@@ -408,15 +473,26 @@ fn fused_row_spans(
 }
 
 /// AND + popcount of one widened A lane against four widened B lanes: four
-/// independent accumulator chains, one A load per step.  Dispatches to the
-/// AVX-512 `VPOPCNTQ` body when the host supports it.
+/// independent accumulator chains, one A load per step.  Runs the selected
+/// [`PopcountBody`]; callers must only pass an available body (the public
+/// entry points guarantee this via `detect()` / `is_available()`).
 #[inline]
-fn popcount4(a: &[u64], b0: &[u64], b1: &[u64], b2: &[u64], b3: &[u64]) -> [u64; COL_BLOCK] {
+fn popcount4(
+    body: PopcountBody,
+    a: &[u64],
+    b0: &[u64],
+    b1: &[u64],
+    b2: &[u64],
+    b3: &[u64],
+) -> [u64; COL_BLOCK] {
     #[cfg(target_arch = "x86_64")]
-    if avx512_popcount_available() {
-        // SAFETY: the required target features were verified at runtime.
+    if body == PopcountBody::Avx512 {
+        // SAFETY: the required target features were verified at runtime by
+        // the availability checks on every body-selecting entry point.
         return unsafe { popcount4_avx512(a, b0, b1, b2, b3) };
     }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = body;
     popcount4_portable(a, b0, b1, b2, b3)
 }
 
@@ -441,13 +517,19 @@ fn popcount4_portable(a: &[u64], b0: &[u64], b1: &[u64], b2: &[u64], b3: &[u64])
 
 /// One-time runtime probe for the AVX-512 vector-popcount micro-kernel.
 #[cfg(target_arch = "x86_64")]
-fn avx512_popcount_available() -> bool {
+pub fn avx512_popcount_available() -> bool {
     use std::sync::OnceLock;
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
     *AVAILABLE.get_or_init(|| {
         std::arch::is_x86_feature_detected!("avx512f")
             && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
     })
+}
+
+/// One-time runtime probe for the AVX-512 vector-popcount micro-kernel.
+#[cfg(not(target_arch = "x86_64"))]
+pub fn avx512_popcount_available() -> bool {
+    false
 }
 
 /// AVX-512 micro-kernel body: 512 bits (eight widened words) of all four
@@ -560,8 +642,26 @@ mod tests {
             .map(|s| a.iter().map(|&v| v.rotate_left(s as u32) ^ s).collect())
             .collect();
         assert_eq!(
-            popcount4(&a, &bs[0], &bs[1], &bs[2], &bs[3]),
+            popcount4(PopcountBody::detect(), &a, &bs[0], &bs[1], &bs[2], &bs[3]),
             popcount4_portable(&a, &bs[0], &bs[1], &bs[2], &bs[3])
+        );
+    }
+
+    #[test]
+    fn explicit_portable_body_matches_detected_dispatch() {
+        let a_codes = random_codes(11, 260, 3, 70);
+        let b_codes = random_codes(260, 7, 2, 71);
+        let a = StackedBitMatrix::from_codes(&a_codes, 3, BitMatrixLayout::RowPacked);
+        let b = StackedBitMatrix::from_codes(&b_codes, 2, BitMatrixLayout::ColPacked);
+        for skip in [false, true] {
+            let detected = any_bit_gemm_fused_with_stats(&a, &b, skip);
+            let portable = any_bit_gemm_fused_with_body(&a, &b, skip, PopcountBody::Portable);
+            assert_eq!(detected, portable, "skip={skip}");
+        }
+        assert!(PopcountBody::Portable.is_available());
+        assert_eq!(
+            PopcountBody::Avx512.is_available(),
+            avx512_popcount_available()
         );
     }
 

@@ -16,6 +16,18 @@ use crate::bitmatrix::{BitMatrix, BitMatrixLayout};
 use crate::decompose::{bit_decompose, bit_recompose};
 use crate::pack::{pad128, pad8};
 use qgtc_tensor::{Matrix, QuantParams};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of stack unpacks ([`StackedBitMatrix::to_codes`] calls).
+static UNPACK_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of stack unpacks (`to_codes` calls, including those inside `repack`)
+/// this process has performed so far.  Unpacking is the expensive escape hatch
+/// out of the packed quantized domain, so the GNN regression suite asserts on
+/// deltas of this counter to pin how many unpacks a forward pass is allowed.
+pub fn unpack_ops() -> u64 {
+    UNPACK_OPS.load(Ordering::Relaxed)
+}
 
 /// A quantized matrix stored as stacked packed bit planes.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,8 +158,23 @@ impl StackedBitMatrix {
         repacked
     }
 
+    /// [`Self::repack`] that also returns the per-row code sums, paying one
+    /// unpack for both.  Callers that need rowsums for the fused epilogue's
+    /// affine correction right after a repack (e.g. batched GIN's entry
+    /// repack) would otherwise unpack the stack a second time to sum it.
+    pub fn repack_with_rowsums(&self, layout: BitMatrixLayout) -> (Self, Vec<i64>) {
+        let codes = self.to_codes();
+        let rowsums = (0..codes.rows())
+            .map(|i| (0..codes.cols()).map(|j| codes[(i, j)] as i64).sum())
+            .collect();
+        let mut repacked = Self::from_codes(&codes, self.bits, layout);
+        repacked.quant = self.quant;
+        (repacked, rowsums)
+    }
+
     /// Reassemble the unsigned code matrix (exact inverse of `from_codes`).
     pub fn to_codes(&self) -> Matrix<u32> {
+        UNPACK_OPS.fetch_add(1, Ordering::Relaxed);
         let dense_planes: Vec<Matrix<u8>> = self.planes.iter().map(BitMatrix::to_dense).collect();
         bit_recompose(&dense_planes)
     }
@@ -238,6 +265,50 @@ mod tests {
         assert_eq!(row.quant_params(), Some(q.params()));
         // Re-packing to the same layout is the identity.
         assert_eq!(col.repack(BitMatrixLayout::ColPacked), col);
+    }
+
+    #[test]
+    fn repack_with_rowsums_matches_repack_and_code_sums() {
+        let codes = code_matrix(13, 29, 3, 11);
+        let col = StackedBitMatrix::from_codes(&codes, 3, BitMatrixLayout::ColPacked);
+        let (row, rowsums) = col.repack_with_rowsums(BitMatrixLayout::RowPacked);
+        assert_eq!(row, col.repack(BitMatrixLayout::RowPacked));
+        let expected: Vec<i64> = (0..13)
+            .map(|i| (0..29).map(|j| codes[(i, j)] as i64).sum())
+            .collect();
+        assert_eq!(rowsums, expected);
+    }
+
+    #[test]
+    fn repack_of_one_row_stack_is_the_identity_on_codes() {
+        // Pin the degenerate single-row case the epilogue boundary suite leans
+        // on: a 1-row stack repacks to either layout without panicking and
+        // round-trips its codes exactly (no padding bits leak into row 0).
+        let codes = code_matrix(1, 37, 4, 21);
+        for from in [BitMatrixLayout::RowPacked, BitMatrixLayout::ColPacked] {
+            let stack = StackedBitMatrix::from_codes(&codes, 4, from);
+            for to in [BitMatrixLayout::RowPacked, BitMatrixLayout::ColPacked] {
+                let repacked = stack.repack(to);
+                assert_eq!(repacked.layout(), to);
+                assert_eq!(repacked.to_codes(), codes, "{from:?} -> {to:?}");
+            }
+            let (repacked, rowsums) = stack.repack_with_rowsums(BitMatrixLayout::RowPacked);
+            assert_eq!(repacked.to_codes(), codes);
+            assert_eq!(rowsums.len(), 1);
+            assert_eq!(
+                rowsums[0],
+                (0..37).map(|j| codes[(0, j)] as i64).sum::<i64>()
+            );
+        }
+    }
+
+    #[test]
+    fn unpack_counter_advances_with_to_codes() {
+        let codes = code_matrix(4, 4, 2, 31);
+        let stack = StackedBitMatrix::from_codes(&codes, 2, BitMatrixLayout::RowPacked);
+        let before = super::unpack_ops();
+        let _ = stack.to_codes();
+        assert!(super::unpack_ops() > before);
     }
 
     #[test]

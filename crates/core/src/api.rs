@@ -12,6 +12,7 @@
 //! both record their work when handed a [`CostTracker`].
 
 use crate::bit_tensor::BitTensor;
+use qgtc_kernels::backend::select_backend;
 use qgtc_kernels::bmm::{qgtc_bitmm2int, KernelConfig};
 use qgtc_kernels::fusion::FusedEpilogue;
 use qgtc_tcsim::cost::CostTracker;
@@ -45,8 +46,9 @@ pub fn bit_mm_to_bit(
     tracker: &CostTracker,
 ) -> (BitTensor, QuantParams) {
     let accumulator = qgtc_bitmm2int(a.stack(), b.stack(), config, tracker);
-    let (stack, params) = FusedEpilogue::requantize_right_operand(1.0, out_bits)
-        .apply(&accumulator, tracker)
+    let epilogue = FusedEpilogue::requantize_right_operand(1.0, out_bits);
+    let (stack, params) = select_backend(config.backend)
+        .apply_epilogue(&epilogue, &accumulator, tracker)
         .into_quantized()
         .expect("requantizing epilogue");
     (BitTensor::from_stack(stack), params)

@@ -5,6 +5,7 @@
 //! and batching granularity (the two knobs §4.1 discusses), the kernel optimisation
 //! toggles, the host-to-device transfer strategy and the GPU to model.
 
+use qgtc_kernels::backend::BackendChoice;
 use qgtc_kernels::bmm::KernelConfig;
 use qgtc_kernels::packing::TransferStrategy;
 use qgtc_partition::Parallelism;
@@ -138,11 +139,33 @@ impl QgtcConfig {
         self.partition_parallelism = parallelism;
         self
     }
+
+    /// The kernel backend every GEMM of this configuration runs on.
+    pub fn backend(&self) -> BackendChoice {
+        self.kernel.backend
+    }
+
+    /// Select the kernel backend (`Auto` resolves per
+    /// [`qgtc_kernels::backend::resolve_auto`]; every backend is bitwise
+    /// identical, so this only affects speed and modeled cost accounting).
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.kernel.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backend_selection_round_trips_through_the_kernel_config() {
+        let c = QgtcConfig::default();
+        assert_eq!(c.backend(), BackendChoice::Auto);
+        let c = c.with_backend(BackendChoice::Portable);
+        assert_eq!(c.backend(), BackendChoice::Portable);
+        assert_eq!(c.kernel.backend, BackendChoice::Portable);
+    }
 
     #[test]
     fn defaults_match_paper_settings() {

@@ -31,6 +31,7 @@ pub use bit_tensor::BitTensor;
 pub use config::{ExecutionPath, ModelKind, QgtcConfig};
 pub use pipeline::stream::{run_epoch_streamed, run_epoch_streamed_with_plan};
 pub use pipeline::{run_epoch, run_epoch_with_plan, EpochReport};
+pub use qgtc_kernels::backend::BackendChoice;
 pub use qgtc_partition::Parallelism;
 
 // Substrate re-exports.

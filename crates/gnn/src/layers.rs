@@ -11,6 +11,7 @@
 //! ReLU-between-hidden-layers convention — so Cluster-GCN and batched-GIN differ only
 //! in the aggregation order their closures express.
 
+#[cfg(test)]
 use qgtc_bitmat::StackedBitMatrix;
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::gemm::gemm_f32;
@@ -95,8 +96,12 @@ impl GnnModelParams {
     }
 }
 
-/// Row sums of a code stack's logical values (needed for the affine weight
-/// correction of the node-update dequantization).
+/// Row sums of a code stack's logical values — the test-side reference for
+/// the affine correction inputs.  The forward passes no longer call this:
+/// they receive rowsums from [`qgtc_kernels::fusion::EpilogueOutput`] (or the
+/// entry `repack_with_rowsums`) without unpacking the stack, and the
+/// regression suite asserts both paths agree.
+#[cfg(test)]
 pub(crate) fn code_row_sums(stack: &StackedBitMatrix) -> Vec<i64> {
     let codes = stack.to_codes();
     (0..codes.rows())

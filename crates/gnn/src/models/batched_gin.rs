@@ -9,15 +9,14 @@
 use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
+use qgtc_kernels::backend::select_backend;
 use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
 use qgtc_kernels::fusion::FusedEpilogue;
 use qgtc_kernels::packing::pack_feature_matrix;
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::{ops, Matrix};
 
-use crate::layers::{
-    affine_update_offsets, code_row_sums, forward_layers, DenseTcScaffold, GnnModelParams,
-};
+use crate::layers::{affine_update_offsets, forward_layers, DenseTcScaffold, GnnModelParams};
 use crate::models::{quantize_weights, row_degrees, BatchForwardOutput, QuantizationSetting};
 
 /// The batched GIN model.
@@ -152,8 +151,14 @@ impl BatchedGinModel {
     ) -> BatchForwardOutput {
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
+        // Epilogues run on the same backend as the GEMMs they are fused into.
+        let backend = select_backend(kernel_config.backend);
         // Quantized-domain re-layout for the update-first order (no quantize).
-        let mut x = packed_features.repack(BitMatrixLayout::RowPacked);
+        // The repack's single unpack also yields the code rowsums the first
+        // update's affine correction needs; later layers get theirs from the
+        // transition epilogue, so no layer unpacks a stack to sum it.
+        let (mut x, mut x_rowsums) =
+            packed_features.repack_with_rowsums(BitMatrixLayout::RowPacked);
 
         for (l, layer) in self.params.layers.iter().enumerate() {
             let last = l + 1 == num_layers;
@@ -168,15 +173,16 @@ impl BatchedGinModel {
             let (row_off, col_off) = affine_update_offsets(
                 x_params,
                 w_params,
-                &code_row_sums(&x),
+                &x_rowsums,
                 &w_colsums,
                 x.cols(),
                 &layer.bias,
             );
-            let updated = FusedEpilogue::dequantize_only(x_params.scale * w_params.scale)
+            let update_epilogue = FusedEpilogue::dequantize_only(x_params.scale * w_params.scale)
                 .with_row_offset(row_off)
-                .with_col_offset(col_off)
-                .apply(&update_acc, tracker)
+                .with_col_offset(col_off);
+            let updated = backend
+                .apply_epilogue(&update_epilogue, &update_acc, tracker)
                 .into_dense()
                 .expect("dense epilogue");
 
@@ -186,15 +192,20 @@ impl BatchedGinModel {
 
             // Intra-layer epilogue: re-quantize the (possibly negative) update
             // result as the aggregation's right operand.
-            let (u_stack, u_params) = FusedEpilogue::requantize_right_operand(1.0, bits)
-                .apply_dense(updated, tracker)
+            let (u_stack, u_params) = backend
+                .apply_epilogue_dense(
+                    &FusedEpilogue::requantize_right_operand(1.0, bits),
+                    updated,
+                    tracker,
+                )
                 .into_quantized()
                 .expect("requantizing epilogue");
             let agg_acc = qgtc_aggregate(adjacency_stack, &u_stack, kernel_config, tracker);
             // Affine dequantize: A·u ≈ scale · (A·uc) + min · deg.
-            let aggregated = FusedEpilogue::dequantize_only(u_params.scale)
-                .with_row_offset(degrees.iter().map(|&d| u_params.min * d).collect())
-                .apply(&agg_acc, tracker)
+            let aggregation_epilogue = FusedEpilogue::dequantize_only(u_params.scale)
+                .with_row_offset(degrees.iter().map(|&d| u_params.min * d).collect());
+            let aggregated = backend
+                .apply_epilogue(&aggregation_epilogue, &agg_acc, tracker)
                 .into_dense()
                 .expect("dense epilogue");
 
@@ -206,13 +217,16 @@ impl BatchedGinModel {
                 return BatchForwardOutput { logits: combined };
             }
             // Layer transition: ReLU + re-quantize as the next update's left
-            // operand — the transition's single quantize site.
-            x = FusedEpilogue::hidden_layer(1.0, bits)
-                .with_output_layout(BitMatrixLayout::RowPacked)
-                .apply_dense(combined, tracker)
-                .into_quantized()
-                .expect("requantizing epilogue")
-                .0;
+            // operand — the transition's single quantize site, which also
+            // hands over the rowsums for the next layer's affine correction.
+            let transition_epilogue = FusedEpilogue::hidden_layer(1.0, bits)
+                .with_output_layout(BitMatrixLayout::RowPacked);
+            let (stack, _, rowsums) = backend
+                .apply_epilogue_dense(&transition_epilogue, combined, tracker)
+                .into_quantized_with_rowsums()
+                .expect("requantizing epilogue");
+            x = stack;
+            x_rowsums = rowsums;
         }
         unreachable!("models have at least one layer, and the last layer returns")
     }

@@ -9,15 +9,14 @@
 use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
+use qgtc_kernels::backend::select_backend;
 use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
 use qgtc_kernels::fusion::{EpilogueOutput, FusedEpilogue};
 use qgtc_kernels::packing::pack_feature_matrix;
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::Matrix;
 
-use crate::layers::{
-    affine_update_offsets, code_row_sums, forward_layers, DenseTcScaffold, GnnModelParams,
-};
+use crate::layers::{affine_update_offsets, forward_layers, DenseTcScaffold, GnnModelParams};
 use crate::models::{
     quantize_weights, row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting,
 };
@@ -149,6 +148,8 @@ impl ClusterGcnModel {
         );
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
+        // Epilogues run on the same backend as the GEMMs they are fused into.
+        let backend = select_backend(kernel_config.backend);
         let mut x = packed_features.clone();
 
         for (l, layer) in self.params.layers.iter().enumerate() {
@@ -162,12 +163,15 @@ impl ClusterGcnModel {
 
             // Epilogue 1 (fused into the aggregation): affine dequantize
             // (A·x ≈ s·acc + min·deg), fold the mean normalisation, and
-            // re-quantize as the update's left operand.
-            let (h_stack, h_params) = FusedEpilogue::requantize_left_operand(x_params.scale, bits)
+            // re-quantize as the update's left operand.  The epilogue hands
+            // back the code rowsums the update's affine correction needs, so
+            // the freshly packed stack is never unpacked again.
+            let aggregation_epilogue = FusedEpilogue::requantize_left_operand(x_params.scale, bits)
                 .with_row_offset(degrees.iter().map(|&d| x_params.min * d).collect())
-                .with_row_scale(degrees.iter().map(|&d| 1.0 / d.max(1.0)).collect())
-                .apply(&agg_acc, tracker)
-                .into_quantized()
+                .with_row_scale(degrees.iter().map(|&d| 1.0 / d.max(1.0)).collect());
+            let (h_stack, h_params, h_rowsums) = backend
+                .apply_epilogue(&aggregation_epilogue, &agg_acc, tracker)
+                .into_quantized_with_rowsums()
                 .expect("requantizing epilogue");
 
             let (w_stack, w_params, w_colsums) =
@@ -182,7 +186,7 @@ impl ClusterGcnModel {
             let (row_off, col_off) = affine_update_offsets(
                 h_params,
                 w_params,
-                &code_row_sums(&h_stack),
+                &h_rowsums,
                 &w_colsums,
                 h_stack.cols(),
                 &layer.bias,
@@ -195,7 +199,7 @@ impl ClusterGcnModel {
             }
             .with_row_offset(row_off)
             .with_col_offset(col_off);
-            match epilogue.apply(&update_acc, tracker) {
+            match backend.apply_epilogue(&epilogue, &update_acc, tracker) {
                 EpilogueOutput::Dense(logits) => return BatchForwardOutput { logits },
                 EpilogueOutput::Quantized { stack, .. } => x = stack,
             }

@@ -1,0 +1,475 @@
+//! Swappable kernel backends behind one `GemmBackend` trait.
+//!
+//! QGTC's premise is that one logical any-bitwidth GEMM can be realised by
+//! very different hardware bodies — the paper's CUDA tensor-core `bmm`, a
+//! scalar popcount loop, AVX-512 `VPOPCNTDQ`, or a modeled tensor core.  This
+//! module makes that seam explicit: [`GemmBackend`] is the contract every
+//! body must satisfy (fused GEMM, zero-word skip, neighbour aggregation and
+//! epilogue application), and the differential conformance suite
+//! (`tests/backend_conformance.rs`) proptests every registered backend
+//! bitwise against [`PortableBackend`], the semantic oracle.  Adding a real
+//! GPU or wider-SIMD backend later is "implement the trait, pass the suite,
+//! register it in the perfsmoke race".
+//!
+//! Three backends ship today:
+//!
+//! * [`PortableBackend`] — the scalar `u64::count_ones` micro-kernel body;
+//!   always available, and the oracle every other backend is judged against;
+//! * [`Avx512Backend`] — the `VPOPCNTDQ` body, runtime-detected; bitwise
+//!   identical to portable by construction (its tail loop *is* the portable
+//!   body);
+//! * [`ModeledTcBackend`] — the same arithmetic, but each call also charges
+//!   the analytic tensor-core tile walk into a backend-owned
+//!   [`CostTracker`], so modeled GPU cost accounting is a first-class
+//!   backend rather than a side channel threaded through callers.
+//!
+//! Callers pick a backend with [`BackendChoice`] (stored on
+//! [`KernelConfig`] and surfaced as
+//! `QgtcConfig::backend`): `Auto` resolves to the fastest available compute
+//! body — AVX-512 when the host has it, portable otherwise — and can be
+//! overridden with the `QGTC_BACKEND` environment variable (`portable`,
+//! `avx512`, `modeled-tc`).  An unavailable override falls back to the auto
+//! order; the modeled backend is never auto-selected because its census walk
+//! adds pure overhead when nobody reads the tracker.
+
+use crate::bmm::{record_tile_walk, KernelConfig, ACC_TILE_BYTES};
+use crate::fusion::{EpilogueOutput, FusedEpilogue};
+use qgtc_bitmat::fused::{
+    any_bit_gemm_fused_with_body, avx512_popcount_available, FusedGemmStats, PopcountBody,
+};
+use qgtc_bitmat::StackedBitMatrix;
+use qgtc_tcsim::cost::{CostSnapshot, CostTracker};
+use qgtc_tcsim::wmma::tile_counts;
+use qgtc_tcsim::DeviceModel;
+use qgtc_tensor::Matrix;
+use std::sync::OnceLock;
+
+/// Which [`GemmBackend`] a kernel call should run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Resolve at call time: the `QGTC_BACKEND` environment override if set
+    /// and available, else AVX-512 if the host supports it, else portable.
+    #[default]
+    Auto,
+    /// The scalar popcount body — the conformance oracle, always available.
+    Portable,
+    /// The AVX-512 `VPOPCNTDQ` body (panics on use if the host lacks it).
+    Avx512,
+    /// The cost-accounting backend wrapping `tcsim::DeviceModel`.
+    ModeledTc,
+}
+
+impl BackendChoice {
+    /// Parse a backend name as accepted by the `QGTC_BACKEND` environment
+    /// variable.  Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Some(BackendChoice::Auto),
+            "portable" => Some(BackendChoice::Portable),
+            "avx512" => Some(BackendChoice::Avx512),
+            "modeled-tc" | "modeled_tc" | "modeledtc" => Some(BackendChoice::ModeledTc),
+            _ => None,
+        }
+    }
+
+    /// Canonical name, matching what [`BackendChoice::from_name`] parses.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Portable => "portable",
+            BackendChoice::Avx512 => "avx512",
+            BackendChoice::ModeledTc => "modeled-tc",
+        }
+    }
+}
+
+/// One realisation of the QGTC kernel surface.
+///
+/// The required method is [`GemmBackend::any_bit_gemm_with_stats`]; every
+/// other entry point has a default body delegating to it, so a backend only
+/// overrides what it does differently.  The contract, enforced by the
+/// differential conformance suite, is bitwise: for any valid operand pair
+/// every backend must return exactly the portable oracle's accumulators and
+/// word statistics, skip on or off.
+pub trait GemmBackend: Send + Sync {
+    /// Stable display name (used by the conformance suite and the race).
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend can run on this host.
+    fn is_available(&self) -> bool {
+        true
+    }
+
+    /// Fused any-bitwidth GEMM with optional zero-word skipping, returning
+    /// the product and the kernel's word accounting.
+    fn any_bit_gemm_with_stats(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+    ) -> (Matrix<i64>, FusedGemmStats);
+
+    /// Fused any-bitwidth GEMM `C = A · B` (no skipping).
+    fn any_bit_gemm(&self, a: &StackedBitMatrix, b: &StackedBitMatrix) -> Matrix<i64> {
+        self.any_bit_gemm_with_stats(a, b, false).0
+    }
+
+    /// Fused GEMM with zero-word skipping; bitwise identical to
+    /// [`GemmBackend::any_bit_gemm`].
+    fn any_bit_gemm_skip(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        self.any_bit_gemm_with_stats(a, b, true)
+    }
+
+    /// Neighbour aggregation `X_new = A · X` with a 1-bit adjacency.
+    fn aggregate_adj_features(
+        &self,
+        adjacency: &StackedBitMatrix,
+        features: &StackedBitMatrix,
+    ) -> Matrix<i64> {
+        assert_eq!(adjacency.bits(), 1, "adjacency stack must be 1-bit");
+        self.any_bit_gemm(adjacency, features)
+    }
+
+    /// [`GemmBackend::aggregate_adj_features`] with zero-word skipping.
+    fn aggregate_adj_features_skip(
+        &self,
+        adjacency: &StackedBitMatrix,
+        features: &StackedBitMatrix,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        assert_eq!(adjacency.bits(), 1, "adjacency stack must be 1-bit");
+        self.any_bit_gemm_skip(adjacency, features)
+    }
+
+    /// Apply a fused epilogue to an integer accumulator.  Backends that fuse
+    /// the epilogue differently (or charge it differently) override this;
+    /// the default is the host implementation in [`crate::fusion`].
+    fn apply_epilogue(
+        &self,
+        epilogue: &FusedEpilogue,
+        accumulator: &Matrix<i64>,
+        tracker: &CostTracker,
+    ) -> EpilogueOutput {
+        epilogue.apply(accumulator, tracker)
+    }
+
+    /// Apply the activation/BN/requantize stages of a fused epilogue to an
+    /// already-dense activation matrix (the layer-transition entry).
+    fn apply_epilogue_dense(
+        &self,
+        epilogue: &FusedEpilogue,
+        dense: Matrix<f32>,
+        tracker: &CostTracker,
+    ) -> EpilogueOutput {
+        epilogue.apply_dense(dense, tracker)
+    }
+}
+
+/// The scalar popcount body — the oracle every backend must match bitwise.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PortableBackend;
+
+impl GemmBackend for PortableBackend {
+    fn name(&self) -> &'static str {
+        "portable"
+    }
+
+    fn any_bit_gemm_with_stats(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        any_bit_gemm_fused_with_body(a, b, skip_zero_words, PopcountBody::Portable)
+    }
+}
+
+/// The AVX-512 `VPOPCNTDQ` body.  Only available on x86-64 hosts with
+/// `avx512f` + `avx512vpopcntdq`; explicitly selecting it elsewhere panics
+/// with a named error on first use.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Avx512Backend;
+
+impl GemmBackend for Avx512Backend {
+    fn name(&self) -> &'static str {
+        "avx512"
+    }
+
+    fn is_available(&self) -> bool {
+        avx512_popcount_available()
+    }
+
+    fn any_bit_gemm_with_stats(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        any_bit_gemm_fused_with_body(a, b, skip_zero_words, PopcountBody::Avx512)
+    }
+}
+
+/// The modeled tensor-core backend: same bitwise arithmetic as the host
+/// bodies (run on the fastest available one), but every call also charges
+/// the analytic tile walk of the paper's GPU kernel — launch, census-derived
+/// traffic, `b1` MMA counts, fused word statistics — into a backend-owned
+/// [`CostTracker`], and [`ModeledTcBackend::modeled_total_s`] converts the
+/// accumulated work into modeled GPU seconds through the wrapped
+/// [`DeviceModel`].
+#[derive(Debug)]
+pub struct ModeledTcBackend {
+    device: DeviceModel,
+    tracker: CostTracker,
+}
+
+impl ModeledTcBackend {
+    /// A modeled backend over the given device.
+    pub fn new(device: DeviceModel) -> Self {
+        Self {
+            device,
+            tracker: CostTracker::new(),
+        }
+    }
+
+    /// A modeled backend over the paper's RTX 3090 target.
+    pub fn rtx3090() -> Self {
+        Self::new(DeviceModel::rtx3090())
+    }
+
+    /// The wrapped device model.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Snapshot of all work charged to this backend so far.
+    pub fn snapshot(&self) -> CostSnapshot {
+        self.tracker.snapshot()
+    }
+
+    /// Reset the accumulated cost accounting.
+    pub fn reset(&self) {
+        self.tracker.reset();
+    }
+
+    /// Modeled GPU seconds for everything charged so far.
+    pub fn modeled_total_s(&self) -> f64 {
+        self.device.estimate(&self.snapshot()).total_ms() / 1e3
+    }
+
+    /// The tile-walk configuration a call with the given skip toggle charges.
+    fn walk_config(skip_zero_words: bool) -> KernelConfig {
+        KernelConfig {
+            zero_tile_jumping: skip_zero_words,
+            ..KernelConfig::default()
+        }
+    }
+}
+
+impl GemmBackend for ModeledTcBackend {
+    fn name(&self) -> &'static str {
+        "modeled-tc"
+    }
+
+    fn any_bit_gemm_with_stats(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        let (m_tiles, n_tiles, _) = tile_counts(a.rows(), b.cols(), a.cols());
+        self.tracker
+            .record_kernel_launch((m_tiles * n_tiles) as u64);
+        record_tile_walk(
+            a,
+            b,
+            &Self::walk_config(skip_zero_words),
+            &self.tracker,
+            n_tiles as u64,
+        );
+        let (out, stats) =
+            any_bit_gemm_fused_with_body(a, b, skip_zero_words, PopcountBody::detect());
+        self.tracker
+            .record_fused_words(stats.total_words, stats.skipped_words());
+        self.tracker
+            .record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
+        (out, stats)
+    }
+}
+
+static PORTABLE: PortableBackend = PortableBackend;
+static AVX512: Avx512Backend = Avx512Backend;
+
+fn modeled_tc() -> &'static ModeledTcBackend {
+    static MODELED: OnceLock<ModeledTcBackend> = OnceLock::new();
+    MODELED.get_or_init(ModeledTcBackend::rtx3090)
+}
+
+/// The `QGTC_BACKEND` environment override, read once per process.
+fn env_override() -> Option<BackendChoice> {
+    static OVERRIDE: OnceLock<Option<BackendChoice>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("QGTC_BACKEND")
+            .ok()
+            .and_then(|raw| BackendChoice::from_name(&raw))
+    })
+}
+
+/// What [`BackendChoice::Auto`] resolves to on this host: the `QGTC_BACKEND`
+/// override when it names an available backend, else AVX-512 when the host
+/// has it, else portable.  The modeled backend must be asked for by name —
+/// its census walk is pure overhead when nobody reads the tracker.
+pub fn resolve_auto() -> BackendChoice {
+    if let Some(choice) = env_override() {
+        if choice != BackendChoice::Auto && select_backend(choice).is_available() {
+            return choice;
+        }
+    }
+    if AVX512.is_available() {
+        BackendChoice::Avx512
+    } else {
+        BackendChoice::Portable
+    }
+}
+
+/// The backend a [`BackendChoice`] denotes on this host.
+pub fn select_backend(choice: BackendChoice) -> &'static dyn GemmBackend {
+    match choice {
+        BackendChoice::Auto => select_backend(resolve_auto()),
+        BackendChoice::Portable => &PORTABLE,
+        BackendChoice::Avx512 => &AVX512,
+        BackendChoice::ModeledTc => modeled_tc(),
+    }
+}
+
+/// Every backend the workspace knows about, available on this host or not —
+/// the population the conformance suite and the perfsmoke race draw from.
+pub fn registered_backends() -> [&'static dyn GemmBackend; 3] {
+    [&PORTABLE, &AVX512, modeled_tc()]
+}
+
+/// The registered backends that can run on this host.
+pub fn available_backends() -> Vec<&'static dyn GemmBackend> {
+    registered_backends()
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgtc_bitmat::BitMatrixLayout;
+    use qgtc_tensor::rng::random_uniform_matrix;
+
+    fn random_codes(rows: usize, cols: usize, bits: u32, seed: u64) -> Matrix<u32> {
+        let max = (1u64 << bits) as f32;
+        random_uniform_matrix(rows, cols, 0.0, max, seed)
+            .map(|&v| (v as u32).min((1u32 << bits) - 1))
+    }
+
+    fn operands(m: usize, k: usize, n: usize, seed: u64) -> (StackedBitMatrix, StackedBitMatrix) {
+        let a_codes = random_codes(m, k, 3, seed);
+        let b_codes = random_codes(k, n, 2, seed ^ 0xBEEF);
+        (
+            StackedBitMatrix::from_codes(&a_codes, 3, BitMatrixLayout::RowPacked),
+            StackedBitMatrix::from_codes(&b_codes, 2, BitMatrixLayout::ColPacked),
+        )
+    }
+
+    #[test]
+    fn choice_names_round_trip() {
+        for choice in [
+            BackendChoice::Auto,
+            BackendChoice::Portable,
+            BackendChoice::Avx512,
+            BackendChoice::ModeledTc,
+        ] {
+            assert_eq!(BackendChoice::from_name(choice.name()), Some(choice));
+        }
+        assert_eq!(
+            BackendChoice::from_name("MODELED_TC"),
+            Some(BackendChoice::ModeledTc)
+        );
+        assert_eq!(BackendChoice::from_name("cuda"), None);
+    }
+
+    #[test]
+    fn auto_resolves_to_an_available_compute_backend() {
+        let resolved = resolve_auto();
+        assert_ne!(resolved, BackendChoice::Auto);
+        assert!(select_backend(resolved).is_available());
+        if env_override().is_none() {
+            // Without an override, auto never picks the modeled backend.
+            assert_ne!(resolved, BackendChoice::ModeledTc);
+            assert_eq!(
+                resolved,
+                if avx512_popcount_available() {
+                    BackendChoice::Avx512
+                } else {
+                    BackendChoice::Portable
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn registered_backends_cover_every_named_choice() {
+        let names: Vec<&str> = registered_backends().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["portable", "avx512", "modeled-tc"]);
+        assert!(available_backends().iter().any(|b| b.name() == "portable"));
+    }
+
+    #[test]
+    fn available_backends_match_the_portable_oracle() {
+        let (a, b) = operands(9, 200, 7, 42);
+        let (oracle, oracle_stats) = PORTABLE.any_bit_gemm_with_stats(&a, &b, true);
+        for backend in available_backends() {
+            let (out, stats) = backend.any_bit_gemm_with_stats(&a, &b, true);
+            assert_eq!(out, oracle, "{} skip result", backend.name());
+            assert_eq!(stats, oracle_stats, "{} skip stats", backend.name());
+            assert_eq!(backend.any_bit_gemm(&a, &b), oracle, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn modeled_backend_accumulates_cost_and_time() {
+        let modeled = ModeledTcBackend::rtx3090();
+        let (a, b) = operands(16, 256, 16, 7);
+        let before = modeled.snapshot();
+        let _ = modeled.any_bit_gemm(&a, &b);
+        let after = modeled.snapshot();
+        assert_eq!(after.kernel_launches, before.kernel_launches + 1);
+        assert!(after.tc_b1_tiles > before.tc_b1_tiles);
+        assert!(after.dram_write_bytes > before.dram_write_bytes);
+        assert!(modeled.modeled_total_s() > 0.0);
+        modeled.reset();
+        assert_eq!(modeled.snapshot().kernel_launches, 0);
+    }
+
+    #[test]
+    fn epilogue_entry_points_delegate_to_the_host_implementation() {
+        let tracker = CostTracker::new();
+        let acc = Matrix::from_vec(2, 2, vec![1i64, -2, 3, 4]).unwrap();
+        let ep = FusedEpilogue::dequantize_only(0.5);
+        let via_backend = select_backend(BackendChoice::Portable)
+            .apply_epilogue(&ep, &acc, &tracker)
+            .into_dense()
+            .unwrap();
+        let direct = ep.apply(&acc, &CostTracker::new()).into_dense().unwrap();
+        assert_eq!(via_backend, direct);
+    }
+
+    #[test]
+    fn explicitly_selecting_unavailable_avx512_panics_on_use() {
+        if avx512_popcount_available() {
+            return; // nothing to assert on hosts where the backend works
+        }
+        let (a, b) = operands(2, 8, 2, 1);
+        let result =
+            std::panic::catch_unwind(|| select_backend(BackendChoice::Avx512).any_bit_gemm(&a, &b));
+        assert!(result.is_err(), "unavailable body must refuse to run");
+    }
+}

@@ -26,8 +26,8 @@
 //! aggregation kernel ([`qgtc_aggregate`]); the general case is the node-update
 //! GEMM, exposed under its framework name as [`qgtc_bitmm2int`].
 
+use crate::backend::{select_backend, BackendChoice};
 use crate::zero_tile::census_plane;
-use qgtc_bitmat::fused::any_bit_gemm_fused_with_stats;
 use qgtc_bitmat::gemm::any_bit_gemm_serial;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_tcsim::cost::CostTracker;
@@ -63,6 +63,11 @@ pub struct KernelConfig {
     /// GEMM kernel rather than launched separately (§4.5).  The flag only affects
     /// cost accounting here; the epilogue math itself lives in [`crate::fusion`].
     pub fused_epilogue: bool,
+    /// Which [`crate::backend::GemmBackend`] executes the arithmetic.  `Auto`
+    /// resolves to the fastest available compute body (see
+    /// [`crate::backend::resolve_auto`]); every choice is bitwise identical,
+    /// so this only affects speed and the modeled backend's cost accounting.
+    pub backend: BackendChoice,
 }
 
 impl Default for KernelConfig {
@@ -71,6 +76,7 @@ impl Default for KernelConfig {
             zero_tile_jumping: true,
             reduction_order: ReductionOrder::CrossTile,
             fused_epilogue: true,
+            backend: BackendChoice::Auto,
         }
     }
 }
@@ -82,6 +88,7 @@ impl KernelConfig {
             zero_tile_jumping: false,
             reduction_order: ReductionOrder::CrossBit,
             fused_epilogue: false,
+            backend: BackendChoice::Auto,
         }
     }
 }
@@ -89,7 +96,7 @@ impl KernelConfig {
 /// Bytes of one 8×128-bit operand tile in packed form.
 const TILE_BYTES: u64 = (TILE_M * 128 / 8) as u64;
 /// Bytes of one 8×8 `u32` accumulator tile.
-const ACC_TILE_BYTES: u64 = (TILE_M * TILE_N * 4) as u64;
+pub(crate) const ACC_TILE_BYTES: u64 = (TILE_M * TILE_N * 4) as u64;
 /// Integer ops charged per A-tile zero check (the OR-reduce of §4.3).
 const ZERO_CHECK_OPS: u64 = 8;
 
@@ -130,8 +137,11 @@ pub fn qgtc_bmm(
     // actual execution: with jumping on, the fused kernel runs its word-granular
     // zero-skip index (bitwise identical output); either way the kernel's own
     // word counts land in the tracker (every word visited, zero skipped, when
-    // jumping is off).
-    let (out, stats) = any_bit_gemm_fused_with_stats(a, b, config.zero_tile_jumping);
+    // jumping is off).  The arithmetic itself runs on the configured backend —
+    // every backend is bitwise identical, so the tracker numbers don't depend
+    // on the selection.
+    let (out, stats) =
+        select_backend(config.backend).any_bit_gemm_with_stats(a, b, config.zero_tile_jumping);
     tracker.record_fused_words(stats.total_words, stats.skipped_words());
     // Output write traffic: one accumulator tile per output tile.
     tracker.record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
@@ -173,7 +183,7 @@ pub fn qgtc_aggregate(
 /// [`ReductionOrder::CrossBit`]), spends [`ZERO_CHECK_OPS`] on the OR-reduce
 /// zero check, and — unless the tile is zero and jumping is on — reads one B
 /// tile and issues one MMA (plus the 64 shift-accumulate ops) per B plane.
-fn record_tile_walk(
+pub(crate) fn record_tile_walk(
     a: &StackedBitMatrix,
     b: &StackedBitMatrix,
     config: &KernelConfig,
@@ -254,7 +264,7 @@ mod tests {
                     let cfg = KernelConfig {
                         zero_tile_jumping: jumping,
                         reduction_order: order,
-                        fused_epilogue: true,
+                        ..KernelConfig::default()
                     };
                     let tracker = CostTracker::new();
                     let out = qgtc_bmm(&a, &b, &cfg, &tracker);
@@ -422,7 +432,7 @@ mod tests {
             let cfg = KernelConfig {
                 zero_tile_jumping: jumping,
                 reduction_order: order,
-                fused_epilogue: true,
+                ..KernelConfig::default()
             };
             let _ = qgtc_bmm(&a, &b, &cfg, &tracker);
             tracker.snapshot()

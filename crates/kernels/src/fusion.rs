@@ -50,6 +50,11 @@ pub enum EpilogueOutput {
         stack: StackedBitMatrix,
         /// Quantization parameters of the re-quantized activations.
         params: QuantParams,
+        /// Per-row sums of the re-quantized codes, computed during the
+        /// quantize pass itself.  The next layer's affine corrections need
+        /// exactly these sums, so returning them here keeps the forward pass
+        /// from unpacking the stack it just packed.
+        code_rowsums: Vec<i64>,
     },
 }
 
@@ -80,8 +85,20 @@ impl EpilogueOutput {
 
     /// Consume the output as a quantized stack plus its parameters, if it is one.
     pub fn into_quantized(self) -> Option<(StackedBitMatrix, QuantParams)> {
+        self.into_quantized_with_rowsums()
+            .map(|(stack, params, _)| (stack, params))
+    }
+
+    /// Consume the output as a quantized stack, its parameters and the
+    /// per-row code sums — the affine-correction inputs of the next layer,
+    /// obtained without unpacking the stack.
+    pub fn into_quantized_with_rowsums(self) -> Option<(StackedBitMatrix, QuantParams, Vec<i64>)> {
         match self {
-            EpilogueOutput::Quantized { stack, params } => Some((stack, params)),
+            EpilogueOutput::Quantized {
+                stack,
+                params,
+                code_rowsums,
+            } => Some((stack, params, code_rowsums)),
             EpilogueOutput::Dense(_) => None,
         }
     }
@@ -272,6 +289,9 @@ impl FusedEpilogue {
                 let quantizer =
                     Quantizer::calibrate(bits, &dense).expect("bitwidth validated by caller");
                 let codes = quantizer.quantize_matrix_u32(&dense);
+                let code_rowsums = (0..codes.rows())
+                    .map(|i| codes.row(i).iter().map(|&c| c as i64).sum())
+                    .collect();
                 let stack = StackedBitMatrix::from_quantized(
                     &codes,
                     quantizer.params(),
@@ -282,6 +302,7 @@ impl FusedEpilogue {
                 EpilogueOutput::Quantized {
                     stack,
                     params: quantizer.params(),
+                    code_rowsums,
                 }
             }
         };
@@ -445,6 +466,103 @@ mod tests {
             .expect("requantizing epilogue");
         assert!(stack.to_codes().data().iter().all(|&c| c == 0));
         assert!(params.scale.is_finite());
+    }
+
+    #[test]
+    fn quantized_output_carries_the_code_rowsums() {
+        let tracker = CostTracker::new();
+        let ep = FusedEpilogue::hidden_layer(0.1, 4);
+        let (stack, _, rowsums) = ep
+            .apply(&accumulator(), &tracker)
+            .into_quantized_with_rowsums()
+            .expect("requantizing epilogue");
+        let codes = stack.to_codes();
+        let expected: Vec<i64> = (0..codes.rows())
+            .map(|i| codes.row(i).iter().map(|&c| c as i64).sum())
+            .collect();
+        assert_eq!(rowsums, expected);
+        assert_eq!(rowsums.len(), 2);
+    }
+
+    #[test]
+    fn zero_row_scale_zeroes_the_row_exactly() {
+        // Boundary pin: a 0.0 row multiplier wipes the row to exact zeros —
+        // offsets included — rather than leaving tiny residuals behind.
+        let tracker = CostTracker::new();
+        let ep = FusedEpilogue::dequantize_only(1.0)
+            .with_row_offset(vec![3.0, 3.0])
+            .with_row_scale(vec![0.0, 1.0]);
+        let out = ep.apply(&accumulator(), &tracker);
+        let dense = out.as_dense().unwrap();
+        assert!(dense.row(0).iter().all(|&v| v == 0.0));
+        assert_eq!(dense[(1, 0)], 13.0); // (10 + 3) * 1
+    }
+
+    #[test]
+    fn all_zero_row_scales_requantize_to_the_degenerate_range() {
+        // Boundary pin: every row scaled by 0.0 leaves an all-zero matrix,
+        // which must calibrate to the degenerate range (scale 1.0, min 0.0)
+        // and produce all-zero codes and rowsums — not panic or emit NaNs.
+        let tracker = CostTracker::new();
+        let ep = FusedEpilogue::requantize_right_operand(1.0, 3).with_row_scale(vec![0.0, 0.0]);
+        let (stack, params, rowsums) = ep
+            .apply(&accumulator(), &tracker)
+            .into_quantized_with_rowsums()
+            .expect("requantizing epilogue");
+        assert_eq!(params.scale, 1.0);
+        assert_eq!(params.min, 0.0);
+        assert!(stack.to_codes().data().iter().all(|&c| c == 0));
+        assert_eq!(rowsums, vec![0, 0]);
+    }
+
+    #[test]
+    fn saturating_row_offset_pins_the_row_to_the_top_code() {
+        // Boundary pin: an f32::MAX row offset saturates the row's dense
+        // values to f32::MAX (float rounding absorbs the accumulator), so the
+        // calibrated range spans up to f32::MAX, the saturated row lands on
+        // the top code, and the un-offset row collapses to code 0.
+        let tracker = CostTracker::new();
+        let ep =
+            FusedEpilogue::requantize_right_operand(1.0, 3).with_row_offset(vec![f32::MAX, 0.0]);
+        let (stack, params, _) = ep
+            .apply(&accumulator(), &tracker)
+            .into_quantized_with_rowsums()
+            .expect("requantizing epilogue");
+        assert!(params.scale.is_finite() && params.scale > 0.0);
+        let codes = stack.to_codes();
+        assert!(codes.row(0).iter().all(|&c| c == 7), "row 0: {codes:?}");
+        assert!(codes.row(1).iter().all(|&c| c == 0), "row 1: {codes:?}");
+    }
+
+    #[test]
+    fn uniformly_saturated_input_requantizes_to_code_zero() {
+        // Boundary pin: when every entry saturates to the same f32::MAX, the
+        // range degenerates (scale 1.0) and all codes are 0 with min = MAX.
+        let tracker = CostTracker::new();
+        let ep = FusedEpilogue::requantize_right_operand(1.0, 2)
+            .with_row_offset(vec![f32::MAX, f32::MAX]);
+        let (stack, params, rowsums) = ep
+            .apply(&accumulator(), &tracker)
+            .into_quantized_with_rowsums()
+            .expect("requantizing epilogue");
+        assert_eq!(params.scale, 1.0);
+        assert_eq!(params.min, f32::MAX);
+        assert!(stack.to_codes().data().iter().all(|&c| c == 0));
+        assert_eq!(rowsums, vec![0, 0]);
+    }
+
+    #[test]
+    fn overflowing_offset_sum_saturates_to_infinity_without_panicking() {
+        // Boundary pin: f32::MAX row and column offsets overflow to +inf in
+        // the dense (non-requantizing) output — documented saturation, no
+        // panic.
+        let tracker = CostTracker::new();
+        let ep = FusedEpilogue::dequantize_only(1.0)
+            .with_row_offset(vec![f32::MAX, f32::MAX])
+            .with_col_offset(vec![f32::MAX, f32::MAX, f32::MAX]);
+        let out = ep.apply(&accumulator(), &tracker);
+        let dense = out.as_dense().unwrap();
+        assert!(dense.data().iter().all(|&v| v == f32::INFINITY));
     }
 
     #[test]

@@ -3,6 +3,10 @@
 //! The QGTC kernel designs (paper §4), expressed over the software Tensor Core of
 //! `qgtc-tcsim`:
 //!
+//! * [`backend`] — the swappable kernel-backend seam: the [`backend::GemmBackend`]
+//!   trait realised by portable-scalar, AVX-512 and modeled-tensor-core bodies,
+//!   selected at runtime via [`backend::BackendChoice`] and held bitwise equal by
+//!   the differential conformance suite.
 //! * [`bmm`] — the tiled any-bitwidth bit-matrix-multiplication kernel: operands are
 //!   3D-stacked bit-compressed matrices and the bit-plane partial products are
 //!   shift-accumulated into 32-bit (modeled as `i64` here to keep Rust arithmetic
@@ -27,6 +31,7 @@
 //! reference composition in `qgtc-bitmat`) and records its work into a
 //! [`qgtc_tcsim::CostTracker`] so the device model can estimate GPU latency.
 
+pub mod backend;
 pub mod bmm;
 pub mod fusion;
 pub mod packing;
@@ -34,6 +39,10 @@ pub mod scheduler;
 pub mod tile_reuse;
 pub mod zero_tile;
 
+pub use backend::{
+    available_backends, registered_backends, select_backend, Avx512Backend, BackendChoice,
+    GemmBackend, ModeledTcBackend, PortableBackend,
+};
 pub use bmm::{qgtc_aggregate, qgtc_bitmm2int, qgtc_bmm, KernelConfig, ReductionOrder};
 pub use fusion::{Activation, FusedEpilogue};
 pub use packing::{PreparedBatch, SubgraphPayload, TransferStrategy};

@@ -61,7 +61,7 @@ pub fn compare_reuse(
         let cfg = KernelConfig {
             zero_tile_jumping: true,
             reduction_order: order,
-            fused_epilogue: true,
+            ..KernelConfig::default()
         };
         let _ = qgtc_aggregate(&adj_stack, &feat_stack, &cfg, &tracker);
         let snapshot = tracker.snapshot();

@@ -73,7 +73,7 @@ proptest! {
         let config = KernelConfig {
             zero_tile_jumping: jumping,
             reduction_order: if cross_tile { ReductionOrder::CrossTile } else { ReductionOrder::CrossBit },
-            fused_epilogue: true,
+            ..KernelConfig::default()
         };
         let out = qgtc_bmm(&a_stack, &b_stack, &config, &CostTracker::new());
         let reference = gemm_i64(&a.map(|&v| v as i64), &b.map(|&v| v as i64));

@@ -21,10 +21,15 @@
 #                          proptests under RAYON_NUM_THREADS in {1, 2, 8},
 #                          plus the tiny-scale backend race (the race — and
 #                          only the race — is skipped in FAST)
+#   chaos                  fault-injection chaos proptests (recoverable plans
+#                          recover bitwise, unrecoverable ones fail typed)
+#                          under RAYON_NUM_THREADS in {1, 2, 8}; FAST shrinks
+#                          the proptest case counts via QGTC_CI_FAST
 #   bench-compile          criterion benches must compile
 #   examples               examples + bins must build
 #   perfsmoke              tiny-scale perf gates: fused GEMM, streamed
-#                          pipeline, sharded partitioner  [skipped in FAST]
+#                          pipeline, sharded partitioner, fault-supervisor
+#                          overhead  [skipped in FAST]
 #   benchcheck             committed BENCH_*.json files parse, carry the
 #                          expected keys, and clear their committed bars
 #   doc                    cargo doc with zero warnings
@@ -35,7 +40,7 @@ cd "$(dirname "$0")"
 
 FAST="${QGTC_CI_FAST:-0}"
 ONLY="${QGTC_CI_STAGE:-}"
-KNOWN_STAGES="fmt clippy build-release test partition-determinism backend bench-compile examples perfsmoke benchcheck doc"
+KNOWN_STAGES="fmt clippy build-release test partition-determinism backend chaos bench-compile examples perfsmoke benchcheck doc"
 
 # Surface the stage menu up front instead of failing silently later: an unknown
 # QGTC_CI_STAGE aborts immediately with the list, and an unset one announces
@@ -115,6 +120,19 @@ backend_stage() {
     fi
 }
 
+chaos_stage() {
+    # Fault determinism is keyed on (site, batch, attempt), never on thread
+    # identity — so the whole chaos suite must pass unchanged at every pool
+    # width. QGTC_CI_FAST (exported to the test process) shrinks the proptest
+    # case counts for quick iteration.
+    local threads
+    for threads in 1 2 8; do
+        echo "--- RAYON_NUM_THREADS=$threads"
+        env RAYON_NUM_THREADS="$threads" QGTC_CI_FAST="$FAST" \
+            cargo test --test chaos_pipeline -q
+    done
+}
+
 perfsmoke_tiny() {
     # Perf gates (see crates/bench/src/bin/perfsmoke.rs):
     #  * fused GEMM must not be slower than the plane-by-plane composition on
@@ -126,12 +144,17 @@ perfsmoke_tiny() {
     #  * the sharded partitioner must be bitwise identical to the serial oracle
     #    on all six profiles and not slower (5% tolerance; full scale also
     #    enforces a 1.5x modeled shard speedup on the largest profile;
-    #    committed BENCH_partition.json).
+    #    committed BENCH_partition.json);
+    #  * the supervised streamed executor (checksums + fault supervisor, faults
+    #    disabled) must be bitwise identical to the raw executor and not slower
+    #    (15% tolerance tiny; full scale enforces the 5% overhead budget;
+    #    committed BENCH_faults.json).
     env QGTC_SCALE=tiny \
         QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
         QGTC_PIPELINE_OUT=target/BENCH_pipeline.tiny.json \
         QGTC_PARTITION_OUT=target/BENCH_partition.tiny.json \
         QGTC_BACKEND_OUT=target/BENCH_backend.tiny.json \
+        QGTC_FAULTS_OUT=target/BENCH_faults.tiny.json \
         cargo run --release -p qgtc-bench --bin perfsmoke
 }
 
@@ -157,6 +180,7 @@ fi
 stage test cargo test --workspace -q # superset of the tier-1 `cargo test -q`
 stage partition-determinism partition_determinism
 stage backend backend_stage
+stage chaos chaos_stage
 stage bench-compile cargo bench --no-run --workspace
 stage examples cargo build --workspace --examples --bins
 if [[ "$FAST" == "1" ]]; then

@@ -208,7 +208,7 @@ pub struct BenchSpec {
     pub gates: &'static [(&'static str, &'static str)],
 }
 
-/// The four committed perf reports and their contracts.
+/// The five committed perf reports and their contracts.
 pub fn committed_bench_specs() -> Vec<BenchSpec> {
     vec![
         BenchSpec {
@@ -317,6 +317,27 @@ pub fn committed_bench_specs() -> Vec<BenchSpec> {
                 "speedup_vs_portable",
             ],
             gates: &[("winner_speedup_vs_portable", "winner_not_slower_bar")],
+        },
+        BenchSpec {
+            file: "BENCH_faults.json",
+            bench: "faults_supervised_vs_raw",
+            required_keys: &[
+                "scale",
+                "reps",
+                "supervised_speedup_vs_raw",
+                "supervised_not_slower_bar",
+            ],
+            rows_key: "datasets",
+            row_keys: &[
+                "dataset",
+                "num_batches",
+                "raw_wall_ms",
+                "supervised_wall_ms",
+                "faulty_wall_ms",
+                "faults_injected",
+                "faults_recovered",
+            ],
+            gates: &[("supervised_speedup_vs_raw", "supervised_not_slower_bar")],
         },
     ]
 }
@@ -533,6 +554,50 @@ mod tests {
         let missing = minimal_gemm_report(2.0, 0.95).replace("\"sparse_skip_ratio\": 0.95, ", "");
         let err = validate_bench_report(&spec, &missing).unwrap_err();
         assert!(err.contains("sparse_skip_ratio"), "{err}");
+    }
+
+    fn minimal_faults_report(speedup: f64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\": \"faults_supervised_vs_raw\", \"scale\": \"fast\", \"reps\": 3, ",
+                "\"supervised_speedup_vs_raw\": {speedup}, ",
+                "\"supervised_not_slower_bar\": 0.95, ",
+                "\"datasets\": [{{\"dataset\": \"PROTEINS\", \"num_batches\": 8, ",
+                "\"raw_wall_ms\": 1.0, \"supervised_wall_ms\": 1.0, ",
+                "\"supervised_speedup_vs_raw\": {speedup}, \"faulty_wall_ms\": 1.2, ",
+                "\"faults_injected\": 3, \"faults_recovered\": 3}}]}}"
+            ),
+            speedup = speedup
+        )
+    }
+
+    fn faults_spec() -> BenchSpec {
+        committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_faults.json")
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_a_healthy_faults_report() {
+        let summary = validate_bench_report(&faults_spec(), &minimal_faults_report(0.99)).unwrap();
+        assert!(
+            summary.contains("supervised_speedup_vs_raw 0.990 >= 0.950"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_faults_report_over_the_overhead_budget() {
+        let err = validate_bench_report(&faults_spec(), &minimal_faults_report(0.8)).unwrap_err();
+        assert!(err.contains("below its committed bar"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_faults_report_missing_its_recovery_evidence() {
+        let missing = minimal_faults_report(0.99).replace("\"faults_injected\": 3, ", "");
+        let err = validate_bench_report(&faults_spec(), &missing).unwrap_err();
+        assert!(err.contains("missing key \"faults_injected\""), "{err}");
     }
 
     #[test]

@@ -30,6 +30,14 @@
 //! the portable oracle (trivially ≥1.0× — portable races too — so the gate
 //! catches a corrupted report, not a slow host).
 //!
+//! And it probes the **fault supervisor's overhead**: the supervised streamed
+//! executor (payload checksums sealed and verified on every batch, every stage
+//! wrapped in its supervisor — faults disabled) against the raw PR 3 executor
+//! (`run_epoch_streamed_raw`: no supervisor, no checksums), asserting the two
+//! are bitwise identical and gating that the robustness machinery costs at most
+//! 5% at full scale (`BENCH_faults.json`). A seeded fault plan then demos the
+//! recovery path end to end (still bitwise identical).
+//!
 //! Usage: `cargo run --release -p qgtc-bench --bin perfsmoke`
 //!
 //! * `QGTC_SCALE=tiny|fast|paper` — problem sizes (default `fast`).  `tiny` is
@@ -39,6 +47,7 @@
 //!   2.0× bar of the fused-kernel PR and a 1.3× bar on the streamed pipeline.
 //! * `QGTC_PERFSMOKE_PROBE=backend` — run **only** the backend race (the ci.sh
 //!   `backend` stage uses this so conformance + race stay cheap and separable).
+//! * `QGTC_PERFSMOKE_PROBE=faults` — run **only** the fault-overhead probe.
 //! * `QGTC_PERFSMOKE_OUT` — output path for the GEMM JSON report (default
 //!   `BENCH_gemm.json`; the committed copy at the repo root is a full-scale
 //!   run).
@@ -51,6 +60,9 @@
 //! * `QGTC_BACKEND_OUT` — output path for the backend-race JSON report
 //!   (default `BENCH_backend.json`; the committed copy at the repo root is a
 //!   full-scale run).
+//! * `QGTC_FAULTS_OUT` — output path for the fault-overhead JSON report
+//!   (default `BENCH_faults.json`; the committed copy at the repo root is a
+//!   full-scale run).
 
 use qgtc_bench::report::fmt3;
 use qgtc_bitmat::fused::{
@@ -58,7 +70,10 @@ use qgtc_bitmat::fused::{
 };
 use qgtc_bitmat::gemm::{aggregate_adj_features, any_bit_gemm};
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
-use qgtc_core::{run_epoch, run_epoch_streamed, ModelKind, QgtcConfig};
+use qgtc_core::{
+    run_epoch, run_epoch_streamed, run_epoch_streamed_raw, try_run_epoch_streamed, FaultPlan,
+    ModelKind, QgtcConfig,
+};
 use qgtc_graph::DatasetProfile;
 use qgtc_kernels::backend::available_backends;
 use qgtc_kernels::tile_reuse::random_feature_codes;
@@ -693,6 +708,228 @@ fn run_backend_race(scale: &str, headline_size: usize, batch: usize) -> bool {
     }
 }
 
+/// One dataset row of the fault-overhead probe: the raw streamed executor (no
+/// supervisor, no payload checksums) vs the supervised streamed executor with
+/// faults disabled, plus one seeded-fault-plan recovery demo on the same
+/// workload.
+struct FaultsProbe {
+    dataset: String,
+    num_batches: usize,
+    raw_wall_ms: f64,
+    supervised_wall_ms: f64,
+    faulty_wall_ms: f64,
+    faults_injected: u64,
+    faults_recovered: u64,
+}
+
+impl FaultsProbe {
+    fn speedup(&self) -> f64 {
+        if self.supervised_wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.raw_wall_ms / self.supervised_wall_ms
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"num_batches\": {}, ",
+                "\"raw_wall_ms\": {}, \"supervised_wall_ms\": {}, ",
+                "\"supervised_speedup_vs_raw\": {}, \"faulty_wall_ms\": {}, ",
+                "\"faults_injected\": {}, \"faults_recovered\": {}}}"
+            ),
+            self.dataset,
+            self.num_batches,
+            fmt3(self.raw_wall_ms),
+            fmt3(self.supervised_wall_ms),
+            fmt3(self.speedup()),
+            fmt3(self.faulty_wall_ms),
+            self.faults_injected,
+            self.faults_recovered,
+        )
+    }
+}
+
+/// Probe one dataset: assert the supervised executor (faults disabled) and a
+/// seeded recovered epoch both reproduce the raw executor's counters bitwise,
+/// then time all three (minimum wall-clock after the warm-up/assertion runs).
+fn probe_faults(
+    profile: &DatasetProfile,
+    dataset_scale: f64,
+    partitions: usize,
+    batch_size: usize,
+    prefetch: usize,
+    reps: usize,
+    seed: u64,
+) -> FaultsProbe {
+    let dataset = profile.materialize(dataset_scale, seed);
+    let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
+        .scaled_partitions(partitions, batch_size)
+        .with_prefetch(prefetch);
+
+    // Warm-up doubling as the equivalence gate: the supervisor and its
+    // checksums must be invisible in the recorded counters.
+    let raw = run_epoch_streamed_raw(&dataset, &config);
+    let supervised = run_epoch_streamed(&dataset, &config);
+    assert_eq!(
+        raw.cost, supervised.cost,
+        "supervised executor must record identical counters on {}",
+        profile.name
+    );
+    assert_eq!(
+        raw.batch_costs, supervised.batch_costs,
+        "supervised executor must match the raw executor batch-for-batch on {}",
+        profile.name
+    );
+
+    // Recovery demo: a seeded always-recoverable plan must inject real faults
+    // and still land on bitwise-identical output.
+    let plan = FaultPlan::seeded_transient(seed, raw.num_batches, 2);
+    let faulty_config = config.clone().with_fault_plan(plan);
+    let faulty = try_run_epoch_streamed(&dataset, &faulty_config)
+        .unwrap_or_else(|err| panic!("seeded plan must recover on {}: {err}", profile.name));
+    assert!(
+        faulty.fault_stats.injected > 0,
+        "seeded plan injected nothing on {}",
+        profile.name
+    );
+    assert_eq!(
+        raw.cost, faulty.cost,
+        "recovered epoch must reproduce the clean counters on {}",
+        profile.name
+    );
+    assert_eq!(
+        raw.batch_costs, faulty.batch_costs,
+        "recovered epoch must match the clean epoch batch-for-batch on {}",
+        profile.name
+    );
+
+    // Interleave the timed repetitions so drift hits all three lanes evenly.
+    let mut raw_wall_ms = f64::INFINITY;
+    let mut supervised_wall_ms = f64::INFINITY;
+    let mut faulty_wall_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        raw_wall_ms = raw_wall_ms.min(run_epoch_streamed_raw(&dataset, &config).host_wall_ms);
+        supervised_wall_ms =
+            supervised_wall_ms.min(run_epoch_streamed(&dataset, &config).host_wall_ms);
+        let rep = try_run_epoch_streamed(&dataset, &faulty_config)
+            .expect("seeded plans stay recoverable across repetitions");
+        faulty_wall_ms = faulty_wall_ms.min(rep.host_wall_ms);
+    }
+    FaultsProbe {
+        dataset: profile.name.to_string(),
+        num_batches: raw.num_batches,
+        raw_wall_ms,
+        supervised_wall_ms,
+        faulty_wall_ms,
+        faults_injected: faulty.fault_stats.injected,
+        faults_recovered: faulty.fault_stats.recovered,
+    }
+}
+
+/// The fault-overhead probe: supervised streamed executor (checksums sealed and
+/// verified, every stage supervised, faults disabled) vs the raw executor, with
+/// a seeded recovery demo per dataset.  Returns `true` when the gate failed.
+fn run_faults_probe(scale: &str) -> bool {
+    let faults_out =
+        std::env::var("QGTC_FAULTS_OUT").unwrap_or_else(|_| "BENCH_faults.json".to_string());
+    // Tiny epochs are a few ms, so scheduler noise on a loaded CI host moves
+    // the min-of-3 by several percent — 15% tolerance there; full scale
+    // enforces the ISSUE bar of at most 5% supervisor+checksum overhead.
+    let (fault_scale, fault_parts, fault_batch, fault_prefetch, fault_reps, fault_bar, profiles) =
+        match scale {
+            "tiny" => (
+                0.01f64,
+                12usize,
+                2usize,
+                4usize,
+                3usize,
+                0.85f64,
+                vec![DatasetProfile::PROTEINS, DatasetProfile::BLOGCATALOG],
+            ),
+            _ => (0.02, 32, 2, 4, 3, 0.95, qgtc_bench::fast_dataset_set()),
+        };
+    eprintln!(
+        "perfsmoke: fault-overhead probe (scale {scale}, {fault_parts} partitions, batch \
+         {fault_batch}, supervised-not-slower bar {fault_bar}x)"
+    );
+    let mut probes = Vec::new();
+    let mut seed = 100u64;
+    for profile in &profiles {
+        let probe = probe_faults(
+            profile,
+            fault_scale,
+            fault_parts,
+            fault_batch,
+            fault_prefetch,
+            fault_reps,
+            seed,
+        );
+        seed += 2;
+        eprintln!(
+            "  {:<28} raw {:>9} ms  supervised {:>9} ms  ({}x)  faulty {:>9} ms  \
+             ({} injected / {} recovered, {} batches)",
+            probe.dataset,
+            fmt3(probe.raw_wall_ms),
+            fmt3(probe.supervised_wall_ms),
+            fmt3(probe.speedup()),
+            fmt3(probe.faulty_wall_ms),
+            probe.faults_injected,
+            probe.faults_recovered,
+            probe.num_batches,
+        );
+        probes.push(probe);
+    }
+    let total_raw: f64 = probes.iter().map(|p| p.raw_wall_ms).sum();
+    let total_supervised: f64 = probes.iter().map(|p| p.supervised_wall_ms).sum();
+    let supervised_speedup = if total_supervised > 0.0 {
+        total_raw / total_supervised
+    } else {
+        1.0
+    };
+    let probe_lines: Vec<String> = probes.iter().map(FaultsProbe::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"faults_supervised_vs_raw\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"workload\": \"fig7 Cluster GCN 2-bit streamed epoch (partitioning excluded)\",\n",
+            "  \"reps\": {},\n",
+            "  \"generated_by\": \"cargo run --release -p qgtc-bench --bin perfsmoke\",\n",
+            "  \"supervised_speedup_vs_raw\": {},\n",
+            "  \"supervised_not_slower_bar\": {},\n",
+            "  \"note\": \"supervised = streamed executor with payload checksums sealed+verified and every stage under the fault supervisor, faults disabled; raw = the unsupervised unsealed executor; both are asserted bitwise identical before timing, and a seeded fault plan is asserted to inject, recover, and reproduce the clean counters exactly\",\n",
+            "  \"datasets\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        fault_reps,
+        fmt3(supervised_speedup),
+        fault_bar,
+        probe_lines.join(",\n"),
+    );
+    std::fs::write(&faults_out, &json).unwrap_or_else(|err| {
+        eprintln!("perfsmoke: cannot write {faults_out}: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("perfsmoke: wrote {faults_out}");
+
+    if supervised_speedup < fault_bar {
+        eprintln!(
+            "perfsmoke FAIL: the supervised streamed epoch is {}x the raw executor's \
+             wall-clock (must not be slower; bar {fault_bar}x)",
+            fmt3(supervised_speedup)
+        );
+        true
+    } else {
+        eprintln!(
+            "perfsmoke OK: the supervised streamed epoch is {}x the raw executor's wall-clock",
+            fmt3(supervised_speedup)
+        );
+        false
+    }
+}
+
 fn main() {
     let scale = std::env::var("QGTC_SCALE").unwrap_or_else(|_| "fast".to_string());
     let (headline_size, batch, min_speedup) = match scale.as_str() {
@@ -701,6 +938,12 @@ fn main() {
     };
     if std::env::var("QGTC_PERFSMOKE_PROBE").as_deref() == Ok("backend") {
         if run_backend_race(&scale, headline_size, batch) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::var("QGTC_PERFSMOKE_PROBE").as_deref() == Ok("faults") {
+        if run_faults_probe(&scale) {
             std::process::exit(1);
         }
         return;
@@ -999,6 +1242,9 @@ fn main() {
     eprintln!("perfsmoke: wrote {partition_out}");
 
     let mut failed = run_backend_race(&scale, headline_size, batch);
+    if run_faults_probe(&scale) {
+        failed = true;
+    }
     if headline_speedup < min_speedup {
         eprintln!(
             "perfsmoke FAIL: fused path is only {}x the plane-by-plane path on the headline \

@@ -170,6 +170,35 @@ impl BitMatrix {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Order-sensitive FNV-1a fold over the packed words and logical shape.
+    ///
+    /// This is the integrity primitive behind the epoch pipeline's payload
+    /// checksums: cheap (one multiply per word), deterministic, and sensitive to
+    /// any single-bit flip in the packed storage.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut hash = FNV_OFFSET;
+        for value in [self.rows as u64, self.cols as u64, self.layout as u64] {
+            hash = (hash ^ value).wrapping_mul(FNV_PRIME);
+        }
+        for &word in &self.words {
+            hash = (hash ^ u64::from(word)).wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    /// XOR `mask` into packed word `word_index` (lane-major indexing, as
+    /// [`BitMatrix::words`]).
+    ///
+    /// This is a corruption hook for the fault-injection harness: it damages the
+    /// packed storage *without* going through any constructor, exactly like an
+    /// in-flight bit flip would, so checksum validation has something real to
+    /// catch. It has no legitimate use in the data path.
+    pub fn flip_word_bits(&mut self, word_index: usize, mask: u32) {
+        self.words[word_index] ^= mask;
+    }
 }
 
 #[cfg(test)]
@@ -263,5 +292,34 @@ mod tests {
         let b = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
         assert_eq!(b.count_ones(), 0);
         assert_eq!(b.packed_bytes(), 0);
+    }
+
+    #[test]
+    fn checksum_detects_any_word_flip() {
+        let mut m = Matrix::zeros(5, 70);
+        for c in 0..70 {
+            m[(0, c)] = (c % 2) as u8;
+            m[(3, c)] = 1;
+        }
+        let clean = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        let reference = clean.checksum();
+        assert_eq!(clean.checksum(), reference, "checksum is deterministic");
+        for word_index in 0..clean.words().len() {
+            let mut damaged = clean.clone();
+            damaged.flip_word_bits(word_index, 1 << (word_index % 32));
+            assert_ne!(damaged.checksum(), reference, "flip in word {word_index}");
+            damaged.flip_word_bits(word_index, 1 << (word_index % 32));
+            assert_eq!(damaged.checksum(), reference, "double flip restores");
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_shape_and_layout() {
+        let m = Matrix::zeros(4, 8);
+        let row = BitMatrix::from_bits(&m, BitMatrixLayout::RowPacked);
+        let col = BitMatrix::from_bits(&m, BitMatrixLayout::ColPacked);
+        assert_ne!(row.checksum(), col.checksum());
+        let wider = BitMatrix::from_bits(&Matrix::zeros(4, 9), BitMatrixLayout::RowPacked);
+        assert_ne!(row.checksum(), wider.checksum());
     }
 }

@@ -179,6 +179,25 @@ impl StackedBitMatrix {
         bit_recompose(&dense_planes)
     }
 
+    /// Order-sensitive checksum across all planes (see [`BitMatrix::checksum`]).
+    ///
+    /// Any single-bit flip in any plane changes the result, so the epoch pipeline
+    /// can validate a staged payload in one comparison at queue-take time.
+    pub fn checksum(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut hash = (self.bits as u64).wrapping_mul(FNV_PRIME) ^ 0x51ac3ed_u64;
+        for plane in &self.planes {
+            hash = (hash ^ plane.checksum()).wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    /// XOR `mask` into word `word_index` of plane `plane_index` — the
+    /// fault-injection corruption hook (see [`BitMatrix::flip_word_bits`]).
+    pub fn flip_word_bits(&mut self, plane_index: usize, word_index: usize, mask: u32) {
+        self.planes[plane_index].flip_word_bits(word_index, mask);
+    }
+
     /// The shape of the packed representation after padding, expressed as
     /// `(planes, padded_lanes, words_per_lane)` — matches the paper's description of
     /// the compressed tensor, e.g. `3-bit × PAD8(M) × PAD128(K)/32` for operand A.
@@ -320,5 +339,24 @@ mod tests {
         assert_eq!(s.quant_params(), Some(q.params()));
         assert_eq!(s.bits(), 4);
         assert_eq!(s.to_codes(), codes);
+    }
+
+    #[test]
+    fn stacked_checksum_detects_flips_in_any_plane() {
+        let mut codes = Matrix::zeros(6, 40);
+        for r in 0..6 {
+            for c in 0..40 {
+                codes[(r, c)] = ((r * 7 + c) % 16) as u32;
+            }
+        }
+        let clean = StackedBitMatrix::from_codes(&codes, 4, BitMatrixLayout::RowPacked);
+        let reference = clean.checksum();
+        for plane_index in 0..clean.planes().len() {
+            let mut damaged = clean.clone();
+            damaged.flip_word_bits(plane_index, 0, 0b101);
+            assert_ne!(damaged.checksum(), reference, "flip in plane {plane_index}");
+            damaged.flip_word_bits(plane_index, 0, 0b101);
+            assert_eq!(damaged.checksum(), reference, "double flip restores");
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! and batching granularity (the two knobs §4.1 discusses), the kernel optimisation
 //! toggles, the host-to-device transfer strategy and the GPU to model.
 
+use crate::fault::{FaultPlan, QgtcError};
 use qgtc_kernels::backend::BackendChoice;
 use qgtc_kernels::bmm::KernelConfig;
 use qgtc_kernels::packing::TransferStrategy;
@@ -68,6 +69,16 @@ pub struct QgtcConfig {
     /// thread and therefore degenerates to the serial sweep on single-core
     /// hosts, mirroring the streamed executor.
     pub partition_parallelism: Parallelism,
+    /// Faults to inject into the epoch, for chaos testing the supervisor. `None`
+    /// (the default) falls back to the `QGTC_FAULTS` environment spec, and an
+    /// empty plan injects nothing. See [`crate::fault`].
+    pub fault_plan: Option<FaultPlan>,
+    /// How many times the supervisor re-prepares or re-dispatches a failing batch
+    /// (with exponential backoff) before giving up with
+    /// [`QgtcError::BatchFailed`]. Applies per batch per stage; partitioning uses
+    /// the same budget. The default (3) absorbs any transient fault of up to 3
+    /// consecutive failing attempts.
+    pub max_batch_retries: usize,
 }
 
 impl Default for QgtcConfig {
@@ -85,6 +96,8 @@ impl Default for QgtcConfig {
             prefetch_batches: 2,
             overlap_transfer: true,
             partition_parallelism: Parallelism::Auto,
+            fault_plan: None,
+            max_batch_retries: 3,
         }
     }
 }
@@ -152,6 +165,45 @@ impl QgtcConfig {
         self.kernel.backend = backend;
         self
     }
+
+    /// Inject a fault plan into the epoch (chaos testing; see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the supervisor's per-batch retry budget.
+    pub fn with_max_batch_retries(mut self, retries: usize) -> Self {
+        self.max_batch_retries = retries;
+        self
+    }
+
+    /// Check the config-local invariants the old panicking entry points enforced
+    /// deep inside the partitioning layer: a zero batch size or partition count is
+    /// rejected here, before any work runs, with a typed error.
+    ///
+    /// Graph-dependent invariants (`num_partitions` versus the node count) cannot
+    /// be checked without a graph; [`crate::pipeline::try_build_plan`] covers
+    /// those through the partitioner's own fallible entry points.
+    pub fn validate(&self) -> Result<(), QgtcError> {
+        if self.batch_size == 0 {
+            return Err(QgtcError::InvalidConfig(
+                "batch_size must be at least 1".to_string(),
+            ));
+        }
+        if self.num_partitions == 0 {
+            return Err(QgtcError::InvalidConfig(
+                "num_partitions must be at least 1".to_string(),
+            ));
+        }
+        if self.bits == 0 || (self.bits > 8 && self.bits != 16 && self.bits != 32) {
+            return Err(QgtcError::InvalidConfig(format!(
+                "bits must be 1-8, 16 or 32 (got {})",
+                self.bits
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +261,47 @@ mod tests {
         let pinned = c.with_partition_parallelism(Parallelism::Sharded(4));
         assert_eq!(pinned.partition_parallelism, Parallelism::Sharded(4));
         assert_eq!(pinned.partition_parallelism.effective_shards(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs() {
+        assert!(QgtcConfig::default().validate().is_ok());
+        let c = QgtcConfig {
+            batch_size: 0,
+            ..QgtcConfig::default()
+        };
+        assert!(
+            matches!(c.validate(), Err(QgtcError::InvalidConfig(m)) if m.contains("batch_size"))
+        );
+        let c = QgtcConfig {
+            num_partitions: 0,
+            ..QgtcConfig::default()
+        };
+        assert!(
+            matches!(c.validate(), Err(QgtcError::InvalidConfig(m)) if m.contains("num_partitions"))
+        );
+        let mut c = QgtcConfig {
+            bits: 0,
+            ..QgtcConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(QgtcError::InvalidConfig(m)) if m.contains("bits")));
+        c.bits = 12;
+        assert!(c.validate().is_err());
+        for bits in [1, 8, 16, 32] {
+            c.bits = bits;
+            assert!(c.validate().is_ok(), "bits {bits} is a paper setting");
+        }
+    }
+
+    #[test]
+    fn fault_knobs_default_to_off() {
+        let c = QgtcConfig::default();
+        assert_eq!(c.fault_plan, None);
+        assert_eq!(c.max_batch_retries, 3);
+        let plan = FaultPlan::parse("prepare:transient").expect("valid");
+        let c = c.with_fault_plan(plan.clone()).with_max_batch_retries(5);
+        assert_eq!(c.fault_plan, Some(plan));
+        assert_eq!(c.max_batch_retries, 5);
     }
 
     #[test]

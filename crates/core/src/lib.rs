@@ -17,6 +17,11 @@
 //!   latency. [`pipeline::stream`] is the staged streaming executor: sharded batch
 //!   preparation feeding a bounded in-order queue, with double-buffered
 //!   transfer/compute overlap in the latency model.
+//! * [`fault`] — deterministic fault injection and the typed error surface: a
+//!   seeded [`fault::FaultPlan`] (or the `QGTC_FAULTS` environment spec) drives
+//!   the pipeline's supervisor, which retries transients, repairs checksum-caught
+//!   payload corruption, and degrades lost GEMM backends; the `try_*` entry
+//!   points surface what cannot be absorbed as a [`QgtcError`].
 //!
 //! Everything below re-exports the substrate crates so a downstream user can depend
 //! on `qgtc-core` alone.
@@ -24,13 +29,21 @@
 pub mod api;
 pub mod bit_tensor;
 pub mod config;
+pub mod fault;
 pub mod pipeline;
 
 pub use api::{bit_mm_to_bit, bit_mm_to_int};
 pub use bit_tensor::BitTensor;
 pub use config::{ExecutionPath, ModelKind, QgtcConfig};
-pub use pipeline::stream::{run_epoch_streamed, run_epoch_streamed_with_plan};
-pub use pipeline::{run_epoch, run_epoch_with_plan, EpochReport};
+pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, FaultStats, QgtcError};
+pub use pipeline::stream::{
+    run_epoch_streamed, run_epoch_streamed_raw, run_epoch_streamed_with_plan,
+    try_run_epoch_streamed, try_run_epoch_streamed_with_plan,
+};
+pub use pipeline::{
+    run_epoch, run_epoch_with_plan, try_build_plan, try_run_epoch, try_run_epoch_with_plan,
+    EpochReport,
+};
 pub use qgtc_kernels::backend::BackendChoice;
 pub use qgtc_partition::Parallelism;
 

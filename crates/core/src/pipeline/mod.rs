@@ -24,20 +24,37 @@
 //! streamed dataflow's double-buffering story, §5), the measured host wall-clock of
 //! the simulation itself (partitioning excluded, reported separately as
 //! `partition_ms`), and the raw per-batch cost snapshots for deeper analysis.
+//!
+//! Every stage runs under a **supervisor** (the `supervise_*` functions) shared by
+//! the serial and streamed executors: faults — injected by a
+//! [`crate::fault::FaultPlan`] or real (a checksum mismatch on a staged payload) —
+//! are retried with bounded backoff, repaired by a pure re-prepare, or absorbed by
+//! degrading the GEMM backend through [`crate::fault::fallback_backend`]. Because
+//! the supervisors key every decision on `(site, batch, attempt)` and re-preparing
+//! a batch is side-effect free, a recovered epoch is bitwise identical to a
+//! fault-free one, and [`EpochReport::fault_stats`] is identical between the serial
+//! and streamed executors at any thread count. What cannot be absorbed surfaces as
+//! a typed [`QgtcError`] from the `try_*` entry points ([`try_run_epoch`],
+//! [`stream::try_run_epoch_streamed`], [`try_build_plan`]); the panicking entry
+//! points delegate to them.
 
 pub mod stream;
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 use qgtc_gnn::models::{GnnModel, QuantizationSetting};
 use qgtc_gnn::{BatchedGinModel, ClusterGcnModel};
 use qgtc_graph::LoadedDataset;
+use qgtc_kernels::backend::BackendChoice;
+use qgtc_kernels::bmm::KernelConfig;
 use qgtc_kernels::packing::PreparedBatch;
-use qgtc_partition::{partition_kway, PartitionBatcher, PartitionConfig};
+use qgtc_partition::{partition_kway, try_partition_kway, PartitionBatcher, PartitionConfig};
 use qgtc_tcsim::cost::{CostSnapshot, CostTracker};
 use qgtc_tcsim::{DeviceModel, KernelEstimate, PipelineEstimate};
 
 use crate::config::{ExecutionPath, ModelKind, QgtcConfig};
+use crate::fault::{fallback_backend, FaultInjector, FaultKind, FaultSite, FaultStats, QgtcError};
 
 /// Result of one modeled inference epoch.
 #[derive(Debug, Clone)]
@@ -72,6 +89,10 @@ pub struct EpochReport {
     /// Per-batch cost deltas in epoch order (one entry per executed batch); these
     /// feed the pipelined latency model and the streamed-vs-serial identity tests.
     pub batch_costs: Vec<CostSnapshot>,
+    /// What the fault supervisor did this epoch: faults injected, retry cycles
+    /// run, faults fully recovered, and backend degradations (with the backend
+    /// the epoch finished on). All zeros on a fault-free run.
+    pub fault_stats: FaultStats,
 }
 
 impl EpochReport {
@@ -91,6 +112,11 @@ pub(crate) struct EpochContext<'a> {
     config: &'a QgtcConfig,
     model: GnnModel,
     setting: QuantizationSetting,
+    /// The kernel configuration the epoch is *currently* executing with. It starts
+    /// as a copy of `config.kernel` and differs only after the dispatch supervisor
+    /// degrades the backend mid-epoch (a `RefCell` because degradation happens on
+    /// the execute side, which exclusively owns the context's mutability).
+    kernel: RefCell<KernelConfig>,
 }
 
 impl<'a> EpochContext<'a> {
@@ -109,7 +135,18 @@ impl<'a> EpochContext<'a> {
             config,
             model,
             setting: QuantizationSetting::from_bits(config.bits),
+            kernel: RefCell::new(config.kernel),
         }
+    }
+
+    /// The backend choice the epoch is currently dispatching on.
+    pub(crate) fn current_backend(&self) -> BackendChoice {
+        self.kernel.borrow().backend
+    }
+
+    /// Degrade all remaining dispatches of this epoch to `backend`.
+    pub(crate) fn degrade_to(&self, backend: BackendChoice) {
+        self.kernel.borrow_mut().backend = backend;
     }
 }
 
@@ -137,6 +174,61 @@ pub(crate) fn build_plan(
         PartitionBatcher::new(&partitioning, config.batch_size),
         shards,
     )
+}
+
+/// Fallible form of the plan stage: validates the config
+/// ([`QgtcConfig::validate`]), partitions through the partitioner's typed-error
+/// entry points, and runs under the partition-site fault supervisor. Every
+/// invalid-argument panic of the old path (`batch_size == 0`, `num_parts == 0`,
+/// `num_parts > n`) is a [`QgtcError`] here.
+pub fn try_build_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+) -> Result<(PartitionBatcher, usize), QgtcError> {
+    let injector = FaultInjector::from_config(config)?;
+    supervised_build_plan(dataset, config, injector.as_ref())
+}
+
+/// The plan stage under supervision, sharing `injector` with the rest of the
+/// epoch so partition-phase faults land in the same [`FaultStats`].
+pub(crate) fn supervised_build_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    injector: Option<&FaultInjector>,
+) -> Result<(PartitionBatcher, usize), QgtcError> {
+    config.validate()?;
+    let max_retries = config.max_batch_retries as u32;
+    let mut attempt = 0u32;
+    let mut absorbed = 0u64;
+    while let Some(kind) = injector.and_then(|i| i.fault_at(FaultSite::Partition, 0, attempt)) {
+        let injector = injector.expect("fault_at fired, injector present");
+        injector.count_injected();
+        if kind == FaultKind::BackendLoss || attempt >= max_retries {
+            return Err(QgtcError::PartitionFailed {
+                attempts: attempt + 1,
+            });
+        }
+        injector.count_retried();
+        absorbed += 1;
+        backoff(attempt);
+        attempt += 1;
+    }
+    let partition_config = PartitionConfig::with_parts(config.num_partitions)
+        .with_parallelism(config.partition_parallelism);
+    let shards = partition_config.parallelism.effective_shards();
+    let partitioning = try_partition_kway(&dataset.graph, &partition_config)?;
+    let batcher = PartitionBatcher::try_new(&partitioning, config.batch_size)?;
+    if let Some(injector) = injector {
+        injector.count_recovered(absorbed);
+    }
+    Ok((batcher, shards))
+}
+
+/// Exponential backoff between supervised retries, starting at 50µs and capped
+/// well below any test timeout (50µs · 2⁶ = 3.2ms).
+fn backoff(attempt: u32) {
+    let micros = 50u64 << attempt.min(6);
+    std::thread::sleep(std::time::Duration::from_micros(micros));
 }
 
 /// Prepare stage: materialise batch `index` of the plan and pack its payload.
@@ -176,10 +268,13 @@ pub(crate) fn execute_batch(
     prepared.record_transfer(ctx.config.transfer, &state.tracker);
     match ctx.config.path {
         ExecutionPath::Qgtc => {
+            // The context's kernel config, not the original one: after a backend
+            // degradation the remaining batches dispatch on the fallback backend.
+            let kernel = *ctx.kernel.borrow();
             let _ = ctx.model.forward_prepared_quantized(
                 prepared,
                 ctx.setting,
-                &ctx.config.kernel,
+                &kernel,
                 &state.tracker,
             );
         }
@@ -194,6 +289,222 @@ pub(crate) fn execute_batch(
         .push(state.tracker.snapshot().delta_since(&before));
 }
 
+/// Produce stage under supervision: prepare batch `index` (and, in the streamed
+/// executor, hand it to the staging queue), retrying [`FaultSite::Prepare`] and
+/// [`FaultSite::Deposit`] faults as one bounded production cycle.
+///
+/// With `seal` the batch is sealed under its payload checksum before the deposit
+/// step — which is also where a planned [`FaultKind::Corruption`] flips payload
+/// bits *after* sealing, leaving a stale checksum for [`supervise_delivered`] to
+/// catch on the consumer side.
+pub(crate) fn supervise_prepare(
+    batcher: &PartitionBatcher,
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    injector: Option<&FaultInjector>,
+    index: usize,
+    seal: bool,
+) -> Result<PreparedBatch, QgtcError> {
+    let max_retries = config.max_batch_retries as u32;
+    let mut attempt = 0u32;
+    let mut absorbed = 0u64;
+    loop {
+        // Prepare-site faults fail the attempt before a batch exists.
+        if let Some(kind) = injector.and_then(|i| i.fault_at(FaultSite::Prepare, index, attempt)) {
+            let injector = injector.expect("fault_at fired, injector present");
+            injector.count_injected();
+            if kind == FaultKind::BackendLoss || attempt >= max_retries {
+                return Err(QgtcError::BatchFailed {
+                    batch: index,
+                    site: FaultSite::Prepare,
+                    kind,
+                    attempts: attempt + 1,
+                });
+            }
+            injector.count_retried();
+            absorbed += 1;
+            backoff(attempt);
+            attempt += 1;
+            continue;
+        }
+        let mut prepared = prepare_batch(batcher, dataset, config, index);
+        if seal {
+            prepared.seal_checksum();
+        }
+        // Deposit-site faults hit the hand-off into the staging queue.
+        match injector.and_then(|i| i.fault_at(FaultSite::Deposit, index, attempt)) {
+            Some(FaultKind::Corruption) => {
+                let injector = injector.expect("fault_at fired, injector present");
+                if prepared.corrupt_payload(injector.corruption_seed(index, attempt)) {
+                    injector.count_injected();
+                }
+                // The damaged batch is delivered as-is; detection (checksum
+                // mismatch) and repair (re-prepare) happen at take time.
+                injector.count_recovered(absorbed);
+                return Ok(prepared);
+            }
+            Some(kind) => {
+                let injector = injector.expect("fault_at fired, injector present");
+                injector.count_injected();
+                if kind == FaultKind::BackendLoss || attempt >= max_retries {
+                    return Err(QgtcError::BatchFailed {
+                        batch: index,
+                        site: FaultSite::Deposit,
+                        kind,
+                        attempts: attempt + 1,
+                    });
+                }
+                injector.count_retried();
+                absorbed += 1;
+                backoff(attempt);
+                attempt += 1;
+            }
+            None => {
+                if let Some(injector) = injector {
+                    injector.count_recovered(absorbed);
+                }
+                return Ok(prepared);
+            }
+        }
+    }
+}
+
+/// Take stage under supervision: validate the delivered batch's payload checksum
+/// and absorb [`FaultSite::Take`] faults, repairing by re-prepare (pure, so the
+/// repaired batch is bitwise identical to a fault-free preparation).
+pub(crate) fn supervise_delivered(
+    mut prepared: PreparedBatch,
+    batcher: &PartitionBatcher,
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    injector: Option<&FaultInjector>,
+    index: usize,
+    seal: bool,
+) -> Result<PreparedBatch, QgtcError> {
+    let max_retries = config.max_batch_retries as u32;
+    let mut attempt = 0u32;
+    let mut absorbed = 0u64;
+    loop {
+        let fault = injector.and_then(|i| i.fault_at(FaultSite::Take, index, attempt));
+        if let Some(injector) = injector {
+            if fault.is_some() {
+                injector.count_injected();
+            }
+        }
+        if fault == Some(FaultKind::BackendLoss) {
+            return Err(QgtcError::BatchFailed {
+                batch: index,
+                site: FaultSite::Take,
+                kind: FaultKind::BackendLoss,
+                attempts: attempt + 1,
+            });
+        }
+        // Checksum validation catches corruption whether it was injected or real.
+        let corrupted = !prepared.verify_payload();
+        if fault.is_none() && !corrupted {
+            if let Some(injector) = injector {
+                injector.count_recovered(absorbed);
+            }
+            return Ok(prepared);
+        }
+        if attempt >= max_retries {
+            return Err(QgtcError::BatchFailed {
+                batch: index,
+                site: FaultSite::Take,
+                kind: if corrupted {
+                    FaultKind::Corruption
+                } else {
+                    fault.unwrap_or(FaultKind::Transient)
+                },
+                attempts: attempt + 1,
+            });
+        }
+        if let Some(injector) = injector {
+            injector.count_retried();
+        }
+        absorbed += 1;
+        backoff(attempt);
+        // Repair: re-run the pure prepare stage. No re-deposit happens, so a
+        // deposit-time corruption cannot re-damage the repaired batch.
+        prepared = prepare_batch(batcher, dataset, config, index);
+        if seal {
+            prepared.seal_checksum();
+        }
+        attempt += 1;
+    }
+}
+
+/// Dispatch stage under supervision, run just before a batch's forward pass:
+/// transient [`FaultSite::Dispatch`] faults retry the dispatch; a persistent
+/// backend loss degrades the epoch's remaining batches through
+/// [`fallback_backend`] (or fails typed when the chain is exhausted).
+pub(crate) fn supervise_dispatch(
+    ctx: &EpochContext<'_>,
+    injector: Option<&FaultInjector>,
+    index: usize,
+) -> Result<(), QgtcError> {
+    let Some(injector) = injector else {
+        return Ok(());
+    };
+    let max_retries = ctx.config.max_batch_retries as u32;
+    let mut attempt = 0u32;
+    let mut absorbed = 0u64;
+    loop {
+        match injector.fault_at(FaultSite::Dispatch, index, attempt) {
+            None => {
+                injector.count_recovered(absorbed);
+                return Ok(());
+            }
+            Some(FaultKind::BackendLoss) => {
+                injector.count_injected();
+                let lost = ctx.current_backend();
+                match fallback_backend(lost) {
+                    Some(next) => {
+                        ctx.degrade_to(next);
+                        injector.count_degraded();
+                        injector.count_recovered(absorbed);
+                        return Ok(());
+                    }
+                    None => {
+                        return Err(QgtcError::BackendLost {
+                            backend: lost.name(),
+                            batch: index,
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                injector.count_injected();
+                if attempt >= max_retries {
+                    return Err(QgtcError::BatchFailed {
+                        batch: index,
+                        site: FaultSite::Dispatch,
+                        kind: FaultKind::Transient,
+                        attempts: attempt + 1,
+                    });
+                }
+                injector.count_retried();
+                absorbed += 1;
+                backoff(attempt);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Snapshot the injector's tallies for the report, attributing the degraded
+/// backend from the epoch context.
+pub(crate) fn fault_stats_from(
+    injector: Option<&FaultInjector>,
+    ctx: &EpochContext<'_>,
+) -> FaultStats {
+    let mut stats = injector.map(FaultInjector::stats).unwrap_or_default();
+    if stats.degraded > 0 {
+        stats.degraded_backend = Some(ctx.current_backend().name());
+    }
+    stats
+}
+
 /// Convert the accumulated state into the epoch report.
 pub(crate) fn finish_report(
     config: &QgtcConfig,
@@ -201,6 +512,7 @@ pub(crate) fn finish_report(
     partition_ms: f64,
     partition_shards: usize,
     epoch_start: Instant,
+    fault_stats: FaultStats,
 ) -> EpochReport {
     let cost = state.tracker.snapshot();
     let device = DeviceModel::new(config.gpu.clone());
@@ -217,6 +529,7 @@ pub(crate) fn finish_report(
         num_nodes: state.num_nodes,
         cost,
         batch_costs: state.batch_costs,
+        fault_stats,
     }
 }
 
@@ -228,12 +541,32 @@ pub(crate) fn finish_report(
 /// prepare stage with compute on the host and modeling transfer/compute overlap on
 /// the device.
 pub fn run_epoch(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
+    try_run_epoch(dataset, config).unwrap_or_else(|err| panic!("run_epoch: {err}"))
+}
+
+/// Fallible form of [`run_epoch`]: the serial epoch under the fault supervisor.
+/// Unrecoverable faults — and the invalid-argument conditions that used to panic
+/// deep inside the pipeline — surface as a typed [`QgtcError`].
+pub fn try_run_epoch(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+) -> Result<EpochReport, QgtcError> {
+    let injector = FaultInjector::from_config(config)?;
     // Phase 1: partitioning (host side; excluded from `host_wall_ms`, matching the
     // paper's measurement which excludes preprocessing).
     let partition_start = Instant::now();
-    let (batcher, partition_shards) = build_plan(dataset, config);
+    let (batcher, partition_shards) = supervised_build_plan(dataset, config, injector.as_ref())?;
     let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
-    serial_epoch_over_plan(dataset, config, &batcher, partition_ms, partition_shards)
+    let seal = injector.is_some();
+    try_serial_epoch_over_plan(
+        dataset,
+        config,
+        &batcher,
+        partition_ms,
+        partition_shards,
+        injector.as_ref(),
+        seal,
+    )
 }
 
 /// Run one serial inference epoch over an already-built batch plan.
@@ -249,26 +582,58 @@ pub fn run_epoch_with_plan(
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
 ) -> EpochReport {
-    serial_epoch_over_plan(dataset, config, batcher, 0.0, 0)
+    try_run_epoch_with_plan(dataset, config, batcher)
+        .unwrap_or_else(|err| panic!("run_epoch_with_plan: {err}"))
+}
+
+/// Fallible form of [`run_epoch_with_plan`].
+pub fn try_run_epoch_with_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+) -> Result<EpochReport, QgtcError> {
+    let injector = FaultInjector::from_config(config)?;
+    let seal = injector.is_some();
+    try_serial_epoch_over_plan(dataset, config, batcher, 0.0, 0, injector.as_ref(), seal)
 }
 
 /// The serial epoch body shared by [`run_epoch`] and [`run_epoch_with_plan`]:
-/// prepare → execute per batch, in order.
-pub(crate) fn serial_epoch_over_plan(
+/// prepare → execute per batch, in order, each stage under its supervisor.
+///
+/// `seal` controls the payload checksums: the serial entry points seal only when
+/// an injector is active — the fault-free serial oracle pays nothing for the
+/// machinery — while the streamed executor (including its degenerate-to-serial
+/// branch, which calls this body with `seal: true`) seals unconditionally,
+/// because there batches genuinely cross threads.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_serial_epoch_over_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
     partition_ms: f64,
     partition_shards: usize,
-) -> EpochReport {
+    injector: Option<&FaultInjector>,
+    seal: bool,
+) -> Result<EpochReport, QgtcError> {
     let epoch_start = Instant::now();
     let ctx = EpochContext::new(dataset, config);
     let mut state = EpochState::default();
     for index in 0..batcher.num_batches() {
-        let prepared = prepare_batch(batcher, dataset, config, index);
+        let prepared = supervise_prepare(batcher, dataset, config, injector, index, seal)?;
+        let prepared =
+            supervise_delivered(prepared, batcher, dataset, config, injector, index, seal)?;
+        supervise_dispatch(&ctx, injector, index)?;
         execute_batch(&ctx, &prepared, &mut state);
     }
-    finish_report(config, state, partition_ms, partition_shards, epoch_start)
+    let fault_stats = fault_stats_from(injector, &ctx);
+    Ok(finish_report(
+        config,
+        state,
+        partition_ms,
+        partition_shards,
+        epoch_start,
+        fault_stats,
+    ))
 }
 
 #[cfg(test)]

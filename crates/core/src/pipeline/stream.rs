@@ -61,8 +61,13 @@ use qgtc_kernels::packing::PreparedBatch;
 use qgtc_partition::PartitionBatcher;
 use rayon::prelude::*;
 
-use super::{build_plan, execute_batch, finish_report, prepare_batch, EpochContext, EpochState};
+use super::{
+    build_plan, execute_batch, fault_stats_from, finish_report, prepare_batch, supervise_delivered,
+    supervise_dispatch, supervise_prepare, supervised_build_plan, try_serial_epoch_over_plan,
+    EpochContext, EpochState,
+};
 use crate::config::QgtcConfig;
+use crate::fault::{FaultInjector, FaultStats, QgtcError};
 use crate::pipeline::EpochReport;
 
 /// Interior state of the staging queue, guarded by one mutex.
@@ -76,6 +81,9 @@ struct QueueState {
     consumed: usize,
     /// Set when either stage finishes or fails; wakes every waiter.
     closed: bool,
+    /// The first typed error a producer shard hit (a supervised prepare that
+    /// exhausted its retry budget); delivered to the consumer by [`StagingQueue::take`].
+    error: Option<QgtcError>,
 }
 
 /// Bounded, in-order staging queue between the producer shards and the compute
@@ -98,6 +106,7 @@ impl StagingQueue {
                 next_ticket: 0,
                 consumed: 0,
                 closed: false,
+                error: None,
             }),
             produced: Condvar::new(),
             window: Condvar::new(),
@@ -135,23 +144,42 @@ impl StagingQueue {
 
     /// Take batch `index`, blocking until a producer deposits it.
     ///
+    /// A queue failed through [`StagingQueue::fail`] yields the producer's typed
+    /// error once the deposited backlog ahead of it is drained.
+    ///
     /// # Panics
     ///
-    /// Panics if the queue closes (a producer shard died) before the batch lands.
-    fn take(&self, index: usize) -> PreparedBatch {
+    /// Panics if the queue closes without an error (a producer shard *panicked*,
+    /// as opposed to failing typed) before the batch lands.
+    fn take(&self, index: usize) -> Result<PreparedBatch, QgtcError> {
         let mut state = self.state.lock().expect("staging queue poisoned");
         loop {
             if let Some(prepared) = state.slots[index].take() {
                 state.consumed = index + 1;
                 self.window.notify_all();
-                return prepared;
+                return Ok(prepared);
             }
-            assert!(
-                !state.closed,
-                "streamed producers finished without preparing batch {index}"
-            );
+            if state.closed {
+                if let Some(err) = state.error.clone() {
+                    return Err(err);
+                }
+                panic!("streamed producers finished without preparing batch {index}");
+            }
             state = self.produced.wait(state).expect("staging queue poisoned");
         }
+    }
+
+    /// Close the queue carrying a typed producer error (first failure wins); every
+    /// waiter wakes, and the consumer's next undeposited [`StagingQueue::take`]
+    /// returns the error instead of panicking.
+    fn fail(&self, err: QgtcError) {
+        let mut state = self.state.lock().expect("staging queue poisoned");
+        if state.error.is_none() {
+            state.error = Some(err);
+        }
+        state.closed = true;
+        self.produced.notify_all();
+        self.window.notify_all();
     }
 
     /// Close the queue and wake every waiter (idempotent). Called by both stages
@@ -185,16 +213,47 @@ impl Drop for CloseOnDrop<'_> {
 /// degeneration — it is a function of the per-batch counters and
 /// `config.staging_depth()` alone.
 pub fn run_epoch_streamed(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
-    // One staging buffer (or one core) admits no useful lookahead: the serial loop
-    // *is* the degenerate schedule, so run it verbatim — same function, same wall
-    // clock, same counters.
-    if degenerates_to_serial(config) {
-        return super::run_epoch(dataset, config);
-    }
+    try_run_epoch_streamed(dataset, config)
+        .unwrap_or_else(|err| panic!("run_epoch_streamed: {err}"))
+}
+
+/// Fallible form of [`run_epoch_streamed`]: the streamed epoch under the fault
+/// supervisor. Producer shards run the supervised prepare stage and surface an
+/// unrecoverable failure through the queue's typed-error channel instead of a
+/// panic; the consumer validates every delivered payload against its sealed
+/// checksum (the streamed path seals unconditionally — batches genuinely cross
+/// threads here) and repairs or retries per the supervisor's policies.
+pub fn try_run_epoch_streamed(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+) -> Result<EpochReport, QgtcError> {
+    let injector = FaultInjector::from_config(config)?;
     let partition_start = Instant::now();
-    let (batcher, partition_shards) = build_plan(dataset, config);
+    let (batcher, partition_shards) = supervised_build_plan(dataset, config, injector.as_ref())?;
     let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
-    streamed_epoch_over_plan(dataset, config, &batcher, partition_ms, partition_shards)
+    // One staging buffer (or one core) admits no useful lookahead: the serial loop
+    // *is* the degenerate schedule, so run it verbatim — still sealing payload
+    // checksums, so the robustness machinery is measured (and exercised)
+    // identically on any host.
+    if degenerates_to_serial(config) {
+        return try_serial_epoch_over_plan(
+            dataset,
+            config,
+            &batcher,
+            partition_ms,
+            partition_shards,
+            injector.as_ref(),
+            true,
+        );
+    }
+    try_streamed_epoch_over_plan(
+        dataset,
+        config,
+        &batcher,
+        partition_ms,
+        partition_shards,
+        injector.as_ref(),
+    )
 }
 
 /// Run one streamed inference epoch over an already-built batch plan (the
@@ -205,10 +264,69 @@ pub fn run_epoch_streamed_with_plan(
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
 ) -> EpochReport {
+    try_run_epoch_streamed_with_plan(dataset, config, batcher)
+        .unwrap_or_else(|err| panic!("run_epoch_streamed_with_plan: {err}"))
+}
+
+/// Fallible form of [`run_epoch_streamed_with_plan`].
+pub fn try_run_epoch_streamed_with_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+) -> Result<EpochReport, QgtcError> {
+    let injector = FaultInjector::from_config(config)?;
     if degenerates_to_serial(config) {
-        return super::run_epoch_with_plan(dataset, config, batcher);
+        return try_serial_epoch_over_plan(
+            dataset,
+            config,
+            batcher,
+            0.0,
+            0,
+            injector.as_ref(),
+            true,
+        );
     }
-    streamed_epoch_over_plan(dataset, config, batcher, 0.0, 0)
+    try_streamed_epoch_over_plan(dataset, config, batcher, 0.0, 0, injector.as_ref())
+}
+
+/// The PR 3 streamed executor, verbatim: no supervisor, no payload checksums, no
+/// fault plan (an active `QGTC_FAULTS` spec is deliberately ignored). This is the
+/// perfsmoke overhead baseline the supervised [`run_epoch_streamed`] is measured
+/// against — the two must stay bitwise identical on fault-free runs.
+pub fn run_epoch_streamed_raw(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
+    let partition_start = Instant::now();
+    let (batcher, partition_shards) = build_plan(dataset, config);
+    let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
+    if degenerates_to_serial(config) {
+        return raw_serial_over_plan(dataset, config, &batcher, partition_ms, partition_shards);
+    }
+    streamed_epoch_over_plan(dataset, config, &batcher, partition_ms, partition_shards)
+}
+
+/// The raw (unsupervised, unsealed) serial loop backing
+/// [`run_epoch_streamed_raw`]'s degenerate path.
+fn raw_serial_over_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+    partition_ms: f64,
+    partition_shards: usize,
+) -> EpochReport {
+    let epoch_start = Instant::now();
+    let ctx = EpochContext::new(dataset, config);
+    let mut state = EpochState::default();
+    for index in 0..batcher.num_batches() {
+        let prepared = prepare_batch(batcher, dataset, config, index);
+        execute_batch(&ctx, &prepared, &mut state);
+    }
+    finish_report(
+        config,
+        state,
+        partition_ms,
+        partition_shards,
+        epoch_start,
+        FaultStats::default(),
+    )
 }
 
 /// Whether the streamed executor should fall back to the serial loop: one staging
@@ -218,8 +336,8 @@ fn degenerates_to_serial(config: &QgtcConfig) -> bool {
     config.prefetch_batches.max(1) == 1 || rayon::current_num_threads() <= 1
 }
 
-/// The threaded streamed-executor body shared by the public entry points (and, via
-/// tests, exercised even on single-core hosts where the public entries degenerate).
+/// The raw (unsupervised) threaded streamed-executor body (and, via tests,
+/// exercised even on single-core hosts where the public entries degenerate).
 fn streamed_epoch_over_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
@@ -238,7 +356,14 @@ fn streamed_epoch_over_plan(
             let prepared = prepare_batch(batcher, dataset, config, index);
             execute_batch(&ctx, &prepared, &mut state);
         }
-        return finish_report(config, state, partition_ms, partition_shards, epoch_start);
+        return finish_report(
+            config,
+            state,
+            partition_ms,
+            partition_shards,
+            epoch_start,
+            FaultStats::default(),
+        );
     }
 
     // At most `depth` batches can be staged or in flight, so more shards than
@@ -281,11 +406,116 @@ fn streamed_epoch_over_plan(
         // the scope can join them and propagate the panic.
         let _close = CloseOnDrop(queue);
         for index in 0..total {
-            let prepared = queue.take(index);
+            // The raw path has no typed-error producers, so a failed take can only
+            // be the close-without-deposit panic inside `take` itself.
+            let prepared = queue
+                .take(index)
+                .unwrap_or_else(|err| panic!("raw streamed take: {err}"));
             execute_batch(&ctx, &prepared, &mut state);
         }
     });
-    finish_report(config, state, partition_ms, partition_shards, epoch_start)
+    finish_report(
+        config,
+        state,
+        partition_ms,
+        partition_shards,
+        epoch_start,
+        FaultStats::default(),
+    )
+}
+
+/// The supervised threaded streamed-executor body: producer shards run
+/// [`supervise_prepare`] (sealing every payload) and fail the queue typed on an
+/// unrecoverable batch; the consumer drains in order through
+/// [`supervise_delivered`] (checksum validation + repair) and
+/// [`supervise_dispatch`] (retry / backend degradation) before executing.
+fn try_streamed_epoch_over_plan(
+    dataset: &LoadedDataset,
+    config: &QgtcConfig,
+    batcher: &PartitionBatcher,
+    partition_ms: f64,
+    partition_shards: usize,
+    injector: Option<&FaultInjector>,
+) -> Result<EpochReport, QgtcError> {
+    let total = batcher.num_batches();
+    if total <= 1 {
+        // Nothing to overlap; the sealed serial body is the same schedule.
+        return try_serial_epoch_over_plan(
+            dataset,
+            config,
+            batcher,
+            partition_ms,
+            partition_shards,
+            injector,
+            true,
+        );
+    }
+    let epoch_start = Instant::now();
+    let ctx = EpochContext::new(dataset, config);
+    let mut state = EpochState::default();
+    let depth = config.prefetch_batches.max(1);
+
+    // Same shard cap as the raw body: more shards than staging buffers would only
+    // block on the window while pinning pool workers the consumer needs.
+    let shards = depth
+        .min(rayon::current_num_threads().div_ceil(2))
+        .min(total)
+        .max(1);
+    let queue = StagingQueue::new(total, depth);
+    let mut outcome: Result<(), QgtcError> = Ok(());
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        scope.spawn(move || {
+            let _close = CloseOnDrop(queue);
+            (0..shards).into_par_iter().for_each(|_| {
+                while let Some(index) = queue.claim() {
+                    // As in the raw body, a panic inside prepare must close the
+                    // queue before propagating; a *typed* failure (retry budget
+                    // exhausted) instead travels through the queue's error
+                    // channel so the consumer returns it instead of panicking.
+                    let produced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        supervise_prepare(batcher, dataset, config, injector, index, true)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        queue.close();
+                        std::panic::resume_unwind(payload);
+                    });
+                    match produced {
+                        Ok(prepared) => queue.deposit(index, prepared),
+                        Err(err) => {
+                            queue.fail(err);
+                            return;
+                        }
+                    }
+                }
+            });
+        });
+
+        let _close = CloseOnDrop(queue);
+        for index in 0..total {
+            let result = queue.take(index).and_then(|prepared| {
+                let prepared =
+                    supervise_delivered(prepared, batcher, dataset, config, injector, index, true)?;
+                supervise_dispatch(&ctx, injector, index)?;
+                execute_batch(&ctx, &prepared, &mut state);
+                Ok(())
+            });
+            if let Err(err) = result {
+                outcome = Err(err);
+                break;
+            }
+        }
+    });
+    outcome?;
+    let fault_stats = fault_stats_from(injector, &ctx);
+    Ok(finish_report(
+        config,
+        state,
+        partition_ms,
+        partition_shards,
+        epoch_start,
+        fault_stats,
+    ))
 }
 
 #[cfg(test)]
@@ -375,7 +605,7 @@ mod tests {
                     );
                 }
             });
-            let first = queue.take(0);
+            let first = queue.take(0).expect("batch 0 was deposited");
             assert_eq!(first.batch_index, 0);
         });
         // Consuming batch 0 advanced the window: ticket 2 is available now.
@@ -394,5 +624,81 @@ mod tests {
         assert_eq!(queue.claim(), Some(0));
         queue.close();
         let _ = queue.take(0);
+    }
+
+    #[test]
+    fn failed_queue_surfaces_the_typed_error_after_draining_deposits() {
+        let queue = StagingQueue::new(3, 3);
+        assert_eq!(queue.claim(), Some(0));
+        assert_eq!(queue.claim(), Some(1));
+        let sub = qgtc_graph::DenseSubgraph {
+            nodes: vec![],
+            adjacency: qgtc_tensor::Matrix::zeros(0, 0),
+            num_edges: 0,
+        };
+        queue.deposit(
+            0,
+            PreparedBatch::dense(0, sub, qgtc_tensor::Matrix::zeros(0, 4)),
+        );
+        queue.fail(QgtcError::PartitionFailed { attempts: 2 });
+        // Already-deposited work ahead of the failure still drains...
+        assert!(queue.take(0).is_ok());
+        // ...then the missing slot yields the producer's typed error, not a panic.
+        assert!(matches!(
+            queue.take(1),
+            Err(QgtcError::PartitionFailed { attempts: 2 })
+        ));
+        // New tickets stop flowing on a failed queue.
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn consumer_panic_unblocks_producers_stuck_on_a_full_window() {
+        // The reverse shutdown direction of `take_after_close_without_deposit...`:
+        // the *consumer* dies while producer shards are blocked on the full
+        // staging window. The consumer's close-on-unwind guard must wake the
+        // producers so the scope can join them, and the panic must propagate.
+        let dataset = tiny_dataset();
+        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
+            .scaled_partitions(16, 2)
+            .with_prefetch(2);
+        let (batcher, _) = build_plan(&dataset, &config);
+        let total = batcher.num_batches();
+        assert!(total > 4, "need more batches than the window holds");
+        let queue = StagingQueue::new(total, 2);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let queue = &queue;
+                let batcher = &batcher;
+                let dataset = &dataset;
+                let config = &config;
+                scope.spawn(move || {
+                    let _close = CloseOnDrop(queue);
+                    while let Some(index) = queue.claim() {
+                        queue.deposit(index, prepare_batch(batcher, dataset, config, index));
+                    }
+                });
+                // Wait until the window is genuinely full (both slots deposited,
+                // nothing consumed), so the producer is parked on `claim`.
+                loop {
+                    {
+                        let state = queue.state.lock().expect("queue poisoned");
+                        if state.slots[0].is_some() && state.slots[1].is_some() {
+                            break;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                let _close = CloseOnDrop(queue);
+                panic!("consumer died before taking anything");
+            });
+        }));
+        assert!(
+            unwound.is_err(),
+            "the consumer's panic must propagate through the joined scope"
+        );
+        // The unwind closed the queue: no producer is left blocked, and no new
+        // tickets flow.
+        assert_eq!(queue.claim(), None);
     }
 }

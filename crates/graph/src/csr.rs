@@ -6,6 +6,64 @@
 
 use crate::coo::CooGraph;
 
+/// A structural defect in raw CSR input.
+///
+/// The `Display` strings deliberately reproduce the messages of the historical
+/// `CsrGraph::from_parts` panics, so the panicking constructor can delegate to the
+/// fallible one without changing any observable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// `row_ptr` was empty; even the empty graph needs the single leading `0`.
+    EmptyRowPtr,
+    /// The final `row_ptr` entry does not equal `col_indices.len()`.
+    RowPtrEndMismatch {
+        /// The last `row_ptr` entry.
+        last: usize,
+        /// The length of `col_indices`.
+        expected: usize,
+    },
+    /// `row_ptr` decreases between two consecutive entries.
+    NonMonotoneRowPtr {
+        /// Index of the first entry of the offending pair.
+        index: usize,
+    },
+    /// A column index refers to a node outside `0..num_nodes`.
+    ColumnOutOfRange {
+        /// Position of the bad entry within `col_indices`.
+        index: usize,
+        /// The out-of-range column value.
+        value: usize,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::EmptyRowPtr => write!(f, "row_ptr must have at least one entry"),
+            GraphError::RowPtrEndMismatch { last, expected } => write!(
+                f,
+                "row_ptr must end at col_indices.len() (row_ptr ends at {last}, col_indices has {expected} entries)"
+            ),
+            GraphError::NonMonotoneRowPtr { index } => write!(
+                f,
+                "row_ptr must be non-decreasing (decreases at entry {index})"
+            ),
+            GraphError::ColumnOutOfRange {
+                index,
+                value,
+                num_nodes,
+            } => write!(
+                f,
+                "column index out of range (col_indices[{index}] = {value}, but the graph has {num_nodes} nodes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A graph in compressed sparse row format.
 ///
 /// `row_ptr` has `num_nodes + 1` entries; the neighbours of node `u` are
@@ -44,27 +102,71 @@ impl CsrGraph {
         }
     }
 
+    /// Build a CSR graph from a COO edge list, validating the result.
+    ///
+    /// `from_coo` cannot produce a malformed graph from a well-formed [`CooGraph`]
+    /// (the COO builder bounds-checks every edge), so this exists for callers that
+    /// want a uniformly fallible construction surface — e.g. ingest paths that treat
+    /// every graph source through `Result`.
+    pub fn try_from_coo(coo: &CooGraph) -> Result<Self, GraphError> {
+        let csr = Self::from_coo(coo);
+        csr.validate()?;
+        Ok(csr)
+    }
+
     /// Build directly from raw CSR arrays, validating their consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input; [`CsrGraph::try_from_parts`] is the fallible
+    /// equivalent with the same checks.
     pub fn from_parts(row_ptr: Vec<usize>, col_indices: Vec<usize>) -> Self {
-        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
-        assert_eq!(
-            *row_ptr.last().unwrap(),
-            col_indices.len(),
-            "row_ptr must end at col_indices.len()"
-        );
-        assert!(
-            row_ptr.windows(2).all(|w| w[0] <= w[1]),
-            "row_ptr must be non-decreasing"
-        );
-        let n = row_ptr.len() - 1;
-        assert!(
-            col_indices.iter().all(|&c| c < n),
-            "column index out of range"
-        );
-        Self {
+        Self::try_from_parts(row_ptr, col_indices).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Build directly from raw CSR arrays, returning a typed error on malformed
+    /// input instead of panicking.
+    pub fn try_from_parts(
+        row_ptr: Vec<usize>,
+        col_indices: Vec<usize>,
+    ) -> Result<Self, GraphError> {
+        let candidate = Self {
             row_ptr,
             col_indices,
+        };
+        candidate.validate()?;
+        Ok(candidate)
+    }
+
+    /// Check the CSR invariants: non-empty `row_ptr`, final entry equal to the
+    /// column count, monotone row offsets, and in-bounds column indices.
+    ///
+    /// All public constructors uphold these by construction; `validate` re-checks
+    /// them for data that crossed a trust boundary (deserialisation, FFI, or a
+    /// suspected in-memory corruption).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.row_ptr.is_empty() {
+            return Err(GraphError::EmptyRowPtr);
         }
+        let last = *self.row_ptr.last().unwrap();
+        if last != self.col_indices.len() {
+            return Err(GraphError::RowPtrEndMismatch {
+                last,
+                expected: self.col_indices.len(),
+            });
+        }
+        if let Some(index) = self.row_ptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(GraphError::NonMonotoneRowPtr { index });
+        }
+        let n = self.row_ptr.len() - 1;
+        if let Some((index, &value)) = self.col_indices.iter().enumerate().find(|&(_, &c)| c >= n) {
+            return Err(GraphError::ColumnOutOfRange {
+                index,
+                value,
+                num_nodes: n,
+            });
+        }
+        Ok(())
     }
 
     /// Number of nodes.
@@ -196,6 +298,68 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn from_parts_rejects_decreasing_row_ptr() {
         let _ = CsrGraph::from_parts(vec![0, 2, 1, 3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_from_parts_reports_each_invariant() {
+        assert_eq!(
+            CsrGraph::try_from_parts(vec![], vec![]),
+            Err(GraphError::EmptyRowPtr)
+        );
+        assert_eq!(
+            CsrGraph::try_from_parts(vec![0, 1, 3], vec![1, 0]),
+            Err(GraphError::RowPtrEndMismatch {
+                last: 3,
+                expected: 2
+            })
+        );
+        assert_eq!(
+            CsrGraph::try_from_parts(vec![0, 2, 1, 3], vec![0, 1, 2]),
+            Err(GraphError::NonMonotoneRowPtr { index: 1 })
+        );
+        assert_eq!(
+            CsrGraph::try_from_parts(vec![0, 1, 2], vec![1, 5]),
+            Err(GraphError::ColumnOutOfRange {
+                index: 1,
+                value: 5,
+                num_nodes: 2
+            })
+        );
+        let ok = CsrGraph::try_from_parts(vec![0, 1, 2], vec![1, 0]).expect("well-formed");
+        assert_eq!(ok.num_nodes(), 2);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn try_from_coo_accepts_valid_input() {
+        let coo = CooGraph::from_edges(4, vec![(0, 3), (0, 1), (2, 0), (3, 2)]);
+        let csr = CsrGraph::try_from_coo(&coo).expect("COO input is bounds-checked");
+        assert_eq!(csr, CsrGraph::from_coo(&coo));
+    }
+
+    #[test]
+    fn graph_error_display_preserves_panic_substrings() {
+        // The panicking constructor formats these errors directly, so the historical
+        // panic-message substrings must survive in each Display string.
+        assert!(GraphError::EmptyRowPtr
+            .to_string()
+            .contains("row_ptr must have at least one entry"));
+        assert!(GraphError::RowPtrEndMismatch {
+            last: 3,
+            expected: 2
+        }
+        .to_string()
+        .contains("row_ptr must end at col_indices.len()"));
+        assert!(GraphError::NonMonotoneRowPtr { index: 1 }
+            .to_string()
+            .contains("row_ptr must be non-decreasing"));
+        assert!(GraphError::ColumnOutOfRange {
+            index: 0,
+            value: 9,
+            num_nodes: 2
+        }
+        .to_string()
+        .contains("column index out of range"));
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod stats;
 pub mod subgraph;
 
 pub use coo::CooGraph;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, GraphError};
 pub use datasets::{DatasetProfile, LoadedDataset};
 pub use subgraph::DenseSubgraph;

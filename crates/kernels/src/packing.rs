@@ -135,6 +135,28 @@ impl SubgraphPayload {
         let packed = self.transfer_bytes(TransferStrategy::PackedCompound).max(1);
         self.transfer_bytes(TransferStrategy::DenseFloat) as f64 / packed as f64
     }
+
+    /// Checksum over both packed stacks plus the scalar header fields.
+    ///
+    /// One `u64` covers the whole payload: any bit flip in the packed adjacency or
+    /// packed features (or a mismatched header) changes the value. The streamed
+    /// pipeline seals this into the [`PreparedBatch`] at deposit time and
+    /// re-derives it at take time to catch in-flight corruption.
+    pub fn checksum(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut hash = 0x9e3779b97f4a7c15_u64;
+        for value in [
+            self.num_nodes as u64,
+            self.num_edges as u64,
+            self.feature_dim as u64,
+            u64::from(self.feature_bits),
+            self.packed_adjacency.checksum(),
+            self.packed_features.checksum(),
+        ] {
+            hash = (hash ^ value).wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
 }
 
 /// One batch fully prepared for the compute stage: the materialised dense subgraph,
@@ -157,6 +179,12 @@ pub struct PreparedBatch {
     /// The packed transfer payload; `None` on the dense-baseline path (which ships
     /// raw fp32 tensors) and for empty batches.
     pub payload: Option<SubgraphPayload>,
+    /// Checksum sealed over `payload` at deposit time, or `None` while unsealed.
+    ///
+    /// Sealing is explicit ([`PreparedBatch::seal_checksum`]) rather than part of
+    /// construction, so executors that do not stage batches across threads (the
+    /// plain serial loop) never pay for it.
+    pub payload_checksum: Option<u64>,
 }
 
 impl PreparedBatch {
@@ -180,6 +208,7 @@ impl PreparedBatch {
             subgraph,
             features,
             payload,
+            payload_checksum: None,
         }
     }
 
@@ -190,7 +219,61 @@ impl PreparedBatch {
             subgraph,
             features,
             payload: None,
+            payload_checksum: None,
         }
+    }
+
+    /// Seal the current payload under a checksum (a no-op on payload-less batches).
+    ///
+    /// The streamed executor seals every batch on the producer side before it
+    /// enters the staging queue; [`PreparedBatch::verify_payload`] then re-derives
+    /// the checksum on the consumer side.
+    pub fn seal_checksum(&mut self) {
+        self.payload_checksum = self.payload.as_ref().map(SubgraphPayload::checksum);
+    }
+
+    /// Whether the payload still matches its sealed checksum.
+    ///
+    /// Returns `true` for unsealed or payload-less batches — there is nothing to
+    /// validate against — and `false` exactly when a sealed payload's bits have
+    /// changed since [`PreparedBatch::seal_checksum`].
+    pub fn verify_payload(&self) -> bool {
+        match (&self.payload, self.payload_checksum) {
+            (Some(payload), Some(sealed)) => payload.checksum() == sealed,
+            _ => true,
+        }
+    }
+
+    /// Flip payload bits *without* re-sealing — the fault-injection corruption
+    /// hook (see `StackedBitMatrix::flip_word_bits`).
+    ///
+    /// `seed` deterministically picks a stack, plane, word, and mask. Returns
+    /// `false` when there is no payload to corrupt (dense-baseline or empty
+    /// batches), so the injector can tell whether the fault actually landed.
+    pub fn corrupt_payload(&mut self, seed: u64) -> bool {
+        let Some(payload) = &mut self.payload else {
+            return false;
+        };
+        // SplitMix64 finalizer: decorrelate the seed bits before carving them up.
+        let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        let mask = ((x >> 32) as u32) | 1;
+        let stack = if x & 1 == 0 && payload.packed_features.packed_bytes() > 0 {
+            &mut payload.packed_features
+        } else {
+            &mut payload.packed_adjacency
+        };
+        let (planes, lanes, words_per_lane) = stack.packed_shape();
+        let total_words = lanes * words_per_lane;
+        if planes == 0 || total_words == 0 {
+            return false;
+        }
+        let plane_index = ((x >> 8) % u64::from(planes)) as usize;
+        let word_index = ((x >> 16) as usize) % total_words;
+        stack.flip_word_bits(plane_index, word_index, mask);
+        true
     }
 
     /// Number of nodes in the batch.
@@ -369,6 +452,59 @@ mod tests {
         let prepared = PreparedBatch::pack_quantized(0, sub, features, 2);
         assert_eq!(prepared.num_nodes(), 0);
         assert!(prepared.payload.is_none());
+    }
+
+    #[test]
+    fn seal_verify_and_corrupt_round_trip() {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 60,
+                num_blocks: 3,
+                intra_degree: 4.0,
+                inter_degree: 0.5,
+            },
+            11,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let sub = DenseSubgraph::extract(&graph, &(0..40).collect::<Vec<_>>());
+        let features = sub.gather_features(&random_uniform_matrix(60, 16, -1.0, 1.0, 5));
+        let mut prepared = PreparedBatch::pack_quantized(0, sub, features, 3);
+
+        // Unsealed batches always verify, even after corruption (nothing to compare).
+        assert!(prepared.verify_payload());
+        prepared.seal_checksum();
+        assert!(prepared.payload_checksum.is_some());
+        assert!(prepared.verify_payload(), "clean sealed batch verifies");
+
+        // Every corruption seed must land a detectable flip on a sealed payload.
+        for seed in 0..32u64 {
+            let mut damaged = prepared.clone();
+            assert!(damaged.corrupt_payload(seed), "seed {seed} must corrupt");
+            assert!(!damaged.verify_payload(), "seed {seed} must be detected");
+            damaged.seal_checksum();
+            assert!(damaged.verify_payload(), "re-sealing accepts the new bits");
+        }
+    }
+
+    #[test]
+    fn dense_and_empty_batches_cannot_be_corrupted() {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 20,
+                num_blocks: 2,
+                intra_degree: 3.0,
+                inter_degree: 0.5,
+            },
+            7,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let sub = DenseSubgraph::extract(&graph, &(0..10).collect::<Vec<_>>());
+        let features = sub.gather_features(&random_uniform_matrix(20, 8, 0.0, 1.0, 8));
+        let mut dense = PreparedBatch::dense(0, sub, features);
+        dense.seal_checksum();
+        assert_eq!(dense.payload_checksum, None, "no payload, nothing to seal");
+        assert!(!dense.corrupt_payload(3), "no payload, nothing to corrupt");
+        assert!(dense.verify_payload());
     }
 
     #[test]

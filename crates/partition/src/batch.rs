@@ -8,7 +8,7 @@
 
 use qgtc_graph::{CsrGraph, DenseSubgraph};
 
-use crate::metis::Partitioning;
+use crate::metis::{PartitionError, Partitioning};
 
 /// A batch of partitions ready for GNN computation.
 #[derive(Debug, Clone)]
@@ -64,18 +64,16 @@ impl PartitionBatcher {
     /// Panics if `batch_size == 0`: a zero-partition batch has no meaning in the
     /// cluster-GCN execution model, and silently clamping it would hide a
     /// configuration bug upstream (`QgtcConfig::scaled_partitions` clamps to 1 for
-    /// callers that want the lenient behaviour).
+    /// callers that want the lenient behaviour). [`PartitionBatcher::try_new`] is the
+    /// fallible equivalent.
     pub fn new(partitioning: &Partitioning, batch_size: usize) -> Self {
-        assert!(batch_size >= 1, "batch_size must be at least 1");
-        let partitions: Vec<Vec<usize>> = partitioning
-            .part_nodes()
-            .into_iter()
-            .filter(|p| !p.is_empty())
-            .collect();
-        Self {
-            partitions,
-            batch_size,
-        }
+        Self::try_new(partitioning, batch_size).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible form of [`PartitionBatcher::new`]: `batch_size == 0` becomes a typed
+    /// [`PartitionError`] instead of a panic.
+    pub fn try_new(partitioning: &Partitioning, batch_size: usize) -> Result<Self, PartitionError> {
+        Self::try_from_partitions(partitioning.part_nodes(), batch_size)
     }
 
     /// Create a batcher from explicit partition node lists.
@@ -84,11 +82,21 @@ impl PartitionBatcher {
     ///
     /// Panics if `batch_size == 0` (see [`PartitionBatcher::new`]).
     pub fn from_partitions(partitions: Vec<Vec<usize>>, batch_size: usize) -> Self {
-        assert!(batch_size >= 1, "batch_size must be at least 1");
-        Self {
+        Self::try_from_partitions(partitions, batch_size).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible form of [`PartitionBatcher::from_partitions`].
+    pub fn try_from_partitions(
+        partitions: Vec<Vec<usize>>,
+        batch_size: usize,
+    ) -> Result<Self, PartitionError> {
+        if batch_size == 0 {
+            return Err(PartitionError::ZeroBatchSize);
+        }
+        Ok(Self {
             partitions: partitions.into_iter().filter(|p| !p.is_empty()).collect(),
             batch_size,
-        }
+        })
     }
 
     /// Number of non-empty partitions.
@@ -253,5 +261,20 @@ mod tests {
     fn zero_batch_size_rejected() {
         let (_, p) = graph_and_partitioning();
         let _ = PartitionBatcher::new(&p, 0);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_error_on_zero_batch_size() {
+        let (_, p) = graph_and_partitioning();
+        assert_eq!(
+            PartitionBatcher::try_new(&p, 0).err(),
+            Some(crate::metis::PartitionError::ZeroBatchSize)
+        );
+        assert_eq!(
+            PartitionBatcher::try_from_partitions(vec![vec![0]], 0).err(),
+            Some(crate::metis::PartitionError::ZeroBatchSize)
+        );
+        let batcher = PartitionBatcher::try_new(&p, 2).expect("valid batch size");
+        assert_eq!(batcher.num_batches(), 3);
     }
 }

@@ -40,7 +40,8 @@ pub mod shard;
 
 pub use batch::{PartitionBatcher, SubgraphBatch};
 pub use metis::{
-    partition_kway, partition_kway_with_stats, Parallelism, PartitionConfig, Partitioning,
+    partition_kway, partition_kway_with_stats, try_partition_kway, try_partition_kway_with_stats,
+    Parallelism, PartitionConfig, PartitionError, Partitioning,
 };
 pub use quality::{partition_quality, PartitionQuality};
 pub use shard::ShardStats;

@@ -154,6 +154,50 @@ impl Partitioning {
     }
 }
 
+/// An invalid-argument failure of the partitioning layer.
+///
+/// The `Display` strings reproduce the historical panic messages of
+/// [`partition_kway`] and [`crate::batch::PartitionBatcher::new`] exactly, so the
+/// panicking entry points can delegate to the fallible ones without changing any
+/// observable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `num_parts == 0`: a zero-way partition has no meaning.
+    ZeroParts,
+    /// `initial_candidates == 0`: the initial-partitioning panel needs at least one entrant.
+    ZeroCandidates,
+    /// `num_parts` exceeds the node count of a non-empty graph.
+    TooManyParts {
+        /// The requested part count.
+        num_parts: usize,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+    /// `batch_size == 0`: a zero-partition batch has no meaning in the cluster-GCN model.
+    ZeroBatchSize,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroParts => write!(f, "num_parts must be at least 1 (got 0)"),
+            PartitionError::ZeroCandidates => {
+                write!(f, "initial_candidates must be at least 1 (got 0)")
+            }
+            PartitionError::TooManyParts {
+                num_parts,
+                num_nodes,
+            } => write!(
+                f,
+                "num_parts ({num_parts}) exceeds the graph's node count ({num_nodes}); partitions cannot be empty by construction"
+            ),
+            PartitionError::ZeroBatchSize => write!(f, "batch_size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// Partition a graph into `config.num_parts` parts using multilevel k-way
 /// partitioning. Convenience over [`partition_kway_with_stats`], discarding the
 /// work accounting.
@@ -171,6 +215,15 @@ pub fn partition_kway(graph: &CsrGraph, config: &PartitionConfig) -> Partitionin
     partition_kway_with_stats(graph, config).0
 }
 
+/// Fallible form of [`partition_kway`]: invalid arguments become a typed
+/// [`PartitionError`] instead of a panic.
+pub fn try_partition_kway(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+) -> Result<Partitioning, PartitionError> {
+    try_partition_kway_with_stats(graph, config).map(|(partitioning, _)| partitioning)
+}
+
 /// Partition a graph and return the per-shard work accounting alongside.
 ///
 /// The [`ShardStats`] record how much work each phase did in total and on the
@@ -185,38 +238,52 @@ pub fn partition_kway_with_stats(
     graph: &CsrGraph,
     config: &PartitionConfig,
 ) -> (Partitioning, ShardStats) {
+    try_partition_kway_with_stats(graph, config).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible form of [`partition_kway_with_stats`]: invalid arguments become a
+/// typed [`PartitionError`] instead of a panic. The empty-graph exemption is
+/// unchanged — an empty graph yields an empty partitioning for any
+/// `num_parts >= 1`.
+pub fn try_partition_kway_with_stats(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+) -> Result<(Partitioning, ShardStats), PartitionError> {
     let n = graph.num_nodes();
     let k = config.num_parts;
-    assert!(k >= 1, "num_parts must be at least 1 (got 0)");
-    assert!(
-        config.initial_candidates >= 1,
-        "initial_candidates must be at least 1 (got 0)"
-    );
+    if k == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
+    if config.initial_candidates == 0 {
+        return Err(PartitionError::ZeroCandidates);
+    }
     let shards = config.parallelism.effective_shards();
     let mut stats = ShardStats::new(shards);
     if n == 0 {
-        return (
+        return Ok((
             Partitioning {
                 parts: Vec::new(),
                 num_parts: k,
                 edge_cut: 0,
             },
             stats,
-        );
+        ));
     }
-    assert!(
-        k <= n,
-        "num_parts ({k}) exceeds the graph's node count ({n}); partitions cannot be empty by construction"
-    );
+    if k > n {
+        return Err(PartitionError::TooManyParts {
+            num_parts: k,
+            num_nodes: n,
+        });
+    }
     if k == 1 {
-        return (
+        return Ok((
             Partitioning {
                 parts: vec![0; n],
                 num_parts: 1,
                 edge_cut: 0,
             },
             stats,
-        );
+        ));
     }
 
     let base = WeightedGraph::from_csr(graph);
@@ -226,14 +293,14 @@ pub fn partition_kway_with_stats(
     if k == n {
         let parts: Vec<usize> = (0..n).collect();
         let cut = edge_cut_sharded(&base, &parts, shards, &mut stats);
-        return (
+        return Ok((
             Partitioning {
                 parts,
                 num_parts: n,
                 edge_cut: cut,
             },
             stats,
-        );
+        ));
     }
 
     // Phase 1: coarsening. The next level is built against the previous level's
@@ -300,14 +367,14 @@ pub fn partition_kway_with_stats(
     }
 
     let cut = edge_cut_sharded(&base, &parts, shards, &mut stats);
-    (
+    Ok((
         Partitioning {
             parts,
             num_parts: k,
             edge_cut: cut,
         },
         stats,
-    )
+    ))
 }
 
 #[cfg(test)]

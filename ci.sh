@@ -21,6 +21,12 @@
 #                          proptests under RAYON_NUM_THREADS in {1, 2, 8},
 #                          plus the tiny-scale backend race (the race — and
 #                          only the race — is skipped in FAST)
+#   tiling                 the panel-staged fused GEMM: scheme-blind bitwise
+#                          proptests under RAYON_NUM_THREADS in {1, 2, 8},
+#                          plus a tiny-scale autotuner run and the tuned-vs-
+#                          fixed tiling probe against the freshly tuned table
+#                          (the tuner+probe — and only they — are skipped in
+#                          FAST)
 #   chaos                  fault-injection chaos proptests (recoverable plans
 #                          recover bitwise, unrecoverable ones fail typed)
 #                          under RAYON_NUM_THREADS in {1, 2, 8}; FAST shrinks
@@ -31,7 +37,8 @@
 #                          pipeline, sharded partitioner, fault-supervisor
 #                          overhead  [skipped in FAST]
 #   benchcheck             committed BENCH_*.json files parse, carry the
-#                          expected keys, and clear their committed bars
+#                          expected keys, and clear their committed bars;
+#                          the committed TUNE_gemm.json validates strictly
 #   doc                    cargo doc with zero warnings
 #
 # A wall-clock summary table of the executed stages prints at the end.
@@ -40,7 +47,7 @@ cd "$(dirname "$0")"
 
 FAST="${QGTC_CI_FAST:-0}"
 ONLY="${QGTC_CI_STAGE:-}"
-KNOWN_STAGES="fmt clippy build-release test partition-determinism backend chaos bench-compile examples perfsmoke benchcheck doc"
+KNOWN_STAGES="fmt clippy build-release test partition-determinism backend tiling chaos bench-compile examples perfsmoke benchcheck doc"
 
 # Surface the stage menu up front instead of failing silently later: an unknown
 # QGTC_CI_STAGE aborts immediately with the list, and an unset one announces
@@ -120,6 +127,35 @@ backend_stage() {
     fi
 }
 
+tiling_stage() {
+    # The tiling contract: any scheme on any popcount body must be bitwise
+    # identical to the baseline oracle, at every thread-pool width — the
+    # staged double-buffered K loop must not introduce order dependence.
+    local threads
+    for threads in 1 2 8; do
+        echo "--- RAYON_NUM_THREADS=$threads"
+        env RAYON_NUM_THREADS="$threads" cargo test --test fused_gemm_props -q
+    done
+    if [[ "$FAST" == "1" ]]; then
+        echo "--- tiling autotuner + probe skipped (QGTC_CI_FAST=1)"
+    else
+        # Tune at tiny scale into a scratch table, then point the probe's
+        # Auto resolution at it: this exercises the full tune-then-dispatch
+        # loop (grid search, bitwise oracle asserts, table parse, lookup)
+        # without touching the committed full-scale TUNE_gemm.json.
+        echo "--- tiling autotuner (tiny scale)"
+        env QGTC_SCALE=tiny \
+            QGTC_TUNE_OUT=target/TUNE_gemm.tiny.json \
+            cargo run --release -p qgtc-bench --bin tilingtune
+        echo "--- tiling probe (tiny scale, freshly tuned table)"
+        env QGTC_SCALE=tiny \
+            QGTC_PERFSMOKE_PROBE=tiling \
+            QGTC_TUNE_FILE=target/TUNE_gemm.tiny.json \
+            QGTC_TILING_OUT=target/BENCH_tiling.tiny.json \
+            cargo run --release -p qgtc-bench --bin perfsmoke
+    fi
+}
+
 chaos_stage() {
     # Fault determinism is keyed on (site, batch, attempt), never on thread
     # identity — so the whole chaos suite must pass unchanged at every pool
@@ -148,13 +184,18 @@ perfsmoke_tiny() {
     #  * the supervised streamed executor (checksums + fault supervisor, faults
     #    disabled) must be bitwise identical to the raw executor and not slower
     #    (15% tolerance tiny; full scale enforces the 5% overhead budget;
-    #    committed BENCH_faults.json).
+    #    committed BENCH_faults.json);
+    #  * the tuned panel-staged kernel must clear the tiny headline bar vs the
+    #    fixed-scheme kernel, resolved through the committed TUNE_gemm.json
+    #    (full scale enforces 1.15x + >=1 profile win; committed
+    #    BENCH_tiling.json).
     env QGTC_SCALE=tiny \
         QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
         QGTC_PIPELINE_OUT=target/BENCH_pipeline.tiny.json \
         QGTC_PARTITION_OUT=target/BENCH_partition.tiny.json \
         QGTC_BACKEND_OUT=target/BENCH_backend.tiny.json \
         QGTC_FAULTS_OUT=target/BENCH_faults.tiny.json \
+        QGTC_TILING_OUT=target/BENCH_tiling.tiny.json \
         cargo run --release -p qgtc-bench --bin perfsmoke
 }
 
@@ -180,6 +221,7 @@ fi
 stage test cargo test --workspace -q # superset of the tier-1 `cargo test -q`
 stage partition-determinism partition_determinism
 stage backend backend_stage
+stage tiling tiling_stage
 stage chaos chaos_stage
 stage bench-compile cargo bench --no-run --workspace
 stage examples cargo build --workspace --examples --bins

@@ -208,7 +208,7 @@ pub struct BenchSpec {
     pub gates: &'static [(&'static str, &'static str)],
 }
 
-/// The five committed perf reports and their contracts.
+/// The six committed perf reports and their contracts.
 pub fn committed_bench_specs() -> Vec<BenchSpec> {
     vec![
         BenchSpec {
@@ -339,7 +339,113 @@ pub fn committed_bench_specs() -> Vec<BenchSpec> {
             ],
             gates: &[("supervised_speedup_vs_raw", "supervised_not_slower_bar")],
         },
+        BenchSpec {
+            file: "BENCH_tiling.json",
+            bench: "gemm_tiled_vs_fixed",
+            required_keys: &[
+                "scale",
+                "reps",
+                "body",
+                "headline_speedup",
+                "headline_bar",
+                "profile_wins",
+                "profile_wins_min",
+            ],
+            rows_key: "shapes",
+            row_keys: &[
+                "name",
+                "m",
+                "k",
+                "n",
+                "shape_class",
+                "scheme",
+                "fixed_ns_per_op",
+                "tuned_ns_per_op",
+                "speedup",
+            ],
+            gates: &[
+                ("headline_speedup", "headline_bar"),
+                ("profile_wins", "profile_wins_min"),
+            ],
+        },
     ]
+}
+
+/// The popcount-body names a tune entry may be keyed by
+/// (`PopcountBody::name`).
+const TUNE_BODIES: [&str; 3] = ["portable", "avx2", "avx512"];
+/// The shape classes a tune entry may be keyed by (`shape_class`).
+const TUNE_CLASSES: [&str; 3] = ["small", "medium", "large"];
+
+/// Strict validation of the committed `TUNE_gemm.json` autotuner table.
+///
+/// The runtime loader (`qgtc_kernels::TuneTable::parse`) is deliberately
+/// forgiving — kernel dispatch must never fail on a stale file — so the
+/// strictness lives here, where `benchcheck` runs it in CI: the `"file"`
+/// identifier, a non-empty `"entries"` array, a known popcount body and shape
+/// class per entry, no duplicate `(body, shape class)` keys, and a scheme
+/// string that [`TilingScheme::parse`] accepts — a malformed scheme is
+/// rejected with the parser's typed error, verbatim.
+///
+/// [`TilingScheme::parse`]: qgtc_bitmat::fused::TilingScheme::parse
+pub fn validate_tune_table(text: &str) -> Result<String, String> {
+    use qgtc_bitmat::fused::TilingScheme;
+
+    let file = "TUNE_gemm.json";
+    let doc = parse_json(text).map_err(|err| format!("{file}: invalid JSON: {err}"))?;
+    let id = doc
+        .get("file")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{file}: missing \"file\" identifier"))?;
+    if id != file {
+        return Err(format!(
+            "{file}: file identifier is {id:?}, expected {file:?}"
+        ));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{file}: \"entries\" must be an array"))?;
+    if entries.is_empty() {
+        return Err(format!("{file}: \"entries\" is empty"));
+    }
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for (index, entry) in entries.iter().enumerate() {
+        let field = |key: &str| -> Result<&str, String> {
+            entry
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{file}: entries[{index}] is missing string key {key:?}"))
+        };
+        let body = field("body")?;
+        if !TUNE_BODIES.contains(&body) {
+            return Err(format!(
+                "{file}: entries[{index}] names unknown popcount body {body:?}"
+            ));
+        }
+        let class = field("shape_class")?;
+        if !TUNE_CLASSES.contains(&class) {
+            return Err(format!(
+                "{file}: entries[{index}] names unknown shape class {class:?}"
+            ));
+        }
+        let scheme = field("scheme")?;
+        // Surface the scheme parser's typed error: a malformed scheme string
+        // in the committed table must fail CI, not silently fall back to the
+        // baseline at dispatch time.
+        TilingScheme::parse(scheme).map_err(|err| format!("{file}: entries[{index}]: {err}"))?;
+        let key = (body.to_string(), class.to_string());
+        if seen.contains(&key) {
+            return Err(format!(
+                "{file}: entries[{index}] duplicates the ({body}, {class}) key"
+            ));
+        }
+        seen.push(key);
+    }
+    Ok(format!(
+        "{file}: {} entries, all schemes parse",
+        entries.len()
+    ))
 }
 
 /// Validate one report against its spec. Returns a human-readable summary line
@@ -618,6 +724,119 @@ mod tests {
             .unwrap();
         let err = validate_bench_report(&spec, &minimal_partition_report(1.2)).unwrap_err();
         assert!(err.contains("below its committed bar"), "{err}");
+    }
+
+    fn minimal_tiling_report(speedup: f64, wins: u64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\": \"gemm_tiled_vs_fixed\", \"scale\": \"fast\", \"reps\": 3, ",
+                "\"body\": \"avx2\", \"headline_speedup\": {speedup}, ",
+                "\"headline_bar\": 1.15, \"profile_wins\": {wins}, ",
+                "\"profile_wins_min\": 1, ",
+                "\"shapes\": [{{\"name\": \"headline\", \"m\": 1024, \"k\": 1024, \"n\": 1024, ",
+                "\"shape_class\": \"large\", \"scheme\": \"16x8x8\", ",
+                "\"fixed_ns_per_op\": 2, \"tuned_ns_per_op\": 1, \"speedup\": {speedup}}}]}}"
+            ),
+            speedup = speedup,
+            wins = wins
+        )
+    }
+
+    fn tiling_spec() -> BenchSpec {
+        committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_tiling.json")
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_a_healthy_tiling_report() {
+        let summary =
+            validate_bench_report(&tiling_spec(), &minimal_tiling_report(1.4, 3)).unwrap();
+        assert!(
+            summary.contains("headline_speedup 1.400 >= 1.150"),
+            "{summary}"
+        );
+        assert!(summary.contains("profile_wins 3.000 >= 1.000"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_a_tiling_report_below_its_bars() {
+        let slow = validate_bench_report(&tiling_spec(), &minimal_tiling_report(1.05, 3));
+        assert!(slow.unwrap_err().contains("headline_speedup"));
+        let no_wins = validate_bench_report(&tiling_spec(), &minimal_tiling_report(1.4, 0));
+        assert!(no_wins.unwrap_err().contains("profile_wins"));
+    }
+
+    #[test]
+    fn rejects_a_tiling_report_missing_its_scheme_row_key() {
+        let broken = minimal_tiling_report(1.4, 3).replace("\"scheme\": \"16x8x8\", ", "");
+        let err = validate_bench_report(&tiling_spec(), &broken).unwrap_err();
+        assert!(err.contains("missing key \"scheme\""), "{err}");
+    }
+
+    fn minimal_tune_table(scheme: &str) -> String {
+        format!(
+            concat!(
+                "{{\"file\": \"TUNE_gemm.json\", \"scale\": \"fast\", \"reps\": 2, ",
+                "\"entries\": [",
+                "{{\"body\": \"avx2\", \"shape_class\": \"large\", \"scheme\": \"{scheme}\", ",
+                "\"speedup_vs_baseline\": 2.0}}, ",
+                "{{\"body\": \"portable\", \"shape_class\": \"small\", \"scheme\": \"8x4x0\", ",
+                "\"speedup_vs_baseline\": 1.0}}",
+                "]}}"
+            ),
+            scheme = scheme
+        )
+    }
+
+    #[test]
+    fn validates_a_healthy_tune_table() {
+        let summary = validate_tune_table(&minimal_tune_table("16x8x8")).unwrap();
+        assert!(summary.contains("2 entries"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_a_malformed_scheme_with_the_parsers_typed_error() {
+        // Zero row block: structurally three fields, semantically invalid —
+        // only the scheme parser's own validation can catch it, and its typed
+        // error message must surface verbatim.
+        let err = validate_tune_table(&minimal_tune_table("0x8x8")).unwrap_err();
+        assert!(err.contains("invalid tiling scheme \"0x8x8\""), "{err}");
+        assert!(err.contains("row block must be at least 1"), "{err}");
+        let err = validate_tune_table(&minimal_tune_table("16x8")).unwrap_err();
+        assert!(err.contains("expected three 'x'-separated fields"), "{err}");
+        let err = validate_tune_table(&minimal_tune_table("wide")).unwrap_err();
+        assert!(err.contains("invalid tiling scheme"), "{err}");
+    }
+
+    #[test]
+    fn rejects_tune_tables_with_unknown_keys_or_duplicates() {
+        let bad_body = minimal_tune_table("16x8x8").replace("\"avx2\"", "\"sse9\"");
+        let err = validate_tune_table(&bad_body).unwrap_err();
+        assert!(err.contains("unknown popcount body"), "{err}");
+        let bad_class = minimal_tune_table("16x8x8").replace("\"large\"", "\"huge\"");
+        let err = validate_tune_table(&bad_class).unwrap_err();
+        assert!(err.contains("unknown shape class"), "{err}");
+        let duplicated = minimal_tune_table("16x8x8").replace(
+            "\"body\": \"portable\", \"shape_class\": \"small\"",
+            "\"body\": \"avx2\", \"shape_class\": \"large\"",
+        );
+        let err = validate_tune_table(&duplicated).unwrap_err();
+        assert!(err.contains("duplicates"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_or_misidentified_tune_tables() {
+        let err =
+            validate_tune_table("{\"file\": \"TUNE_gemm.json\", \"entries\": []}").unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        let err = validate_tune_table("{\"file\": \"nope.json\", \"entries\": [1]}").unwrap_err();
+        assert!(err.contains("file identifier"), "{err}");
+        let err = validate_tune_table("{\"entries\": [1]}").unwrap_err();
+        assert!(err.contains("missing \"file\""), "{err}");
+        let err = validate_tune_table(&minimal_tune_table("16x8x8")[..30]).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
     }
 
     #[test]

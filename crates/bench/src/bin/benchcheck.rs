@@ -1,16 +1,20 @@
-//! benchcheck: CI gate over the committed `BENCH_*.json` perf reports.
+//! benchcheck: CI gate over the committed `BENCH_*.json` perf reports and the
+//! `TUNE_gemm.json` autotuner table.
 //!
 //! Each committed report is parsed and checked against its contract (see
 //! [`qgtc_bench::benchjson`]): the `bench` identifier, the required top-level
 //! keys, a non-empty row array with the expected per-row keys, and every
 //! recorded speedup clearing the bar committed beside it. A stale, truncated or
 //! regressed report therefore fails CI instead of silently rotting at the repo
-//! root.
+//! root.  The tune table gets the strict validation the forgiving runtime
+//! loader deliberately omits — unknown bodies or shape classes, duplicate
+//! keys, and malformed scheme strings (surfaced with the scheme parser's
+//! typed error) all fail CI.
 //!
 //! Usage: `cargo run -p qgtc-bench --bin benchcheck [root_dir]`
 //! (`root_dir` defaults to the current directory, which is where `ci.sh` runs).
 
-use qgtc_bench::benchjson::{committed_bench_specs, validate_bench_report};
+use qgtc_bench::benchjson::{committed_bench_specs, validate_bench_report, validate_tune_table};
 
 fn main() {
     let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
@@ -31,6 +35,26 @@ fn main() {
                 eprintln!("benchcheck FAIL: {reason}");
                 failed = true;
             }
+        }
+    }
+    // The committed autotuner table is validated strictly here (the runtime
+    // loader is deliberately forgiving): a malformed scheme string must fail
+    // CI with the scheme parser's typed error, not fall back to the baseline.
+    let tune_path = std::path::Path::new(&root).join("TUNE_gemm.json");
+    match std::fs::read_to_string(&tune_path) {
+        Ok(text) => match validate_tune_table(&text) {
+            Ok(summary) => eprintln!("benchcheck OK: {summary}"),
+            Err(reason) => {
+                eprintln!("benchcheck FAIL: {reason}");
+                failed = true;
+            }
+        },
+        Err(err) => {
+            eprintln!(
+                "benchcheck FAIL: cannot read {}: {err}",
+                tune_path.display()
+            );
+            failed = true;
         }
     }
     if failed {

@@ -9,6 +9,7 @@ use crate::fault::{FaultPlan, QgtcError};
 use qgtc_kernels::backend::BackendChoice;
 use qgtc_kernels::bmm::KernelConfig;
 use qgtc_kernels::packing::TransferStrategy;
+use qgtc_kernels::tiling::TilingChoice;
 use qgtc_partition::Parallelism;
 use qgtc_tcsim::GpuSpec;
 
@@ -166,6 +167,16 @@ impl QgtcConfig {
         self
     }
 
+    /// Select the fused GEMM's tiling scheme (`Auto` resolves per
+    /// [`qgtc_kernels::tiling::resolve_tiling`]: the `QGTC_TILING` override,
+    /// then the committed `TUNE_gemm.json` table, then the baseline
+    /// constants; every scheme is bitwise identical, so this only affects
+    /// speed and the modeled backend's staging accounting).
+    pub fn with_tiling(mut self, tiling: TilingChoice) -> Self {
+        self.kernel.tiling = tiling;
+        self
+    }
+
     /// Inject a fault plan into the epoch (chaos testing; see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
@@ -217,6 +228,16 @@ mod tests {
         let c = c.with_backend(BackendChoice::Portable);
         assert_eq!(c.backend(), BackendChoice::Portable);
         assert_eq!(c.kernel.backend, BackendChoice::Portable);
+    }
+
+    #[test]
+    fn tiling_selection_round_trips_through_the_kernel_config() {
+        use qgtc_bitmat::fused::TilingScheme;
+        let c = QgtcConfig::default();
+        assert_eq!(c.kernel.tiling, TilingChoice::Auto);
+        let scheme = TilingScheme::parse("4x8x4").expect("valid scheme");
+        let c = c.with_tiling(TilingChoice::Fixed(scheme));
+        assert_eq!(c.kernel.tiling, TilingChoice::Fixed(scheme));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod stream;
 use std::cell::RefCell;
 use std::time::Instant;
 
-use qgtc_gnn::models::{GnnModel, QuantizationSetting};
+use qgtc_gnn::models::{GnnModel, QuantizationSetting, QuantizedWeightSet};
 use qgtc_gnn::{BatchedGinModel, ClusterGcnModel};
 use qgtc_graph::LoadedDataset;
 use qgtc_kernels::backend::BackendChoice;
@@ -93,6 +93,12 @@ pub struct EpochReport {
     /// run, faults fully recovered, and backend degradations (with the backend
     /// the epoch finished on). All zeros on a fault-free run.
     pub fault_stats: FaultStats,
+    /// How many weight-quantization passes the epoch ran. Model weights are
+    /// constant across an epoch, so the context quantizes them **once per
+    /// layer** up front and every batch shares the packed stacks: this is the
+    /// model's layer count on the low-bit QGTC path (not `batches × layers`)
+    /// and 0 on the dense-TC and baseline paths.
+    pub weight_quantizations: u64,
 }
 
 impl EpochReport {
@@ -117,6 +123,10 @@ pub(crate) struct EpochContext<'a> {
     /// degrades the backend mid-epoch (a `RefCell` because degradation happens on
     /// the execute side, which exclusively owns the context's mutability).
     kernel: RefCell<KernelConfig>,
+    /// The per-epoch quantized weight cache (low-bit QGTC path only): every
+    /// layer's weights quantized and bit-packed exactly once, shared by all of
+    /// the epoch's forward passes.
+    weights: Option<QuantizedWeightSet>,
 }
 
 impl<'a> EpochContext<'a> {
@@ -131,12 +141,30 @@ impl<'a> EpochContext<'a> {
                 GnnModel::BatchedGin(BatchedGinModel::new(feature_dim, num_classes, config.seed))
             }
         };
+        let setting = QuantizationSetting::from_bits(config.bits);
+        // Weights are constant across the epoch: quantize once per layer here
+        // and let every batch share the packed stacks.
+        let weights = match (config.path, setting) {
+            (ExecutionPath::Qgtc, QuantizationSetting::Quantized { bits }) => {
+                Some(model.prepare_weights(bits))
+            }
+            _ => None,
+        };
         Self {
             config,
             model,
-            setting: QuantizationSetting::from_bits(config.bits),
+            setting,
             kernel: RefCell::new(config.kernel),
+            weights,
         }
+    }
+
+    /// How many weight-quantization passes this epoch runs: one per layer on
+    /// the low-bit path (counted once, at context build time), 0 otherwise.
+    pub(crate) fn weight_quantize_calls(&self) -> u64 {
+        self.weights
+            .as_ref()
+            .map_or(0, QuantizedWeightSet::quantize_calls)
     }
 
     /// The backend choice the epoch is currently dispatching on.
@@ -157,6 +185,7 @@ pub(crate) struct EpochState {
     batch_costs: Vec<CostSnapshot>,
     num_batches: usize,
     num_nodes: usize,
+    weight_quantizations: u64,
 }
 
 /// Partition the graph and build the indexable batch plan (the preprocessing the
@@ -274,9 +303,13 @@ pub(crate) fn execute_batch(
             let _ = ctx.model.forward_prepared_quantized(
                 prepared,
                 ctx.setting,
+                ctx.weights.as_ref(),
                 &kernel,
                 &state.tracker,
             );
+            // An assignment, not an accumulation: the context quantized once
+            // at epoch start, so the total never grows with the batch count.
+            state.weight_quantizations = ctx.weight_quantize_calls();
         }
         ExecutionPath::DglBaseline => {
             let _ = ctx.model.forward_prepared_fp32(prepared, &state.tracker);
@@ -530,6 +563,7 @@ pub(crate) fn finish_report(
         cost,
         batch_costs: state.batch_costs,
         fault_stats,
+        weight_quantizations: state.weight_quantizations,
     }
 }
 
@@ -760,6 +794,34 @@ mod tests {
         );
         assert!(q.cost.tc_b1_tiles > 0);
         assert!(d.cost.cuda_sparse_flops > 0);
+    }
+
+    #[test]
+    fn weights_are_quantized_once_per_layer_per_epoch() {
+        let dataset = tiny_dataset();
+        let report = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)),
+        );
+        // One pass per layer, NOT batches × layers: the epoch context caches
+        // the packed weight stacks and every batch shares them.
+        assert_eq!(report.weight_quantizations, 3, "3-layer Cluster GCN");
+        assert!(
+            report.num_batches > 1,
+            "the cache claim is vacuous on a single-batch epoch"
+        );
+
+        // The dense-TC and baseline paths never bit-quantize weights.
+        let half = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::qgtc(ModelKind::ClusterGcn, 16)),
+        );
+        assert_eq!(half.weight_quantizations, 0);
+        let dgl = run_epoch(
+            &dataset,
+            &tiny_config(QgtcConfig::dgl_baseline(ModelKind::BatchedGin)),
+        );
+        assert_eq!(dgl.weight_quantizations, 0);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::{ops, Matrix};
 
 use crate::layers::{affine_update_offsets, forward_layers, DenseTcScaffold, GnnModelParams};
-use crate::models::{quantize_weights, row_degrees, BatchForwardOutput, QuantizationSetting};
+use crate::models::{row_degrees, BatchForwardOutput, QuantizationSetting, QuantizedWeightSet};
 
 /// The batched GIN model.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,11 +111,15 @@ impl BatchedGinModel {
                 // reaches the same stack via `repack`).
                 let packed_features =
                     pack_feature_matrix(features, bits, BitMatrixLayout::RowPacked);
+                // Dense-entry callers quantize the weights on the spot; epoch
+                // drivers reuse a per-epoch set via the prepared-batch path.
+                let weights = QuantizedWeightSet::prepare(&self.params, bits);
                 self.forward_low_bit(
                     subgraph,
                     &adjacency_stack,
                     &packed_features,
                     bits,
+                    &weights,
                     kernel_config,
                     tracker,
                 )
@@ -135,20 +139,25 @@ impl BatchedGinModel {
     /// dense features enter this function and no quantize call happens outside
     /// [`FusedEpilogue`]).  Each layer runs update GEMM → epilogue (affine
     /// dequantize + bias) → intra-layer re-quantize as the aggregation's right
-    /// operand → aggregation → affine dequantize → `+ (1+ε)·self` combine →
-    /// transition epilogue (ReLU + re-quantize as the next update's left
-    /// operand).  Crate-visible so [`crate::models::GnnModel`] can route a
-    /// [`qgtc_kernels::packing::PreparedBatch`]'s payload here without each
-    /// model duplicating the dispatch.
+    /// operand → aggregation → epilogue (affine dequantize with the
+    /// `+ (1+ε)·self` term folded in as a scaled addend — no standalone dense
+    /// combine pass) → transition epilogue (ReLU + re-quantize as the next
+    /// update's left operand).  Crate-visible so [`crate::models::GnnModel`]
+    /// can route a [`qgtc_kernels::packing::PreparedBatch`]'s payload here
+    /// without each model duplicating the dispatch.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn forward_low_bit(
         &self,
         subgraph: &DenseSubgraph,
         adjacency_stack: &StackedBitMatrix,
         packed_features: &StackedBitMatrix,
         bits: u32,
+        weights: &QuantizedWeightSet,
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
+        assert_eq!(weights.bits(), bits, "weight set bitwidth");
+        assert_eq!(weights.num_layers(), self.params.num_layers());
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
         // Epilogues run on the same backend as the GEMMs they are fused into.
@@ -166,15 +175,16 @@ impl BatchedGinModel {
                 .quant_params()
                 .expect("the quantized currency always carries its parameters");
 
-            // Node update first, on the packed left operand.
-            let (w_stack, w_params, w_colsums) =
-                quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
-            let update_acc = qgtc_bitmm2int(&x, &w_stack, kernel_config, tracker);
+            // Node update first, on the packed left operand, against the
+            // per-epoch weight cache (quantized once, shared by batches).
+            let w = weights.layer(l);
+            let (w_stack, w_params, w_colsums) = (&w.stack, w.params, &w.colsums);
+            let update_acc = qgtc_bitmm2int(&x, w_stack, kernel_config, tracker);
             let (row_off, col_off) = affine_update_offsets(
                 x_params,
                 w_params,
                 &x_rowsums,
-                &w_colsums,
+                w_colsums,
                 x.cols(),
                 &layer.bias,
             );
@@ -186,9 +196,10 @@ impl BatchedGinModel {
                 .into_dense()
                 .expect("dense epilogue");
 
-            // The (1 + ε) self term only needs `updated` scaled, so compute it
-            // first and let the epilogue consume `updated` by move.
-            let self_term = ops::scale(&updated, 1.0 + self.epsilon);
+            // The aggregation epilogue folds in the `(1 + ε)·updated` self
+            // term, so keep a copy before the intra-layer epilogue consumes
+            // `updated` by move.
+            let self_addend = updated.clone();
 
             // Intra-layer epilogue: re-quantize the (possibly negative) update
             // result as the aggregation's right operand.
@@ -201,18 +212,16 @@ impl BatchedGinModel {
                 .into_quantized()
                 .expect("requantizing epilogue");
             let agg_acc = qgtc_aggregate(adjacency_stack, &u_stack, kernel_config, tracker);
-            // Affine dequantize: A·u ≈ scale · (A·uc) + min · deg.
+            // Affine dequantize (A·u ≈ scale · (A·uc) + min · deg) with the
+            // GIN self term fused into the same epilogue pass — no standalone
+            // dense scale + add over the activations.
             let aggregation_epilogue = FusedEpilogue::dequantize_only(u_params.scale)
-                .with_row_offset(degrees.iter().map(|&d| u_params.min * d).collect());
-            let aggregated = backend
+                .with_row_offset(degrees.iter().map(|&d| u_params.min * d).collect())
+                .with_scaled_addend(self_addend, 1.0 + self.epsilon);
+            let combined = backend
                 .apply_epilogue(&aggregation_epilogue, &agg_acc, tracker)
                 .into_dense()
                 .expect("dense epilogue");
-
-            // Combine (the elementwise tail the fused kernel would fold into
-            // the same epilogue).
-            let combined = ops::add(&aggregated, &self_term).expect("shapes match");
-            tracker.record_fp32_flops(2 * combined.len() as u64);
             if last {
                 return BatchForwardOutput { logits: combined };
             }

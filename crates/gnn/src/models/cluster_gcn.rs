@@ -18,7 +18,7 @@ use qgtc_tensor::Matrix;
 
 use crate::layers::{affine_update_offsets, forward_layers, DenseTcScaffold, GnnModelParams};
 use crate::models::{
-    quantize_weights, row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting,
+    row_degrees, row_normalize, BatchForwardOutput, QuantizationSetting, QuantizedWeightSet,
 };
 
 /// The Cluster-GCN model: shared parameters plus both execution paths.
@@ -103,11 +103,15 @@ impl ClusterGcnModel {
                 // transfer payload does, then stay in the quantized domain.
                 let packed_features =
                     pack_feature_matrix(features, bits, BitMatrixLayout::ColPacked);
+                // Dense-entry callers quantize the weights on the spot; epoch
+                // drivers reuse a per-epoch set via the prepared-batch path.
+                let weights = QuantizedWeightSet::prepare(&self.params, bits);
                 self.forward_low_bit(
                     subgraph,
                     &adjacency_stack,
                     &packed_features,
                     bits,
+                    &weights,
                     kernel_config,
                     tracker,
                 )
@@ -132,12 +136,14 @@ impl ClusterGcnModel {
     /// [`crate::models::GnnModel`] can route a
     /// [`qgtc_kernels::packing::PreparedBatch`]'s payload here without each
     /// model duplicating the dispatch.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn forward_low_bit(
         &self,
         subgraph: &DenseSubgraph,
         adjacency_stack: &StackedBitMatrix,
         packed_features: &StackedBitMatrix,
         bits: u32,
+        weights: &QuantizedWeightSet,
         kernel_config: &KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
@@ -146,6 +152,8 @@ impl ClusterGcnModel {
             BitMatrixLayout::ColPacked,
             "packed features are the aggregation's right operand"
         );
+        assert_eq!(weights.bits(), bits, "weight set bitwidth");
+        assert_eq!(weights.num_layers(), self.params.num_layers());
         let degrees = row_degrees(&subgraph.adjacency);
         let num_layers = self.params.num_layers();
         // Epilogues run on the same backend as the GEMMs they are fused into.
@@ -174,11 +182,12 @@ impl ClusterGcnModel {
                 .into_quantized_with_rowsums()
                 .expect("requantizing epilogue");
 
-            let (w_stack, w_params, w_colsums) =
-                quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
+            // The per-epoch weight cache: quantized once, shared by batches.
+            let w = weights.layer(l);
+            let (w_stack, w_params, w_colsums) = (&w.stack, w.params, &w.colsums);
 
             // Node update GEMM (the framework's fused bitMM2Int entry point).
-            let update_acc = qgtc_bitmm2int(&h_stack, &w_stack, kernel_config, tracker);
+            let update_acc = qgtc_bitmm2int(&h_stack, w_stack, kernel_config, tracker);
 
             // Epilogue 2 (fused into the update): affine×affine dequantization
             // plus bias; hidden layers additionally ReLU and re-quantize for
@@ -187,7 +196,7 @@ impl ClusterGcnModel {
                 h_params,
                 w_params,
                 &h_rowsums,
-                &w_colsums,
+                w_colsums,
                 h_stack.cols(),
                 &layer.bias,
             );

@@ -105,6 +105,7 @@ impl GnnModel {
         &self,
         prepared: &qgtc_kernels::packing::PreparedBatch,
         setting: QuantizationSetting,
+        weights: Option<&QuantizedWeightSet>,
         kernel_config: &qgtc_kernels::bmm::KernelConfig,
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
@@ -117,12 +118,25 @@ impl GnnModel {
                 bits,
                 "payload features must be packed at the run's bitwidth"
             );
+            // Epoch drivers pass the per-epoch weight cache; one-off callers
+            // get a freshly prepared (and immediately dropped) set, with
+            // identical numerics and cost accounting either way — weight
+            // quantization is a host-side, untracked transform.
+            let fresh;
+            let weights = match weights {
+                Some(set) => set,
+                None => {
+                    fresh = self.prepare_weights(bits);
+                    &fresh
+                }
+            };
             return match self {
                 GnnModel::ClusterGcn(model) => model.forward_low_bit(
                     &prepared.subgraph,
                     &payload.packed_adjacency,
                     &payload.packed_features,
                     bits,
+                    weights,
                     kernel_config,
                     tracker,
                 ),
@@ -131,6 +145,7 @@ impl GnnModel {
                     &payload.packed_adjacency,
                     &payload.packed_features,
                     bits,
+                    weights,
                     kernel_config,
                     tracker,
                 ),
@@ -154,6 +169,16 @@ impl GnnModel {
         }
     }
 
+    /// Quantize every layer's weights once at `bits` — the per-epoch weight
+    /// cache shared by all of the epoch's `forward_low_bit` calls.
+    pub fn prepare_weights(&self, bits: u32) -> QuantizedWeightSet {
+        let params = match self {
+            GnnModel::ClusterGcn(model) => &model.params,
+            GnnModel::BatchedGin(model) => &model.params,
+        };
+        QuantizedWeightSet::prepare(params, bits)
+    }
+
     /// Baseline fp32 forward over a prepared batch.
     pub fn forward_prepared_fp32(
         &self,
@@ -168,6 +193,77 @@ impl GnnModel {
                 model.forward_fp32_batch(&prepared.subgraph, &prepared.features, tracker)
             }
         }
+    }
+}
+
+/// One layer's quantized weights: the packed stack, its quantization
+/// parameters and the dense-code column sums the affine update offsets need.
+#[derive(Debug, Clone)]
+pub struct QuantizedLayerWeights {
+    /// Column-packed bit planes of the weight codes (the update GEMM's right
+    /// operand).
+    pub stack: StackedBitMatrix,
+    /// The affine quantization parameters of the codes.
+    pub params: QuantParams,
+    /// Per-column sums of the dense codes, consumed by the affine update
+    /// offsets (`crate::layers::affine_update_offsets`).
+    pub colsums: Vec<i64>,
+}
+
+/// Every layer's weights quantized **once** at a fixed bitwidth.
+///
+/// Model weights are constant across the batches of an epoch, so the epoch
+/// driver builds one of these per epoch ([`GnnModel::prepare_weights`]) and
+/// every `forward_low_bit` call shares the packed stacks instead of
+/// re-quantizing per layer per batch.  [`QuantizedWeightSet::quantize_calls`]
+/// records how many `quantize_weights` invocations built the set — exactly one
+/// per layer — so the epoch report can prove the cache did its job.
+#[derive(Debug, Clone)]
+pub struct QuantizedWeightSet {
+    bits: u32,
+    layers: Vec<QuantizedLayerWeights>,
+}
+
+impl QuantizedWeightSet {
+    /// Quantize every layer of `params` at `bits` (column-packed, the layout
+    /// both models' update GEMMs consume).
+    pub(crate) fn prepare(params: &crate::layers::GnnModelParams, bits: u32) -> Self {
+        let layers = params
+            .layers
+            .iter()
+            .map(|layer| {
+                let (stack, params, colsums) =
+                    quantize_weights(&layer.weight, bits, BitMatrixLayout::ColPacked);
+                QuantizedLayerWeights {
+                    stack,
+                    params,
+                    colsums,
+                }
+            })
+            .collect();
+        Self { bits, layers }
+    }
+
+    /// The bitwidth every layer was quantized at.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of layers in the set.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// How many weight-quantization passes built this set: one per layer, by
+    /// construction.  The epoch report surfaces this to prove weights are
+    /// quantized once per epoch, not once per batch.
+    pub fn quantize_calls(&self) -> u64 {
+        self.layers.len() as u64
+    }
+
+    /// Layer `l`'s quantized weights.
+    pub fn layer(&self, l: usize) -> &QuantizedLayerWeights {
+        &self.layers[l]
     }
 }
 
@@ -364,8 +460,28 @@ mod tests {
                 let via_prepared = model.forward_prepared_quantized(
                     &prepared,
                     setting,
+                    None,
                     &KernelConfig::default(),
                     &t_prepared,
+                );
+                // A shared per-epoch weight cache must change nothing.
+                let t_cached = CostTracker::new();
+                let weights = model.prepare_weights(setting.bits().min(8));
+                let via_cached = model.forward_prepared_quantized(
+                    &prepared,
+                    setting,
+                    Some(&weights),
+                    &KernelConfig::default(),
+                    &t_cached,
+                );
+                assert_eq!(
+                    via_prepared.logits, via_cached.logits,
+                    "cached weights must be bit-identical"
+                );
+                assert_eq!(
+                    t_prepared.snapshot(),
+                    t_cached.snapshot(),
+                    "cached weights must record identical costs"
                 );
                 let t_direct = CostTracker::new();
                 let direct = match model {
@@ -394,6 +510,19 @@ mod tests {
                     "prepared path must record identical costs"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn weight_set_quantizes_each_layer_exactly_once() {
+        let model = GnnModel::ClusterGcn(cluster_gcn::ClusterGcnModel::new(12, 4, 9));
+        let set = model.prepare_weights(3);
+        assert_eq!(set.num_layers(), 3);
+        assert_eq!(set.quantize_calls(), 3, "one quantization per layer");
+        assert_eq!(set.bits(), 3);
+        for l in 0..set.num_layers() {
+            assert_eq!(set.layer(l).stack.bits(), 3);
+            assert_eq!(set.layer(l).colsums.len(), set.layer(l).stack.cols());
         }
     }
 

@@ -35,14 +35,15 @@
 use crate::bmm::{record_tile_walk, KernelConfig, ACC_TILE_BYTES};
 use crate::fusion::{EpilogueOutput, FusedEpilogue};
 use qgtc_bitmat::fused::{
-    any_bit_gemm_fused_with_body, avx512_popcount_available, FusedGemmStats, PopcountBody,
+    any_bit_gemm_fused_tiled, any_bit_gemm_fused_with_body, any_bit_gemm_fused_with_scheme,
+    avx512_popcount_available, FusedGemmStats, PopcountBody, TilingScheme,
 };
 use qgtc_bitmat::StackedBitMatrix;
 use qgtc_tcsim::cost::{CostSnapshot, CostTracker};
 use qgtc_tcsim::wmma::tile_counts;
-use qgtc_tcsim::DeviceModel;
+use qgtc_tcsim::{DeviceModel, PanelStagingEstimate};
 use qgtc_tensor::Matrix;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Which [`GemmBackend`] a kernel call should run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,6 +113,30 @@ pub trait GemmBackend: Send + Sync {
     /// Fused any-bitwidth GEMM `C = A · B` (no skipping).
     fn any_bit_gemm(&self, a: &StackedBitMatrix, b: &StackedBitMatrix) -> Matrix<i64> {
         self.any_bit_gemm_with_stats(a, b, false).0
+    }
+
+    /// Fused GEMM under an explicit [`TilingScheme`] — the panel-staged,
+    /// K-loop double-buffered loop for non-baseline schemes, the legacy
+    /// kernel for the baseline.  The contract is scheme-blind: any scheme on
+    /// any backend must be bitwise identical to the portable oracle, with
+    /// identical [`FusedGemmStats`].
+    ///
+    /// The default routes the baseline scheme through
+    /// [`GemmBackend::any_bit_gemm_with_stats`] (so a backend's legacy path
+    /// stays its own) and staged schemes through the fastest staged body on
+    /// the host; backends that pin a body or charge staging costs override.
+    fn any_bit_gemm_tiled(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+        scheme: TilingScheme,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        if scheme.is_baseline() {
+            self.any_bit_gemm_with_stats(a, b, skip_zero_words)
+        } else {
+            any_bit_gemm_fused_tiled(a, b, skip_zero_words, scheme)
+        }
     }
 
     /// Fused GEMM with zero-word skipping; bitwise identical to
@@ -185,6 +210,18 @@ impl GemmBackend for PortableBackend {
     ) -> (Matrix<i64>, FusedGemmStats) {
         any_bit_gemm_fused_with_body(a, b, skip_zero_words, PopcountBody::Portable)
     }
+
+    fn any_bit_gemm_tiled(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+        scheme: TilingScheme,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        // The oracle stays scalar under every scheme, so the conformance
+        // suite's portable reference exercises the staged loop itself.
+        any_bit_gemm_fused_with_scheme(a, b, skip_zero_words, PopcountBody::Portable, scheme)
+    }
 }
 
 /// The AVX-512 `VPOPCNTDQ` body.  Only available on x86-64 hosts with
@@ -210,6 +247,16 @@ impl GemmBackend for Avx512Backend {
     ) -> (Matrix<i64>, FusedGemmStats) {
         any_bit_gemm_fused_with_body(a, b, skip_zero_words, PopcountBody::Avx512)
     }
+
+    fn any_bit_gemm_tiled(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+        scheme: TilingScheme,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        any_bit_gemm_fused_with_scheme(a, b, skip_zero_words, PopcountBody::Avx512, scheme)
+    }
 }
 
 /// The modeled tensor-core backend: same bitwise arithmetic as the host
@@ -223,6 +270,7 @@ impl GemmBackend for Avx512Backend {
 pub struct ModeledTcBackend {
     device: DeviceModel,
     tracker: CostTracker,
+    staging: Mutex<PanelStagingEstimate>,
 }
 
 impl ModeledTcBackend {
@@ -231,6 +279,7 @@ impl ModeledTcBackend {
         Self {
             device,
             tracker: CostTracker::new(),
+            staging: Mutex::new(PanelStagingEstimate::empty()),
         }
     }
 
@@ -252,6 +301,83 @@ impl ModeledTcBackend {
     /// Reset the accumulated cost accounting.
     pub fn reset(&self) {
         self.tracker.reset();
+        *self.staging.lock().unwrap() = PanelStagingEstimate::empty();
+    }
+
+    /// Accumulated in-kernel panel-staging schedule of every tiled call so
+    /// far: the modeled-GPU double-buffer story matching
+    /// [`DeviceModel::estimate_panel_staging`].  Empty until a non-baseline
+    /// scheme runs.
+    pub fn staging_estimate(&self) -> PanelStagingEstimate {
+        *self.staging.lock().unwrap()
+    }
+
+    /// Charge the staged walk of one `(a, b, scheme)` GEMM into the staging
+    /// schedule and the tracker's shared-memory lane.
+    ///
+    /// The schedule mirrors the host kernel exactly: each row-block work item
+    /// walks the output-column tiles, staging `ceil(pairs / k_panel)` K
+    /// panels per tile — `t · tile_cols · panel_words` widened words copied
+    /// DRAM→shared, consumed by the `s·t`-plane popcount MMAs over the
+    /// staged words — with panel `p + 1`'s copy overlapped against panel
+    /// `p`'s consumption (depth-2 double buffer).
+    fn charge_panel_staging(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        scheme: TilingScheme,
+    ) -> PanelStagingEstimate {
+        let (m, n) = (a.rows(), b.cols());
+        let s = a.bits() as u64;
+        let t = b.bits() as u64;
+        let pairs = a.plane(0).words_per_lane() / 2;
+        if m == 0 || n == 0 || pairs == 0 {
+            return PanelStagingEstimate::empty();
+        }
+        let k_panel = match scheme.k_panel_words {
+            0 => pairs,
+            kp => kp.min(pairs),
+        };
+        // One row block's walk: per column tile, the full K-panel sequence.
+        let mut panels: Vec<(u64, u64)> = Vec::new();
+        let mut walk = |rows_here: usize| {
+            panels.clear();
+            let mut col = 0;
+            while col < n {
+                let tile_cols = scheme.col_block.min(n - col) as u64;
+                let mut p_start = 0;
+                while p_start < pairs {
+                    let p_len = k_panel.min(pairs - p_start) as u64;
+                    let staged_bytes = t * tile_cols * p_len * 8;
+                    // 2 ops per MAC over the 64 K-bits of each widened word,
+                    // per (A plane, B plane) pair.
+                    let b1_ops = 2 * rows_here as u64 * tile_cols * s * t * p_len * 64;
+                    panels.push((staged_bytes, b1_ops));
+                    p_start += k_panel;
+                }
+                col += scheme.col_block;
+            }
+            self.device.estimate_panel_staging(&panels)
+        };
+        let full_blocks = m / scheme.row_block;
+        let tail_rows = m % scheme.row_block;
+        let mut total = PanelStagingEstimate::empty();
+        if full_blocks > 0 {
+            let per_block = walk(scheme.row_block);
+            for _ in 0..full_blocks {
+                total.accumulate(&per_block);
+            }
+        }
+        if tail_rows > 0 {
+            total.accumulate(&walk(tail_rows));
+        }
+        // Shared-memory traffic of the staging copies: every row-block walk
+        // stages the whole widened B image once.
+        self.tracker
+            .record_shared(t * n as u64 * pairs as u64 * 8 * m.div_ceil(scheme.row_block) as u64);
+        let mut accumulated = self.staging.lock().unwrap();
+        accumulated.accumulate(&total);
+        total
     }
 
     /// Modeled GPU seconds for everything charged so far.
@@ -297,6 +423,44 @@ impl GemmBackend for ModeledTcBackend {
             .record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
         (out, stats)
     }
+
+    fn any_bit_gemm_tiled(
+        &self,
+        a: &StackedBitMatrix,
+        b: &StackedBitMatrix,
+        skip_zero_words: bool,
+        scheme: TilingScheme,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        if scheme.is_baseline() {
+            return self.any_bit_gemm_with_stats(a, b, skip_zero_words);
+        }
+        // Same launch and analytic tile-walk charging as the unstaged call —
+        // the zero-tile census is scheme-independent by construction — plus
+        // the staged-panel double-buffer schedule.
+        let (m_tiles, n_tiles, _) = tile_counts(a.rows(), b.cols(), a.cols());
+        self.tracker
+            .record_kernel_launch((m_tiles * n_tiles) as u64);
+        record_tile_walk(
+            a,
+            b,
+            &Self::walk_config(skip_zero_words),
+            &self.tracker,
+            n_tiles as u64,
+        );
+        let (out, stats) = any_bit_gemm_fused_with_scheme(
+            a,
+            b,
+            skip_zero_words,
+            PopcountBody::detect_staged(),
+            scheme,
+        );
+        self.tracker
+            .record_fused_words(stats.total_words, stats.skipped_words());
+        self.tracker
+            .record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
+        self.charge_panel_staging(a, b, scheme);
+        (out, stats)
+    }
 }
 
 static PORTABLE: PortableBackend = PortableBackend;
@@ -331,6 +495,19 @@ pub fn resolve_auto() -> BackendChoice {
         BackendChoice::Avx512
     } else {
         BackendChoice::Portable
+    }
+}
+
+/// The popcount-body name a [`BackendChoice`]'s *staged* execution runs on —
+/// the lookup key into the `TUNE_gemm.json` autotuner table.  The named
+/// compute backends pin their own body; the modeled backend (and `Auto`,
+/// transitively) uses the fastest staged body on the host.
+pub fn staged_body_name(choice: BackendChoice) -> &'static str {
+    match choice {
+        BackendChoice::Auto => staged_body_name(resolve_auto()),
+        BackendChoice::Portable => PopcountBody::Portable.name(),
+        BackendChoice::Avx512 => PopcountBody::Avx512.name(),
+        BackendChoice::ModeledTc => PopcountBody::detect_staged().name(),
     }
 }
 
@@ -460,6 +637,68 @@ mod tests {
             .unwrap();
         let direct = ep.apply(&acc, &CostTracker::new()).into_dense().unwrap();
         assert_eq!(via_backend, direct);
+    }
+
+    #[test]
+    fn tiled_entry_matches_the_oracle_on_every_backend_and_scheme() {
+        let (a, b) = operands(17, 300, 9, 99);
+        for skip in [false, true] {
+            let oracle = PORTABLE.any_bit_gemm_with_stats(&a, &b, skip);
+            for scheme in ["8x4x0", "4x8x4", "1x1x1", "16x8x8", "32x4x1024"] {
+                let scheme = TilingScheme::parse(scheme).unwrap();
+                for backend in available_backends() {
+                    let got = backend.any_bit_gemm_tiled(&a, &b, skip, scheme);
+                    assert_eq!(
+                        got,
+                        oracle,
+                        "{} scheme {scheme} skip {skip}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn staged_body_names_key_the_tune_table() {
+        assert_eq!(staged_body_name(BackendChoice::Portable), "portable");
+        assert_eq!(staged_body_name(BackendChoice::Avx512), "avx512");
+        for choice in [BackendChoice::Auto, BackendChoice::ModeledTc] {
+            let name = staged_body_name(choice);
+            assert!(
+                ["portable", "avx2", "avx512"].contains(&name),
+                "{choice:?} -> {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_backend_charges_staging_for_staged_schemes_only() {
+        let modeled = ModeledTcBackend::rtx3090();
+        let (a, b) = operands(16, 256, 16, 7);
+        let _ = modeled.any_bit_gemm_tiled(&a, &b, true, TilingScheme::baseline());
+        assert_eq!(
+            modeled.staging_estimate().num_panels,
+            0,
+            "the baseline scheme stages nothing"
+        );
+        let before = modeled.snapshot();
+        let scheme = TilingScheme::parse("8x4x2").unwrap();
+        let _ = modeled.any_bit_gemm_tiled(&a, &b, true, scheme);
+        let est = modeled.staging_estimate();
+        // 2 row blocks x 4 column tiles x 2 K panels (pairs = 4, k_panel = 2).
+        assert_eq!(est.num_panels, 16);
+        assert!(est.overlapped_s <= est.serial_s);
+        assert!(est.overlapped_s >= est.stage_s.max(est.compute_s) - 1e-18);
+        assert!(est.overlap_speedup() >= 1.0);
+        let after = modeled.snapshot();
+        assert!(
+            after.shared_bytes > before.shared_bytes,
+            "staging copies must land in the shared-memory lane"
+        );
+        assert_eq!(after.kernel_launches, before.kernel_launches + 1);
+        modeled.reset();
+        assert_eq!(modeled.staging_estimate().num_panels, 0);
     }
 
     #[test]

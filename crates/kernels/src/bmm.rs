@@ -26,7 +26,8 @@
 //! aggregation kernel ([`qgtc_aggregate`]); the general case is the node-update
 //! GEMM, exposed under its framework name as [`qgtc_bitmm2int`].
 
-use crate::backend::{select_backend, BackendChoice};
+use crate::backend::{select_backend, staged_body_name, BackendChoice};
+use crate::tiling::{resolve_tiling, TilingChoice};
 use crate::zero_tile::census_plane;
 use qgtc_bitmat::gemm::any_bit_gemm_serial;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
@@ -68,6 +69,13 @@ pub struct KernelConfig {
     /// [`crate::backend::resolve_auto`]); every choice is bitwise identical,
     /// so this only affects speed and the modeled backend's cost accounting.
     pub backend: BackendChoice,
+    /// Which [`qgtc_bitmat::fused::TilingScheme`] the fused GEMM runs under.
+    /// `Auto` (the default) resolves per call through the `QGTC_TILING`
+    /// override, the committed `TUNE_gemm.json` autotuner table and the
+    /// baseline constants, in that order (see [`crate::tiling`]).  Every
+    /// scheme is bitwise identical; this only affects speed and the modeled
+    /// backend's staging accounting.
+    pub tiling: TilingChoice,
 }
 
 impl Default for KernelConfig {
@@ -77,6 +85,7 @@ impl Default for KernelConfig {
             reduction_order: ReductionOrder::CrossTile,
             fused_epilogue: true,
             backend: BackendChoice::Auto,
+            tiling: TilingChoice::Auto,
         }
     }
 }
@@ -89,6 +98,7 @@ impl KernelConfig {
             reduction_order: ReductionOrder::CrossBit,
             fused_epilogue: false,
             backend: BackendChoice::Auto,
+            tiling: TilingChoice::Fixed(qgtc_bitmat::fused::TilingScheme::baseline()),
         }
     }
 }
@@ -137,11 +147,18 @@ pub fn qgtc_bmm(
     // actual execution: with jumping on, the fused kernel runs its word-granular
     // zero-skip index (bitwise identical output); either way the kernel's own
     // word counts land in the tracker (every word visited, zero skipped, when
-    // jumping is off).  The arithmetic itself runs on the configured backend —
-    // every backend is bitwise identical, so the tracker numbers don't depend
-    // on the selection.
+    // jumping is off).  The arithmetic itself runs on the configured backend
+    // under the resolved tiling scheme — every (backend, scheme) pair is
+    // bitwise identical, so the tracker numbers don't depend on the selection.
+    let scheme = resolve_tiling(
+        config.tiling,
+        staged_body_name(config.backend),
+        a.rows(),
+        a.cols(),
+        b.cols(),
+    );
     let (out, stats) =
-        select_backend(config.backend).any_bit_gemm_with_stats(a, b, config.zero_tile_jumping);
+        select_backend(config.backend).any_bit_gemm_tiled(a, b, config.zero_tile_jumping, scheme);
     tracker.record_fused_words(stats.total_words, stats.skipped_words());
     // Output write traffic: one accumulator tile per output tile.
     tracker.record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
@@ -459,6 +476,37 @@ mod tests {
         assert_eq!(s.tc_b1_tiles_skipped, 0);
         assert_eq!(s.dram_read_bytes, (4 + 8) * 2 * 128);
         assert_eq!(s.cuda_int_ops, (4 * 8 + 8 * 64) * 2);
+    }
+
+    #[test]
+    fn tiled_config_is_bitwise_identical_with_identical_tracker_numbers() {
+        if std::env::var("QGTC_TILING").is_ok() {
+            return; // a global override would defeat the Fixed-choice arms
+        }
+        use crate::tiling::TilingChoice;
+        use qgtc_bitmat::fused::TilingScheme;
+        let a_codes = random_codes(20, 260, 3, 77);
+        let b_codes = random_codes(260, 12, 2, 78);
+        let a = StackedBitMatrix::from_codes(&a_codes, 3, BitMatrixLayout::RowPacked);
+        let b = StackedBitMatrix::from_codes(&b_codes, 2, BitMatrixLayout::ColPacked);
+        let baseline_cfg = KernelConfig {
+            tiling: TilingChoice::Fixed(TilingScheme::baseline()),
+            ..KernelConfig::default()
+        };
+        let t_base = CostTracker::new();
+        let base = qgtc_bmm(&a, &b, &baseline_cfg, &t_base);
+        for scheme in ["4x8x2", "1x1x1", "16x2x1"] {
+            let cfg = KernelConfig {
+                tiling: TilingChoice::Fixed(TilingScheme::parse(scheme).unwrap()),
+                ..KernelConfig::default()
+            };
+            let t_tiled = CostTracker::new();
+            let tiled = qgtc_bmm(&a, &b, &cfg, &t_tiled);
+            assert_eq!(tiled, base, "scheme {scheme}");
+            // The analytic walk and the fused word stats are scheme-independent,
+            // so the caller's tracker must not notice the tiling at all.
+            assert_eq!(t_tiled.snapshot(), t_base.snapshot(), "scheme {scheme}");
+        }
     }
 
     #[test]

@@ -137,6 +137,14 @@ pub struct FusedEpilogue {
     /// Optional per-row multiplier, applied after the offsets (e.g. the `1/deg`
     /// of a mean aggregation), before the activation.
     pub row_scale: Option<Vec<f32>>,
+    /// Optional elementwise addend folded in after the affine stage and before
+    /// the activation: `value += addend_scale · addend[i][j]`.  The home of
+    /// GIN's `+ (1 + ε)·h` self term, which would otherwise need a standalone
+    /// scale + add pass over the dense activations.
+    pub addend: Option<Matrix<f32>>,
+    /// Scale applied to `addend` (multiply-then-add per element, so the fused
+    /// form is bitwise identical to a standalone `scale` followed by `add`).
+    pub addend_scale: f32,
 }
 
 impl FusedEpilogue {
@@ -152,6 +160,8 @@ impl FusedEpilogue {
             row_offset: None,
             col_offset: None,
             row_scale: None,
+            addend: None,
+            addend_scale: 1.0,
         }
     }
 
@@ -202,6 +212,15 @@ impl FusedEpilogue {
         self
     }
 
+    /// Fold an elementwise scaled addend into the epilogue: after the affine
+    /// stage, `value += scale · addend[i][j]` — multiply-then-add per element,
+    /// bitwise identical to a standalone scale pass followed by an add pass.
+    pub fn with_scaled_addend(mut self, addend: Matrix<f32>, scale: f32) -> Self {
+        self.addend = Some(addend);
+        self.addend_scale = scale;
+        self
+    }
+
     /// Set the packing layout of the re-quantized output.
     pub fn with_output_layout(mut self, layout: BitMatrixLayout) -> Self {
         self.output_layout = layout;
@@ -246,6 +265,20 @@ impl FusedEpilogue {
                 flops += elems;
             }
         }
+        if let Some(addend) = &self.addend {
+            assert_eq!(
+                (addend.rows(), addend.cols()),
+                (accumulator.rows(), accumulator.cols()),
+                "addend shape"
+            );
+            for i in 0..accumulator.rows() {
+                let add_row = addend.row(i);
+                for (slot, &a) in dense.row_mut(i).iter_mut().zip(add_row) {
+                    *slot += self.addend_scale * a;
+                }
+            }
+            flops += 2 * elems; // one multiply and one add per element
+        }
         tracker.record_fp32_flops(flops);
         self.finish(dense, tracker)
     }
@@ -260,6 +293,10 @@ impl FusedEpilogue {
     /// still lives here.  Takes the matrix by value — callers that still need
     /// the dense activations afterwards clone at the call site.
     pub fn apply_dense(&self, dense: Matrix<f32>, tracker: &CostTracker) -> EpilogueOutput {
+        assert!(
+            self.addend.is_none(),
+            "the scaled addend belongs to the accumulator entry (`apply`)"
+        );
         self.finish(dense, tracker)
     }
 
@@ -563,6 +600,55 @@ mod tests {
         let out = ep.apply(&accumulator(), &tracker);
         let dense = out.as_dense().unwrap();
         assert!(dense.data().iter().all(|&v| v == f32::INFINITY));
+    }
+
+    #[test]
+    fn scaled_addend_matches_the_standalone_scale_add_composition() {
+        // The fused `+ s·addend` must be bitwise identical to the unfused
+        // ops::scale + ops::add composition it replaces (GIN's self term).
+        use qgtc_tensor::ops;
+        let addend = Matrix::from_vec(2, 3, vec![0.3f32, -1.7, 2.5, 0.0, 4.2, -0.01]).unwrap();
+        let eps_scale = 1.0 + 0.37f32;
+
+        let fused_tracker = CostTracker::new();
+        let fused = FusedEpilogue::dequantize_only(0.25)
+            .with_row_offset(vec![1.5, -2.0])
+            .with_scaled_addend(addend.clone(), eps_scale)
+            .apply(&accumulator(), &fused_tracker)
+            .into_dense()
+            .unwrap();
+
+        let unfused_tracker = CostTracker::new();
+        let base = FusedEpilogue::dequantize_only(0.25)
+            .with_row_offset(vec![1.5, -2.0])
+            .apply(&accumulator(), &unfused_tracker)
+            .into_dense()
+            .unwrap();
+        let unfused = ops::add(&base, &ops::scale(&addend, eps_scale)).unwrap();
+        unfused_tracker.record_fp32_flops(2 * unfused.len() as u64);
+
+        assert_eq!(fused, unfused, "fused addend must be bitwise identical");
+        assert_eq!(
+            fused_tracker.snapshot().cuda_fp32_flops,
+            unfused_tracker.snapshot().cuda_fp32_flops,
+            "the fused form charges the same arithmetic"
+        );
+    }
+
+    #[test]
+    fn mismatched_addend_shape_is_rejected() {
+        let ep = FusedEpilogue::dequantize_only(1.0).with_scaled_addend(Matrix::zeros(3, 3), 1.0);
+        let result = std::panic::catch_unwind(|| ep.apply(&accumulator(), &CostTracker::new()));
+        assert!(result.is_err(), "2x3 accumulator, 3x3 addend");
+    }
+
+    #[test]
+    fn dense_entry_rejects_an_addend() {
+        let ep = FusedEpilogue::requantize_right_operand(1.0, 2)
+            .with_scaled_addend(Matrix::zeros(2, 2), 1.0);
+        let result =
+            std::panic::catch_unwind(|| ep.apply_dense(Matrix::zeros(2, 2), &CostTracker::new()));
+        assert!(result.is_err(), "apply_dense must refuse a scaled addend");
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   cost tracker analytically (see [`bmm`]'s module docs).
 //! * [`zero_tile`] — zero-tile jumping (§4.3): detect all-zero 8×128 adjacency tiles
 //!   with an OR-reduce + ballot and skip their MMAs and B-operand loads.
+//! * [`tiling`] — tiling-scheme selection for the panel-staged fused GEMM: the
+//!   `QGTC_TILING` override, the committed `TUNE_gemm.json` autotuner table and
+//!   the shape-class lookup that picks a [`qgtc_bitmat::fused::TilingScheme`]
+//!   per kernel call (§4.2's shared-memory staging, realised as cache-resident
+//!   scratch panels with K-loop double buffering on the host).
 //! * [`tile_reuse`] — non-zero tile reuse (§4.4): the cross-tile reduction ordering
 //!   that loads each non-zero adjacency tile once and reuses it across every feature
 //!   bit plane, versus the naive cross-bit ordering.
@@ -37,6 +42,7 @@ pub mod fusion;
 pub mod packing;
 pub mod scheduler;
 pub mod tile_reuse;
+pub mod tiling;
 pub mod zero_tile;
 
 pub use backend::{
@@ -46,3 +52,4 @@ pub use backend::{
 pub use bmm::{qgtc_aggregate, qgtc_bitmm2int, qgtc_bmm, KernelConfig, ReductionOrder};
 pub use fusion::{Activation, FusedEpilogue};
 pub use packing::{PreparedBatch, SubgraphPayload, TransferStrategy};
+pub use tiling::{resolve_tiling, shape_class, tune_file_path, TilingChoice, TuneTable};

@@ -44,6 +44,10 @@ fn main() {
         "batch", "nodes", "packed KB", "compress", "skip ratio", "tile ratio"
     );
 
+    // Weights are constant across the epoch: quantize once per layer up front
+    // and share the packed stacks across every batch below.
+    let weights = model.prepare_weights(bits);
+
     let epoch = CostTracker::new();
     for index in 0..batcher.num_batches() {
         let batch = batcher.batch(index).expect("index < num_batches");
@@ -57,7 +61,8 @@ fn main() {
 
         let tracker = CostTracker::new();
         prepared.record_transfer(TransferStrategy::PackedCompound, &tracker);
-        let out = model.forward_prepared_quantized(&prepared, setting, &kernel, &tracker);
+        let out =
+            model.forward_prepared_quantized(&prepared, setting, Some(&weights), &kernel, &tracker);
         assert_eq!(out.logits.rows(), prepared.num_nodes());
 
         let cost = tracker.snapshot();

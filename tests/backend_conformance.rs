@@ -2,7 +2,8 @@
 //!
 //! Every backend registered in `qgtc_kernels::backend` must be **bitwise**
 //! equal to the portable oracle on the whole trait surface — fused GEMM, the
-//! zero-word-skip path (results *and* word statistics), neighbour aggregation
+//! zero-word-skip path (results *and* word statistics), the panel-staged
+//! tiled entry point under arbitrary [`TilingScheme`]s, neighbour aggregation
 //! and epilogue requantization — across random shapes, bit widths 1–8, odd
 //! and exactly-padded K values and sparsity patterns.  This is the safety net
 //! the backend seam ships with: a new backend (a real GPU, wider SIMD, a
@@ -13,6 +14,7 @@
 //! also held deterministic across pool widths.
 
 use proptest::prelude::*;
+use qgtc_repro::bitmat::fused::TilingScheme;
 use qgtc_repro::bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_repro::graph::DatasetProfile;
 use qgtc_repro::kernels::backend::{available_backends, registered_backends, PortableBackend};
@@ -117,6 +119,56 @@ proptest! {
         let (a, b) = stacks(m, k, n, s, t, seed);
         for backend in available_backends() {
             assert_gemm_conformance(backend, &a, &b)?;
+        }
+    }
+
+    #[test]
+    fn backends_match_the_oracle_under_random_tiling_schemes(
+        dims in (1usize..24, 1usize..200, 1usize..20),
+        bits in (1u32..=8, 1u32..=8),
+        scheme in (1usize..40, 1usize..12, 0usize..40),
+        density in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, k, n) = dims;
+        let (s, t) = bits;
+        let (row_block, col_block, k_panel_words) = scheme;
+        let scheme = TilingScheme { row_block, col_block, k_panel_words };
+        // Element-level sparsity so the skip path sees zero words under
+        // staging too.
+        let mask = random_uniform_matrix(m, k, 0.0, 1.0, seed ^ 0x517A_11CE);
+        let mut a_codes = random_codes(m, k, s, seed);
+        for r in 0..m {
+            for c in 0..k {
+                if f64::from(mask[(r, c)]) >= density {
+                    a_codes[(r, c)] = 0;
+                }
+            }
+        }
+        let b_codes = random_codes(k, n, t, seed ^ 0xBEE5);
+        let a = StackedBitMatrix::from_codes(&a_codes, s, BitMatrixLayout::RowPacked);
+        let b = StackedBitMatrix::from_codes(&b_codes, t, BitMatrixLayout::ColPacked);
+        for skip in [false, true] {
+            let (want, want_stats) = PortableBackend.any_bit_gemm_with_stats(&a, &b, skip);
+            for backend in available_backends() {
+                let (got, got_stats) = backend.any_bit_gemm_tiled(&a, &b, skip, scheme);
+                prop_assert!(
+                    got == want,
+                    "{} tiled result differs under {}, skip={}",
+                    backend.name(),
+                    scheme,
+                    skip
+                );
+                prop_assert!(
+                    got_stats == want_stats,
+                    "{} tiled stats differ under {}, skip={}: {:?} vs {:?}",
+                    backend.name(),
+                    scheme,
+                    skip,
+                    got_stats,
+                    want_stats
+                );
+            }
         }
     }
 

@@ -10,12 +10,14 @@
 //! counts for the timed CI gate.
 
 use proptest::prelude::*;
+use qgtc_repro::bitmat::fused::TilingScheme;
 use qgtc_repro::core::fault::FAULTS_ENV;
 use qgtc_repro::core::{
     run_epoch, try_build_plan, try_run_epoch, try_run_epoch_streamed, BackendChoice, FaultKind,
     FaultPlan, FaultSite, FaultSpec, ModelKind, QgtcConfig, QgtcError,
 };
 use qgtc_repro::graph::{DatasetProfile, LoadedDataset};
+use qgtc_repro::kernels::TilingChoice;
 
 const SITES: [FaultSite; 4] = [
     FaultSite::Prepare,
@@ -172,6 +174,35 @@ fn backend_loss_degrades_to_portable_and_preserves_output() {
         assert_eq!(report.cost, clean.cost);
         assert_eq!(report.batch_costs, clean.batch_costs);
     }
+}
+
+#[test]
+fn gemm_corruption_recovers_bitwise_under_a_forced_tiling_scheme() {
+    // The retry path must hold with the panel-staged kernel pinned on: a
+    // corrupted dispatch re-runs through the same non-baseline scheme, and the
+    // recovered epoch must still match a clean Auto-tiled run bitwise (every
+    // scheme is bitwise identical by contract).
+    let dataset = DatasetProfile::PPI.materialize_tiny(31);
+    let clean = run_epoch(&dataset, &tiny_config());
+    let staged = tiny_config().with_tiling(TilingChoice::Fixed(
+        TilingScheme::parse("4x8x4").expect("valid scheme"),
+    ));
+    let staged_clean = run_epoch(&dataset, &staged);
+    assert_eq!(staged_clean.cost, clean.cost);
+    assert_eq!(staged_clean.batch_costs, clean.batch_costs);
+
+    let faulty = staged.with_fault_plan(FaultPlan::parse("gemm:corrupt:1:2").expect("valid"));
+    let serial = try_run_epoch(&dataset, &faulty).expect("two corruptions fit the retry budget");
+    let streamed = try_run_epoch_streamed(&dataset, &faulty).expect("streamed must recover too");
+    for report in [&serial, &streamed] {
+        assert_eq!(report.fault_stats.injected, 2);
+        assert_eq!(report.fault_stats.retried, 2);
+        assert_eq!(report.fault_stats.recovered, 2);
+        assert_eq!(report.fault_stats.degraded, 0);
+        assert_eq!(report.cost, clean.cost);
+        assert_eq!(report.batch_costs, clean.batch_costs);
+    }
+    assert_eq!(serial.fault_stats, streamed.fault_stats);
 }
 
 #[test]

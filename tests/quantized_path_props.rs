@@ -130,7 +130,7 @@ proptest! {
         let prepared = PreparedBatch::pack_quantized(0, subgraph.clone(), features.clone(), bits);
         let t_prepared = CostTracker::new();
         let via_packed =
-            model.forward_prepared_quantized(&prepared, setting, &config, &t_prepared);
+            model.forward_prepared_quantized(&prepared, setting, None, &config, &t_prepared);
 
         // Oracle: re-quantize from the dense floats (the same host-side pack)
         // and run the identical forward.
@@ -171,6 +171,7 @@ fn all_zero_features_flow_through_every_layer() {
         let out = model.forward_prepared_quantized(
             &prepared,
             QuantizationSetting::from_bits(2),
+            None,
             &KernelConfig::default(),
             &CostTracker::new(),
         );
@@ -199,6 +200,7 @@ fn prepared_batch_forward_reports_skipped_words() {
     let _ = model.forward_prepared_quantized(
         &prepared,
         QuantizationSetting::from_bits(2),
+        None,
         &KernelConfig::default(),
         &tracker,
     );

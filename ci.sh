@@ -31,11 +31,15 @@
 #                          recover bitwise, unrecoverable ones fail typed)
 #                          under RAYON_NUM_THREADS in {1, 2, 8}; FAST shrinks
 #                          the proptest case counts via QGTC_CI_FAST
+#   serving                served-vs-epoch-oracle equivalence tests under
+#                          RAYON_NUM_THREADS in {1, 2, 8}, plus the tiny-scale
+#                          serving-session probe (the probe — and only it —
+#                          is skipped in FAST)
 #   bench-compile          criterion benches must compile
 #   examples               examples + bins must build
 #   perfsmoke              tiny-scale perf gates: fused GEMM, streamed
 #                          pipeline, sharded partitioner, fault-supervisor
-#                          overhead  [skipped in FAST]
+#                          overhead, serving session  [skipped in FAST]
 #   benchcheck             committed BENCH_*.json files parse, carry the
 #                          expected keys, and clear their committed bars;
 #                          the committed TUNE_gemm.json validates strictly
@@ -47,7 +51,7 @@ cd "$(dirname "$0")"
 
 FAST="${QGTC_CI_FAST:-0}"
 ONLY="${QGTC_CI_STAGE:-}"
-KNOWN_STAGES="fmt clippy build-release test partition-determinism backend tiling chaos bench-compile examples perfsmoke benchcheck doc"
+KNOWN_STAGES="fmt clippy build-release test partition-determinism backend tiling chaos serving bench-compile examples perfsmoke benchcheck doc"
 
 # Surface the stage menu up front instead of failing silently later: an unknown
 # QGTC_CI_STAGE aborts immediately with the list, and an unset one announces
@@ -169,6 +173,27 @@ chaos_stage() {
     done
 }
 
+serving_stage() {
+    # The serving contract: a long-lived QgtcSession must answer bitwise what
+    # the one-shot epoch pipeline computes — on every profile, after any
+    # request history, at every thread-pool width — and its payload cache and
+    # buffer pool must never leak stale state into a response.
+    local threads
+    for threads in 1 2 8; do
+        echo "--- RAYON_NUM_THREADS=$threads"
+        env RAYON_NUM_THREADS="$threads" cargo test --test serving_equivalence -q
+    done
+    if [[ "$FAST" == "1" ]]; then
+        echo "--- serving probe skipped (QGTC_CI_FAST=1)"
+    else
+        echo "--- serving probe (tiny scale)"
+        env QGTC_SCALE=tiny \
+            QGTC_PERFSMOKE_PROBE=serving \
+            QGTC_SERVING_OUT=target/BENCH_serving.tiny.json \
+            cargo run --release -p qgtc-bench --bin perfsmoke
+    fi
+}
+
 perfsmoke_tiny() {
     # Perf gates (see crates/bench/src/bin/perfsmoke.rs):
     #  * fused GEMM must not be slower than the plane-by-plane composition on
@@ -188,7 +213,10 @@ perfsmoke_tiny() {
     #  * the tuned panel-staged kernel must clear the tiny headline bar vs the
     #    fixed-scheme kernel, resolved through the committed TUNE_gemm.json
     #    (full scale enforces 1.15x + >=1 profile win; committed
-    #    BENCH_tiling.json).
+    #    BENCH_tiling.json);
+    #  * the serving session must replay the epoch oracle bitwise, serve cache
+    #    hits bitwise-identically, run warm drains allocation-free, and clear
+    #    the throughput + cache-hit-rate bars (committed BENCH_serving.json).
     env QGTC_SCALE=tiny \
         QGTC_PERFSMOKE_OUT=target/BENCH_gemm.tiny.json \
         QGTC_PIPELINE_OUT=target/BENCH_pipeline.tiny.json \
@@ -196,6 +224,7 @@ perfsmoke_tiny() {
         QGTC_BACKEND_OUT=target/BENCH_backend.tiny.json \
         QGTC_FAULTS_OUT=target/BENCH_faults.tiny.json \
         QGTC_TILING_OUT=target/BENCH_tiling.tiny.json \
+        QGTC_SERVING_OUT=target/BENCH_serving.tiny.json \
         cargo run --release -p qgtc-bench --bin perfsmoke
 }
 
@@ -223,6 +252,7 @@ stage partition-determinism partition_determinism
 stage backend backend_stage
 stage tiling tiling_stage
 stage chaos chaos_stage
+stage serving serving_stage
 stage bench-compile cargo bench --no-run --workspace
 stage examples cargo build --workspace --examples --bins
 if [[ "$FAST" == "1" ]]; then

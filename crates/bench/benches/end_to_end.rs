@@ -14,15 +14,15 @@ fn bench_cluster_gcn(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_cluster_gcn");
     group.sample_size(10);
     group.bench_function("qgtc_2bit", |b| {
-        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(24, 4);
+        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).with_partitions(24, 4);
         b.iter(|| run_epoch(&data, &config))
     });
     group.bench_function("qgtc_8bit", |b| {
-        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 8).scaled_partitions(24, 4);
+        let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 8).with_partitions(24, 4);
         b.iter(|| run_epoch(&data, &config))
     });
     group.bench_function("dgl_fp32", |b| {
-        let config = QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).scaled_partitions(24, 4);
+        let config = QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).with_partitions(24, 4);
         b.iter(|| run_epoch(&data, &config))
     });
     group.finish();
@@ -33,11 +33,11 @@ fn bench_batched_gin(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_batched_gin");
     group.sample_size(10);
     group.bench_function("qgtc_2bit", |b| {
-        let config = QgtcConfig::qgtc(ModelKind::BatchedGin, 2).scaled_partitions(24, 4);
+        let config = QgtcConfig::qgtc(ModelKind::BatchedGin, 2).with_partitions(24, 4);
         b.iter(|| run_epoch(&data, &config))
     });
     group.bench_function("dgl_fp32", |b| {
-        let config = QgtcConfig::dgl_baseline(ModelKind::BatchedGin).scaled_partitions(24, 4);
+        let config = QgtcConfig::dgl_baseline(ModelKind::BatchedGin).with_partitions(24, 4);
         b.iter(|| run_epoch(&data, &config))
     });
     group.finish();

@@ -208,7 +208,7 @@ pub struct BenchSpec {
     pub gates: &'static [(&'static str, &'static str)],
 }
 
-/// The six committed perf reports and their contracts.
+/// The seven committed perf reports and their contracts.
 pub fn committed_bench_specs() -> Vec<BenchSpec> {
     vec![
         BenchSpec {
@@ -338,6 +338,51 @@ pub fn committed_bench_specs() -> Vec<BenchSpec> {
                 "faults_recovered",
             ],
             gates: &[("supervised_speedup_vs_raw", "supervised_not_slower_bar")],
+        },
+        BenchSpec {
+            file: "BENCH_serving.json",
+            bench: "serving_session",
+            required_keys: &[
+                "scale",
+                "reps",
+                "requests_per_dataset",
+                "nodes_per_request",
+                "p50_ms",
+                "p99_ms",
+                "throughput_rps",
+                "throughput_bar",
+                "cache_hit_rate",
+                "cache_hit_bar",
+                "prepares_skipped",
+                "steady_state_fresh_allocations",
+                "pool_steady_state_ok",
+                "pool_steady_state_bar",
+                "weights_quantized_once_ok",
+                "weights_quantized_once_bar",
+                "oracle_match_ok",
+                "oracle_match_bar",
+            ],
+            rows_key: "datasets",
+            row_keys: &[
+                "dataset",
+                "num_batches",
+                "requests",
+                "p50_ms",
+                "p99_ms",
+                "throughput_rps",
+                "cache_hits",
+                "cache_misses",
+                "prepares_skipped",
+                "steady_state_fresh_allocations",
+                "weight_quantizations",
+            ],
+            gates: &[
+                ("throughput_rps", "throughput_bar"),
+                ("cache_hit_rate", "cache_hit_bar"),
+                ("pool_steady_state_ok", "pool_steady_state_bar"),
+                ("weights_quantized_once_ok", "weights_quantized_once_bar"),
+                ("oracle_match_ok", "oracle_match_bar"),
+            ],
         },
         BenchSpec {
             file: "BENCH_tiling.json",
@@ -773,6 +818,77 @@ mod tests {
         let broken = minimal_tiling_report(1.4, 3).replace("\"scheme\": \"16x8x8\", ", "");
         let err = validate_bench_report(&tiling_spec(), &broken).unwrap_err();
         assert!(err.contains("missing key \"scheme\""), "{err}");
+    }
+
+    fn minimal_serving_report(throughput: f64, hit_rate: f64, pool_ok: u64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\": \"serving_session\", \"scale\": \"fast\", \"reps\": 3, ",
+                "\"requests_per_dataset\": 200, \"nodes_per_request\": 16, ",
+                "\"p50_ms\": 0.4, \"p99_ms\": 2.1, ",
+                "\"throughput_rps\": {throughput}, \"throughput_bar\": 20, ",
+                "\"cache_hit_rate\": {hit_rate}, \"cache_hit_bar\": 0.5, ",
+                "\"prepares_skipped\": 180, \"steady_state_fresh_allocations\": 0, ",
+                "\"pool_steady_state_ok\": {pool_ok}, \"pool_steady_state_bar\": 1, ",
+                "\"weights_quantized_once_ok\": 1, \"weights_quantized_once_bar\": 1, ",
+                "\"oracle_match_ok\": 1, \"oracle_match_bar\": 1, ",
+                "\"datasets\": [{{\"dataset\": \"PROTEINS\", \"num_batches\": 16, ",
+                "\"requests\": 200, \"p50_ms\": 0.4, \"p99_ms\": 2.1, ",
+                "\"throughput_rps\": {throughput}, \"cache_hits\": 180, ",
+                "\"cache_misses\": 16, \"cache_hit_rate\": {hit_rate}, ",
+                "\"prepares_skipped\": 180, \"steady_state_fresh_allocations\": 0, ",
+                "\"weight_quantizations\": 3}}]}}"
+            ),
+            throughput = throughput,
+            hit_rate = hit_rate,
+            pool_ok = pool_ok
+        )
+    }
+
+    fn serving_spec() -> BenchSpec {
+        committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_serving.json")
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_a_healthy_serving_report() {
+        let summary =
+            validate_bench_report(&serving_spec(), &minimal_serving_report(450.0, 0.9, 1)).unwrap();
+        assert!(
+            summary.contains("throughput_rps 450.000 >= 20.000"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("cache_hit_rate 0.900 >= 0.500"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("pool_steady_state_ok 1.000 >= 1.000"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_serving_report_below_its_bars() {
+        let slow = validate_bench_report(&serving_spec(), &minimal_serving_report(5.0, 0.9, 1));
+        assert!(slow.unwrap_err().contains("throughput_rps"));
+        let cold = validate_bench_report(&serving_spec(), &minimal_serving_report(450.0, 0.2, 1));
+        assert!(cold.unwrap_err().contains("cache_hit_rate"));
+        let leaky = validate_bench_report(&serving_spec(), &minimal_serving_report(450.0, 0.9, 0));
+        assert!(leaky.unwrap_err().contains("pool_steady_state_ok"));
+    }
+
+    #[test]
+    fn rejects_a_serving_report_missing_its_counters() {
+        let missing = minimal_serving_report(450.0, 0.9, 1)
+            .replace("\"prepares_skipped\": 180, \"steady_state_fresh_allocations\": 0, \"pool_steady_state_ok\": 1", "\"pool_steady_state_ok\": 1");
+        let err = validate_bench_report(&serving_spec(), &missing).unwrap_err();
+        assert!(err.contains("prepares_skipped"), "{err}");
+        let truncated = &minimal_serving_report(450.0, 0.9, 1)[..50];
+        let err = validate_bench_report(&serving_spec(), truncated).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
     }
 
     fn minimal_tune_table(scheme: &str) -> String {

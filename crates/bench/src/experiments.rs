@@ -165,13 +165,13 @@ pub fn fig7_end_to_end(
             let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
             let batcher = PartitionBatcher::new(&partitioning, scale.batch_size);
             let dgl_config = QgtcConfig::dgl_baseline(model)
-                .scaled_partitions(scale.num_partitions, scale.batch_size);
+                .with_partitions(scale.num_partitions, scale.batch_size);
             let dgl = qgtc_core::run_epoch_with_plan(&dataset, &dgl_config, &batcher);
             let mut qgtc_ms = Vec::with_capacity(FIG7_BITS.len());
             let mut qgtc_pipeline = Vec::with_capacity(FIG7_BITS.len());
             for &bits in FIG7_BITS.iter() {
                 let config = QgtcConfig::qgtc(model, bits)
-                    .scaled_partitions(scale.num_partitions, scale.batch_size);
+                    .with_partitions(scale.num_partitions, scale.batch_size);
                 let report = qgtc_core::run_epoch_streamed_with_plan(&dataset, &config, &batcher);
                 qgtc_ms.push((bits, report.modeled_ms));
                 qgtc_pipeline.push((bits, report.pipeline));
@@ -386,7 +386,7 @@ pub fn fig8_zero_tile(
             // Reuse the partitioning the census was built over instead of letting
             // the epoch partition the graph a second time.
             let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
-                .scaled_partitions(scale.num_partitions, scale.batch_size);
+                .with_partitions(scale.num_partitions, scale.batch_size);
             let report = qgtc_core::run_epoch_streamed_with_plan(&dataset, &config, &batcher);
             ZeroTileRow {
                 dataset: profile.name.to_string(),
@@ -491,7 +491,7 @@ pub fn ablation_kernel_optimisations(
         .iter()
         .map(|(label, kernel)| {
             let mut config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 4)
-                .scaled_partitions(scale.num_partitions, scale.batch_size);
+                .with_partitions(scale.num_partitions, scale.batch_size);
             config.kernel = *kernel;
             let report = qgtc_core::run_epoch(&dataset, &config);
             AblationRow {

@@ -14,7 +14,7 @@
 //! dimension to 8 (`PAD8`) so every Tensor Core tile access is in bounds.  Padding
 //! bits are zero, which is semantically neutral for AND+popcount accumulation.
 
-use crate::pack::{pack_bits_le, pad128, pad8, WORD_BITS};
+use crate::pack::{pack_bits_le_into, pad128, pad8, WORD_BITS};
 use qgtc_tensor::Matrix;
 
 /// Which dimension of the logical matrix is packed into words.
@@ -54,51 +54,73 @@ impl BitMatrix {
         Self::from_bits(&bits, layout)
     }
 
+    /// [`BitMatrix::from_dense_f32`] packing into recycled `storage` (see
+    /// [`BitMatrix::from_bits_in`]).
+    pub fn from_dense_f32_in(
+        dense: &Matrix<f32>,
+        layout: BitMatrixLayout,
+        storage: Vec<u32>,
+    ) -> Self {
+        let bits = dense.map(|&v| (v != 0.0) as u8);
+        Self::from_bits_in(&bits, layout, storage)
+    }
+
     /// Pack a 0/1 `u8` matrix as a bit plane. Panics if any entry exceeds 1.
     pub fn from_bits(bits: &Matrix<u8>, layout: BitMatrixLayout) -> Self {
+        Self::from_bits_in(bits, layout, Vec::new())
+    }
+
+    /// [`BitMatrix::from_bits`] packing into `storage` — a buffer recovered
+    /// from an earlier plane via [`BitMatrix::into_words`] — instead of a
+    /// fresh allocation.  The buffer is cleared and zero-filled to the packed
+    /// length before any bit is set, so the result is bitwise identical to
+    /// the freshly-allocated path no matter what the recycled buffer held.
+    pub fn from_bits_in(bits: &Matrix<u8>, layout: BitMatrixLayout, storage: Vec<u32>) -> Self {
         let (rows, cols) = bits.shape();
+        let (lanes, words_per_lane) = match layout {
+            BitMatrixLayout::RowPacked => (pad8(rows), pad128(cols) / WORD_BITS),
+            BitMatrixLayout::ColPacked => (pad8(cols), pad128(rows) / WORD_BITS),
+        };
+        let mut words = storage;
+        words.clear();
+        words.resize(lanes * words_per_lane, 0);
         match layout {
             BitMatrixLayout::RowPacked => {
-                let lanes = pad8(rows);
-                let words_per_lane = pad128(cols) / WORD_BITS;
-                let mut words = vec![0u32; lanes * words_per_lane];
                 for r in 0..rows {
-                    let packed = pack_bits_le(bits.row(r));
-                    words[r * words_per_lane..r * words_per_lane + packed.len()]
-                        .copy_from_slice(&packed);
-                }
-                Self {
-                    rows,
-                    cols,
-                    layout,
-                    lanes,
-                    words_per_lane,
-                    words,
+                    let lane = &mut words[r * words_per_lane..(r + 1) * words_per_lane];
+                    pack_bits_le_into(bits.row(r), lane);
                 }
             }
             BitMatrixLayout::ColPacked => {
-                let lanes = pad8(cols);
-                let words_per_lane = pad128(rows) / WORD_BITS;
-                let mut words = vec![0u32; lanes * words_per_lane];
-                let mut column = vec![0u8; rows];
-                for c in 0..cols {
-                    for r in 0..rows {
-                        column[r] = bits[(r, c)];
+                // Row-major walk over the source (cache-friendly); each set bit
+                // ORs into its column's lane, which is equivalent to packing
+                // each column in turn because the storage starts zeroed.
+                for r in 0..rows {
+                    let word = r / WORD_BITS;
+                    let mask = 1u32 << (r % WORD_BITS);
+                    for (c, &b) in bits.row(r).iter().enumerate() {
+                        debug_assert!(b <= 1, "from_bits expects 0/1 values, got {b}");
+                        if b != 0 {
+                            words[c * words_per_lane + word] |= mask;
+                        }
                     }
-                    let packed = pack_bits_le(&column);
-                    words[c * words_per_lane..c * words_per_lane + packed.len()]
-                        .copy_from_slice(&packed);
-                }
-                Self {
-                    rows,
-                    cols,
-                    layout,
-                    lanes,
-                    words_per_lane,
-                    words,
                 }
             }
         }
+        Self {
+            rows,
+            cols,
+            layout,
+            lanes,
+            words_per_lane,
+            words,
+        }
+    }
+
+    /// Consume the plane and recover its packed storage for recycling through
+    /// [`BitMatrix::from_bits_in`] — the packed-buffer pool's seam.
+    pub fn into_words(self) -> Vec<u32> {
+        self.words
     }
 
     /// Logical number of rows (before padding).

@@ -42,13 +42,27 @@ pub const fn padded_words(bits: usize) -> usize {
 pub fn pack_bits_le(bits: &[u8]) -> Vec<u32> {
     let num_words = bits.len().div_ceil(WORD_BITS);
     let mut words = vec![0u32; num_words];
+    pack_bits_le_into(bits, &mut words);
+    words
+}
+
+/// [`pack_bits_le`] into a caller-provided word slice — the allocation-free
+/// form behind the packed-buffer pool's recycling constructors.  The slice
+/// must hold at least `bits.len().div_ceil(32)` words and be pre-zeroed
+/// (bits are OR-ed in, never cleared).
+pub fn pack_bits_le_into(bits: &[u8], words: &mut [u32]) {
+    debug_assert!(
+        words.len() >= bits.len().div_ceil(WORD_BITS),
+        "pack_bits_le_into: {} words cannot hold {} bits",
+        words.len(),
+        bits.len()
+    );
     for (i, &b) in bits.iter().enumerate() {
         debug_assert!(b <= 1, "pack_bits_le expects 0/1 values, got {b}");
         if b != 0 {
             words[i / WORD_BITS] |= 1u32 << (i % WORD_BITS);
         }
     }
-    words
 }
 
 /// Unpack little-endian words back into one bit per `u8`, producing exactly `len` bits.

@@ -49,9 +49,23 @@ pub struct StackedBitMatrix {
 impl StackedBitMatrix {
     /// Build a stack from a matrix of unsigned codes.
     pub fn from_codes(codes: &Matrix<u32>, bits: u32, layout: BitMatrixLayout) -> Self {
+        Self::from_codes_in(codes, bits, layout, &mut Vec::new())
+    }
+
+    /// [`StackedBitMatrix::from_codes`] drawing per-plane word storage from
+    /// `spares` (buffers recovered via [`StackedBitMatrix::recycle`]); one
+    /// spare is popped per plane, falling back to a fresh allocation when the
+    /// spare list runs dry.  Recycled storage is zeroed before packing, so the
+    /// result is bitwise identical to the freshly-allocated constructor.
+    pub fn from_codes_in(
+        codes: &Matrix<u32>,
+        bits: u32,
+        layout: BitMatrixLayout,
+        spares: &mut Vec<Vec<u32>>,
+    ) -> Self {
         let planes = bit_decompose(codes, bits)
             .iter()
-            .map(|p| BitMatrix::from_bits(p, layout))
+            .map(|p| BitMatrix::from_bits_in(p, layout, spares.pop().unwrap_or_default()))
             .collect();
         Self {
             rows: codes.rows(),
@@ -74,9 +88,33 @@ impl StackedBitMatrix {
         s
     }
 
+    /// [`StackedBitMatrix::from_quantized`] drawing plane storage from
+    /// `spares` (see [`StackedBitMatrix::from_codes_in`]).
+    pub fn from_quantized_in(
+        codes: &Matrix<u32>,
+        params: QuantParams,
+        layout: BitMatrixLayout,
+        spares: &mut Vec<Vec<u32>>,
+    ) -> Self {
+        let mut s = Self::from_codes_in(codes, params.bits, layout, spares);
+        s.quant = Some(params);
+        s
+    }
+
     /// Build a 1-bit stack from a dense 0/1 adjacency matrix.
     pub fn from_binary_adjacency(adjacency: &Matrix<f32>, layout: BitMatrixLayout) -> Self {
-        let plane = BitMatrix::from_dense_f32(adjacency, layout);
+        Self::from_binary_adjacency_in(adjacency, layout, &mut Vec::new())
+    }
+
+    /// [`StackedBitMatrix::from_binary_adjacency`] drawing the plane's storage
+    /// from `spares` (see [`StackedBitMatrix::from_codes_in`]).
+    pub fn from_binary_adjacency_in(
+        adjacency: &Matrix<f32>,
+        layout: BitMatrixLayout,
+        spares: &mut Vec<Vec<u32>>,
+    ) -> Self {
+        let plane =
+            BitMatrix::from_dense_f32_in(adjacency, layout, spares.pop().unwrap_or_default());
         Self {
             rows: adjacency.rows(),
             cols: adjacency.cols(),
@@ -84,6 +122,15 @@ impl StackedBitMatrix {
             layout,
             planes: vec![plane],
             quant: None,
+        }
+    }
+
+    /// Consume the stack and push every plane's packed word buffer onto
+    /// `spares` for reuse through the `*_in` constructors — the serving
+    /// layer's packed-buffer pool rides this seam.
+    pub fn recycle(self, spares: &mut Vec<Vec<u32>>) {
+        for plane in self.planes {
+            spares.push(plane.into_words());
         }
     }
 
@@ -328,6 +375,42 @@ mod tests {
         let before = super::unpack_ops();
         let _ = stack.to_codes();
         assert!(super::unpack_ops() > before);
+    }
+
+    #[test]
+    fn recycled_storage_packs_bitwise_identical_to_fresh() {
+        let codes_a = code_matrix(9, 33, 3, 1);
+        let codes_b = code_matrix(5, 17, 2, 2);
+        for layout in [BitMatrixLayout::RowPacked, BitMatrixLayout::ColPacked] {
+            let fresh = StackedBitMatrix::from_codes(&codes_b, 2, layout);
+            let mut spares = Vec::new();
+            StackedBitMatrix::from_codes(&codes_a, 3, layout).recycle(&mut spares);
+            assert_eq!(spares.len(), 3);
+            // Poison the recycled buffers; the `_in` constructors must zero them.
+            for spare in &mut spares {
+                spare.iter_mut().for_each(|w| *w = 0xDEAD_BEEF);
+            }
+            let recycled = StackedBitMatrix::from_codes_in(&codes_b, 2, layout, &mut spares);
+            assert_eq!(recycled, fresh, "layout {layout:?}");
+            assert_eq!(recycled.checksum(), fresh.checksum());
+            assert_eq!(spares.len(), 1, "two planes consumed two spares");
+        }
+    }
+
+    #[test]
+    fn recycled_adjacency_matches_fresh() {
+        let mut adj = Matrix::zeros(6, 6);
+        adj[(0, 1)] = 1.0;
+        adj[(5, 2)] = 1.0;
+        let fresh = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let mut spares = vec![vec![0xFFFF_FFFFu32; 64]];
+        let recycled = StackedBitMatrix::from_binary_adjacency_in(
+            &adj,
+            BitMatrixLayout::RowPacked,
+            &mut spares,
+        );
+        assert_eq!(recycled, fresh);
+        assert!(spares.is_empty());
     }
 
     #[test]

@@ -32,6 +32,24 @@ pub enum ExecutionPath {
 }
 
 /// Full configuration of one end-to-end inference run.
+///
+/// # Builder naming
+///
+/// Every setter is a `with_*` consuming builder and every getter is bare — the
+/// audited surface:
+///
+/// | Setter | Getter(s) | Knob |
+/// |---|---|---|
+/// | [`with_partitions`](Self::with_partitions) | `num_partitions`, `batch_size` (fields) | partition count × partitions per batch |
+/// | [`with_prefetch`](Self::with_prefetch) | `prefetch_batches` (field), [`staging_depth`](Self::staging_depth) | streamed executor's staging depth |
+/// | [`with_partition_parallelism`](Self::with_partition_parallelism) | `partition_parallelism` (field) | partitioner shard mode |
+/// | [`with_backend`](Self::with_backend) | [`backend`](Self::backend) | kernel GEMM backend |
+/// | [`with_tiling`](Self::with_tiling) | `kernel.tiling` (field) | fused-GEMM tiling scheme |
+/// | [`with_fault_plan`](Self::with_fault_plan) | `fault_plan` (field) | chaos-testing fault plan |
+/// | [`with_max_batch_retries`](Self::with_max_batch_retries) | `max_batch_retries` (field) | supervisor retry budget |
+///
+/// (`scaled_partitions` is the deprecated pre-rename alias of
+/// [`with_partitions`](Self::with_partitions).)
 #[derive(Debug, Clone, PartialEq)]
 pub struct QgtcConfig {
     /// Model to evaluate.
@@ -124,12 +142,21 @@ impl QgtcConfig {
         }
     }
 
-    /// Shrink the partition count and batch size for small (test-scale) graphs while
-    /// preserving the partitions-per-batch ratio of the full configuration.
-    pub fn scaled_partitions(mut self, num_partitions: usize, batch_size: usize) -> Self {
+    /// Set the partitioning granularity: `num_partitions` graph partitions,
+    /// grouped `batch_size` partitions per batch (both clamped to at least 1).
+    ///
+    /// The usual way to shrink the paper's 1,500-partition default for small
+    /// (test-scale) graphs while preserving the partitions-per-batch ratio.
+    pub fn with_partitions(mut self, num_partitions: usize, batch_size: usize) -> Self {
         self.num_partitions = num_partitions.max(1);
         self.batch_size = batch_size.max(1);
         self
+    }
+
+    /// Deprecated pre-rename alias of [`QgtcConfig::with_partitions`].
+    #[deprecated(note = "renamed to `with_partitions` (the `with_*` builder convention)")]
+    pub fn scaled_partitions(self, num_partitions: usize, batch_size: usize) -> Self {
+        self.with_partitions(num_partitions, batch_size)
     }
 
     /// Set the streamed executor's staging depth (clamped to at least 1).
@@ -261,10 +288,18 @@ mod tests {
     }
 
     #[test]
-    fn scaled_partitions_clamps_to_one() {
-        let c = QgtcConfig::default().scaled_partitions(0, 0);
+    fn with_partitions_clamps_to_one() {
+        let c = QgtcConfig::default().with_partitions(0, 0);
         assert_eq!(c.num_partitions, 1);
         assert_eq!(c.batch_size, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn scaled_partitions_alias_matches_with_partitions() {
+        let old = QgtcConfig::default().scaled_partitions(12, 3);
+        let new = QgtcConfig::default().with_partitions(12, 3);
+        assert_eq!(old, new);
     }
 
     #[test]

@@ -479,6 +479,12 @@ pub enum QgtcError {
         /// The batch at which the loss surfaced.
         batch: usize,
     },
+    /// A serving request named a node the session's partition plan does not
+    /// cover (out of range or unmapped).
+    UnknownNode {
+        /// The offending global node id.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for QgtcError {
@@ -504,6 +510,10 @@ impl std::fmt::Display for QgtcError {
             QgtcError::BackendLost { backend, batch } => write!(
                 f,
                 "GEMM backend '{backend}' lost at batch {batch} with no fallback remaining"
+            ),
+            QgtcError::UnknownNode { node } => write!(
+                f,
+                "node {node} is outside the serving session's partition plan"
             ),
         }
     }

@@ -22,6 +22,12 @@
 //!   the pipeline's supervisor, which retries transients, repairs checksum-caught
 //!   payload corruption, and degrades lost GEMM backends; the `try_*` entry
 //!   points surface what cannot be absorbed as a [`QgtcError`].
+//! * [`serve`] — the serving front end: a long-lived [`serve::QgtcSession`]
+//!   built once per `(dataset, config)` that coalesces queued requests into
+//!   partition-aligned micro-batches, caches prepared batch payloads, and
+//!   recycles every staging buffer through a packed-buffer pool; plus the
+//!   deterministic open-loop load generator and latency probe
+//!   ([`serve::run_open_loop`]).
 //!
 //! Everything below re-exports the substrate crates so a downstream user can depend
 //! on `qgtc-core` alone.
@@ -31,6 +37,7 @@ pub mod bit_tensor;
 pub mod config;
 pub mod fault;
 pub mod pipeline;
+pub mod serve;
 
 pub use api::{bit_mm_to_bit, bit_mm_to_int};
 pub use bit_tensor::BitTensor;
@@ -42,10 +49,14 @@ pub use pipeline::stream::{
 };
 pub use pipeline::{
     run_epoch, run_epoch_with_plan, try_build_plan, try_run_epoch, try_run_epoch_with_plan,
-    EpochReport,
+    EpochReport, EpochRunner,
 };
 pub use qgtc_kernels::backend::BackendChoice;
 pub use qgtc_partition::Parallelism;
+pub use serve::{
+    run_open_loop, InferResponse, LatencySummary, LoadGenerator, QgtcSession, ServeOptions,
+    ServeStats,
+};
 
 // Substrate re-exports.
 pub use qgtc_baselines as baselines;

@@ -43,7 +43,7 @@ pub mod stream;
 use std::cell::RefCell;
 use std::time::Instant;
 
-use qgtc_gnn::models::{GnnModel, QuantizationSetting, QuantizedWeightSet};
+use qgtc_gnn::models::{BatchForwardOutput, GnnModel, QuantizationSetting, QuantizedWeightSet};
 use qgtc_gnn::{BatchedGinModel, ClusterGcnModel};
 use qgtc_graph::LoadedDataset;
 use qgtc_kernels::backend::BackendChoice;
@@ -181,11 +181,11 @@ impl<'a> EpochContext<'a> {
 /// Mutable per-epoch accumulation: the cost tracker plus the running totals.
 #[derive(Default)]
 pub(crate) struct EpochState {
-    tracker: CostTracker,
-    batch_costs: Vec<CostSnapshot>,
-    num_batches: usize,
-    num_nodes: usize,
-    weight_quantizations: u64,
+    pub(crate) tracker: CostTracker,
+    pub(crate) batch_costs: Vec<CostSnapshot>,
+    pub(crate) num_batches: usize,
+    pub(crate) num_nodes: usize,
+    pub(crate) weight_quantizations: u64,
 }
 
 /// Partition the graph and build the indexable batch plan (the preprocessing the
@@ -285,22 +285,26 @@ pub(crate) fn prepare_batch(
 
 /// Execute stage: record the batch's transfer and run the forward pass, appending
 /// the batch's cost delta to the state. Must be called in epoch order.
+///
+/// Returns the forward pass's output (`None` for empty batches). The epoch
+/// executors drop it — an epoch is measured, not answered — while the serving
+/// layer ([`crate::serve`]) gathers per-request logit rows out of it.
 pub(crate) fn execute_batch(
     ctx: &EpochContext<'_>,
     prepared: &PreparedBatch,
     state: &mut EpochState,
-) {
+) -> Option<BatchForwardOutput> {
     if prepared.num_nodes() == 0 {
-        return;
+        return None;
     }
     let before = state.tracker.snapshot();
     prepared.record_transfer(ctx.config.transfer, &state.tracker);
-    match ctx.config.path {
+    let output = match ctx.config.path {
         ExecutionPath::Qgtc => {
             // The context's kernel config, not the original one: after a backend
             // degradation the remaining batches dispatch on the fallback backend.
             let kernel = *ctx.kernel.borrow();
-            let _ = ctx.model.forward_prepared_quantized(
+            let output = ctx.model.forward_prepared_quantized(
                 prepared,
                 ctx.setting,
                 ctx.weights.as_ref(),
@@ -310,16 +314,16 @@ pub(crate) fn execute_batch(
             // An assignment, not an accumulation: the context quantized once
             // at epoch start, so the total never grows with the batch count.
             state.weight_quantizations = ctx.weight_quantize_calls();
+            output
         }
-        ExecutionPath::DglBaseline => {
-            let _ = ctx.model.forward_prepared_fp32(prepared, &state.tracker);
-        }
-    }
+        ExecutionPath::DglBaseline => ctx.model.forward_prepared_fp32(prepared, &state.tracker),
+    };
     state.num_batches += 1;
     state.num_nodes += prepared.num_nodes();
     state
         .batch_costs
         .push(state.tracker.snapshot().delta_since(&before));
+    Some(output)
 }
 
 /// Produce stage under supervision: prepare batch `index` (and, in the streamed
@@ -337,6 +341,24 @@ pub(crate) fn supervise_prepare(
     injector: Option<&FaultInjector>,
     index: usize,
     seal: bool,
+) -> Result<PreparedBatch, QgtcError> {
+    supervise_prepare_with(config, injector, index, seal, || {
+        prepare_batch(batcher, dataset, config, index)
+    })
+}
+
+/// The production-cycle supervisor core, parameterised over the prepare step
+/// itself.  The epoch executors pass the plain [`prepare_batch`]; the serving
+/// layer passes a pool-backed prepare, reusing the whole retry/corruption
+/// protocol without duplicating it.  `prepare` must be pure with respect to the
+/// cost model and deterministic for a given batch (re-invocations must rebuild
+/// bitwise-identical payloads — that is what makes retry a repair).
+pub(crate) fn supervise_prepare_with(
+    config: &QgtcConfig,
+    injector: Option<&FaultInjector>,
+    index: usize,
+    seal: bool,
+    mut prepare: impl FnMut() -> PreparedBatch,
 ) -> Result<PreparedBatch, QgtcError> {
     let max_retries = config.max_batch_retries as u32;
     let mut attempt = 0u32;
@@ -360,7 +382,7 @@ pub(crate) fn supervise_prepare(
             attempt += 1;
             continue;
         }
-        let mut prepared = prepare_batch(batcher, dataset, config, index);
+        let mut prepared = prepare();
         if seal {
             prepared.seal_checksum();
         }
@@ -405,14 +427,30 @@ pub(crate) fn supervise_prepare(
 /// Take stage under supervision: validate the delivered batch's payload checksum
 /// and absorb [`FaultSite::Take`] faults, repairing by re-prepare (pure, so the
 /// repaired batch is bitwise identical to a fault-free preparation).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn supervise_delivered(
-    mut prepared: PreparedBatch,
+    prepared: PreparedBatch,
     batcher: &PartitionBatcher,
     dataset: &LoadedDataset,
     config: &QgtcConfig,
     injector: Option<&FaultInjector>,
     index: usize,
     seal: bool,
+) -> Result<PreparedBatch, QgtcError> {
+    supervise_delivered_with(prepared, config, injector, index, seal, || {
+        prepare_batch(batcher, dataset, config, index)
+    })
+}
+
+/// The take-stage supervisor core, parameterised over the repair step (a pure
+/// re-prepare) the same way [`supervise_prepare_with`] is over prepare.
+pub(crate) fn supervise_delivered_with(
+    mut prepared: PreparedBatch,
+    config: &QgtcConfig,
+    injector: Option<&FaultInjector>,
+    index: usize,
+    seal: bool,
+    mut reprepare: impl FnMut() -> PreparedBatch,
 ) -> Result<PreparedBatch, QgtcError> {
     let max_retries = config.max_batch_retries as u32;
     let mut attempt = 0u32;
@@ -459,7 +497,7 @@ pub(crate) fn supervise_delivered(
         backoff(attempt);
         // Repair: re-run the pure prepare stage. No re-deposit happens, so a
         // deposit-time corruption cannot re-damage the repaired batch.
-        prepared = prepare_batch(batcher, dataset, config, index);
+        prepared = reprepare();
         if seal {
             prepared.seal_checksum();
         }
@@ -567,6 +605,197 @@ pub(crate) fn finish_report(
     }
 }
 
+/// The one configurable entry point for running an epoch — every execution mode
+/// the free `run_epoch*` functions expose is a combination of this builder's
+/// three axes:
+///
+/// * **plan** — [`EpochRunner::with_plan`] runs over an externally built
+///   [`PartitionBatcher`] (`partition_ms`/`partition_shards` report 0); without
+///   it the runner partitions inline;
+/// * **executor** — [`EpochRunner::streamed`] picks the staged streaming
+///   executor (which degenerates to the serial loop when no lookahead is
+///   possible or profitable); the default is the strictly serial oracle;
+/// * **supervision** — [`EpochRunner::raw`] strips the fault supervisor and the
+///   payload checksums (the PR 3 perfsmoke baseline; an active `QGTC_FAULTS`
+///   spec is deliberately ignored and failures panic instead of returning
+///   typed errors). The default runs every stage under its supervisor.
+///
+/// The nine historical free functions (`run_epoch`, `try_run_epoch`,
+/// `*_with_plan`, `*_streamed`, `*_streamed_raw`) are thin wrappers over this
+/// builder, so there is exactly one dispatch path and the modes cannot drift.
+///
+/// ```
+/// use qgtc_core::pipeline::EpochRunner;
+/// use qgtc_core::{ModelKind, QgtcConfig};
+/// use qgtc_core::graph::DatasetProfile;
+///
+/// let dataset = DatasetProfile::PROTEINS.materialize(0.02, 7);
+/// let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).with_partitions(8, 2);
+/// let report = EpochRunner::new(&dataset, &config).streamed(true).try_run()?;
+/// assert_eq!(report.num_nodes, dataset.graph.num_nodes());
+/// # Ok::<(), qgtc_core::QgtcError>(())
+/// ```
+pub struct EpochRunner<'a> {
+    dataset: &'a LoadedDataset,
+    config: &'a QgtcConfig,
+    plan: Option<&'a PartitionBatcher>,
+    streamed: bool,
+    supervised: bool,
+}
+
+impl<'a> EpochRunner<'a> {
+    /// A supervised serial epoch that partitions inline — the defaults of
+    /// [`run_epoch`].
+    pub fn new(dataset: &'a LoadedDataset, config: &'a QgtcConfig) -> Self {
+        Self {
+            dataset,
+            config,
+            plan: None,
+            streamed: false,
+            supervised: true,
+        }
+    }
+
+    /// Run over an already-built batch plan instead of partitioning inline.
+    ///
+    /// For callers that partitioned the graph themselves (or amortise one
+    /// partitioning across several epochs — the serving layer's construction
+    /// pattern); `partition_ms` and `partition_shards` report 0 because no
+    /// partitioning happens in the run's scope. The plan's batch size must
+    /// match what `config` describes for the report's granularity fields to be
+    /// meaningful, but nothing is re-derived from
+    /// `config.num_partitions`/`config.batch_size` here.
+    pub fn with_plan(mut self, batcher: &'a PartitionBatcher) -> Self {
+        self.plan = Some(batcher);
+        self
+    }
+
+    /// Choose the staged streaming executor (`true`) or the serial oracle
+    /// (`false`, the default).
+    pub fn streamed(mut self, streamed: bool) -> Self {
+        self.streamed = streamed;
+        self
+    }
+
+    /// Strip the fault supervisor and payload checksums: the raw PR 3 executor
+    /// perfsmoke measures supervision overhead against. Raw runs ignore any
+    /// configured fault plan, report [`FaultStats::default`], and panic on
+    /// failure rather than returning typed errors.
+    pub fn raw(mut self) -> Self {
+        self.supervised = false;
+        self
+    }
+
+    /// Run the epoch, panicking on a typed failure (the panicking wrappers'
+    /// behaviour).
+    pub fn run(&self) -> EpochReport {
+        self.try_run()
+            .unwrap_or_else(|err| panic!("EpochRunner: {err}"))
+    }
+
+    /// Run the epoch. Typed failures ([`QgtcError`]) surface only from
+    /// supervised runs; raw runs return `Ok` or panic.
+    pub fn try_run(&self) -> Result<EpochReport, QgtcError> {
+        if self.supervised {
+            self.try_run_supervised()
+        } else {
+            Ok(self.run_raw())
+        }
+    }
+
+    fn try_run_supervised(&self) -> Result<EpochReport, QgtcError> {
+        let injector = FaultInjector::from_config(self.config)?;
+        // Partitioning is host-side preprocessing, excluded from `host_wall_ms`
+        // and timed separately — matching the paper's measurement.
+        let plan_built;
+        let (batcher, partition_ms, partition_shards) = match self.plan {
+            Some(batcher) => (batcher, 0.0, 0),
+            None => {
+                let partition_start = Instant::now();
+                let (built, shards) =
+                    supervised_build_plan(self.dataset, self.config, injector.as_ref())?;
+                plan_built = built;
+                (
+                    &plan_built,
+                    partition_start.elapsed().as_secs_f64() * 1e3,
+                    shards,
+                )
+            }
+        };
+        if self.streamed {
+            // One staging buffer (or one core) admits no useful lookahead: the
+            // serial loop *is* the degenerate schedule — still sealing payload
+            // checksums, because the streamed contract includes them on any host.
+            if stream::degenerates_to_serial(self.config) {
+                return try_serial_epoch_over_plan(
+                    self.dataset,
+                    self.config,
+                    batcher,
+                    partition_ms,
+                    partition_shards,
+                    injector.as_ref(),
+                    true,
+                );
+            }
+            stream::try_streamed_epoch_over_plan(
+                self.dataset,
+                self.config,
+                batcher,
+                partition_ms,
+                partition_shards,
+                injector.as_ref(),
+            )
+        } else {
+            // The fault-free serial oracle pays nothing for the checksum
+            // machinery; it seals only when an injector is active.
+            let seal = injector.is_some();
+            try_serial_epoch_over_plan(
+                self.dataset,
+                self.config,
+                batcher,
+                partition_ms,
+                partition_shards,
+                injector.as_ref(),
+                seal,
+            )
+        }
+    }
+
+    fn run_raw(&self) -> EpochReport {
+        let plan_built;
+        let (batcher, partition_ms, partition_shards) = match self.plan {
+            Some(batcher) => (batcher, 0.0, 0),
+            None => {
+                let partition_start = Instant::now();
+                let (built, shards) = build_plan(self.dataset, self.config);
+                plan_built = built;
+                (
+                    &plan_built,
+                    partition_start.elapsed().as_secs_f64() * 1e3,
+                    shards,
+                )
+            }
+        };
+        if self.streamed && !stream::degenerates_to_serial(self.config) {
+            stream::streamed_epoch_over_plan(
+                self.dataset,
+                self.config,
+                batcher,
+                partition_ms,
+                partition_shards,
+            )
+        } else {
+            stream::raw_serial_over_plan(
+                self.dataset,
+                self.config,
+                batcher,
+                partition_ms,
+                partition_shards,
+            )
+        }
+    }
+}
+
 /// Run one inference epoch of `dataset` under `config`, strictly serially.
 ///
 /// This is the oracle path: batches are prepared and executed one at a time on the
@@ -574,6 +803,8 @@ pub(crate) fn finish_report(
 /// (asserted batch-for-batch by the integration tests) while overlapping the
 /// prepare stage with compute on the host and modeling transfer/compute overlap on
 /// the device.
+///
+/// Thin wrapper over [`EpochRunner`] (the defaults).
 pub fn run_epoch(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
     try_run_epoch(dataset, config).unwrap_or_else(|err| panic!("run_epoch: {err}"))
 }
@@ -581,36 +812,19 @@ pub fn run_epoch(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
 /// Fallible form of [`run_epoch`]: the serial epoch under the fault supervisor.
 /// Unrecoverable faults — and the invalid-argument conditions that used to panic
 /// deep inside the pipeline — surface as a typed [`QgtcError`].
+///
+/// Thin wrapper over [`EpochRunner`] (the defaults).
 pub fn try_run_epoch(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
 ) -> Result<EpochReport, QgtcError> {
-    let injector = FaultInjector::from_config(config)?;
-    // Phase 1: partitioning (host side; excluded from `host_wall_ms`, matching the
-    // paper's measurement which excludes preprocessing).
-    let partition_start = Instant::now();
-    let (batcher, partition_shards) = supervised_build_plan(dataset, config, injector.as_ref())?;
-    let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
-    let seal = injector.is_some();
-    try_serial_epoch_over_plan(
-        dataset,
-        config,
-        &batcher,
-        partition_ms,
-        partition_shards,
-        injector.as_ref(),
-        seal,
-    )
+    EpochRunner::new(dataset, config).try_run()
 }
 
 /// Run one serial inference epoch over an already-built batch plan.
 ///
-/// For callers that partitioned the graph themselves (or want to amortise one
-/// partitioning across several epochs/analyses); `partition_ms` is reported as 0
-/// and `partition_shards` as 0 (no partitioning happened in this scope).
-/// The plan's batch size must match what `config` describes for the report's
-/// granularity fields to be meaningful, but nothing is re-derived from
-/// `config.num_partitions`/`config.batch_size` here.
+/// Thin wrapper over [`EpochRunner::with_plan`], which documents the plan-mode
+/// reporting contract.
 pub fn run_epoch_with_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
@@ -621,14 +835,16 @@ pub fn run_epoch_with_plan(
 }
 
 /// Fallible form of [`run_epoch_with_plan`].
+///
+/// Thin wrapper over [`EpochRunner::with_plan`].
 pub fn try_run_epoch_with_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
 ) -> Result<EpochReport, QgtcError> {
-    let injector = FaultInjector::from_config(config)?;
-    let seal = injector.is_some();
-    try_serial_epoch_over_plan(dataset, config, batcher, 0.0, 0, injector.as_ref(), seal)
+    EpochRunner::new(dataset, config)
+        .with_plan(batcher)
+        .try_run()
 }
 
 /// The serial epoch body shared by [`run_epoch`] and [`run_epoch_with_plan`]:
@@ -680,7 +896,7 @@ mod tests {
     }
 
     fn tiny_config(config: QgtcConfig) -> QgtcConfig {
-        config.scaled_partitions(16, 4)
+        config.with_partitions(16, 4)
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //!
 //! let dataset = DatasetProfile::PROTEINS.materialize(0.02, 7);
 //! let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
-//!     .scaled_partitions(8, 2)
+//!     .with_partitions(8, 2)
 //!     .with_prefetch(3);
 //!
 //! let serial = run_epoch(&dataset, &config);
@@ -62,9 +62,9 @@ use qgtc_partition::PartitionBatcher;
 use rayon::prelude::*;
 
 use super::{
-    build_plan, execute_batch, fault_stats_from, finish_report, prepare_batch, supervise_delivered,
-    supervise_dispatch, supervise_prepare, supervised_build_plan, try_serial_epoch_over_plan,
-    EpochContext, EpochState,
+    execute_batch, fault_stats_from, finish_report, prepare_batch, supervise_delivered,
+    supervise_dispatch, supervise_prepare, try_serial_epoch_over_plan, EpochContext, EpochRunner,
+    EpochState,
 };
 use crate::config::QgtcConfig;
 use crate::fault::{FaultInjector, FaultStats, QgtcError};
@@ -212,6 +212,8 @@ impl Drop for CloseOnDrop<'_> {
 /// modeled transfer/compute overlap in the report is unaffected by the host-side
 /// degeneration — it is a function of the per-batch counters and
 /// `config.staging_depth()` alone.
+///
+/// Thin wrapper over [`EpochRunner::streamed`].
 pub fn run_epoch_streamed(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
     try_run_epoch_streamed(dataset, config)
         .unwrap_or_else(|err| panic!("run_epoch_streamed: {err}"))
@@ -223,42 +225,20 @@ pub fn run_epoch_streamed(dataset: &LoadedDataset, config: &QgtcConfig) -> Epoch
 /// panic; the consumer validates every delivered payload against its sealed
 /// checksum (the streamed path seals unconditionally — batches genuinely cross
 /// threads here) and repairs or retries per the supervisor's policies.
+///
+/// Thin wrapper over [`EpochRunner::streamed`].
 pub fn try_run_epoch_streamed(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
 ) -> Result<EpochReport, QgtcError> {
-    let injector = FaultInjector::from_config(config)?;
-    let partition_start = Instant::now();
-    let (batcher, partition_shards) = supervised_build_plan(dataset, config, injector.as_ref())?;
-    let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
-    // One staging buffer (or one core) admits no useful lookahead: the serial loop
-    // *is* the degenerate schedule, so run it verbatim — still sealing payload
-    // checksums, so the robustness machinery is measured (and exercised)
-    // identically on any host.
-    if degenerates_to_serial(config) {
-        return try_serial_epoch_over_plan(
-            dataset,
-            config,
-            &batcher,
-            partition_ms,
-            partition_shards,
-            injector.as_ref(),
-            true,
-        );
-    }
-    try_streamed_epoch_over_plan(
-        dataset,
-        config,
-        &batcher,
-        partition_ms,
-        partition_shards,
-        injector.as_ref(),
-    )
+    EpochRunner::new(dataset, config).streamed(true).try_run()
 }
 
 /// Run one streamed inference epoch over an already-built batch plan (the
 /// streamed analogue of [`super::run_epoch_with_plan`]; `partition_ms` is
 /// reported as 0).
+///
+/// Thin wrapper over [`EpochRunner::with_plan`] + [`EpochRunner::streamed`].
 pub fn run_epoch_streamed_with_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
@@ -269,43 +249,32 @@ pub fn run_epoch_streamed_with_plan(
 }
 
 /// Fallible form of [`run_epoch_streamed_with_plan`].
+///
+/// Thin wrapper over [`EpochRunner::with_plan`] + [`EpochRunner::streamed`].
 pub fn try_run_epoch_streamed_with_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
 ) -> Result<EpochReport, QgtcError> {
-    let injector = FaultInjector::from_config(config)?;
-    if degenerates_to_serial(config) {
-        return try_serial_epoch_over_plan(
-            dataset,
-            config,
-            batcher,
-            0.0,
-            0,
-            injector.as_ref(),
-            true,
-        );
-    }
-    try_streamed_epoch_over_plan(dataset, config, batcher, 0.0, 0, injector.as_ref())
+    EpochRunner::new(dataset, config)
+        .with_plan(batcher)
+        .streamed(true)
+        .try_run()
 }
 
 /// The PR 3 streamed executor, verbatim: no supervisor, no payload checksums, no
 /// fault plan (an active `QGTC_FAULTS` spec is deliberately ignored). This is the
 /// perfsmoke overhead baseline the supervised [`run_epoch_streamed`] is measured
 /// against — the two must stay bitwise identical on fault-free runs.
+///
+/// Thin wrapper over [`EpochRunner::streamed`] + [`EpochRunner::raw`].
 pub fn run_epoch_streamed_raw(dataset: &LoadedDataset, config: &QgtcConfig) -> EpochReport {
-    let partition_start = Instant::now();
-    let (batcher, partition_shards) = build_plan(dataset, config);
-    let partition_ms = partition_start.elapsed().as_secs_f64() * 1e3;
-    if degenerates_to_serial(config) {
-        return raw_serial_over_plan(dataset, config, &batcher, partition_ms, partition_shards);
-    }
-    streamed_epoch_over_plan(dataset, config, &batcher, partition_ms, partition_shards)
+    EpochRunner::new(dataset, config).streamed(true).raw().run()
 }
 
 /// The raw (unsupervised, unsealed) serial loop backing
-/// [`run_epoch_streamed_raw`]'s degenerate path.
-fn raw_serial_over_plan(
+/// [`EpochRunner::raw`]'s degenerate and serial paths.
+pub(crate) fn raw_serial_over_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
@@ -332,13 +301,13 @@ fn raw_serial_over_plan(
 /// Whether the streamed executor should fall back to the serial loop: one staging
 /// buffer admits no lookahead, and on a single-core pool two stages time-slicing
 /// one CPU pay queue overhead without any overlap.
-fn degenerates_to_serial(config: &QgtcConfig) -> bool {
+pub(crate) fn degenerates_to_serial(config: &QgtcConfig) -> bool {
     config.prefetch_batches.max(1) == 1 || rayon::current_num_threads() <= 1
 }
 
 /// The raw (unsupervised) threaded streamed-executor body (and, via tests,
 /// exercised even on single-core hosts where the public entries degenerate).
-fn streamed_epoch_over_plan(
+pub(crate) fn streamed_epoch_over_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
@@ -429,7 +398,7 @@ fn streamed_epoch_over_plan(
 /// unrecoverable batch; the consumer drains in order through
 /// [`supervise_delivered`] (checksum validation + repair) and
 /// [`supervise_dispatch`] (retry / backend degradation) before executing.
-fn try_streamed_epoch_over_plan(
+pub(crate) fn try_streamed_epoch_over_plan(
     dataset: &LoadedDataset,
     config: &QgtcConfig,
     batcher: &PartitionBatcher,
@@ -522,7 +491,7 @@ fn try_streamed_epoch_over_plan(
 mod tests {
     use super::*;
     use crate::config::ModelKind;
-    use crate::pipeline::run_epoch;
+    use crate::pipeline::{build_plan, run_epoch};
     use qgtc_graph::DatasetProfile;
 
     fn tiny_dataset() -> LoadedDataset {
@@ -533,9 +502,9 @@ mod tests {
     fn streamed_matches_serial_counters_exactly() {
         let dataset = tiny_dataset();
         for config in [
-            QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(16, 4),
-            QgtcConfig::qgtc(ModelKind::BatchedGin, 4).scaled_partitions(16, 4),
-            QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).scaled_partitions(16, 4),
+            QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).with_partitions(16, 4),
+            QgtcConfig::qgtc(ModelKind::BatchedGin, 4).with_partitions(16, 4),
+            QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).with_partitions(16, 4),
         ] {
             let serial = run_epoch(&dataset, &config);
             // Call the threaded body directly so the queue is exercised even when
@@ -558,7 +527,7 @@ mod tests {
     #[test]
     fn deep_prefetch_and_odd_shard_counts_stay_deterministic() {
         let dataset = tiny_dataset();
-        let base = QgtcConfig::qgtc(ModelKind::ClusterGcn, 3).scaled_partitions(16, 2);
+        let base = QgtcConfig::qgtc(ModelKind::ClusterGcn, 3).with_partitions(16, 2);
         let reference = run_epoch(&dataset, &base);
         for depth in [2, 3, 7, 64] {
             let config = base.clone().with_prefetch(depth);
@@ -573,7 +542,7 @@ mod tests {
     fn depth_one_degenerates_to_serial() {
         let dataset = tiny_dataset();
         let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
-            .scaled_partitions(16, 4)
+            .with_partitions(16, 4)
             .with_prefetch(1);
         let serial = run_epoch(&dataset, &config);
         let streamed = run_epoch_streamed(&dataset, &config);
@@ -660,7 +629,7 @@ mod tests {
         // producers so the scope can join them, and the panic must propagate.
         let dataset = tiny_dataset();
         let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
-            .scaled_partitions(16, 2)
+            .with_partitions(16, 2)
             .with_prefetch(2);
         let (batcher, _) = build_plan(&dataset, &config);
         let total = batcher.num_batches();

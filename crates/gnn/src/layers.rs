@@ -6,10 +6,11 @@
 //! in one place guarantees the baseline and QGTC paths run the *same* model, so their
 //! outputs can be compared numerically in tests.
 //!
-//! `DenseTcScaffold` and `forward_layers` factor out the loop both models'
-//! 16/32-bit paths share — per-layer dense TC GEMMs with cost recording, and the
-//! ReLU-between-hidden-layers convention — so Cluster-GCN and batched-GIN differ only
-//! in the aggregation order their closures express.
+//! `DenseTcScaffold` factors out the per-layer dense TC GEMMs (with cost
+//! recording) both models' 16/32-bit paths share. `forward_layers` adds the
+//! ReLU-between-hidden-layers driver loop for models whose layer body is a plain
+//! closure (Cluster-GCN); batched GIN runs its own loop so the self-term addend
+//! and the inter-layer ReLU can ride the aggregation's fused epilogue.
 
 #[cfg(test)]
 use qgtc_bitmat::StackedBitMatrix;
@@ -178,8 +179,9 @@ impl<'a> DenseTcScaffold<'a> {
 /// ReLU-between-hidden-layers convention (recorded as one fp32 op per element),
 /// returning the final activations as logits.
 ///
-/// Both models' dense-TC paths (and nothing else — the low-bit paths interleave
-/// quantization steps that don't fit this shape) run through this single driver.
+/// Cluster-GCN's dense-TC path (and nothing else — the low-bit paths interleave
+/// quantization steps, and batched GIN fuses its activation into the epilogue)
+/// runs through this driver.
 pub(crate) fn forward_layers(
     params: &GnnModelParams,
     features: &Matrix<f32>,

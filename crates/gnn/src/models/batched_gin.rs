@@ -11,12 +11,12 @@ use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_kernels::backend::select_backend;
 use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
-use qgtc_kernels::fusion::FusedEpilogue;
+use qgtc_kernels::fusion::{Activation, FusedEpilogue};
 use qgtc_kernels::packing::pack_feature_matrix;
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tensor::{ops, Matrix};
 
-use crate::layers::{affine_update_offsets, forward_layers, DenseTcScaffold, GnnModelParams};
+use crate::layers::{affine_update_offsets, DenseTcScaffold, GnnModelParams};
 use crate::models::{row_degrees, BatchForwardOutput, QuantizationSetting, QuantizedWeightSet};
 
 /// The batched GIN model.
@@ -241,8 +241,10 @@ impl BatchedGinModel {
     }
 
     /// Dense fp16/TF32 Tensor Core path (the 16- and 32-bit configurations):
-    /// linear update first, then sum aggregation plus the `(1 + ε)` self term, on
-    /// the shared dense-TC layer scaffold.
+    /// linear update first, then sum aggregation with the `(1 + ε)` self term
+    /// and the inter-layer ReLU both folded into the aggregation's
+    /// [`FusedEpilogue`] (§4.5) — no standalone scale/add/activation kernels
+    /// over the dense activations, mirroring the low-bit path's fusion.
     fn forward_dense_tc(
         &self,
         subgraph: &DenseSubgraph,
@@ -251,14 +253,22 @@ impl BatchedGinModel {
         tracker: &CostTracker,
     ) -> BatchForwardOutput {
         let tc = DenseTcScaffold::new(setting, tracker);
-        forward_layers(&self.params, features, tracker, |layer, x| {
-            let updated = tc.linear(x, layer);
+        let num_layers = self.params.num_layers();
+        let mut x = features.clone();
+        for (l, layer) in self.params.layers.iter().enumerate() {
+            let updated = tc.linear(&x, layer);
             let aggregated = tc.gemm(&subgraph.adjacency, &updated);
-            let self_term = ops::scale(&updated, 1.0 + self.epsilon);
-            let combined = ops::add(&aggregated, &self_term).expect("shapes match");
-            tracker.record_fp32_flops(2 * combined.len() as u64);
-            combined
-        })
+            let mut epilogue =
+                FusedEpilogue::dequantize_only(1.0).with_scaled_addend(updated, 1.0 + self.epsilon);
+            if l + 1 < num_layers {
+                epilogue.activation = Activation::Relu;
+            }
+            x = epilogue
+                .apply_dense(aggregated, tracker)
+                .into_dense()
+                .expect("dense epilogue");
+        }
+        BatchForwardOutput { logits: x }
     }
 }
 

@@ -32,4 +32,4 @@ pub mod subgraph;
 pub use coo::CooGraph;
 pub use csr::{CsrGraph, GraphError};
 pub use datasets::{DatasetProfile, LoadedDataset};
-pub use subgraph::DenseSubgraph;
+pub use subgraph::{DenseSubgraph, SubgraphScratch};

@@ -8,6 +8,14 @@
 use crate::csr::CsrGraph;
 use qgtc_tensor::Matrix;
 
+/// Reusable scratch (the global→local node map) for
+/// [`DenseSubgraph::batch_block_diagonal_in`], so sustained callers pay the
+/// O(num_nodes) map allocation once instead of per batch.
+#[derive(Debug, Default)]
+pub struct SubgraphScratch {
+    local_of: Vec<usize>,
+}
+
 /// A batch of partitions materialised as a dense subgraph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseSubgraph {
@@ -72,6 +80,19 @@ impl DenseSubgraph {
         features.gather_rows(&self.nodes)
     }
 
+    /// [`DenseSubgraph::gather_features`] into recycled `storage` (cleared
+    /// first) — value-identical to the fresh path, used by the serving
+    /// layer's packed-buffer pool.
+    pub fn gather_features_in(&self, features: &Matrix<f32>, mut storage: Vec<f32>) -> Matrix<f32> {
+        storage.clear();
+        storage.reserve(self.nodes.len() * features.cols());
+        for &global in &self.nodes {
+            storage.extend_from_slice(features.row(global));
+        }
+        Matrix::from_vec(self.nodes.len(), features.cols(), storage)
+            .expect("length matches by construction")
+    }
+
     /// Gather the labels of the subgraph's nodes from the global label vector.
     pub fn gather_labels(&self, labels: &[usize]) -> Vec<usize> {
         self.nodes.iter().map(|&g| labels[g]).collect()
@@ -84,18 +105,67 @@ impl DenseSubgraph {
     /// adjacency is block diagonal — the source of the first kind of all-zero Tensor
     /// Core tiles the paper's Figure 8 analyses.
     pub fn batch_block_diagonal(graph: &CsrGraph, partitions: &[Vec<usize>]) -> Self {
+        Self::batch_block_diagonal_in(
+            graph,
+            partitions,
+            Vec::new(),
+            Vec::new(),
+            &mut SubgraphScratch::default(),
+        )
+    }
+
+    /// [`DenseSubgraph::batch_block_diagonal`] materialising into recycled
+    /// buffers: `adjacency_storage` and `node_storage` are cleared (and the
+    /// adjacency zero-filled) before use, and `scratch` carries the
+    /// global→local map across calls.  Bitwise identical to the fresh path —
+    /// an edge is kept exactly when both endpoints fall in the same
+    /// partition's block.
+    pub fn batch_block_diagonal_in(
+        graph: &CsrGraph,
+        partitions: &[Vec<usize>],
+        adjacency_storage: Vec<f32>,
+        node_storage: Vec<usize>,
+        scratch: &mut SubgraphScratch,
+    ) -> Self {
         let total: usize = partitions.iter().map(Vec::len).sum();
-        let mut nodes = Vec::with_capacity(total);
-        let mut adjacency = Matrix::zeros(total, total);
-        let mut num_edges = 0usize;
+        let mut nodes = node_storage;
+        nodes.clear();
+        nodes.reserve(total);
+        let mut adjacency = adjacency_storage;
+        adjacency.clear();
+        adjacency.resize(total * total, 0.0);
+        let local_of = &mut scratch.local_of;
+        local_of.clear();
+        local_of.resize(graph.num_nodes(), usize::MAX);
         let mut offset = 0usize;
         for part in partitions {
-            let sub = DenseSubgraph::extract(graph, part);
-            for lu in 0..sub.num_nodes() {
-                for lv in 0..sub.num_nodes() {
-                    if sub.adjacency[(lu, lv)] != 0.0 {
-                        adjacency[(offset + lu, offset + lv)] = 1.0;
-                        num_edges += 1;
+            for (i, &global) in part.iter().enumerate() {
+                debug_assert!(
+                    local_of[global] == usize::MAX,
+                    "node {global} appears twice in the batch"
+                );
+                local_of[global] = offset + i;
+            }
+            offset += part.len();
+        }
+        let mut num_edges = 0usize;
+        offset = 0;
+        for part in partitions {
+            let block = offset..offset + part.len();
+            for &global_u in part {
+                let lu = local_of[global_u];
+                for &global_v in graph.neighbors(global_u) {
+                    let lv = local_of[global_v];
+                    // Keep only intra-partition edges: the block-diagonal
+                    // batching drops partition-cut edges by construction.
+                    // `num_edges` counts distinct adjacency cells, so duplicate
+                    // CSR entries collapse exactly as in the fresh path.
+                    if lv != usize::MAX && block.contains(&lv) {
+                        let cell = &mut adjacency[lu * total + lv];
+                        if *cell == 0.0 {
+                            num_edges += 1;
+                        }
+                        *cell = 1.0;
                     }
                 }
             }
@@ -104,7 +174,8 @@ impl DenseSubgraph {
         }
         Self {
             nodes,
-            adjacency,
+            adjacency: Matrix::from_vec(total, total, adjacency)
+                .expect("length matches by construction"),
             num_edges,
         }
     }

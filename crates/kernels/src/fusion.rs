@@ -283,20 +283,32 @@ impl FusedEpilogue {
         self.finish(dense, tracker)
     }
 
-    /// Apply the epilogue's activation / batch-norm / re-quantization stages to
-    /// an already-dense activation matrix.
+    /// Apply the epilogue's addend / activation / batch-norm / re-quantization
+    /// stages to an already-dense activation matrix.
     ///
     /// This is the layer-transition entry for values that leave the accumulator
-    /// domain before the epilogue (e.g. batched GIN's `aggregated + (1+ε)·self`
-    /// combine): the accumulator scale and the affine offsets do not apply, but
-    /// the re-quantization — the single quantize site of a layer transition —
-    /// still lives here.  Takes the matrix by value — callers that still need
-    /// the dense activations afterwards clone at the call site.
-    pub fn apply_dense(&self, dense: Matrix<f32>, tracker: &CostTracker) -> EpilogueOutput {
-        assert!(
-            self.addend.is_none(),
-            "the scaled addend belongs to the accumulator entry (`apply`)"
-        );
+    /// domain before the epilogue: the accumulator scale and the affine offsets
+    /// do not apply, but the scaled addend (batched GIN's `+ (1+ε)·self` combine
+    /// on the dense-TC path), the activation and the re-quantization — the
+    /// single quantize site of a layer transition — all live here, mirroring
+    /// [`FusedEpilogue::apply`] stage for stage.  Takes the matrix by value —
+    /// callers that still need the dense activations afterwards clone at the
+    /// call site.
+    pub fn apply_dense(&self, mut dense: Matrix<f32>, tracker: &CostTracker) -> EpilogueOutput {
+        if let Some(addend) = &self.addend {
+            assert_eq!(
+                (addend.rows(), addend.cols()),
+                (dense.rows(), dense.cols()),
+                "addend shape"
+            );
+            for i in 0..addend.rows() {
+                let add_row = addend.row(i);
+                for (slot, &a) in dense.row_mut(i).iter_mut().zip(add_row) {
+                    *slot += self.addend_scale * a;
+                }
+            }
+            tracker.record_fp32_flops(2 * dense.len() as u64);
+        }
         self.finish(dense, tracker)
     }
 
@@ -643,12 +655,43 @@ mod tests {
     }
 
     #[test]
-    fn dense_entry_rejects_an_addend() {
+    fn dense_entry_applies_the_scaled_addend_bitwise() {
+        // The dense entry's fused `+ s·addend` (GIN's self term on the
+        // dense-TC path) must be bitwise identical to the unfused
+        // ops::scale + ops::add + relu composition it replaces.
+        use qgtc_tensor::ops;
+        let aggregated = Matrix::from_vec(2, 3, vec![0.5f32, -2.0, 1.25, 3.0, -0.75, 0.0]).unwrap();
+        let updated = Matrix::from_vec(2, 3, vec![0.3f32, -1.7, 2.5, 0.0, 4.2, -0.01]).unwrap();
+        let eps_scale = 1.0 + 0.37f32;
+
+        let fused_tracker = CostTracker::new();
+        let mut ep =
+            FusedEpilogue::dequantize_only(1.0).with_scaled_addend(updated.clone(), eps_scale);
+        ep.activation = Activation::Relu;
+        let fused = ep
+            .apply_dense(aggregated.clone(), &fused_tracker)
+            .into_dense()
+            .unwrap();
+
+        let unfused = relu(&ops::add(&aggregated, &ops::scale(&updated, eps_scale)).unwrap());
+        assert_eq!(
+            fused, unfused,
+            "fused dense addend must be bitwise identical"
+        );
+        // One multiply + one add per element for the combine, one for the ReLU.
+        assert_eq!(
+            fused_tracker.snapshot().cuda_fp32_flops,
+            3 * fused.len() as u64
+        );
+    }
+
+    #[test]
+    fn dense_entry_rejects_a_mismatched_addend() {
         let ep = FusedEpilogue::requantize_right_operand(1.0, 2)
-            .with_scaled_addend(Matrix::zeros(2, 2), 1.0);
+            .with_scaled_addend(Matrix::zeros(3, 3), 1.0);
         let result =
             std::panic::catch_unwind(|| ep.apply_dense(Matrix::zeros(2, 2), &CostTracker::new()));
-        assert!(result.is_err(), "apply_dense must refuse a scaled addend");
+        assert!(result.is_err(), "2x2 dense input, 3x3 addend");
     }
 
     #[test]

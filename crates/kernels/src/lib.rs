@@ -29,6 +29,9 @@
 //! * [`packing`] — bandwidth-optimised subgraph packing (§4.6): transfer the packed
 //!   low-bit adjacency and features as one compound object instead of dense fp32
 //!   tensors over PCIe.
+//! * [`pool`] — the exclusive-pool buffer arena behind sustained serving: recycled
+//!   packed-plane words, code buffers and dense staging buffers, so steady-state
+//!   batch preparation allocates nothing fresh.
 //! * [`scheduler`] — thread-block/launch planning helpers shared by the kernels and
 //!   the end-to-end pipeline.
 //!
@@ -40,6 +43,7 @@ pub mod backend;
 pub mod bmm;
 pub mod fusion;
 pub mod packing;
+pub mod pool;
 pub mod scheduler;
 pub mod tile_reuse;
 pub mod tiling;
@@ -52,4 +56,5 @@ pub use backend::{
 pub use bmm::{qgtc_aggregate, qgtc_bitmm2int, qgtc_bmm, KernelConfig, ReductionOrder};
 pub use fusion::{Activation, FusedEpilogue};
 pub use packing::{PreparedBatch, SubgraphPayload, TransferStrategy};
+pub use pool::{PackedBufferPool, PoolStats};
 pub use tiling::{resolve_tiling, shape_class, tune_file_path, TilingChoice, TuneTable};

@@ -13,6 +13,7 @@
 //! and records the transfer into a [`CostTracker`] so the device model charges the
 //! PCIe time (and the per-transfer fixed overhead) accordingly.
 
+use crate::pool::PackedBufferPool;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_tcsim::cost::CostTracker;
@@ -39,6 +40,28 @@ pub fn pack_feature_matrix(
         Quantizer::calibrate(feature_bits, features).expect("feature_bits validated by caller");
     let codes = quantizer.quantize_matrix_u32(features);
     StackedBitMatrix::from_quantized(&codes, quantizer.params(), layout)
+}
+
+/// [`pack_feature_matrix`] drawing the code buffer and every plane's word
+/// storage from `pool` — bitwise identical output, zero fresh allocations once
+/// the pool is warm.
+pub fn pack_feature_matrix_pooled(
+    features: &Matrix<f32>,
+    feature_bits: u32,
+    layout: BitMatrixLayout,
+    pool: &mut PackedBufferPool,
+) -> StackedBitMatrix {
+    let quantizer =
+        Quantizer::calibrate(feature_bits, features).expect("feature_bits validated by caller");
+    let codes = quantizer.quantize_matrix_u32_in(features, pool.take_codes());
+    let stack = StackedBitMatrix::from_quantized_in(
+        &codes,
+        quantizer.params(),
+        layout,
+        pool.reserve_words(feature_bits as usize),
+    );
+    pool.put_codes(codes.into_data());
+    stack
 }
 
 /// Fixed per-transfer overhead in bytes-equivalent terms: a separate cudaMemcpy has
@@ -92,6 +115,36 @@ impl SubgraphPayload {
         );
         let packed_features =
             pack_feature_matrix(features, feature_bits, BitMatrixLayout::ColPacked);
+        Self {
+            num_nodes: subgraph.num_nodes(),
+            num_edges: subgraph.num_edges,
+            feature_dim: features.cols(),
+            feature_bits,
+            packed_adjacency,
+            packed_features,
+        }
+    }
+
+    /// [`SubgraphPayload::new`] packing both stacks into buffers drawn from
+    /// `pool` — bitwise identical to the fresh path.
+    pub fn new_pooled(
+        subgraph: &DenseSubgraph,
+        features: &Matrix<f32>,
+        feature_bits: u32,
+        pool: &mut PackedBufferPool,
+    ) -> Self {
+        assert_eq!(
+            subgraph.num_nodes(),
+            features.rows(),
+            "feature rows must match subgraph nodes"
+        );
+        let packed_adjacency = StackedBitMatrix::from_binary_adjacency_in(
+            &subgraph.adjacency,
+            BitMatrixLayout::RowPacked,
+            pool.reserve_words(1),
+        );
+        let packed_features =
+            pack_feature_matrix_pooled(features, feature_bits, BitMatrixLayout::ColPacked, pool);
         Self {
             num_nodes: subgraph.num_nodes(),
             num_edges: subgraph.num_edges,
@@ -210,6 +263,48 @@ impl PreparedBatch {
             payload,
             payload_checksum: None,
         }
+    }
+
+    /// [`PreparedBatch::pack_quantized`] drawing every buffer from `pool` —
+    /// the serving layer's steady-state prepare.  Bitwise identical to the
+    /// fresh path (recycled storage is zeroed before packing).
+    pub fn pack_quantized_pooled(
+        batch_index: usize,
+        subgraph: DenseSubgraph,
+        features: Matrix<f32>,
+        feature_bits: u32,
+        pool: &mut PackedBufferPool,
+    ) -> Self {
+        let payload = if subgraph.num_nodes() == 0 {
+            None
+        } else {
+            Some(SubgraphPayload::new_pooled(
+                &subgraph,
+                &features,
+                feature_bits,
+                pool,
+            ))
+        };
+        Self {
+            batch_index,
+            subgraph,
+            features,
+            payload,
+            payload_checksum: None,
+        }
+    }
+
+    /// Tear the batch down into `pool`, recovering the packed plane words and
+    /// the dense staging buffers for the next prepare.  This is the eviction
+    /// path of the serving layer's payload cache.
+    pub fn recycle_into(self, pool: &mut PackedBufferPool) {
+        if let Some(payload) = self.payload {
+            pool.recycle_stack(payload.packed_adjacency);
+            pool.recycle_stack(payload.packed_features);
+        }
+        pool.put_floats(self.features.into_data());
+        pool.put_floats(self.subgraph.adjacency.into_data());
+        pool.put_indices(self.subgraph.nodes);
     }
 
     /// Prepare a batch for the dense fp32 baseline path (no packing).
@@ -452,6 +547,56 @@ mod tests {
         let prepared = PreparedBatch::pack_quantized(0, sub, features, 2);
         assert_eq!(prepared.num_nodes(), 0);
         assert!(prepared.payload.is_none());
+    }
+
+    #[test]
+    fn pooled_prepare_is_bitwise_identical_and_allocation_free_when_warm() {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 120,
+                num_blocks: 2,
+                intra_degree: 5.0,
+                inter_degree: 0.5,
+            },
+            9,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let nodes: Vec<usize> = (0..80).collect();
+        let features_global = random_uniform_matrix(120, 32, -1.0, 1.0, 4);
+        let fresh = PreparedBatch::pack_quantized(
+            0,
+            DenseSubgraph::extract(&graph, &nodes),
+            DenseSubgraph::extract(&graph, &nodes).gather_features(&features_global),
+            3,
+        );
+
+        let mut pool = crate::pool::PackedBufferPool::new();
+        let build = |pool: &mut crate::pool::PackedBufferPool| {
+            let sub = DenseSubgraph::extract(&graph, &nodes);
+            let feats = sub.gather_features(&features_global);
+            PreparedBatch::pack_quantized_pooled(0, sub, feats, 3, pool)
+        };
+        let first = build(&mut pool);
+        let cold = pool.stats();
+        assert!(cold.fresh_allocations > 0, "cold pool allocates");
+        assert_eq!(
+            first.payload.as_ref().unwrap().checksum(),
+            fresh.payload.as_ref().unwrap().checksum(),
+            "pooled payload is bitwise identical to the fresh one"
+        );
+
+        first.recycle_into(&mut pool);
+        let second = build(&mut pool);
+        assert_eq!(
+            second.payload.as_ref().unwrap().checksum(),
+            fresh.payload.as_ref().unwrap().checksum()
+        );
+        assert_eq!(
+            pool.stats().fresh_allocations,
+            cold.fresh_allocations,
+            "warm pool prepares with zero fresh packed-buffer allocations"
+        );
+        assert!(pool.stats().reuses > cold.reuses);
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl PartitionBatcher {
     ///
     /// Panics if `batch_size == 0`: a zero-partition batch has no meaning in the
     /// cluster-GCN execution model, and silently clamping it would hide a
-    /// configuration bug upstream (`QgtcConfig::scaled_partitions` clamps to 1 for
+    /// configuration bug upstream (`QgtcConfig::with_partitions` clamps to 1 for
     /// callers that want the lenient behaviour). [`PartitionBatcher::try_new`] is the
     /// fallible equivalent.
     pub fn new(partitioning: &Partitioning, batch_size: usize) -> Self {

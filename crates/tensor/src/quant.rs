@@ -113,6 +113,16 @@ impl Quantizer {
         x.map(|&v| self.params.quantize(v))
     }
 
+    /// [`Quantizer::quantize_matrix_u32`] writing the codes into recycled
+    /// `storage` (cleared first), so sustained callers — the serving layer's
+    /// packed-buffer pool — quantize without a fresh allocation per batch.
+    pub fn quantize_matrix_u32_in(&self, x: &Matrix<f32>, mut storage: Vec<u32>) -> Matrix<u32> {
+        storage.clear();
+        storage.reserve(x.len());
+        storage.extend(x.data().iter().map(|&v| self.params.quantize(v)));
+        Matrix::from_vec(x.rows(), x.cols(), storage).expect("length matches by construction")
+    }
+
     /// Dequantize an integer-code matrix back to `f32`.
     pub fn dequantize_matrix(&self, codes: &Matrix<i64>) -> Matrix<f32> {
         codes.map(|&c| self.params.dequantize(c.max(0) as u32))

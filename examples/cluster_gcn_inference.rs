@@ -28,7 +28,7 @@ fn main() {
 
     let dgl = run_epoch(
         &dataset,
-        &QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).scaled_partitions(partitions, batch_size),
+        &QgtcConfig::dgl_baseline(ModelKind::ClusterGcn).with_partitions(partitions, batch_size),
     );
     println!(
         "DGL fp32 baseline : {:>8.3} ms modeled ({} batches, {:.1} MB over PCIe)",
@@ -40,8 +40,7 @@ fn main() {
     for bits in [8u32, 4, 2] {
         let report = run_epoch(
             &dataset,
-            &QgtcConfig::qgtc(ModelKind::ClusterGcn, bits)
-                .scaled_partitions(partitions, batch_size),
+            &QgtcConfig::qgtc(ModelKind::ClusterGcn, bits).with_partitions(partitions, batch_size),
         );
         println!(
             "QGTC {bits:>2}-bit       : {:>8.3} ms modeled ({} TC tiles, {} skipped, {:.1} MB over PCIe)  speedup {:.2}x",

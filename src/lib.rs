@@ -52,6 +52,35 @@
 //! assert!(snapshot.tc_b1_tiles > 0);
 //! assert_eq!(aggregated.shape(), (64, 8));
 //! ```
+//!
+//! # Serving
+//!
+//! For request traffic (rather than one-shot epoch sweeps), build a long-lived
+//! [`QgtcSession`](core::serve::QgtcSession): the partition plan and the
+//! quantized weights are built exactly once, queued requests coalesce into
+//! partition-aligned micro-batches, prepared batch payloads are cached, and
+//! every staging buffer is recycled through a packed-buffer pool — so warm
+//! serving allocates nothing fresh and answers bitwise what
+//! [`run_epoch`](core::run_epoch) would compute:
+//!
+//! ```
+//! use qgtc_repro::core::serve::QgtcSession;
+//! use qgtc_repro::core::{ModelKind, QgtcConfig};
+//! use qgtc_repro::graph::DatasetProfile;
+//!
+//! let dataset = DatasetProfile::PROTEINS.materialize(0.02, 7);
+//! let config = QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).with_partitions(8, 2);
+//! let mut session = QgtcSession::new(&dataset, &config)?;   // plan + quantize once
+//!
+//! let response = session.infer(&[0, 1, 2])?;                // route → coalesce → serve
+//! assert_eq!(response.logits.rows(), 3);
+//! assert!(response.degraded.is_empty());
+//!
+//! let stats = session.stats();
+//! assert_eq!(stats.requests, 1);
+//! assert_eq!(stats.weight_quantizations, 3, "layer count, stamped at build");
+//! # Ok::<(), qgtc_repro::core::QgtcError>(())
+//! ```
 
 /// The QGTC framework facade (BitTensor API, configuration, end-to-end pipeline).
 pub use qgtc_core as core;

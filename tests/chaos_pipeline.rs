@@ -41,7 +41,7 @@ fn tiny_config() -> QgtcConfig {
     // ModeledTc pins the backend so degradation behaviour (and `fault_stats`
     // attribution) is host-independent; every backend is bitwise identical.
     QgtcConfig::qgtc(ModelKind::ClusterGcn, 2)
-        .scaled_partitions(12, 2)
+        .with_partitions(12, 2)
         .with_prefetch(4)
         .with_backend(BackendChoice::ModeledTc)
 }
@@ -289,7 +289,7 @@ fn try_build_plan_rejects_degenerate_configs_typed() {
     ));
 
     // More partitions than nodes: the partitioner's own typed error surfaces.
-    let too_many = tiny_config().scaled_partitions(dataset.graph.num_nodes() + 1, 2);
+    let too_many = tiny_config().with_partitions(dataset.graph.num_nodes() + 1, 2);
     assert!(matches!(
         try_build_plan(&dataset, &too_many),
         Err(QgtcError::Partition(_))

@@ -48,7 +48,7 @@ fn qgtc_and_dgl_paths_predict_similar_classes_at_8_bits() {
 fn epoch_report_speedup_ordering_matches_paper() {
     // The paper's headline ordering: DGL slowest, then QGTC 32 > 16 > 8 >= 2 bit.
     let dataset = tiny_dataset();
-    let scaled = |config: QgtcConfig| config.scaled_partitions(8, 4);
+    let scaled = |config: QgtcConfig| config.with_partitions(8, 4);
     let ms_of = |config: QgtcConfig| run_epoch(&dataset, &scaled(config)).modeled_ms;
 
     let dgl = ms_of(QgtcConfig::dgl_baseline(ModelKind::ClusterGcn));
@@ -74,14 +74,11 @@ fn gin_speedup_over_dgl_is_at_least_gcn_like() {
     let speedup = |model: ModelKind| {
         let dgl = run_epoch(
             &dataset,
-            &QgtcConfig::dgl_baseline(model).scaled_partitions(8, 4),
+            &QgtcConfig::dgl_baseline(model).with_partitions(8, 4),
         )
         .modeled_ms;
-        let qgtc = run_epoch(
-            &dataset,
-            &QgtcConfig::qgtc(model, 4).scaled_partitions(8, 4),
-        )
-        .modeled_ms;
+        let qgtc =
+            run_epoch(&dataset, &QgtcConfig::qgtc(model, 4).with_partitions(8, 4)).modeled_ms;
         dgl / qgtc
     };
     let gcn = speedup(ModelKind::ClusterGcn);
@@ -128,13 +125,13 @@ fn packed_transfer_moves_far_fewer_bytes_than_dense() {
     let dataset = tiny_dataset();
     let packed = run_epoch(
         &dataset,
-        &QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(8, 4),
+        &QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).with_partitions(8, 4),
     );
     let dense = run_epoch(
         &dataset,
         &QgtcConfig {
             transfer: qgtc_repro::kernels::packing::TransferStrategy::DenseFloat,
-            ..QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).scaled_partitions(8, 4)
+            ..QgtcConfig::qgtc(ModelKind::ClusterGcn, 2).with_partitions(8, 4)
         },
     );
     assert!(

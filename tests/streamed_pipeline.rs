@@ -8,7 +8,7 @@ use qgtc_repro::graph::DatasetProfile;
 
 fn tiny_config(model: ModelKind, bits: u32) -> QgtcConfig {
     QgtcConfig::qgtc(model, bits)
-        .scaled_partitions(12, 2)
+        .with_partitions(12, 2)
         .with_prefetch(4)
 }
 
@@ -54,7 +54,7 @@ fn streamed_matches_serial_for_gin_and_the_dense_baseline() {
     for config in [
         tiny_config(ModelKind::BatchedGin, 4),
         QgtcConfig::dgl_baseline(ModelKind::ClusterGcn)
-            .scaled_partitions(12, 2)
+            .with_partitions(12, 2)
             .with_prefetch(3),
     ] {
         let serial = run_epoch(&dataset, &config);

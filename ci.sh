@@ -31,6 +31,13 @@
 #                          recover bitwise, unrecoverable ones fail typed)
 #                          under RAYON_NUM_THREADS in {1, 2, 8}; FAST shrinks
 #                          the proptest case counts via QGTC_CI_FAST
+#   condense               condensed-adjacency conformance proptests (condensed
+#                          == skip == serial oracle bitwise, kernel through
+#                          serving) under RAYON_NUM_THREADS in {1, 2, 8}, plus
+#                          a tiny condense-threshold tune -> probe round trip
+#                          against the freshly tuned table (the tune+probe —
+#                          and only they — are skipped in FAST; FAST also
+#                          shrinks the proptest case counts via QGTC_CI_FAST)
 #   serving                served-vs-epoch-oracle equivalence tests under
 #                          RAYON_NUM_THREADS in {1, 2, 8}, plus the tiny-scale
 #                          serving-session probe (the probe — and only it —
@@ -51,7 +58,7 @@ cd "$(dirname "$0")"
 
 FAST="${QGTC_CI_FAST:-0}"
 ONLY="${QGTC_CI_STAGE:-}"
-KNOWN_STAGES="fmt clippy build-release test partition-determinism backend tiling chaos serving bench-compile examples perfsmoke benchcheck doc"
+KNOWN_STAGES="fmt clippy build-release test partition-determinism backend tiling chaos condense serving bench-compile examples perfsmoke benchcheck doc"
 
 # Surface the stage menu up front instead of failing silently later: an unknown
 # QGTC_CI_STAGE aborts immediately with the list, and an unset one announces
@@ -173,6 +180,40 @@ chaos_stage() {
     done
 }
 
+condense_stage() {
+    # The condensed-path contract: the TC-GNN-style condensed kernel must be
+    # bitwise identical to the zero-word-skip kernel and the serial oracle —
+    # at the kernel level across adversarial sparsity patterns, and end to end
+    # through both epoch executors and the serving session — at every pool
+    # width. QGTC_CI_FAST (exported to the test process) shrinks the proptest
+    # case counts.
+    local threads
+    for threads in 1 2 8; do
+        echo "--- RAYON_NUM_THREADS=$threads"
+        env RAYON_NUM_THREADS="$threads" QGTC_CI_FAST="$FAST" \
+            cargo test --test condense_props -q
+    done
+    if [[ "$FAST" == "1" ]]; then
+        echo "--- condense-threshold tuner + probe skipped (QGTC_CI_FAST=1)"
+    else
+        # Tune the Auto decision threshold at tiny scale into a scratch table,
+        # then point the adjacency-path race at it: this exercises the full
+        # tune-then-dispatch loop (the skip-vs-condensed race, the threshold
+        # placement, the table parse, the Auto resolution) without touching
+        # the committed full-scale TUNE_gemm.json.
+        echo "--- condense-threshold tuner (tiny scale)"
+        env QGTC_SCALE=tiny \
+            QGTC_TUNE_OUT=target/TUNE_gemm.tiny.json \
+            cargo run --release -p qgtc-bench --bin tilingtune
+        echo "--- condense probe (tiny scale, freshly tuned threshold)"
+        env QGTC_SCALE=tiny \
+            QGTC_PERFSMOKE_PROBE=condense \
+            QGTC_TUNE_FILE=target/TUNE_gemm.tiny.json \
+            QGTC_CONDENSE_OUT=target/BENCH_condense.tiny.json \
+            cargo run --release -p qgtc-bench --bin perfsmoke
+    fi
+}
+
 serving_stage() {
     # The serving contract: a long-lived QgtcSession must answer bitwise what
     # the one-shot epoch pipeline computes — on every profile, after any
@@ -252,6 +293,7 @@ stage partition-determinism partition_determinism
 stage backend backend_stage
 stage tiling tiling_stage
 stage chaos chaos_stage
+stage condense condense_stage
 stage serving serving_stage
 stage bench-compile cargo bench --no-run --workspace
 stage examples cargo build --workspace --examples --bins

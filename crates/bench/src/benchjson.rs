@@ -208,7 +208,7 @@ pub struct BenchSpec {
     pub gates: &'static [(&'static str, &'static str)],
 }
 
-/// The seven committed perf reports and their contracts.
+/// The eight committed perf reports and their contracts.
 pub fn committed_bench_specs() -> Vec<BenchSpec> {
     vec![
         BenchSpec {
@@ -382,6 +382,42 @@ pub fn committed_bench_specs() -> Vec<BenchSpec> {
                 ("pool_steady_state_ok", "pool_steady_state_bar"),
                 ("weights_quantized_once_ok", "weights_quantized_once_bar"),
                 ("oracle_match_ok", "oracle_match_bar"),
+            ],
+        },
+        BenchSpec {
+            file: "BENCH_condense.json",
+            bench: "adjacency_condense_vs_skip",
+            required_keys: &[
+                "scale",
+                "reps",
+                "body",
+                "condense_threshold",
+                "fragmented_speedup",
+                "fragmented_probe",
+                "fragmented_bar",
+                "auto_worst_efficiency",
+                "auto_efficiency_bar",
+                "note",
+            ],
+            rows_key: "shapes",
+            row_keys: &[
+                "name",
+                "m",
+                "n",
+                "plain_ns",
+                "skip_ns",
+                "condensed_ns",
+                "auto_ns",
+                "auto_path",
+                "condensed_vs_skip",
+                "auto_efficiency",
+                "condensation_ratio",
+                "nonzero_word_ratio",
+                "fragmentation",
+            ],
+            gates: &[
+                ("fragmented_speedup", "fragmented_bar"),
+                ("auto_worst_efficiency", "auto_efficiency_bar"),
             ],
         },
         BenchSpec {
@@ -888,6 +924,88 @@ mod tests {
         assert!(err.contains("prepares_skipped"), "{err}");
         let truncated = &minimal_serving_report(450.0, 0.9, 1)[..50];
         let err = validate_bench_report(&serving_spec(), truncated).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
+    }
+
+    fn minimal_condense_report(fragmented: f64, auto_eff: f64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\": \"adjacency_condense_vs_skip\", \"scale\": \"fast\", ",
+                "\"reps\": 3, \"body\": \"avx2\", \"condense_threshold\": 0.75, ",
+                "\"fragmented_speedup\": {fragmented}, ",
+                "\"fragmented_probe\": \"fragmented-50\", \"fragmented_bar\": 1.3, ",
+                "\"auto_worst_efficiency\": {auto_eff}, \"auto_efficiency_bar\": 0.95, ",
+                "\"note\": \"test\", ",
+                "\"shapes\": [{{\"name\": \"fragmented-50\", \"m\": 4096, \"n\": 128, ",
+                "\"plain_ns\": 3, \"skip_ns\": 10, \"condensed_ns\": 2, \"auto_ns\": 2, ",
+                "\"auto_path\": \"condensed\", \"condensed_vs_skip\": {fragmented}, ",
+                "\"auto_efficiency\": {auto_eff}, \"condensation_ratio\": 0.02, ",
+                "\"nonzero_word_ratio\": 1.0, \"fragmentation\": 1.0}}]}}"
+            ),
+            fragmented = fragmented,
+            auto_eff = auto_eff
+        )
+    }
+
+    fn condense_spec() -> BenchSpec {
+        committed_bench_specs()
+            .into_iter()
+            .find(|s| s.file == "BENCH_condense.json")
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_a_healthy_condense_report() {
+        let summary =
+            validate_bench_report(&condense_spec(), &minimal_condense_report(5.0, 1.0)).unwrap();
+        assert!(
+            summary.contains("fragmented_speedup 5.000 >= 1.300"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("auto_worst_efficiency 1.000 >= 0.950"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_condense_report_below_its_bars() {
+        // Condensed kernel regressed below the fragmented headline bar.
+        let slow = validate_bench_report(&condense_spec(), &minimal_condense_report(1.1, 1.0));
+        assert!(slow.unwrap_err().contains("fragmented_speedup"));
+        // The Auto heuristic mispredicted outside the 5% tolerance.
+        let mispredicted =
+            validate_bench_report(&condense_spec(), &minimal_condense_report(5.0, 0.4));
+        assert!(mispredicted.unwrap_err().contains("auto_worst_efficiency"));
+    }
+
+    #[test]
+    fn rejects_a_condense_report_missing_its_keys() {
+        let missing_top = minimal_condense_report(5.0, 1.0)
+            .replace("\"fragmented_probe\": \"fragmented-50\", ", "");
+        let err = validate_bench_report(&condense_spec(), &missing_top).unwrap_err();
+        assert!(err.contains("fragmented_probe"), "{err}");
+        let missing_row =
+            minimal_condense_report(5.0, 1.0).replace("\"auto_path\": \"condensed\", ", "");
+        let err = validate_bench_report(&condense_spec(), &missing_row).unwrap_err();
+        assert!(err.contains("missing key \"auto_path\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_condense_report_with_a_malformed_auto_tolerance_row() {
+        // A hand-mangled report where the Auto tolerance is not numeric must
+        // fail by name, not silently pass the gate.
+        let stringly = minimal_condense_report(5.0, 1.0).replace(
+            "\"auto_worst_efficiency\": 1,",
+            "\"auto_worst_efficiency\": \"fine\",",
+        );
+        let err = validate_bench_report(&condense_spec(), &stringly).unwrap_err();
+        assert!(
+            err.contains("\"auto_worst_efficiency\" must be a number"),
+            "{err}"
+        );
+        let truncated = &minimal_condense_report(5.0, 1.0)[..60];
+        let err = validate_bench_report(&condense_spec(), truncated).unwrap_err();
         assert!(err.contains("invalid JSON"), "{err}");
     }
 

@@ -48,4 +48,5 @@ fn main() {
 
     qgtc_bench::overlap_table(&rows, 2).print();
     qgtc_bench::partition_table(&rows).print();
+    qgtc_bench::sparsity_table(&rows).print();
 }

@@ -47,6 +47,17 @@
 //! 1.15× and require the tuned path to win on at least one dataset-profile
 //! shape (`BENCH_tiling.json`).
 //!
+//! And it runs the **adjacency-path race**: the TC-GNN-style condensed kernel
+//! (`aggregate_adj_features_condensed` over a prepare-time
+//! `CondensedAdjacency`) against the zero-word-skip kernel and the plain fused
+//! kernel, on a fragmented-sparsity sweep (every K word nonzero, so the skip
+//! index is defeated, yet each 16-row window condenses to a handful of words)
+//! plus one aggregation shape per Table-1 profile — after asserting every
+//! candidate bitwise equal to the portable plane-by-plane oracle.  Full-scale
+//! runs gate the condensed kernel at 1.3× over the skip kernel on the headline
+//! fragmented shape, and gate the `Auto` heuristic within 5% of the best fixed
+//! choice on every profile shape (`BENCH_condense.json`).
+//!
 //! And it probes the **serving session**: a long-lived `QgtcSession` per fig7
 //! dataset driven by the deterministic open-loop load generator, after
 //! asserting that one full-sweep request replays the epoch oracle's counters
@@ -71,6 +82,10 @@
 //! * `QGTC_PERFSMOKE_PROBE=tiling` — run **only** the tiling-dividend probe
 //!   (the ci.sh `tiling` stage pairs this with a fresh tiny-scale `tilingtune`
 //!   table via `QGTC_TUNE_FILE`).
+//! * `QGTC_PERFSMOKE_PROBE=condense` — run **only** the adjacency-path race
+//!   (condensed vs zero-word-skip vs plain fused on a fragmented-sparsity
+//!   sweep plus the Table-1 profiles; the ci.sh `condense` stage uses this).
+//!   Any other probe name fails fast with the list of valid probes.
 //! * `QGTC_PERFSMOKE_OUT` — output path for the GEMM JSON report (default
 //!   `BENCH_gemm.json`; the committed copy at the repo root is a full-scale
 //!   run).
@@ -92,8 +107,12 @@
 //! * `QGTC_SERVING_OUT` — output path for the serving-session JSON report
 //!   (default `BENCH_serving.json`; the committed copy at the repo root is a
 //!   full-scale run).
+//! * `QGTC_CONDENSE_OUT` — output path for the adjacency-path race JSON report
+//!   (default `BENCH_condense.json`; the committed copy at the repo root is a
+//!   full-scale run).
 
 use qgtc_bench::report::fmt3;
+use qgtc_bitmat::condense::{aggregate_adj_features_condensed, CondensedAdjacency};
 use qgtc_bitmat::fused::{
     aggregate_adj_features_fused, aggregate_adj_features_fused_skip, any_bit_gemm_fused,
     any_bit_gemm_fused_with_scheme, any_bit_gemm_fused_with_stats, PopcountBody, TilingScheme,
@@ -107,9 +126,13 @@ use qgtc_core::{
 use qgtc_graph::DatasetProfile;
 use qgtc_kernels::backend::available_backends;
 use qgtc_kernels::tile_reuse::random_feature_codes;
-use qgtc_kernels::{resolve_tiling, shape_class, TilingChoice};
+use qgtc_kernels::{
+    adjacency_sparsity_stats, resolve_adjacency_path, resolve_tiling, shape_class, AdjacencyPath,
+    TilingChoice,
+};
 use qgtc_partition::{partition_kway, partition_kway_with_stats, Parallelism, PartitionConfig};
 use qgtc_tensor::rng::random_uniform_matrix;
+use qgtc_tensor::Matrix;
 use std::time::Instant;
 
 /// The headline bit combination of the paper's running example (3-bit × 2-bit).
@@ -1518,32 +1541,347 @@ fn run_serving_probe(scale: &str) -> bool {
     failed
 }
 
+/// One shape of the adjacency-path race: all three kernels timed after the
+/// bitwise-equality assertions, plus the census numbers the dispatch heuristic
+/// and the report tables read.
+struct CondenseProbeRow {
+    name: String,
+    m: usize,
+    n: usize,
+    plain_ns: u128,
+    skip_ns: u128,
+    condensed_ns: u128,
+    auto_ns: u128,
+    auto_path: &'static str,
+    condensation_ratio: f64,
+    nonzero_word_ratio: f64,
+    fragmentation: f64,
+}
+
+impl CondenseProbeRow {
+    /// Condensed-kernel speedup over the zero-word-skip kernel.
+    fn condensed_vs_skip(&self) -> f64 {
+        if self.condensed_ns == 0 {
+            return 0.0;
+        }
+        self.skip_ns as f64 / self.condensed_ns as f64
+    }
+
+    /// How close the `Auto`-chosen lane came to the best fixed choice,
+    /// measured on the fixed lanes' own timings (1.0 = the heuristic picked
+    /// the winner; < 0.95 = it dispatched a kernel more than 5% slower).
+    /// The independently re-timed `auto_ns` is reported alongside but not
+    /// gated — re-timing the same kernel twice at sub-millisecond sizes
+    /// carries more noise than the tolerance this gate enforces.
+    fn auto_efficiency(&self) -> f64 {
+        let chosen = if self.auto_path == "condensed" {
+            self.condensed_ns
+        } else {
+            self.skip_ns
+        };
+        if chosen == 0 {
+            return 0.0;
+        }
+        self.skip_ns.min(self.condensed_ns) as f64 / chosen as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"m\": {}, \"n\": {}, ",
+                "\"plain_ns\": {}, \"skip_ns\": {}, \"condensed_ns\": {}, \"auto_ns\": {}, ",
+                "\"auto_path\": \"{}\", \"condensed_vs_skip\": {}, \"auto_efficiency\": {}, ",
+                "\"condensation_ratio\": {}, \"nonzero_word_ratio\": {}, \"fragmentation\": {}}}"
+            ),
+            self.name,
+            self.m,
+            self.n,
+            self.plain_ns,
+            self.skip_ns,
+            self.condensed_ns,
+            self.auto_ns,
+            self.auto_path,
+            fmt3(self.condensed_vs_skip()),
+            fmt3(self.auto_efficiency()),
+            fmt3(self.condensation_ratio),
+            fmt3(self.nonzero_word_ratio),
+            fmt3(self.fragmentation),
+        )
+    }
+}
+
+/// The fragmented-sparsity generator: every 16-row window shares `spread`
+/// columns, one per contiguous 64-column region.  At partial spread the
+/// nonzero words are scattered one-word spans — the span index skips most of
+/// the K loop but pays its per-span setup on every surviving word, the skip
+/// kernel's worst case and the workload condensation was built for.  At full
+/// spread every K word is nonzero and the spans fuse into one contiguous run
+/// per row, which is the skip kernel's *best* case — the stress row the Auto
+/// heuristic must hand back to the skip path.
+fn fragmented_sweep_adjacency(n: usize, spread: usize) -> StackedBitMatrix {
+    let regions = (n / 64).max(1);
+    let spread = spread.clamp(1, regions);
+    let mut adjacency: Matrix<f32> = Matrix::zeros(n, n);
+    for w in 0..n.div_ceil(16) {
+        for s in 0..spread {
+            // A window-dependent column inside each of `spread` regions,
+            // striding regions so different windows hit different words.
+            let region = (s * regions) / spread;
+            let col = region * 64 + (w * 11 + s * 7) % 64;
+            for r in w * 16..((w + 1) * 16).min(n) {
+                adjacency.row_mut(r)[col] = 1.0;
+            }
+        }
+    }
+    StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked)
+}
+
+/// Race one adjacency: assert every candidate against the portable
+/// plane-by-plane oracle, then time plain fused, zero-word skip, condensed,
+/// and the `Auto`-resolved lane (re-timed independently for the report; the
+/// efficiency gate itself reads the fixed lanes' timings).
+fn probe_condense_shape(
+    name: &str,
+    adj: &StackedBitMatrix,
+    x: &StackedBitMatrix,
+) -> CondenseProbeRow {
+    let body = PopcountBody::detect();
+    let cond = CondensedAdjacency::from_stack(adj);
+
+    // Correctness gates before any timing, per perfsmoke convention.
+    let oracle = aggregate_adj_features(adj, x);
+    assert_eq!(
+        aggregate_adj_features_fused(adj, x),
+        oracle,
+        "plain fused aggregation diverged from the portable oracle on {name}"
+    );
+    let (skip_out, _) = aggregate_adj_features_fused_skip(adj, x);
+    assert_eq!(
+        skip_out, oracle,
+        "zero-word-skip aggregation diverged from the portable oracle on {name}"
+    );
+    let (cond_out, _) = aggregate_adj_features_condensed(&cond, x, body);
+    assert_eq!(
+        cond_out, oracle,
+        "condensed aggregation diverged from the portable oracle on {name}"
+    );
+
+    let plain_ns = time_min(|| {
+        let _ = aggregate_adj_features_fused(adj, x);
+    });
+    let skip_ns = time_min(|| {
+        let _ = aggregate_adj_features_fused_skip(adj, x);
+    });
+    // The condensed translation is built once at prepare time and amortized by
+    // the payload cache, so the race times the kernel over the prebuilt form.
+    let condensed_ns = time_min(|| {
+        let _ = aggregate_adj_features_condensed(&cond, x, body);
+    });
+    let auto_path = resolve_adjacency_path(AdjacencyPath::Auto, adj);
+    let auto_ns = match auto_path {
+        AdjacencyPath::Condensed => time_min(|| {
+            let _ = aggregate_adj_features_condensed(&cond, x, body);
+        }),
+        _ => time_min(|| {
+            let _ = aggregate_adj_features_fused_skip(adj, x);
+        }),
+    };
+    let sparsity = adjacency_sparsity_stats(adj);
+    CondenseProbeRow {
+        name: name.to_string(),
+        m: adj.rows(),
+        n: x.cols(),
+        plain_ns,
+        skip_ns,
+        condensed_ns,
+        auto_ns,
+        auto_path: auto_path.name(),
+        condensation_ratio: cond.condensation_ratio(),
+        nonzero_word_ratio: sparsity.nonzero_word_ratio(),
+        fragmentation: sparsity.fragmentation(),
+    }
+}
+
+/// The adjacency-path race: condensed vs zero-word-skip vs plain fused on the
+/// fragmented-sparsity sweep plus every Table-1 profile shape, with the `Auto`
+/// heuristic gated against the best fixed choice.  Returns `true` when a gate
+/// failed.
+fn run_condense_probe(scale: &str, batch: usize) -> bool {
+    let condense_out =
+        std::env::var("QGTC_CONDENSE_OUT").unwrap_or_else(|_| "BENCH_condense.json".to_string());
+    // Tiny scale checks the wiring (condensed must beat skip somewhere on the
+    // sweep, Auto must not misdispatch); full scale enforces the 1.3×
+    // fragmented headline and the 5% Auto tolerance on the profile shapes.
+    let (frag_nodes, frag_dim, fragmented_bar, auto_efficiency_bar) = match scale {
+        "tiny" => (512usize, 64usize, 1.0f64, 0.8f64),
+        _ => (4096, 128, 1.3, 0.95),
+    };
+    eprintln!(
+        "perfsmoke: adjacency-path race (scale {scale}, fragmented {frag_nodes}x{frag_dim}, \
+         body {}, condense threshold {})",
+        PopcountBody::detect().name(),
+        qgtc_kernels::condense_threshold(),
+    );
+
+    let mut rows = Vec::new();
+    // Fragmented-sparsity sweep from scattered one-word spans (condensation's
+    // home turf) to full spread (every word nonzero, spans fuse into one
+    // contiguous run — skip's best case).  The gated headline is the best
+    // sweep row: condensation must beat the span index decisively somewhere
+    // on the fragmentation axis, while the full-spread stress row documents
+    // where skip recovers and Auto must hand the batch back.
+    let regions = frag_nodes / 64;
+    let mut fragmented_speedup = 0.0f64;
+    let mut fragmented_probe = "";
+    for (label, spread) in [
+        ("fragmented-25", regions / 4),
+        ("fragmented-50", regions / 2),
+        ("fragmented-100", regions),
+    ] {
+        let adj = fragmented_sweep_adjacency(frag_nodes, spread.max(1));
+        let features = random_feature_codes(frag_nodes, frag_dim, AGG_BITS, 200 + spread as u64);
+        let x = StackedBitMatrix::from_codes(&features, AGG_BITS, BitMatrixLayout::ColPacked);
+        let row = probe_condense_shape(label, &adj, &x);
+        eprintln!(
+            "  {:<28} plain {:>12} ns  skip {:>12} ns  condensed {:>12} ns  ({}x vs skip, \
+             auto={}, ratio {})",
+            row.name,
+            row.plain_ns,
+            row.skip_ns,
+            row.condensed_ns,
+            fmt3(row.condensed_vs_skip()),
+            row.auto_path,
+            fmt3(row.condensation_ratio),
+        );
+        if row.condensed_vs_skip() > fragmented_speedup {
+            fragmented_speedup = row.condensed_vs_skip();
+            fragmented_probe = label;
+        }
+        rows.push(row);
+    }
+
+    // The Table-1 profile shapes: the workloads the Auto heuristic must not
+    // mispredict on.
+    let mut auto_worst_efficiency = f64::INFINITY;
+    let mut seed = 240u64;
+    for profile in DatasetProfile::all() {
+        let density = (profile.avg_degree() / batch as f64).clamp(0.005, 0.5) as f32;
+        let adjacency = random_uniform_matrix(batch, batch, 0.0, 1.0, seed)
+            .map(|&v| (v < density) as u32 as f32);
+        let features = random_feature_codes(batch, profile.feature_dim, AGG_BITS, seed + 1);
+        let adj = StackedBitMatrix::from_binary_adjacency(&adjacency, BitMatrixLayout::RowPacked);
+        let x = StackedBitMatrix::from_codes(&features, AGG_BITS, BitMatrixLayout::ColPacked);
+        seed += 2;
+        let row = probe_condense_shape(profile.name, &adj, &x);
+        eprintln!(
+            "  {:<28} plain {:>12} ns  skip {:>12} ns  condensed {:>12} ns  ({}x vs skip, \
+             auto={}, efficiency {})",
+            row.name,
+            row.plain_ns,
+            row.skip_ns,
+            row.condensed_ns,
+            fmt3(row.condensed_vs_skip()),
+            row.auto_path,
+            fmt3(row.auto_efficiency()),
+        );
+        auto_worst_efficiency = auto_worst_efficiency.min(row.auto_efficiency());
+        rows.push(row);
+    }
+
+    let row_lines: Vec<String> = rows.iter().map(CondenseProbeRow::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"adjacency_condense_vs_skip\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"reps\": {},\n",
+            "  \"generated_by\": \"cargo run --release -p qgtc-bench --bin perfsmoke\",\n",
+            "  \"body\": \"{}\",\n",
+            "  \"condense_threshold\": {},\n",
+            "  \"fragmented_speedup\": {},\n",
+            "  \"fragmented_probe\": \"{}\",\n",
+            "  \"fragmented_bar\": {},\n",
+            "  \"auto_worst_efficiency\": {},\n",
+            "  \"auto_efficiency_bar\": {},\n",
+            "  \"note\": \"plain = fused kernel without skipping; skip = the zero-word-skip kernel; condensed = the TC-GNN-style condensed walk over the prepare-time CondensedAdjacency (translation built once per payload, amortized by the serving cache, excluded from the timed region); fragmented_speedup = condensed vs skip on the best fragmented-sweep row (fragmented_probe names it; the full-spread row is skip's best case and stays as an ungated stress row); auto_efficiency compares the Auto-chosen lane against the best fixed lane on the fixed lanes' own timings, so it gates mispredictions without double-timing noise (auto_ns is the independently re-timed dispatch, informational); every candidate is asserted bitwise equal to the portable plane-by-plane oracle before timing\",\n",
+            "  \"shapes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        REPS,
+        PopcountBody::detect().name(),
+        fmt3(qgtc_kernels::condense_threshold()),
+        fmt3(fragmented_speedup),
+        fragmented_probe,
+        fragmented_bar,
+        fmt3(auto_worst_efficiency),
+        auto_efficiency_bar,
+        row_lines.join(",\n"),
+    );
+    std::fs::write(&condense_out, &json).unwrap_or_else(|err| {
+        eprintln!("perfsmoke: cannot write {condense_out}: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("perfsmoke: wrote {condense_out}");
+
+    let mut failed = false;
+    if fragmented_speedup < fragmented_bar {
+        eprintln!(
+            "perfsmoke FAIL: the condensed kernel is only {}x the zero-word-skip kernel on the \
+             best fragmented-sweep row ({fragmented_probe}; need >= {fragmented_bar}x)",
+            fmt3(fragmented_speedup)
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: the condensed kernel is {}x the zero-word-skip kernel on the \
+             fragmented sweep ({fragmented_probe})",
+            fmt3(fragmented_speedup)
+        );
+    }
+    if auto_worst_efficiency < auto_efficiency_bar {
+        eprintln!(
+            "perfsmoke FAIL: the Auto heuristic's worst profile lane is {} of the best fixed \
+             choice (need >= {auto_efficiency_bar})",
+            fmt3(auto_worst_efficiency)
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perfsmoke OK: the Auto heuristic stayed within tolerance of the best fixed choice \
+             on every profile shape (worst efficiency {})",
+            fmt3(auto_worst_efficiency)
+        );
+    }
+    failed
+}
+
 fn main() {
     let scale = std::env::var("QGTC_SCALE").unwrap_or_else(|_| "fast".to_string());
     let (headline_size, batch, min_speedup) = match scale.as_str() {
         "tiny" => (256usize, 128usize, 1.0f64),
         _ => (1024, 512, 2.0),
     };
-    if std::env::var("QGTC_PERFSMOKE_PROBE").as_deref() == Ok("backend") {
-        if run_backend_race(&scale, headline_size, batch) {
-            std::process::exit(1);
-        }
-        return;
-    }
-    if std::env::var("QGTC_PERFSMOKE_PROBE").as_deref() == Ok("faults") {
-        if run_faults_probe(&scale) {
-            std::process::exit(1);
-        }
-        return;
-    }
-    if std::env::var("QGTC_PERFSMOKE_PROBE").as_deref() == Ok("tiling") {
-        if run_tiling_probe(&scale, headline_size, batch) {
-            std::process::exit(1);
-        }
-        return;
-    }
-    if std::env::var("QGTC_PERFSMOKE_PROBE").as_deref() == Ok("serving") {
-        if run_serving_probe(&scale) {
+    // Single-probe dispatch: an unknown probe name fails fast with the valid
+    // list (mirroring ci.sh's unknown-stage UX) instead of silently running
+    // the default sweep.
+    const KNOWN_PROBES: &[&str] = &["backend", "condense", "faults", "serving", "tiling"];
+    if let Ok(probe) = std::env::var("QGTC_PERFSMOKE_PROBE") {
+        let failed = match probe.as_str() {
+            "backend" => run_backend_race(&scale, headline_size, batch),
+            "faults" => run_faults_probe(&scale),
+            "tiling" => run_tiling_probe(&scale, headline_size, batch),
+            "serving" => run_serving_probe(&scale),
+            "condense" => run_condense_probe(&scale, batch),
+            unknown => {
+                eprintln!(
+                    "perfsmoke FAIL: unknown QGTC_PERFSMOKE_PROBE {unknown:?}; valid probes: {}",
+                    KNOWN_PROBES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        };
+        if failed {
             std::process::exit(1);
         }
         return;

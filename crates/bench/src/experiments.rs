@@ -16,6 +16,7 @@ use qgtc_graph::{DatasetProfile, DenseSubgraph};
 use qgtc_kernels::bmm::{qgtc_aggregate, KernelConfig};
 use qgtc_kernels::tile_reuse::{compare_reuse, random_feature_codes, ReuseComparison};
 use qgtc_kernels::zero_tile::census_adjacency;
+use qgtc_kernels::AdjacencySparsityStats;
 use qgtc_partition::{partition_kway, PartitionBatcher, PartitionConfig};
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tcsim::{DeviceModel, PipelineEstimate};
@@ -122,6 +123,16 @@ pub struct EndToEndRow {
     pub partition_ms: f64,
     /// Shard count the partitioner resolved its `Auto` parallelism to.
     pub partition_shards: usize,
+    /// Per-batch adjacency sparsity of the epoch's packed batches (the numbers
+    /// the adjacency-path dispatcher reasons from).  The adjacency is 1-bit
+    /// and bitwidth-invariant, so the stats are taken from the lowest-bitwidth
+    /// QGTC epoch.
+    pub batch_sparsity: Vec<AdjacencySparsityStats>,
+    /// `(skip, condensed)` adjacency-path dispatch counts of that same epoch.
+    pub adj_dispatches: (u64, u64),
+    /// Condensed-over-source K-word ratio across its condensed dispatches
+    /// (0.0 when nothing condensed).
+    pub condensation_ratio: f64,
 }
 
 impl EndToEndRow {
@@ -169,10 +180,20 @@ pub fn fig7_end_to_end(
             let dgl = qgtc_core::run_epoch_with_plan(&dataset, &dgl_config, &batcher);
             let mut qgtc_ms = Vec::with_capacity(FIG7_BITS.len());
             let mut qgtc_pipeline = Vec::with_capacity(FIG7_BITS.len());
+            let mut batch_sparsity = Vec::new();
+            let mut adj_dispatches = (0, 0);
+            let mut condensation_ratio = 0.0;
             for &bits in FIG7_BITS.iter() {
                 let config = QgtcConfig::qgtc(model, bits)
                     .with_partitions(scale.num_partitions, scale.batch_size);
                 let report = qgtc_core::run_epoch_streamed_with_plan(&dataset, &config, &batcher);
+                if bits == FIG7_BITS[0] {
+                    // The adjacency is 1-bit regardless of the feature
+                    // bitwidth, so one epoch's sparsity stats stand for all.
+                    batch_sparsity = report.batch_sparsity.clone();
+                    adj_dispatches = report.adjacency_dispatches();
+                    condensation_ratio = report.condensation_ratio();
+                }
                 qgtc_ms.push((bits, report.modeled_ms));
                 qgtc_pipeline.push((bits, report.pipeline));
             }
@@ -183,6 +204,9 @@ pub fn fig7_end_to_end(
                 qgtc_pipeline,
                 partition_ms,
                 partition_shards,
+                batch_sparsity,
+                adj_dispatches,
+                condensation_ratio,
             }
         })
         .collect()
@@ -560,6 +584,57 @@ pub fn partition_table(rows: &[EndToEndRow]) -> crate::report::Table {
             crate::report::fmt3(row.partition_ms),
             row.partition_shards.to_string(),
         ]);
+    }
+    table
+}
+
+/// The per-batch adjacency-sparsity table the fig7 drivers print below the
+/// latency tables: the nonzero-word ratio (what the zero-word-skip kernel must
+/// visit) and the fragmentation (edges per nonzero word — low values mean
+/// scattered one-edge words, condensation's home turf) of every packed batch,
+/// plus the adjacency-path dispatch split the epoch resolved.
+pub fn sparsity_table(rows: &[EndToEndRow]) -> crate::report::Table {
+    let mut table = crate::report::Table::new(
+        "Adjacency sparsity: per-batch nonzero-word ratio and fragmentation (with path dispatches)",
+        &[
+            "dataset",
+            "batch",
+            "K words",
+            "nonzero words",
+            "nonzero ratio",
+            "fragmentation",
+            "dispatch (skip/condensed)",
+        ],
+    );
+    for row in rows {
+        let (skip, condensed) = row.adj_dispatches;
+        let dispatch = if condensed > 0 {
+            format!(
+                "{skip}/{condensed} (condensed keeps {} of K)",
+                crate::report::fmt3(row.condensation_ratio)
+            )
+        } else {
+            format!("{skip}/{condensed}")
+        };
+        for (index, stats) in row.batch_sparsity.iter().enumerate() {
+            table.add_row(vec![
+                if index == 0 {
+                    row.dataset.clone()
+                } else {
+                    String::new()
+                },
+                index.to_string(),
+                stats.total_words.to_string(),
+                stats.nonzero_words.to_string(),
+                crate::report::fmt3(stats.nonzero_word_ratio()),
+                crate::report::fmt3(stats.fragmentation()),
+                if index == 0 {
+                    dispatch.clone()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
     }
     table
 }

@@ -929,7 +929,7 @@ fn panel_popcount1(body: PopcountBody, a: &[u64], b: &[u64]) -> u64 {
 /// every body is bitwise identical to the portable per-pair reference.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn panel_accum2(
+pub(crate) fn panel_accum2(
     body: PopcountBody,
     a0: &[u64],
     a1: &[u64],

@@ -35,6 +35,7 @@
 //! composed result equals a 64-bit integer GEMM on the codes.
 
 pub mod bitmatrix;
+pub mod condense;
 pub mod decompose;
 pub mod fused;
 pub mod gemm;
@@ -43,5 +44,9 @@ pub mod pack;
 pub mod stacked;
 
 pub use bitmatrix::{BitMatrix, BitMatrixLayout};
+pub use condense::{
+    aggregate_adj_features_condensed, condensed_union_estimate, condensed_word_estimate,
+    skip_span_estimate, CondensedAdjacency,
+};
 pub use fused::{aggregate_adj_features_fused, any_bit_gemm_fused};
 pub use stacked::StackedBitMatrix;

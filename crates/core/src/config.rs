@@ -7,7 +7,7 @@
 
 use crate::fault::{FaultPlan, QgtcError};
 use qgtc_kernels::backend::BackendChoice;
-use qgtc_kernels::bmm::KernelConfig;
+use qgtc_kernels::bmm::{AdjacencyPath, KernelConfig};
 use qgtc_kernels::packing::TransferStrategy;
 use qgtc_kernels::tiling::TilingChoice;
 use qgtc_partition::Parallelism;
@@ -45,6 +45,7 @@ pub enum ExecutionPath {
 /// | [`with_partition_parallelism`](Self::with_partition_parallelism) | `partition_parallelism` (field) | partitioner shard mode |
 /// | [`with_backend`](Self::with_backend) | [`backend`](Self::backend) | kernel GEMM backend |
 /// | [`with_tiling`](Self::with_tiling) | `kernel.tiling` (field) | fused-GEMM tiling scheme |
+/// | [`with_adjacency_path`](Self::with_adjacency_path) | [`adjacency_path`](Self::adjacency_path) | aggregation kernel: zero-word skip vs condensed |
 /// | [`with_fault_plan`](Self::with_fault_plan) | `fault_plan` (field) | chaos-testing fault plan |
 /// | [`with_max_batch_retries`](Self::with_max_batch_retries) | `max_batch_retries` (field) | supervisor retry budget |
 ///
@@ -204,6 +205,23 @@ impl QgtcConfig {
         self
     }
 
+    /// The adjacency path the aggregation kernel dispatches on.
+    pub fn adjacency_path(&self) -> AdjacencyPath {
+        self.kernel.adjacency_path
+    }
+
+    /// Select the aggregation kernel's adjacency path: `Skip` (the default
+    /// zero-word-skipping fused kernel), `Condensed` (the TC-GNN-style
+    /// sparse-to-dense condensed walk), or `Auto` (per-batch census heuristic,
+    /// threshold tunable via `TUNE_gemm.json`).  The `QGTC_ADJ_PATH`
+    /// environment variable overrides whatever is configured here.  Every path
+    /// is bitwise identical, so this only affects speed and the modeled cost
+    /// accounting.
+    pub fn with_adjacency_path(mut self, path: AdjacencyPath) -> Self {
+        self.kernel.adjacency_path = path;
+        self
+    }
+
     /// Inject a fault plan into the epoch (chaos testing; see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
@@ -265,6 +283,17 @@ mod tests {
         let scheme = TilingScheme::parse("4x8x4").expect("valid scheme");
         let c = c.with_tiling(TilingChoice::Fixed(scheme));
         assert_eq!(c.kernel.tiling, TilingChoice::Fixed(scheme));
+    }
+
+    #[test]
+    fn adjacency_path_round_trips_through_the_kernel_config() {
+        let c = QgtcConfig::default();
+        assert_eq!(c.adjacency_path(), AdjacencyPath::Skip);
+        let c = c.with_adjacency_path(AdjacencyPath::Auto);
+        assert_eq!(c.adjacency_path(), AdjacencyPath::Auto);
+        assert_eq!(c.kernel.adjacency_path, AdjacencyPath::Auto);
+        let c = c.with_adjacency_path(AdjacencyPath::Condensed);
+        assert_eq!(c.kernel.adjacency_path, AdjacencyPath::Condensed);
     }
 
     #[test]

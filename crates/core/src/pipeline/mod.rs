@@ -47,8 +47,9 @@ use qgtc_gnn::models::{BatchForwardOutput, GnnModel, QuantizationSetting, Quanti
 use qgtc_gnn::{BatchedGinModel, ClusterGcnModel};
 use qgtc_graph::LoadedDataset;
 use qgtc_kernels::backend::BackendChoice;
-use qgtc_kernels::bmm::KernelConfig;
+use qgtc_kernels::bmm::{resolve_adjacency_path, AdjacencyPath, KernelConfig};
 use qgtc_kernels::packing::PreparedBatch;
+use qgtc_kernels::zero_tile::{adjacency_sparsity_stats, AdjacencySparsityStats};
 use qgtc_partition::{partition_kway, try_partition_kway, PartitionBatcher, PartitionConfig};
 use qgtc_tcsim::cost::{CostSnapshot, CostTracker};
 use qgtc_tcsim::{DeviceModel, KernelEstimate, PipelineEstimate};
@@ -89,6 +90,12 @@ pub struct EpochReport {
     /// Per-batch cost deltas in epoch order (one entry per executed batch); these
     /// feed the pipelined latency model and the streamed-vs-serial identity tests.
     pub batch_costs: Vec<CostSnapshot>,
+    /// Per-batch adjacency sparsity in epoch order (one entry per executed
+    /// batch, all-zero for the dense baseline path): the nonzero-word ratio the
+    /// zero-word-skip kernel sees and the fragmentation (edges per nonzero
+    /// word) that decides whether condensation wins. Rendered as a table by the
+    /// fig7a/fig7b binaries.
+    pub batch_sparsity: Vec<AdjacencySparsityStats>,
     /// What the fault supervisor did this epoch: faults injected, retry cycles
     /// run, faults fully recovered, and backend degradations (with the backend
     /// the epoch finished on). All zeros on a fault-free run.
@@ -108,6 +115,23 @@ impl EpochReport {
     /// counterpart of the analytic [`CostSnapshot::tile_processing_ratio`].
     pub fn fused_word_skip_ratio(&self) -> f64 {
         self.cost.fused_word_skip_ratio()
+    }
+
+    /// Condensation ratio over the epoch's condensed-path dispatches: condensed
+    /// K-loop words over the words the skip kernel would have walked (0.0 when
+    /// no batch took the condensed path). Lower is better; see
+    /// [`CostSnapshot::condensation_ratio`].
+    pub fn condensation_ratio(&self) -> f64 {
+        self.cost.condensation_ratio()
+    }
+
+    /// How the adjacency-path dispatcher split the epoch's aggregations:
+    /// `(skip_dispatches, condensed_dispatches)`.
+    pub fn adjacency_dispatches(&self) -> (u64, u64) {
+        (
+            self.cost.adj_skip_dispatches,
+            self.cost.adj_condensed_dispatches,
+        )
     }
 }
 
@@ -183,6 +207,7 @@ impl<'a> EpochContext<'a> {
 pub(crate) struct EpochState {
     pub(crate) tracker: CostTracker,
     pub(crate) batch_costs: Vec<CostSnapshot>,
+    pub(crate) batch_sparsity: Vec<AdjacencySparsityStats>,
     pub(crate) num_batches: usize,
     pub(crate) num_nodes: usize,
     pub(crate) weight_quantizations: u64,
@@ -277,9 +302,28 @@ pub(crate) fn prepare_batch(
     let features = subgraph.gather_features(&dataset.features);
     match config.path {
         ExecutionPath::Qgtc => {
-            PreparedBatch::pack_quantized(index, subgraph, features, config.bits.min(8))
+            let mut prepared =
+                PreparedBatch::pack_quantized(index, subgraph, features, config.bits.min(8));
+            condense_payload_if_dispatched(&mut prepared, &config.kernel);
+            prepared
         }
         ExecutionPath::DglBaseline => PreparedBatch::dense(index, subgraph, features),
+    }
+}
+
+/// Build the payload's condensed adjacency at prepare time iff the dispatcher
+/// will actually take the condensed path for this batch (exact: the resolver
+/// reads only the adjacency, so prepare and execute always agree).  Keeps the
+/// translation cost off the execute stage and lets the serving payload cache
+/// amortize it across coalesced requests.  Prepare stays side-effect free with
+/// respect to the cost model — nothing here touches a tracker.
+pub(crate) fn condense_payload_if_dispatched(prepared: &mut PreparedBatch, kernel: &KernelConfig) {
+    if let Some(payload) = prepared.payload.as_mut() {
+        if resolve_adjacency_path(kernel.adjacency_path, &payload.packed_adjacency)
+            == AdjacencyPath::Condensed
+        {
+            payload.ensure_condensed();
+        }
     }
 }
 
@@ -323,6 +367,15 @@ pub(crate) fn execute_batch(
     state
         .batch_costs
         .push(state.tracker.snapshot().delta_since(&before));
+    // Host-side sparsity measurement, aligned with `batch_costs` (one entry
+    // per executed batch; all-zero on the dense baseline path).
+    state.batch_sparsity.push(
+        prepared
+            .payload
+            .as_ref()
+            .map(|payload| adjacency_sparsity_stats(&payload.packed_adjacency))
+            .unwrap_or_default(),
+    );
     Some(output)
 }
 
@@ -600,6 +653,7 @@ pub(crate) fn finish_report(
         num_nodes: state.num_nodes,
         cost,
         batch_costs: state.batch_costs,
+        batch_sparsity: state.batch_sparsity,
         fault_stats,
         weight_quantizations: state.weight_quantizations,
     }

@@ -73,8 +73,8 @@ use qgtc_tensor::Matrix;
 use crate::config::{ExecutionPath, QgtcConfig};
 use crate::fault::{FaultInjector, QgtcError};
 use crate::pipeline::{
-    execute_batch, supervise_delivered_with, supervise_dispatch, supervise_prepare_with,
-    supervised_build_plan, EpochContext, EpochState,
+    condense_payload_if_dispatched, execute_batch, supervise_delivered_with, supervise_dispatch,
+    supervise_prepare_with, supervised_build_plan, EpochContext, EpochState,
 };
 
 /// Session-construction knobs (everything else comes from [`QgtcConfig`]).
@@ -408,13 +408,20 @@ impl<'a> QgtcSession<'a> {
                     let features =
                         subgraph.gather_features_in(&dataset.features, pool.take_floats());
                     match config.path {
-                        ExecutionPath::Qgtc => PreparedBatch::pack_quantized_pooled(
-                            index,
-                            subgraph,
-                            features,
-                            config.bits.min(8),
-                            pool,
-                        ),
+                        ExecutionPath::Qgtc => {
+                            let mut prepared = PreparedBatch::pack_quantized_pooled(
+                                index,
+                                subgraph,
+                                features,
+                                config.bits.min(8),
+                                pool,
+                            );
+                            // Same prepare-time condensation as the epoch's
+                            // `prepare_batch`; the payload cache then amortizes
+                            // the translation across coalesced requests.
+                            condense_payload_if_dispatched(&mut prepared, &config.kernel);
+                            prepared
+                        }
                         ExecutionPath::DglBaseline => {
                             PreparedBatch::dense(index, subgraph, features)
                         }

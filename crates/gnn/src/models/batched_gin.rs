@@ -7,10 +7,11 @@
 //! paths below follow that order: update → aggregate (+ self term) → activation.
 
 use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
+use qgtc_bitmat::condense::CondensedAdjacency;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_kernels::backend::select_backend;
-use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
+use qgtc_kernels::bmm::{qgtc_aggregate_prepared, qgtc_bitmm2int, KernelConfig};
 use qgtc_kernels::fusion::{Activation, FusedEpilogue};
 use qgtc_kernels::packing::pack_feature_matrix;
 use qgtc_tcsim::cost::CostTracker;
@@ -117,6 +118,7 @@ impl BatchedGinModel {
                 self.forward_low_bit(
                     subgraph,
                     &adjacency_stack,
+                    None,
                     &packed_features,
                     bits,
                     &weights,
@@ -150,6 +152,7 @@ impl BatchedGinModel {
         &self,
         subgraph: &DenseSubgraph,
         adjacency_stack: &StackedBitMatrix,
+        condensed_adjacency: Option<&CondensedAdjacency>,
         packed_features: &StackedBitMatrix,
         bits: u32,
         weights: &QuantizedWeightSet,
@@ -211,7 +214,16 @@ impl BatchedGinModel {
                 )
                 .into_quantized()
                 .expect("requantizing epilogue");
-            let agg_acc = qgtc_aggregate(adjacency_stack, &u_stack, kernel_config, tracker);
+            // Neighbour sum through the adjacency-path dispatcher; the cached
+            // condensed translation (if any) is adjacency-derived and so valid
+            // for every layer.
+            let agg_acc = qgtc_aggregate_prepared(
+                adjacency_stack,
+                condensed_adjacency,
+                &u_stack,
+                kernel_config,
+                tracker,
+            );
             // Affine dequantize (A·u ≈ scale · (A·uc) + min · deg) with the
             // GIN self term fused into the same epilogue pass — no standalone
             // dense scale + add over the activations.

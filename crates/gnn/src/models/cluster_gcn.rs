@@ -7,10 +7,11 @@
 //! epilogue-equivalent steps between kernels.
 
 use qgtc_baselines::dgl::{DglEngine, DglLayerKind};
+use qgtc_bitmat::condense::CondensedAdjacency;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_kernels::backend::select_backend;
-use qgtc_kernels::bmm::{qgtc_aggregate, qgtc_bitmm2int, KernelConfig};
+use qgtc_kernels::bmm::{qgtc_aggregate_prepared, qgtc_bitmm2int, KernelConfig};
 use qgtc_kernels::fusion::{EpilogueOutput, FusedEpilogue};
 use qgtc_kernels::packing::pack_feature_matrix;
 use qgtc_tcsim::cost::CostTracker;
@@ -109,6 +110,7 @@ impl ClusterGcnModel {
                 self.forward_low_bit(
                     subgraph,
                     &adjacency_stack,
+                    None,
                     &packed_features,
                     bits,
                     &weights,
@@ -141,6 +143,7 @@ impl ClusterGcnModel {
         &self,
         subgraph: &DenseSubgraph,
         adjacency_stack: &StackedBitMatrix,
+        condensed_adjacency: Option<&CondensedAdjacency>,
         packed_features: &StackedBitMatrix,
         bits: u32,
         weights: &QuantizedWeightSet,
@@ -166,8 +169,17 @@ impl ClusterGcnModel {
                 .quant_params()
                 .expect("the quantized currency always carries its parameters");
 
-            // Neighbour aggregation on the binary adjacency.
-            let agg_acc = qgtc_aggregate(adjacency_stack, &x, kernel_config, tracker);
+            // Neighbour aggregation on the binary adjacency, routed through the
+            // adjacency-path dispatcher with the payload's cached condensed
+            // translation (the adjacency is layer-invariant, so one translation
+            // serves every layer).
+            let agg_acc = qgtc_aggregate_prepared(
+                adjacency_stack,
+                condensed_adjacency,
+                &x,
+                kernel_config,
+                tracker,
+            );
 
             // Epilogue 1 (fused into the aggregation): affine dequantize
             // (A·x ≈ s·acc + min·deg), fold the mean normalisation, and

@@ -134,6 +134,7 @@ impl GnnModel {
                 GnnModel::ClusterGcn(model) => model.forward_low_bit(
                     &prepared.subgraph,
                     &payload.packed_adjacency,
+                    payload.condensed_adjacency.as_ref(),
                     &payload.packed_features,
                     bits,
                     weights,
@@ -143,6 +144,7 @@ impl GnnModel {
                 GnnModel::BatchedGin(model) => model.forward_low_bit(
                     &prepared.subgraph,
                     &payload.packed_adjacency,
+                    payload.condensed_adjacency.as_ref(),
                     &payload.packed_features,
                     bits,
                     weights,

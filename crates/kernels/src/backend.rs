@@ -32,8 +32,9 @@
 //! order; the modeled backend is never auto-selected because its census walk
 //! adds pure overhead when nobody reads the tracker.
 
-use crate::bmm::{record_tile_walk, KernelConfig, ACC_TILE_BYTES};
+use crate::bmm::{record_condensed_walk, record_tile_walk, KernelConfig, ACC_TILE_BYTES};
 use crate::fusion::{EpilogueOutput, FusedEpilogue};
+use qgtc_bitmat::condense::{aggregate_adj_features_condensed, CondensedAdjacency};
 use qgtc_bitmat::fused::{
     any_bit_gemm_fused_tiled, any_bit_gemm_fused_with_body, any_bit_gemm_fused_with_scheme,
     avx512_popcount_available, FusedGemmStats, PopcountBody, TilingScheme,
@@ -169,6 +170,22 @@ pub trait GemmBackend: Send + Sync {
         self.any_bit_gemm_skip(adjacency, features)
     }
 
+    /// Condensed neighbour aggregation: run fully dense over the
+    /// sparse-to-dense translated adjacency of
+    /// [`qgtc_bitmat::condense::CondensedAdjacency`].  Bitwise identical to
+    /// [`GemmBackend::aggregate_adj_features_skip`] on the source adjacency;
+    /// the stats reuse the skip path's frame (`total_words` = source K loop,
+    /// `visited_words` = condensed words consumed).  The default runs the
+    /// fastest body on the host; body-pinning and cost-charging backends
+    /// override.
+    fn aggregate_condensed(
+        &self,
+        condensed: &CondensedAdjacency,
+        features: &StackedBitMatrix,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        aggregate_adj_features_condensed(condensed, features, PopcountBody::detect())
+    }
+
     /// Apply a fused epilogue to an integer accumulator.  Backends that fuse
     /// the epilogue differently (or charge it differently) override this;
     /// the default is the host implementation in [`crate::fusion`].
@@ -222,6 +239,14 @@ impl GemmBackend for PortableBackend {
         // suite's portable reference exercises the staged loop itself.
         any_bit_gemm_fused_with_scheme(a, b, skip_zero_words, PopcountBody::Portable, scheme)
     }
+
+    fn aggregate_condensed(
+        &self,
+        condensed: &CondensedAdjacency,
+        features: &StackedBitMatrix,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        aggregate_adj_features_condensed(condensed, features, PopcountBody::Portable)
+    }
 }
 
 /// The AVX-512 `VPOPCNTDQ` body.  Only available on x86-64 hosts with
@@ -256,6 +281,14 @@ impl GemmBackend for Avx512Backend {
         scheme: TilingScheme,
     ) -> (Matrix<i64>, FusedGemmStats) {
         any_bit_gemm_fused_with_scheme(a, b, skip_zero_words, PopcountBody::Avx512, scheme)
+    }
+
+    fn aggregate_condensed(
+        &self,
+        condensed: &CondensedAdjacency,
+        features: &StackedBitMatrix,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        aggregate_adj_features_condensed(condensed, features, PopcountBody::Avx512)
     }
 }
 
@@ -459,6 +492,34 @@ impl GemmBackend for ModeledTcBackend {
         self.tracker
             .record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
         self.charge_panel_staging(a, b, scheme);
+        (out, stats)
+    }
+
+    fn aggregate_condensed(
+        &self,
+        condensed: &CondensedAdjacency,
+        features: &StackedBitMatrix,
+    ) -> (Matrix<i64>, FusedGemmStats) {
+        // Charge the condensed-tile walk into the backend-owned tracker so
+        // the modeled-GPU story covers this kernel too: one launch whose grid
+        // is (windows × output tile columns), dense MMAs over the condensed
+        // grid, no zero checks, no skips.
+        let (m_tiles, n_tiles, _) =
+            tile_counts(condensed.rows(), features.cols(), condensed.cols());
+        self.tracker
+            .record_kernel_launch((condensed.windows().len() * n_tiles) as u64);
+        record_condensed_walk(
+            condensed,
+            features.bits() as u64,
+            &self.tracker,
+            n_tiles as u64,
+        );
+        let (out, stats) =
+            aggregate_adj_features_condensed(condensed, features, PopcountBody::detect());
+        self.tracker
+            .record_fused_words(stats.total_words, stats.skipped_words());
+        self.tracker
+            .record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
         (out, stats)
     }
 }

@@ -27,14 +27,18 @@
 //! GEMM, exposed under its framework name as [`qgtc_bitmm2int`].
 
 use crate::backend::{select_backend, staged_body_name, BackendChoice};
-use crate::tiling::{resolve_tiling, TilingChoice};
-use crate::zero_tile::census_plane;
+use crate::tiling::{condense_threshold, resolve_tiling, TilingChoice};
+use crate::zero_tile::{census_plane, census_plane_words};
+use qgtc_bitmat::condense::{
+    condensed_union_estimate, condensed_word_estimate, skip_span_estimate, CondensedAdjacency,
+};
 use qgtc_bitmat::gemm::any_bit_gemm_serial;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_tcsim::cost::CostTracker;
 use qgtc_tcsim::fragment::{TILE_M, TILE_N};
 use qgtc_tcsim::wmma::tile_counts;
 use qgtc_tensor::Matrix;
+use std::sync::OnceLock;
 
 /// Order in which bit planes and K tiles are reduced (paper Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +51,136 @@ pub enum ReductionOrder {
     /// loaded exactly once.
     #[default]
     CrossTile,
+}
+
+/// How the neighbour aggregation represents adjacency sparsity.
+///
+/// The two fixed choices are the two classic sparse-GNN answers: keep the
+/// natural width and *skip* zero words via the span index (PR 5/8), or
+/// *condense* each row window's nonzero columns into dense TC tiles the way
+/// TC-GNN's sparse graph translation does
+/// ([`qgtc_bitmat::condense::CondensedAdjacency`]).  Every choice is bitwise
+/// identical — the dispatcher only races representations, never semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdjacencyPath {
+    /// Decide per batch from the zero-word census: condense when the window
+    /// unions shrink the K loop below the fraction of it the span index
+    /// already visits (threshold tuned into `TUNE_gemm.json`, see
+    /// [`crate::tiling::condense_threshold`]).
+    Auto,
+    /// Always run the zero-word-skip fused kernel at the source width.
+    #[default]
+    Skip,
+    /// Always run the condensed (sparse-to-dense translated) kernel.
+    Condensed,
+}
+
+impl AdjacencyPath {
+    /// Parse a path name as accepted by the `QGTC_ADJ_PATH` environment
+    /// variable.  Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Some(AdjacencyPath::Auto),
+            "skip" => Some(AdjacencyPath::Skip),
+            "condensed" | "condense" => Some(AdjacencyPath::Condensed),
+            _ => None,
+        }
+    }
+
+    /// Canonical name, matching what [`AdjacencyPath::from_name`] parses.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdjacencyPath::Auto => "auto",
+            AdjacencyPath::Skip => "skip",
+            AdjacencyPath::Condensed => "condensed",
+        }
+    }
+}
+
+/// The `QGTC_ADJ_PATH` environment override, read once per process.
+///
+/// # Panics
+///
+/// Panics on a malformed value — a typoed path name silently falling back to
+/// the default would invalidate a benchmark run.
+fn env_adjacency_path() -> Option<AdjacencyPath> {
+    static OVERRIDE: OnceLock<Option<AdjacencyPath>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("QGTC_ADJ_PATH").ok().map(|raw| {
+            AdjacencyPath::from_name(&raw).unwrap_or_else(|| {
+                panic!("QGTC_ADJ_PATH={raw:?} is not a valid adjacency path (auto|skip|condensed)")
+            })
+        })
+    })
+}
+
+///// Word-equivalent cost the Auto heuristic charges per union column: the
+/// condensed kernel's staging gather extracts and re-inserts one bit per union
+/// column per feature plane per output column, which empirically costs about
+/// this many skip-kernel word operations (each of which covers 64 columns in
+/// one vectorised AND+popcount).  Without this term the heuristic condenses
+/// wide-union batches whose gather dwarfs the K-loop saving.
+const CONDENSE_GATHER_WORD_COST: f64 = 40.0;
+
+/// Word-equivalent cost the Auto heuristic charges per nonzero-word *span* of
+/// the skip kernel's index: each span pays a fixed setup (bounds, indexing,
+/// loop restart) per output column, so scattered one-word spans cost many
+/// times their word count — fragmented rows make the skip kernel measurably
+/// slower than the plain fused kernel.  Without this term the heuristic keeps
+/// fragmented batches on the skip path even when condensation wins handily.
+const SKIP_SPAN_WORD_COST: f64 = 16.0;
+
+/// The adjacency path an aggregation over `adjacency` will actually run:
+/// the `QGTC_ADJ_PATH` override beats the config, and `Auto` resolves from
+/// the zero-word census.  Always returns `Skip` or `Condensed`.
+///
+/// The heuristic reads *only* the adjacency (the census the skip kernel
+/// derives its span index from, plus the exact condensed-word, union-column
+/// and span-count predictions of [`condensed_word_estimate`] /
+/// [`condensed_union_estimate`] / [`skip_span_estimate`]), so prepared,
+/// direct and serving callers make identical decisions — and identical
+/// tracker entries — for the same batch.  Both sides of the comparison scale
+/// identically with the feature operand (`planes × output columns`), so
+/// dividing it out leaves a pure adjacency-shape race: condensed K words plus
+/// the per-union-column gather charge versus the skip kernel's nonzero-word
+/// walk plus its per-span setup charge.
+pub fn resolve_adjacency_path(
+    configured: AdjacencyPath,
+    adjacency: &StackedBitMatrix,
+) -> AdjacencyPath {
+    let choice = env_adjacency_path().unwrap_or(configured);
+    match choice {
+        AdjacencyPath::Skip => AdjacencyPath::Skip,
+        AdjacencyPath::Condensed => AdjacencyPath::Condensed,
+        AdjacencyPath::Auto => {
+            if adjacency_cost_ratio(adjacency) <= condense_threshold() {
+                AdjacencyPath::Condensed
+            } else {
+                AdjacencyPath::Skip
+            }
+        }
+    }
+}
+
+/// The Auto heuristic's cost ratio for `adjacency`: the condensed-path
+/// estimate (K words plus the per-union-column gather charge) over the skip
+/// path's (nonzero words plus the per-span setup charge).  `Auto` condenses
+/// when the ratio is at most [`condense_threshold`].  Exposed so the
+/// `tilingtune` condense stage can tune that threshold against measured lane
+/// times using the exact quantity the dispatcher compares.  An empty
+/// adjacency returns `+inf` (resolving to the skip path, which has nothing to
+/// walk and no translation to build).
+pub fn adjacency_cost_ratio(adjacency: &StackedBitMatrix) -> f64 {
+    let plane = adjacency.plane(0);
+    let census = census_plane_words(plane);
+    let skip = census.visited_words as f64 + SKIP_SPAN_WORD_COST * skip_span_estimate(plane) as f64;
+    let condensed = condensed_word_estimate(plane) as f64
+        + CONDENSE_GATHER_WORD_COST * condensed_union_estimate(plane) as f64;
+    if skip <= 0.0 {
+        f64::INFINITY
+    } else {
+        condensed / skip
+    }
 }
 
 /// Tunable behaviour of the QGTC kernels.
@@ -76,6 +210,11 @@ pub struct KernelConfig {
     /// scheme is bitwise identical; this only affects speed and the modeled
     /// backend's staging accounting.
     pub tiling: TilingChoice,
+    /// How [`qgtc_aggregate`] represents adjacency sparsity: zero-word
+    /// skipping at the source width, TC-GNN-style condensed tiles, or a
+    /// per-batch census-driven race between the two.  Overridable with
+    /// `QGTC_ADJ_PATH`; every path is bitwise identical.
+    pub adjacency_path: AdjacencyPath,
 }
 
 impl Default for KernelConfig {
@@ -86,6 +225,7 @@ impl Default for KernelConfig {
             fused_epilogue: true,
             backend: BackendChoice::Auto,
             tiling: TilingChoice::Auto,
+            adjacency_path: AdjacencyPath::Skip,
         }
     }
 }
@@ -99,6 +239,7 @@ impl KernelConfig {
             fused_epilogue: false,
             backend: BackendChoice::Auto,
             tiling: TilingChoice::Fixed(qgtc_bitmat::fused::TilingScheme::baseline()),
+            adjacency_path: AdjacencyPath::Skip,
         }
     }
 }
@@ -179,16 +320,110 @@ pub fn qgtc_bitmm2int(
 
 /// Neighbour aggregation kernel `X_new = A · X` with a 1-bit adjacency.
 ///
-/// This is [`qgtc_bmm`] specialised to a 1-bit left operand — the shape for which
-/// zero-tile jumping and tile reuse were designed.
+/// This is [`qgtc_bmm`] specialised to a 1-bit left operand — the shape for
+/// which zero-tile jumping, tile reuse and sparse-to-dense condensation were
+/// designed.  Routes through the [`AdjacencyPath`] dispatcher with no cached
+/// condensed form (the condensed arm translates on the fly); epoch drivers
+/// pass their payload-cached translation via [`qgtc_aggregate_prepared`].
 pub fn qgtc_aggregate(
     adjacency: &StackedBitMatrix,
     features: &StackedBitMatrix,
     config: &KernelConfig,
     tracker: &CostTracker,
 ) -> Matrix<i64> {
+    qgtc_aggregate_prepared(adjacency, None, features, config, tracker)
+}
+
+/// [`qgtc_aggregate`] with an optional prepare-time condensed translation.
+///
+/// The dispatcher resolves [`KernelConfig::adjacency_path`] (environment
+/// override first, then the census heuristic for `Auto`) and records the
+/// decision in the tracker's `adj_*_dispatches` counters.  When the condensed
+/// path runs, a cached `condensed` (built once by the transfer payload and
+/// amortized by the serving payload cache) is used as-is; otherwise the
+/// translation is built here — host-side work, deterministic, and identical
+/// to the cached form, so tracker numbers never depend on who built it.
+pub fn qgtc_aggregate_prepared(
+    adjacency: &StackedBitMatrix,
+    condensed: Option<&CondensedAdjacency>,
+    features: &StackedBitMatrix,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+) -> Matrix<i64> {
     assert_eq!(adjacency.bits(), 1, "adjacency must be 1-bit");
-    qgtc_bmm(adjacency, features, config, tracker)
+    match resolve_adjacency_path(config.adjacency_path, adjacency) {
+        AdjacencyPath::Condensed => {
+            let built;
+            let cond = match condensed {
+                Some(cached) => cached,
+                None => {
+                    built = CondensedAdjacency::from_stack(adjacency);
+                    &built
+                }
+            };
+            assert_eq!(cond.rows(), adjacency.rows(), "stale condensed cache");
+            assert_eq!(cond.cols(), adjacency.cols(), "stale condensed cache");
+            qgtc_aggregate_condensed_impl(cond, features, config, tracker)
+        }
+        _ => {
+            tracker.record_adj_skip_dispatch();
+            qgtc_bmm(adjacency, features, config, tracker)
+        }
+    }
+}
+
+/// The condensed arm: charge the condensed-tile walk, run the backend's
+/// condensed kernel, and record the output and dispatch accounting.
+fn qgtc_aggregate_condensed_impl(
+    cond: &CondensedAdjacency,
+    features: &StackedBitMatrix,
+    config: &KernelConfig,
+    tracker: &CostTracker,
+) -> Matrix<i64> {
+    let (m_tiles, n_tiles, _) = tile_counts(cond.rows(), features.cols(), cond.cols());
+    // One kernel launch; the thread-block grid is (condensed row windows ×
+    // output tile columns) — each block owns one window's gather panel.
+    tracker.record_kernel_launch((cond.windows().len() * n_tiles) as u64);
+    record_condensed_walk(cond, features.bits() as u64, tracker, n_tiles as u64);
+    let (out, stats) = select_backend(config.backend).aggregate_condensed(cond, features);
+    // Same accounting frame as the skip path: total is the source K loop,
+    // "skipped" the words condensation removed from it — so the tracker's
+    // fused-word ratio reads as "K-loop work avoided" on either path.
+    tracker.record_fused_words(stats.total_words, stats.skipped_words());
+    tracker.record_dram_write((m_tiles * n_tiles) as u64 * ACC_TILE_BYTES);
+    tracker.record_adj_condensed_dispatch(cond.condensed_words(), cond.source_words());
+    out
+}
+
+/// Charge the tracker with the condensed kernel's analytic tile walk.
+///
+/// The condensed grid is dense by construction, so there are no zero checks
+/// and no skipped tiles: per output tile column the walk reads each window's
+/// condensed A tile once (cross-tile reuse), gathers one staged B tile per
+/// feature plane (the remap lookup is one integer op per union column per
+/// plane), and issues one MMA plus the 64 shift-accumulate ops per surviving
+/// plane-tile pair.
+pub(crate) fn record_condensed_walk(
+    cond: &CondensedAdjacency,
+    t_bits: u64,
+    tracker: &CostTracker,
+    n_tiles: u64,
+) {
+    if n_tiles == 0 {
+        return;
+    }
+    let mut a_tiles: u64 = 0;
+    let mut union_cols: u64 = 0;
+    for w in cond.windows() {
+        let row_tiles = w.rows.div_ceil(TILE_M) as u64;
+        let k_tiles = w.words_per_row.div_ceil(2) as u64; // 128-bit K tiles
+        a_tiles += row_tiles * k_tiles;
+        union_cols += w.col_ids.len() as u64;
+    }
+    let executed = a_tiles * t_bits;
+    tracker.record_dram_read((a_tiles + executed) * n_tiles * TILE_BYTES);
+    tracker.record_int_ops((union_cols * t_bits + executed * (TILE_M * TILE_N) as u64) * n_tiles);
+    tracker.record_b1_tiles(executed * n_tiles);
 }
 
 /// Charge the tracker with exactly the traffic and MMA counts the simulated
@@ -536,5 +771,158 @@ mod tests {
         let a = StackedBitMatrix::from_codes(&codes, 2, BitMatrixLayout::RowPacked);
         let b = StackedBitMatrix::from_codes(&codes, 2, BitMatrixLayout::ColPacked);
         let _ = qgtc_aggregate(&a, &b, &KernelConfig::default(), &CostTracker::new());
+    }
+
+    /// Fragmented adjacency: every 16-row window shares four columns, one per
+    /// 64-bit word region — every K word is nonzero (the word-skip kernel can
+    /// skip nothing) yet each window's union condenses to a single word.
+    fn fragmented_adjacency(n: usize) -> Matrix<f32> {
+        let mut adj: Matrix<f32> = Matrix::zeros(n, n);
+        for w in 0..n.div_ceil(16) {
+            let c0 = (w * 7) % 64;
+            for r in w * 16..((w + 1) * 16).min(n) {
+                for region in 0..n / 64 {
+                    adj.row_mut(r)[region * 64 + c0] = 1.0;
+                }
+            }
+        }
+        adj
+    }
+
+    fn path_config(path: AdjacencyPath) -> KernelConfig {
+        KernelConfig {
+            adjacency_path: path,
+            ..KernelConfig::default()
+        }
+    }
+
+    #[test]
+    fn condensed_path_is_bitwise_identical_to_skip_path() {
+        for (adj, x_bits, seed) in [
+            (fragmented_adjacency(256), 2u32, 31u64),
+            (sparse_adjacency(96, 0.07, 32), 3, 33),
+            (sparse_adjacency(130, 0.5, 34), 4, 35),
+        ] {
+            let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+            let x_codes = random_codes(adj.rows(), 24, x_bits, seed);
+            let x = StackedBitMatrix::from_codes(&x_codes, x_bits, BitMatrixLayout::ColPacked);
+            let reference = gemm_i64(&adj.map(|&v| v as i64), &x_codes.map(|&v| v as i64));
+            let skip = qgtc_aggregate(
+                &a,
+                &x,
+                &path_config(AdjacencyPath::Skip),
+                &CostTracker::new(),
+            );
+            let cond = qgtc_aggregate(
+                &a,
+                &x,
+                &path_config(AdjacencyPath::Condensed),
+                &CostTracker::new(),
+            );
+            assert_eq!(skip, reference, "skip path diverged from the oracle");
+            assert_eq!(cond, reference, "condensed path diverged from the oracle");
+        }
+    }
+
+    #[test]
+    fn cached_condensed_translation_is_equivalent_to_on_the_fly() {
+        let adj = fragmented_adjacency(192);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x_codes = random_codes(192, 16, 2, 41);
+        let x = StackedBitMatrix::from_codes(&x_codes, 2, BitMatrixLayout::ColPacked);
+        let cfg = path_config(AdjacencyPath::Condensed);
+        let cached = CondensedAdjacency::from_stack(&a);
+        let t_fly = CostTracker::new();
+        let t_cached = CostTracker::new();
+        let fly = qgtc_aggregate_prepared(&a, None, &x, &cfg, &t_fly);
+        let reused = qgtc_aggregate_prepared(&a, Some(&cached), &x, &cfg, &t_cached);
+        assert_eq!(fly, reused);
+        assert_eq!(
+            t_fly.snapshot(),
+            t_cached.snapshot(),
+            "tracker numbers must not depend on who built the translation"
+        );
+    }
+
+    #[test]
+    fn dispatch_counters_record_the_resolved_path() {
+        let adj = fragmented_adjacency(128);
+        let a = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let x_codes = random_codes(128, 8, 2, 51);
+        let x = StackedBitMatrix::from_codes(&x_codes, 2, BitMatrixLayout::ColPacked);
+
+        let t_skip = CostTracker::new();
+        let _ = qgtc_aggregate(&a, &x, &path_config(AdjacencyPath::Skip), &t_skip);
+        let s = t_skip.snapshot();
+        assert_eq!(s.adj_skip_dispatches, 1);
+        assert_eq!(s.adj_condensed_dispatches, 0);
+        assert_eq!(s.condensed_words, 0);
+        assert_eq!(s.condensation_ratio(), 0.0);
+
+        let t_cond = CostTracker::new();
+        let _ = qgtc_aggregate(&a, &x, &path_config(AdjacencyPath::Condensed), &t_cond);
+        let c = t_cond.snapshot();
+        assert_eq!(c.adj_skip_dispatches, 0);
+        assert_eq!(c.adj_condensed_dispatches, 1);
+        assert!(c.condensed_words > 0 && c.condensed_words < c.condensed_source_words);
+        assert!(c.condensation_ratio() > 0.0 && c.condensation_ratio() < 1.0);
+        assert!(
+            c.fused_word_skip_ratio() > 0.0,
+            "condensation must register as avoided K-loop work"
+        );
+    }
+
+    #[test]
+    fn auto_heuristic_splits_fragmented_from_blocky_inputs() {
+        // Fragmented: every source word nonzero, windows condense 4:1.
+        let frag = StackedBitMatrix::from_binary_adjacency(
+            &fragmented_adjacency(256),
+            BitMatrixLayout::RowPacked,
+        );
+        assert_eq!(
+            resolve_adjacency_path(AdjacencyPath::Auto, &frag),
+            AdjacencyPath::Condensed
+        );
+        // Half-dense random: window unions cover essentially every column, so
+        // condensation saves nothing over the word-skip walk.
+        let blocky = StackedBitMatrix::from_binary_adjacency(
+            &sparse_adjacency(256, 0.5, 61),
+            BitMatrixLayout::RowPacked,
+        );
+        assert_eq!(
+            resolve_adjacency_path(AdjacencyPath::Auto, &blocky),
+            AdjacencyPath::Skip
+        );
+        // Fixed choices resolve to themselves regardless of the input.
+        assert_eq!(
+            resolve_adjacency_path(AdjacencyPath::Skip, &frag),
+            AdjacencyPath::Skip
+        );
+        assert_eq!(
+            resolve_adjacency_path(AdjacencyPath::Condensed, &blocky),
+            AdjacencyPath::Condensed
+        );
+    }
+
+    #[test]
+    fn adjacency_path_names_round_trip() {
+        for path in [
+            AdjacencyPath::Auto,
+            AdjacencyPath::Skip,
+            AdjacencyPath::Condensed,
+        ] {
+            assert_eq!(AdjacencyPath::from_name(path.name()), Some(path));
+        }
+        assert_eq!(
+            AdjacencyPath::from_name("condense"),
+            Some(AdjacencyPath::Condensed)
+        );
+        assert_eq!(
+            AdjacencyPath::from_name("CONDENSED"),
+            Some(AdjacencyPath::Condensed),
+            "env parsing is case-insensitive"
+        );
+        assert_eq!(AdjacencyPath::from_name("dense"), None);
+        assert_eq!(AdjacencyPath::from_name(""), None);
     }
 }

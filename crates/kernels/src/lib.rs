@@ -53,8 +53,14 @@ pub use backend::{
     available_backends, registered_backends, select_backend, Avx512Backend, BackendChoice,
     GemmBackend, ModeledTcBackend, PortableBackend,
 };
-pub use bmm::{qgtc_aggregate, qgtc_bitmm2int, qgtc_bmm, KernelConfig, ReductionOrder};
+pub use bmm::{
+    adjacency_cost_ratio, qgtc_aggregate, qgtc_aggregate_prepared, qgtc_bitmm2int, qgtc_bmm,
+    resolve_adjacency_path, AdjacencyPath, KernelConfig, ReductionOrder,
+};
 pub use fusion::{Activation, FusedEpilogue};
 pub use packing::{PreparedBatch, SubgraphPayload, TransferStrategy};
 pub use pool::{PackedBufferPool, PoolStats};
-pub use tiling::{resolve_tiling, shape_class, tune_file_path, TilingChoice, TuneTable};
+pub use tiling::{
+    condense_threshold, resolve_tiling, shape_class, tune_file_path, TilingChoice, TuneTable,
+};
+pub use zero_tile::{adjacency_sparsity_stats, AdjacencySparsityStats};

@@ -14,6 +14,7 @@
 //! PCIe time (and the per-transfer fixed overhead) accordingly.
 
 use crate::pool::PackedBufferPool;
+use qgtc_bitmat::condense::CondensedAdjacency;
 use qgtc_bitmat::{BitMatrixLayout, StackedBitMatrix};
 use qgtc_graph::DenseSubgraph;
 use qgtc_tcsim::cost::CostTracker;
@@ -96,6 +97,13 @@ pub struct SubgraphPayload {
     pub packed_adjacency: StackedBitMatrix,
     /// Packed features (`feature_bits`-bit, column-packed).
     pub packed_features: StackedBitMatrix,
+    /// The adjacency's sparse-to-dense condensed translation, built once at
+    /// prepare time via [`SubgraphPayload::ensure_condensed`] when the
+    /// configured adjacency path may consume it.  Purely derived data — fully
+    /// determined by `packed_adjacency` — so it is deliberately *excluded*
+    /// from [`SubgraphPayload::checksum`] (a payload with and without the
+    /// cache is the same payload).
+    pub condensed_adjacency: Option<CondensedAdjacency>,
 }
 
 impl SubgraphPayload {
@@ -122,6 +130,7 @@ impl SubgraphPayload {
             feature_bits,
             packed_adjacency,
             packed_features,
+            condensed_adjacency: None,
         }
     }
 
@@ -152,6 +161,20 @@ impl SubgraphPayload {
             feature_bits,
             packed_adjacency,
             packed_features,
+            condensed_adjacency: None,
+        }
+    }
+
+    /// Build (once) and cache the condensed translation of the packed adjacency.
+    ///
+    /// Idempotent: a second call is a no-op.  The streamed pipeline and the
+    /// serving session call this at prepare time whenever the resolved
+    /// adjacency path may dispatch to the condensed kernel, so the packing
+    /// cost is paid off the epoch critical path and amortized by the serving
+    /// payload cache.
+    pub fn ensure_condensed(&mut self) {
+        if self.condensed_adjacency.is_none() {
+            self.condensed_adjacency = Some(CondensedAdjacency::from_stack(&self.packed_adjacency));
         }
     }
 
@@ -650,6 +673,37 @@ mod tests {
         assert_eq!(dense.payload_checksum, None, "no payload, nothing to seal");
         assert!(!dense.corrupt_payload(3), "no payload, nothing to corrupt");
         assert!(dense.verify_payload());
+    }
+
+    #[test]
+    fn ensure_condensed_caches_and_leaves_the_checksum_alone() {
+        let (coo, _) = stochastic_block_model(
+            SbmParams {
+                num_nodes: 40,
+                num_blocks: 2,
+                intra_degree: 3.0,
+                inter_degree: 0.5,
+            },
+            11,
+        );
+        let graph = CsrGraph::from_coo(&coo);
+        let sub = DenseSubgraph::extract(&graph, &(0..24).collect::<Vec<_>>());
+        let features = sub.gather_features(&random_uniform_matrix(40, 16, 0.0, 1.0, 12));
+        let mut payload = SubgraphPayload::new(&sub, &features, 2);
+        assert!(payload.condensed_adjacency.is_none());
+        let before = payload.checksum();
+
+        payload.ensure_condensed();
+        let first = payload.condensed_adjacency.clone().expect("built");
+        assert_eq!(first.rows(), payload.num_nodes);
+        assert_eq!(first.cols(), payload.num_nodes);
+
+        // Idempotent: a second call keeps the exact same structure.
+        payload.ensure_condensed();
+        assert_eq!(payload.condensed_adjacency.as_ref(), Some(&first));
+
+        // The cache is derived data and must not perturb payload identity.
+        assert_eq!(payload.checksum(), before);
     }
 
     #[test]

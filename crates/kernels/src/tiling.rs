@@ -62,10 +62,17 @@ pub struct TuneEntry {
     pub scheme: TilingScheme,
 }
 
+/// Condensation threshold used when the tune file does not carry one: the
+/// condensed path must shrink the K loop to at most this fraction of what
+/// the span index already visits before `AdjacencyPath::Auto` picks it —
+/// headroom for the gather the condensed kernel pays per window.
+pub const DEFAULT_CONDENSE_THRESHOLD: f64 = 0.75;
+
 /// The parsed autotuner table.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TuneTable {
     entries: Vec<TuneEntry>,
+    condense_threshold: Option<f64>,
 }
 
 impl TuneTable {
@@ -100,7 +107,16 @@ impl TuneTable {
                 scheme,
             });
         }
-        Self { entries }
+        // The condensation threshold is a flat top-level string key (never an
+        // entry object, so the scanner above cannot mistake it for a row);
+        // an unparsable value is ignored like a malformed entry would be.
+        let condense_threshold = extract_string(text, "condense_threshold")
+            .and_then(|raw| raw.parse::<f64>().ok())
+            .filter(|t| t.is_finite() && *t > 0.0);
+        Self {
+            entries,
+            condense_threshold,
+        }
     }
 
     /// All rows, in file order.
@@ -115,6 +131,21 @@ impl TuneTable {
             .find(|e| e.body == body && e.shape_class == class)
             .map(|e| e.scheme)
     }
+
+    /// The tuned condensation threshold carried by the file, if any.
+    pub fn tuned_condense_threshold(&self) -> Option<f64> {
+        self.condense_threshold
+    }
+}
+
+/// The condensation threshold `AdjacencyPath::Auto` compares against: the
+/// tune table's `condense_threshold` key when present, else
+/// [`DEFAULT_CONDENSE_THRESHOLD`].  Tuned by `tilingtune`'s condense stage
+/// from a measured fragmentation sweep.
+pub fn condense_threshold() -> f64 {
+    tune_table()
+        .tuned_condense_threshold()
+        .unwrap_or(DEFAULT_CONDENSE_THRESHOLD)
 }
 
 /// Inner `{...}` objects of a flat JSON document (no nested-object support —
@@ -247,6 +278,23 @@ mod tests {
         assert_eq!(table.lookup("portable", "small"), None);
         assert_eq!(TuneTable::parse(""), TuneTable::default());
         assert_eq!(TuneTable::parse("not json at all"), TuneTable::default());
+    }
+
+    #[test]
+    fn condense_threshold_parses_from_the_root_and_defaults_otherwise() {
+        let with = TuneTable::parse(
+            r#"{ "file": "TUNE_gemm.json", "condense_threshold": "0.6",
+                 "entries": [ { "body": "avx2", "shape_class": "large", "scheme": "16x8x8" } ] }"#,
+        );
+        assert_eq!(with.tuned_condense_threshold(), Some(0.6));
+        assert_eq!(with.entries().len(), 1, "the flat key is not an entry");
+        assert_eq!(TuneTable::parse(SAMPLE).tuned_condense_threshold(), None);
+        // Malformed or non-positive values are ignored, like bad entries.
+        let bad = TuneTable::parse(r#"{ "condense_threshold": "zero", "entries": [] }"#);
+        assert_eq!(bad.tuned_condense_threshold(), None);
+        let neg = TuneTable::parse(r#"{ "condense_threshold": "-1.0", "entries": [] }"#);
+        assert_eq!(neg.tuned_condense_threshold(), None);
+        assert!(condense_threshold() > 0.0);
     }
 
     #[test]

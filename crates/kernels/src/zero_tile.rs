@@ -93,6 +93,62 @@ pub fn census_plane_words(plane: &BitMatrix) -> FusedGemmStats {
     }
 }
 
+/// Word-level sparsity profile of a 1-bit adjacency — the numbers the
+/// adjacency-path dispatcher reasons from, surfaced per batch in the epoch
+/// report so Auto decisions are explainable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdjacencySparsityStats {
+    /// Widened 64-bit K-loop words over the logical rows.
+    pub total_words: u64,
+    /// Words containing at least one edge (what the skip kernel visits).
+    pub nonzero_words: u64,
+    /// Set bits (edges) in the plane.
+    pub nonzeros: u64,
+}
+
+impl AdjacencySparsityStats {
+    /// Fraction of K-loop words the skip kernel cannot avoid (0.0 when empty).
+    pub fn nonzero_word_ratio(&self) -> f64 {
+        if self.total_words == 0 {
+            0.0
+        } else {
+            self.nonzero_words as f64 / self.total_words as f64
+        }
+    }
+
+    /// Edges per nonzero word — the fragmentation measure.  Near 1.0 means
+    /// one scattered edge per visited word (condensation territory); high
+    /// values mean dense words the skip kernel already handles well.  0.0
+    /// when the adjacency has no edges.
+    pub fn fragmentation(&self) -> f64 {
+        if self.nonzero_words == 0 {
+            0.0
+        } else {
+            self.nonzeros as f64 / self.nonzero_words as f64
+        }
+    }
+}
+
+/// Profile a 1-bit adjacency stack's word-level sparsity (logical rows only,
+/// same frame as [`census_plane_words`]).
+pub fn adjacency_sparsity_stats(adjacency: &StackedBitMatrix) -> AdjacencySparsityStats {
+    assert_eq!(adjacency.bits(), 1, "adjacency stats expect a 1-bit stack");
+    let plane = adjacency.plane(0);
+    assert_eq!(plane.layout(), BitMatrixLayout::RowPacked);
+    let mut stats = AdjacencySparsityStats::default();
+    for lane in 0..plane.rows() {
+        for pair in plane.lane(lane).chunks_exact(2) {
+            stats.total_words += 1;
+            let ones = u64::from(pair[0].count_ones() + pair[1].count_ones());
+            if ones > 0 {
+                stats.nonzero_words += 1;
+                stats.nonzeros += ones;
+            }
+        }
+    }
+    stats
+}
+
 /// Census a 1-bit adjacency stack (convenience wrapper over [`census_plane`]).
 pub fn census_adjacency(adjacency: &StackedBitMatrix) -> TileCensus {
     assert_eq!(
@@ -217,6 +273,37 @@ mod tests {
         assert_eq!(s.fused_words_total, census.total_words);
         assert_eq!(s.fused_words_skipped, census.skipped_words());
         assert!((s.fused_word_skip_ratio() - census.skip_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_stats_measure_fragmentation() {
+        // 8 rows x 256 cols (4 widened words/row).  Rows 0..4: one edge per
+        // word (fragmentation 1.0 over those words); rows 4..8 empty.
+        let mut adj: Matrix<f32> = Matrix::zeros(8, 256);
+        for r in 0..4 {
+            for w in 0..4 {
+                adj[(r, w * 64 + r)] = 1.0;
+            }
+        }
+        let stack = StackedBitMatrix::from_binary_adjacency(&adj, BitMatrixLayout::RowPacked);
+        let stats = adjacency_sparsity_stats(&stack);
+        assert_eq!(stats.total_words, 8 * 4);
+        assert_eq!(stats.nonzero_words, 16);
+        assert_eq!(stats.nonzeros, 16);
+        assert!((stats.nonzero_word_ratio() - 0.5).abs() < 1e-12);
+        assert!((stats.fragmentation() - 1.0).abs() < 1e-12);
+        // The word census and the profile agree on what the kernel visits.
+        let census = census_plane_words(stack.plane(0));
+        assert_eq!(census.visited_words, stats.nonzero_words);
+        assert_eq!(census.total_words, stats.total_words);
+        // Empty adjacency: well-defined zeros.
+        let empty = StackedBitMatrix::from_binary_adjacency(
+            &Matrix::zeros(4, 64),
+            BitMatrixLayout::RowPacked,
+        );
+        let s = adjacency_sparsity_stats(&empty);
+        assert_eq!(s.fragmentation(), 0.0);
+        assert_eq!(s.nonzero_word_ratio(), 0.0);
     }
 
     #[test]

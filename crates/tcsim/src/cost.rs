@@ -31,6 +31,10 @@ pub struct CostTracker {
     pcie_d2h_bytes: AtomicU64,
     fused_words_total: AtomicU64,
     fused_words_skipped: AtomicU64,
+    adj_skip_dispatches: AtomicU64,
+    adj_condensed_dispatches: AtomicU64,
+    condensed_words: AtomicU64,
+    condensed_source_words: AtomicU64,
 }
 
 /// Plain-data copy of the counters at one point in time.
@@ -71,6 +75,17 @@ pub struct CostSnapshot {
     pub fused_words_total: u64,
     /// Fused-GEMM K-loop words removed by the zero-word span index.
     pub fused_words_skipped: u64,
+    /// Aggregations the adjacency-path dispatcher sent down the zero-word-skip
+    /// kernel.
+    pub adj_skip_dispatches: u64,
+    /// Aggregations the dispatcher sent down the condensed (TC-GNN-style
+    /// sparse-to-dense translated) kernel.
+    pub adj_condensed_dispatches: u64,
+    /// Condensed K-loop words actually consumed by condensed aggregations.
+    pub condensed_words: u64,
+    /// Source K-loop words those condensed aggregations would have been
+    /// offered uncondensed (the condensation ratio's denominator).
+    pub condensed_source_words: u64,
 }
 
 impl CostTracker {
@@ -159,6 +174,25 @@ impl CostTracker {
             .fetch_add(skipped, Ordering::Relaxed);
     }
 
+    /// Record one aggregation dispatched down the zero-word-skip path.
+    pub fn record_adj_skip_dispatch(&self) {
+        self.adj_skip_dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one aggregation dispatched down the condensed path, with the
+    /// condensed K-loop words it consumed and the source words it replaced.
+    pub fn record_adj_condensed_dispatch(&self, condensed: u64, source: u64) {
+        debug_assert!(
+            condensed <= source,
+            "condensation can never widen the K loop"
+        );
+        self.adj_condensed_dispatches
+            .fetch_add(1, Ordering::Relaxed);
+        self.condensed_words.fetch_add(condensed, Ordering::Relaxed);
+        self.condensed_source_words
+            .fetch_add(source, Ordering::Relaxed);
+    }
+
     /// Add every counter of `other` into `self`.
     pub fn merge_snapshot(&self, other: &CostSnapshot) {
         self.tc_b1_tiles
@@ -195,6 +229,14 @@ impl CostTracker {
             .fetch_add(other.fused_words_total, Ordering::Relaxed);
         self.fused_words_skipped
             .fetch_add(other.fused_words_skipped, Ordering::Relaxed);
+        self.adj_skip_dispatches
+            .fetch_add(other.adj_skip_dispatches, Ordering::Relaxed);
+        self.adj_condensed_dispatches
+            .fetch_add(other.adj_condensed_dispatches, Ordering::Relaxed);
+        self.condensed_words
+            .fetch_add(other.condensed_words, Ordering::Relaxed);
+        self.condensed_source_words
+            .fetch_add(other.condensed_source_words, Ordering::Relaxed);
     }
 
     /// Copy the current counter values.
@@ -217,6 +259,10 @@ impl CostTracker {
             pcie_d2h_bytes: self.pcie_d2h_bytes.load(Ordering::Relaxed),
             fused_words_total: self.fused_words_total.load(Ordering::Relaxed),
             fused_words_skipped: self.fused_words_skipped.load(Ordering::Relaxed),
+            adj_skip_dispatches: self.adj_skip_dispatches.load(Ordering::Relaxed),
+            adj_condensed_dispatches: self.adj_condensed_dispatches.load(Ordering::Relaxed),
+            condensed_words: self.condensed_words.load(Ordering::Relaxed),
+            condensed_source_words: self.condensed_source_words.load(Ordering::Relaxed),
         }
     }
 
@@ -239,6 +285,10 @@ impl CostTracker {
         self.pcie_d2h_bytes.store(0, Ordering::Relaxed);
         self.fused_words_total.store(0, Ordering::Relaxed);
         self.fused_words_skipped.store(0, Ordering::Relaxed);
+        self.adj_skip_dispatches.store(0, Ordering::Relaxed);
+        self.adj_condensed_dispatches.store(0, Ordering::Relaxed);
+        self.condensed_words.store(0, Ordering::Relaxed);
+        self.condensed_source_words.store(0, Ordering::Relaxed);
     }
 }
 
@@ -279,6 +329,17 @@ impl CostSnapshot {
         }
     }
 
+    /// Fraction of the source K-loop the condensed aggregations kept:
+    /// `condensed_words / condensed_source_words`, or 0.0 when nothing was
+    /// dispatched down the condensed path.
+    pub fn condensation_ratio(&self) -> f64 {
+        if self.condensed_source_words == 0 {
+            0.0
+        } else {
+            self.condensed_words as f64 / self.condensed_source_words as f64
+        }
+    }
+
     /// Elementwise difference (`self - earlier`), for extracting per-phase costs.
     pub fn delta_since(&self, earlier: &CostSnapshot) -> CostSnapshot {
         CostSnapshot {
@@ -299,6 +360,11 @@ impl CostSnapshot {
             pcie_d2h_bytes: self.pcie_d2h_bytes - earlier.pcie_d2h_bytes,
             fused_words_total: self.fused_words_total - earlier.fused_words_total,
             fused_words_skipped: self.fused_words_skipped - earlier.fused_words_skipped,
+            adj_skip_dispatches: self.adj_skip_dispatches - earlier.adj_skip_dispatches,
+            adj_condensed_dispatches: self.adj_condensed_dispatches
+                - earlier.adj_condensed_dispatches,
+            condensed_words: self.condensed_words - earlier.condensed_words,
+            condensed_source_words: self.condensed_source_words - earlier.condensed_source_words,
         }
     }
 }
@@ -357,6 +423,27 @@ mod tests {
         assert_eq!(s.fused_words_total, 200);
         assert_eq!(s.fused_words_skipped, 100);
         assert!((s.fused_word_skip_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_dispatch_counters_and_condensation_ratio() {
+        let t = CostTracker::new();
+        assert_eq!(t.snapshot().condensation_ratio(), 0.0);
+        t.record_adj_skip_dispatch();
+        t.record_adj_skip_dispatch();
+        t.record_adj_condensed_dispatch(25, 100);
+        t.record_adj_condensed_dispatch(15, 60);
+        let s = t.snapshot();
+        assert_eq!(s.adj_skip_dispatches, 2);
+        assert_eq!(s.adj_condensed_dispatches, 2);
+        assert_eq!(s.condensed_words, 40);
+        assert_eq!(s.condensed_source_words, 160);
+        assert!((s.condensation_ratio() - 0.25).abs() < 1e-12);
+
+        let other = CostTracker::new();
+        other.merge_snapshot(&s);
+        assert_eq!(other.snapshot(), s);
+        assert_eq!(s.delta_since(&s), CostSnapshot::default());
     }
 
     #[test]
